@@ -1,0 +1,1 @@
+"""Benchmark suite (one module per experiment; see DESIGN.md)."""

@@ -1,0 +1,113 @@
+"""E6 — contextual history search quality (use case 2.1).
+
+The rosebud claim, measured over many episodes: after searching the
+web and clicking a result whose own text does not contain the query,
+a history search for the same query should return the clicked page.
+
+Baseline: textual tf-idf history search over the same node text.
+Metric: hit@10 and MRR on the clicked target.  The paper's qualitative
+claim is a shape: provenance search finds targets textual search
+cannot (baseline hit rate ~0 on textually hidden targets).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.analysis.metrics import MetricAccumulator
+from repro.sim import Simulation
+from repro.user.personas import default_profile, run_rosebud_episode
+from repro.user.workload import WorkloadParams, run_workload
+
+EPISODES = 10
+
+
+@pytest.fixture(scope="module")
+def episode_history():
+    """A browsed sim plus many search-click episodes with ground truth."""
+    sim = Simulation.build(seed=7)
+    run_workload(
+        sim.browser, sim.web, default_profile(),
+        WorkloadParams(days=4, sessions_per_day=3, actions_per_session=16,
+                       seed=2),
+    )
+    episodes = []
+    queries = [
+        "rosebud", "vineyard", "playoff", "merlot", "sommelier",
+        "itinerary", "compost", "screenplay", "dividend", "acoustic",
+    ]
+    for index, query in enumerate(queries[:EPISODES]):
+        try:
+            outcome = run_rosebud_episode(
+                sim.browser, sim.web, query=query, prefer_topic="",
+                seed=index,
+            )
+        except Exception:  # noqa: BLE001 - query with no results: skip
+            continue
+        episodes.append(outcome)
+    return sim, episodes
+
+
+def evaluate(sim, episodes):
+    engine = sim.query_engine()
+    rows = []
+    textual_hit = MetricAccumulator("textual hit@10")
+    contextual_hit = MetricAccumulator("contextual hit@10")
+    textual_mrr = MetricAccumulator("textual MRR")
+    contextual_mrr = MetricAccumulator("contextual MRR")
+    hidden_textual = MetricAccumulator("hidden-target textual hit@10")
+    hidden_contextual = MetricAccumulator("hidden-target contextual hit@10")
+
+    for outcome in episodes:
+        target = str(outcome.clicked_url)
+        baseline = engine.textual_search(outcome.query, limit=10)
+        provenance = engine.contextual_search(outcome.query, limit=10)
+        base_rank = next(
+            (i + 1 for i, hit in enumerate(baseline) if hit.url == target),
+            None,
+        )
+        prov_rank = next(
+            (i + 1 for i, hit in enumerate(provenance) if hit.url == target),
+            None,
+        )
+        textual_hit.add(1.0 if base_rank else 0.0)
+        contextual_hit.add(1.0 if prov_rank else 0.0)
+        textual_mrr.add(1.0 / base_rank if base_rank else 0.0)
+        contextual_mrr.add(1.0 / prov_rank if prov_rank else 0.0)
+        if not outcome.textually_findable:
+            hidden_textual.add(1.0 if base_rank else 0.0)
+            hidden_contextual.add(1.0 if prov_rank else 0.0)
+    return (rows, textual_hit, contextual_hit, textual_mrr, contextual_mrr,
+            hidden_textual, hidden_contextual)
+
+
+def test_contextual_beats_textual(benchmark, episode_history):
+    sim, episodes = episode_history
+    assert len(episodes) >= 5, "too few episodes materialized"
+
+    (_, textual_hit, contextual_hit, textual_mrr, contextual_mrr,
+     hidden_textual, hidden_contextual) = benchmark.pedantic(
+        lambda: evaluate(sim, episodes), rounds=1, iterations=1
+    )
+
+    emit_table(
+        "e6_contextual_quality",
+        f"E6 - contextual vs textual history search ({contextual_hit.count}"
+        " search-click episodes)",
+        ["metric", "textual baseline", "provenance contextual", "paper"],
+        [
+            ["hit@10 (all targets)", f"{textual_hit.mean:.2f}",
+             f"{contextual_hit.mean:.2f}", "contextual wins"],
+            ["MRR (all targets)", f"{textual_mrr.mean:.2f}",
+             f"{contextual_mrr.mean:.2f}", "contextual wins"],
+            ["hit@10 (textually hidden)", f"{hidden_textual.mean:.2f}",
+             f"{hidden_contextual.mean:.2f}",
+             "textual ~0, contextual > 0"],
+            ["hidden-target episodes", "-", hidden_contextual.count, "-"],
+        ],
+    )
+    # The paper's shape: provenance strictly dominates on hit rate, and
+    # on textually hidden targets the baseline finds nothing.
+    assert contextual_hit.mean >= textual_hit.mean
+    if hidden_contextual.count:
+        assert hidden_textual.mean == 0.0
+        assert hidden_contextual.mean > 0.0

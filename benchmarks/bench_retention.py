@@ -1,0 +1,101 @@
+"""E14 (extension) — retention, redaction, and what lineage loses.
+
+The paper's section 4 names privacy the central open problem but
+offers no mechanism.  This extension bench measures the obvious
+mechanisms on the paper-scale history:
+
+* **expiration** — "keep 30 days": how much shrinks, and whether
+  bridged lineage keeps download-ancestry queries answerable;
+* **redaction** — "forget this site": how many surviving nodes lose
+  their ancestry entirely (the privacy/utility trade-off, quantified).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.clock import MICROSECONDS_PER_DAY
+from repro.core.query.lineage import LineageQuery
+from repro.core.retention import expire_before, forget_site
+from repro.core.taxonomy import NodeKind
+
+
+def test_expiration_with_bridging(benchmark, paper_history):
+    graph = paper_history.sim.capture.graph
+    now = paper_history.sim.clock.now_us
+    cutoff = now - 30 * MICROSECONDS_PER_DAY
+
+    def run():
+        return expire_before(graph, cutoff)
+
+    new_graph, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Lineage answerability: of the downloads that survive, how many
+    # still have any ancestor to walk?
+    lineage = LineageQuery(new_graph)
+    surviving_downloads = new_graph.by_kind(NodeKind.DOWNLOAD)
+    answerable = sum(
+        1 for node_id in surviving_downloads
+        if lineage.ancestry(node_id, max_depth=10)
+    )
+    emit_table(
+        "e14_expiration",
+        "E14 - expire history older than 30 days (of 79)",
+        ["metric", "value"],
+        [
+            ["nodes before", report.nodes_before],
+            ["nodes removed", report.nodes_removed],
+            ["edges removed", report.edges_removed],
+            ["bridge edges added", report.bridge_edges_added],
+            ["surviving downloads", len(surviving_downloads)],
+            ["...with walkable ancestry",
+             f"{answerable}/{len(surviving_downloads)}"],
+            ["still acyclic", new_graph.is_acyclic()],
+        ],
+    )
+    assert report.nodes_removed > 0
+    assert new_graph.is_acyclic()
+    if surviving_downloads:
+        assert answerable == len(surviving_downloads)
+
+
+def test_forget_site_severs_lineage(benchmark, paper_history):
+    graph = paper_history.sim.capture.graph
+    # Forget the busiest site — worst case for collateral damage.
+    from collections import Counter
+
+    from repro.web.url import Url
+
+    site_counts = Counter()
+    for node in graph.nodes():
+        if node.url:
+            try:
+                site_counts[Url.parse(node.url).site] += 1
+            except Exception:  # noqa: BLE001
+                continue
+    busiest, hits = site_counts.most_common(1)[0]
+
+    def run():
+        return forget_site(graph, busiest)
+
+    new_graph, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_table(
+        "e14_redaction",
+        f"E14 - forget the busiest site ({busiest}, {hits} nodes)",
+        ["metric", "value"],
+        [
+            ["nodes removed", report.nodes_removed],
+            ["edges removed", report.edges_removed],
+            ["surviving nodes orphaned", report.orphaned_descendants],
+            ["site nodes remaining",
+             sum(1 for node in new_graph.nodes()
+                 if node.url and busiest in node.url)],
+        ],
+    )
+    assert report.nodes_removed >= hits
+    remaining = [
+        node for node in new_graph.nodes()
+        if node.url and Url.parse(node.url).site == busiest
+    ]
+    assert not remaining
+    # Redaction has a measurable utility cost — that is the finding.
+    assert report.orphaned_descendants > 0

@@ -1,0 +1,125 @@
+"""E1/E2 — storage overhead of the provenance schema over Places.
+
+Paper claims (section 4):
+* "The total storage overhead of this schema over Places is 39.5%"
+* "on real data, this represents less than 5MB because Places is quite
+  conservative"
+
+We measure the on-disk provenance store against the browser's three
+heterogeneous stores (places/downloads/formhistory) after the same
+79-day workload, in two capture configurations: the full capture (all
+second-class relationships — more than the paper's schema stored) and
+a paper-equivalent capture without co-open tracking.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.analysis.overhead import measure_overhead
+from repro.core.capture import CaptureConfig
+
+
+def test_storage_overhead_full_capture(benchmark, paper_history):
+    sim = paper_history.sim
+    store = paper_history.store
+
+    def measure():
+        return measure_overhead(
+            sim.browser.places, sim.browser.downloads, sim.browser.forms,
+            store,
+        )
+
+    report = benchmark.pedantic(measure, rounds=3, iterations=1)
+    emit_table(
+        "e1_e2_storage_overhead",
+        "E1/E2 - storage overhead over Places (FULL capture, a superset"
+        " of the paper's schema: adds co-open edges + display intervals)",
+        ["metric", "paper", "measured", "holds"],
+        [
+            ["overhead %", "39.5%",
+             f"{report.overhead_percent:.1f}%", "see E1 paper-equiv"],
+            ["absolute", "< 5 MB", f"{report.overhead_mb:.2f} MB",
+             "yes" if report.overhead_mb < 5.0 else "superset"],
+            ["places bytes", "-", report.places_bytes, "-"],
+            ["downloads bytes", "-", report.downloads_bytes, "-"],
+            ["forms bytes", "-", report.forms_bytes, "-"],
+            ["provenance bytes", "-", report.provenance_bytes, "-"],
+        ],
+    )
+    # The full capture stores strictly more than the paper's prototype
+    # (co-open + intervals); it must still stay single-digit MB.  The
+    # paper-equivalent configuration below carries the <5MB claim.
+    assert report.overhead_mb < 10.0
+
+
+def test_storage_overhead_paper_equivalent(benchmark, paper_history,
+                                           tmp_path):
+    """Without co-open edges/intervals — closest to the paper's schema."""
+    from repro.core.store import ProvenanceStore
+    from repro.core.taxonomy import EdgeKind
+
+    sim = paper_history.sim
+    graph = sim.capture.graph
+
+    def build():
+        store = ProvenanceStore(str(tmp_path / "paper_equiv.sqlite"))
+        for node in graph.nodes():
+            store.append_node(node)
+        for edge in graph.edges():
+            if edge.kind is not EdgeKind.CO_OPEN:
+                store.append_edge(edge)
+        store.commit()
+        return store
+
+    store = benchmark.pedantic(build, rounds=1, iterations=1)
+    report = measure_overhead(
+        sim.browser.places, sim.browser.downloads, sim.browser.forms, store
+    )
+    emit_table(
+        "e1_paper_equivalent",
+        "E1 - overhead without co-open capture (paper-equivalent schema)",
+        ["metric", "paper", "measured", "holds"],
+        [
+            ["overhead %", "39.5%", f"{report.overhead_percent:.1f}%",
+             "shape"],
+            ["absolute", "< 5 MB", f"{report.overhead_mb:.2f} MB",
+             "yes" if report.overhead_mb < 5.0 else "NO"],
+        ],
+    )
+    store.close()
+    assert report.overhead_mb < 5.0
+
+
+def test_persistence_throughput(benchmark, paper_history, tmp_path):
+    """Cost of persisting the full graph (bulk save)."""
+    from repro.core.store import ProvenanceStore
+
+    graph = paper_history.sim.capture.graph
+    intervals = paper_history.sim.capture.intervals
+    counter = {"n": 0}
+
+    def save():
+        counter["n"] += 1
+        store = ProvenanceStore(str(tmp_path / f"save{counter['n']}.sqlite"))
+        store.save_graph(graph, intervals)
+        store.close()
+
+    benchmark.pedantic(save, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("batch", [1000])
+def test_incremental_append_rate(benchmark, paper_history, batch):
+    """Write-through capture cost per node (in-memory store)."""
+    from itertools import islice
+
+    from repro.core.store import ProvenanceStore
+
+    nodes = list(islice(paper_history.sim.capture.graph.nodes(), batch))
+
+    def append_batch():
+        store = ProvenanceStore()
+        for node in nodes:
+            store.append_node(node)
+        store.close()
+
+    benchmark.pedantic(append_batch, rounds=3, iterations=1)

@@ -1,0 +1,144 @@
+"""E8/E13 — time-contextual history search (use case 2.3).
+
+The wine/plane-tickets scenario, measured over several episodes: the
+user wants a page she cannot describe beyond its topic and what else
+was open at the time.  We compare the rank of the true target under
+plain textual search vs. the association query, and run the E13
+ablation: with close-event capture disabled, the temporal queries have
+nothing to work with — the paper's "every page is always open"
+failure, made measurable.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.core.capture import CaptureConfig
+from repro.sim import Simulation
+from repro.user.personas import (
+    run_wine_tickets_episode,
+    wine_enthusiast_profile,
+)
+from repro.user.workload import WorkloadParams, run_workload
+
+EPISODES = 6
+BACKGROUND = WorkloadParams(days=3, sessions_per_day=3,
+                            actions_per_session=16, seed=8)
+
+
+def run_episodes(sim):
+    outcomes = []
+    for index in range(EPISODES):
+        outcomes.append(
+            run_wine_tickets_episode(sim.browser, sim.web, seed=index)
+        )
+        sim.clock.advance_minutes(90)
+    return outcomes
+
+
+@pytest.fixture(scope="module")
+def wine_history():
+    sim = Simulation.build(seed=13)
+    run_workload(sim.browser, sim.web, wine_enthusiast_profile(), BACKGROUND)
+    outcomes = run_episodes(sim)
+    return sim, outcomes
+
+
+def rank_of(hits, target):
+    return next(
+        (i + 1 for i, hit in enumerate(hits) if hit.url == target), None
+    )
+
+
+def test_association_beats_plain_search(benchmark, wine_history):
+    sim, outcomes = wine_history
+    engine = sim.query_engine()
+
+    def run():
+        rows = []
+        improvements = 0
+        found_temporal = 0
+        found_plain = 0
+        for outcome in outcomes:
+            target = str(outcome.wine_url)
+            plain = engine.textual_search("wine", limit=10)
+            temporal = engine.temporal_search(
+                "wine", outcome.travel_query, limit=10
+            )
+            plain_rank = rank_of(plain, target)
+            temporal_rank = rank_of(temporal, target)
+            found_plain += plain_rank is not None
+            found_temporal += temporal_rank is not None
+            if (temporal_rank or 99) <= (plain_rank or 99):
+                improvements += 1
+            rows.append([
+                target.rsplit("/", 1)[-1][:30],
+                plain_rank or ">10",
+                temporal_rank or ">10",
+            ])
+        return rows, improvements, found_plain, found_temporal
+
+    rows, improvements, found_plain, found_temporal = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit_table(
+        "e8_temporal_quality",
+        f"E8 - 'wine associated with plane tickets' vs plain 'wine'"
+        f" ({len(outcomes)} episodes, rank of true target)",
+        ["target", "plain rank", "association rank"],
+        rows + [
+            ["-- found in top10 --", found_plain, found_temporal],
+            ["-- rank improved or equal --", "-",
+             f"{improvements}/{len(outcomes)}"],
+        ],
+    )
+    assert found_temporal >= found_plain
+    assert improvements >= len(outcomes) // 2 + 1
+
+
+def test_e13_without_close_events(benchmark, wine_history):
+    """Ablation: no close capture -> no temporal answers at all."""
+    sim_blind = Simulation.build(
+        seed=13, capture_config=CaptureConfig(capture_co_open=False)
+    )
+    run_workload(sim_blind.browser, sim_blind.web,
+                 wine_enthusiast_profile(), BACKGROUND)
+    outcomes = run_episodes(sim_blind)
+    engine = sim_blind.query_engine()
+
+    def run():
+        associated_found = 0
+        window_found = 0
+        for outcome in outcomes:
+            target = str(outcome.wine_url)
+            temporal = engine.temporal_search(
+                "wine", outcome.travel_query, limit=10
+            )
+            hit = next((h for h in temporal if h.url == target), None)
+            if hit is not None and hit.associated_node_id is not None:
+                associated_found += 1
+            window = engine.window_search(
+                "wine", outcome.window_start_us, outcome.window_end_us,
+                limit=10,
+            )
+            window_found += bool(window)
+        return associated_found, window_found
+
+    associated_found, window_found = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    _sim_full, full_outcomes = wine_history
+    emit_table(
+        "e13_close_events",
+        "E13 - close-event capture ablation (paper 3.2: without closes,"
+        " co-open relationships are unrecoverable)",
+        ["capture", "association evidence", "window answers"],
+        [
+            ["with close events", f"{len(full_outcomes)} episodes usable",
+             "yes"],
+            ["without close events", f"{associated_found} associations",
+             f"{window_found} window hits"],
+        ],
+    )
+    assert associated_found == 0
+    assert window_found == 0
+    sim_blind.close()

@@ -1,0 +1,125 @@
+"""E10 — versioning-policy ablation (section 3.1).
+
+The paper discusses two cycle-breaking designs: new node instance per
+visit (PASS-style) vs. a single page node with timestamped edges.  We
+run the identical workload under both policies and measure what the
+paper weighs qualitatively: store size, node/edge counts, and the cost
+of the queries each policy makes awkward (per-page version chains
+under node versioning; time-respecting ancestry under edge
+versioning).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.core.store import ProvenanceStore
+from repro.core.taxonomy import NodeKind
+from repro.core.versioning import (
+    EdgeVersioningPolicy,
+    temporal_ancestors,
+    version_chain,
+)
+from repro.sim import Simulation
+from repro.user.personas import default_profile
+from repro.user.workload import WorkloadParams, run_workload
+
+WORKLOAD = WorkloadParams(days=6, sessions_per_day=4,
+                          actions_per_session=20, seed=10)
+
+
+@pytest.fixture(scope="module")
+def node_versioned():
+    sim = Simulation.build(seed=29)
+    run_workload(sim.browser, sim.web, default_profile(), WORKLOAD)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def edge_versioned():
+    sim = Simulation.build(seed=29, policy=EdgeVersioningPolicy())
+    run_workload(sim.browser, sim.web, default_profile(), WORKLOAD)
+    return sim
+
+
+def store_size(sim, tmp_path, name):
+    store = ProvenanceStore(str(tmp_path / name))
+    store.save_graph(sim.capture.graph, sim.capture.intervals)
+    size = store.size_bytes()
+    store.close()
+    return size
+
+
+def test_policy_comparison(benchmark, node_versioned, edge_versioned,
+                           tmp_path):
+    node_graph = node_versioned.capture.graph
+    edge_graph = edge_versioned.capture.graph
+
+    def measure():
+        return (
+            store_size(node_versioned, tmp_path, "node.sqlite"),
+            store_size(edge_versioned, tmp_path, "edge.sqlite"),
+        )
+
+    node_bytes, edge_bytes = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+    emit_table(
+        "e10_versioning",
+        "E10 - node versioning vs edge versioning, identical workload",
+        ["metric", "node-versioned", "edge-versioned", "expectation"],
+        [
+            ["nodes", node_graph.node_count, edge_graph.node_count,
+             "edge << node"],
+            ["edges", node_graph.edge_count, edge_graph.edge_count,
+             "similar"],
+            ["store bytes", node_bytes, edge_bytes, "edge smaller"],
+            ["graph acyclic", node_graph.is_acyclic(),
+             edge_graph.is_acyclic(), "node: yes / edge: maybe not"],
+        ],
+    )
+    assert edge_graph.node_count < node_graph.node_count
+    assert node_graph.is_acyclic()
+    assert edge_bytes < node_bytes
+
+
+def test_version_chain_query_cost(benchmark, node_versioned):
+    """The query node versioning makes harder: all instances of a page.
+
+    With the URL index it is O(instances); this measures that at a
+    realistic revisit distribution.
+    """
+    graph = node_versioned.capture.graph
+    # The most-revisited URL is the worst case.
+    from collections import Counter
+
+    url_counts = Counter(
+        node.url for node in graph.nodes()
+        if node.url and node.kind is NodeKind.PAGE_VISIT
+    )
+    hot_url, hot_count = url_counts.most_common(1)[0]
+
+    chain = benchmark.pedantic(
+        lambda: version_chain(graph, hot_url), rounds=20, iterations=1
+    )
+    # The chain may also contain non-visit objects for the URL (e.g. a
+    # bookmark); the visit instances must match the census exactly.
+    visit_instances = [
+        node for node in chain if node.kind is NodeKind.PAGE_VISIT
+    ]
+    assert len(visit_instances) == hot_count
+    timestamps = [node.timestamp_us for node in chain]
+    assert timestamps == sorted(timestamps)
+
+
+def test_temporal_ancestry_query_cost(benchmark, edge_versioned):
+    """The query edge versioning makes harder: time-respecting walks."""
+    graph = edge_versioned.capture.graph
+    pages = graph.by_kind(NodeKind.PAGE)
+    probe = pages[len(pages) // 2]
+    now = edge_versioned.clock.now_us
+
+    reached = benchmark.pedantic(
+        lambda: temporal_ancestors(graph, probe, at_us=now),
+        rounds=10, iterations=1,
+    )
+    for reach in reached.values():
+        assert reach.bound_us <= now

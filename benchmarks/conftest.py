@@ -1,0 +1,77 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive artifact — a paper-scale history (79 simulated days,
+>25,000 provenance nodes, the scale reported in section 3 of the paper)
+— is built once per session and shared read-only by every bench.
+Smaller scenario simulations are built per bench file as needed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench prints a paper-claim vs. measured table (stdout is shown for
+failed expectations; run with ``-s`` to always see the tables, or read
+``benchmarks/results/`` where every table is also written).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.store import ProvenanceStore
+from repro.sim import Simulation
+from repro.user.personas import default_profile
+from repro.user.workload import paper_scale_params, run_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Set REPRO_BENCH_FAST=1 to shrink the paper-scale workload (CI use).
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+
+@dataclass
+class PaperScaleHistory:
+    """The shared 79-day history and its persisted provenance store."""
+
+    sim: Simulation
+    store: ProvenanceStore
+    store_path: str
+    days: int
+
+
+@pytest.fixture(scope="session")
+def paper_history(tmp_path_factory) -> PaperScaleHistory:
+    """Build the paper-scale history once (file-backed stores)."""
+    base = tmp_path_factory.mktemp("paper_scale")
+    sim = Simulation.build(
+        seed=7,
+        with_proxy=False,
+        places_path=str(base / "places.sqlite"),
+        downloads_path=str(base / "downloads.sqlite"),
+        forms_path=str(base / "formhistory.sqlite"),
+    )
+    params = paper_scale_params(seed=7)
+    if FAST:
+        from dataclasses import replace
+
+        params = replace(params, days=10)
+    run_workload(sim.browser, sim.web, default_profile(), params)
+    store_path = str(base / "provenance.sqlite")
+    store = ProvenanceStore(store_path)
+    store.save_graph(sim.capture.graph, sim.capture.intervals)
+    return PaperScaleHistory(
+        sim=sim, store=store, store_path=store_path, days=params.days
+    )
+
+
+def emit_table(name: str, title: str, headers, rows) -> None:
+    """Print a claim table and persist it under benchmarks/results/."""
+    table = format_table(headers, rows, title=title)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table + "\n")

@@ -1,0 +1,86 @@
+"""Section 4's privacy argument, made observable.
+
+"The browser could personalize search results without giving
+information about the user to the search engine."
+
+Two users with opposite interests issue the same ambiguous query.
+This example shows (a) each gets results matching *their* sense of the
+word, and (b) the complete record of what the search engine ever saw —
+its query log — contains nothing but short query strings.  The
+provenance analysis runs entirely on the user's machine.
+
+Usage::
+
+    python examples/privacy_personalization.py
+"""
+
+from repro import Simulation, WorkloadParams
+from repro.user.personas import (
+    film_buff_profile,
+    gardener_profile,
+    run_rosebud_episode,
+)
+
+QUERY = "rosebud"
+
+
+def build_user(profile, prefer_topic, *, seed=11):
+    sim = Simulation.build(seed=seed)
+    sim.run_workload(
+        profile,
+        WorkloadParams(days=3, sessions_per_day=3, actions_per_session=14,
+                       seed=5),
+    )
+    run_rosebud_episode(sim.browser, sim.web, prefer_topic=prefer_topic)
+    return sim
+
+
+def show_user(name, sim, interest_topic):
+    engine = sim.query_engine()
+    engine_calls_before = len(sim.engine.query_log)
+    augmented = engine.personalize_query(QUERY)
+    engine_calls_during = len(sim.engine.query_log) - engine_calls_before
+
+    print(f"\n--- {name} (interest: {interest_topic}) ---")
+    print(f"  personalization ran locally "
+          f"({engine_calls_during} engine calls during analysis)")
+    print(f"  query sent to the engine: {augmented.sent_to_engine!r}")
+    hits = sim.engine.search(augmented.sent_to_engine, limit=5)
+    on_topic = 0
+    for hit in hits:
+        page = sim.web.get(hit.url)
+        topic = page.topic if page else "?"
+        on_topic += topic == interest_topic
+        print(f"    [{topic:>10}] {hit.url}")
+    print(f"  results in their interest topic: {on_topic}/{len(hits)}")
+    return sim
+
+
+def main() -> None:
+    gardener = build_user(gardener_profile(), "gardening")
+    cinephile = build_user(film_buff_profile(), "film")
+
+    print(f"Both users now search the web for {QUERY!r}.")
+    show_user("the gardener", gardener, "gardening")
+    show_user("the film buff", cinephile, "film")
+
+    print("\n--- what each engine ever learned (full query logs) ---")
+    for name, sim in (("gardener's engine", gardener),
+                      ("film buff's engine", cinephile)):
+        tail = sim.engine.query_log[-3:]
+        print(f"  {name}: ... {tail}")
+        leaks = [
+            entry for entry in sim.engine.query_log
+            if "http" in entry or len(entry) > 100
+        ]
+        print(f"    entries containing URLs or history dumps: {len(leaks)}")
+    print(
+        "\nContrast with server-side personalization, which requires the"
+        "\nengine to hold the browsing history these logs conspicuously lack."
+    )
+    gardener.close()
+    cinephile.close()
+
+
+if __name__ == "__main__":
+    main()

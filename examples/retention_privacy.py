@@ -1,0 +1,72 @@
+"""Extension: retention and redaction on a provenance history.
+
+Section 4 of the paper names privacy the open problem of browser
+provenance.  This example exercises the two mechanisms a
+provenance-aware browser needs, and shows what each costs:
+
+* expire everything older than 7 days — bridged lineage keeps the
+  "where did this download come from?" question answerable;
+* "forget this site" — the connection disappears, and with it the
+  ancestry of everything that flowed through it.
+
+Usage::
+
+    python examples/retention_privacy.py
+"""
+
+from repro import Simulation, WorkloadParams, default_profile
+from repro.clock import MICROSECONDS_PER_DAY
+from repro.core import NodeKind
+from repro.core.query.lineage import LineageQuery
+from repro.core.retention import expire_before, forget_site
+
+
+def main() -> None:
+    sim = Simulation.build(seed=7)
+    print("Browsing for 14 simulated days...")
+    sim.run_workload(
+        default_profile(),
+        WorkloadParams(days=14, sessions_per_day=3, actions_per_session=16,
+                       seed=1),
+    )
+    graph = sim.capture.graph
+    print(f"  history: {graph.node_count} nodes, {graph.edge_count} edges")
+
+    # ---- expiration ---------------------------------------------------------
+    cutoff = sim.clock.now_us - 7 * MICROSECONDS_PER_DAY
+    kept, report = expire_before(graph, cutoff)
+    print("\nExpire everything older than 7 days:")
+    print(f"  removed {report.nodes_removed} nodes,"
+          f" {report.edges_removed} edges;"
+          f" added {report.bridge_edges_added} bridge edges")
+    downloads = kept.by_kind(NodeKind.DOWNLOAD)
+    lineage = LineageQuery(kept)
+    answerable = sum(
+        1 for node_id in downloads if lineage.ancestry(node_id, max_depth=10)
+    )
+    print(f"  surviving downloads with walkable ancestry:"
+          f" {answerable}/{len(downloads)}")
+
+    # ---- redaction ------------------------------------------------------------
+    from collections import Counter
+
+    from repro.web.url import Url
+
+    sites = Counter()
+    for node in graph.nodes():
+        if node.url:
+            sites[Url.parse(node.url).site] += 1
+    target_site = [s for s, _ in sites.most_common(5) if "findit" not in s][0]
+    print(f"\nForget {target_site!r} ({sites[target_site]} nodes about it):")
+    scrubbed, redaction = forget_site(graph, target_site)
+    print(f"  removed {redaction.nodes_removed} nodes"
+          f" (includes search terms that only led there)")
+    print(f"  {redaction.orphaned_descendants} surviving pages lost their"
+          " entire ancestry - the measurable price of redaction:")
+    print("  lineage questions about anything reached through that site"
+          " are now unanswerable, by design.")
+    sim.close()
+
+
+if __name__ == "__main__":
+    main()

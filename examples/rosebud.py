@@ -1,0 +1,83 @@
+"""Use cases 2.1 and 2.2: the rosebud story.
+
+A user searches the web for "rosebud" and clicks through to a page that
+never mentions the word in its title or URL.  Later she searches her
+*history* for rosebud:
+
+* textual history search (what 2009 browsers did) cannot find the page;
+* provenance-aware contextual search returns it, because it descends
+  from the search term.
+
+Then the gardener variant: for a user whose history is full of
+gardening, the browser augments the ambiguous web query "rosebud" with
+a gardening term — locally, without telling the search engine anything.
+
+Usage::
+
+    python examples/rosebud.py
+"""
+
+from repro import Simulation, WorkloadParams
+from repro.browser.history import HistorySearch
+from repro.user.personas import gardener_profile, run_rosebud_episode
+
+
+def main() -> None:
+    sim = Simulation.build(seed=7)
+
+    print("Background browsing (the gardener, 3 days)...")
+    sim.run_workload(
+        gardener_profile(),
+        WorkloadParams(days=3, sessions_per_day=3, actions_per_session=15,
+                       seed=2),
+    )
+
+    print("\nThe episode: search the web for 'rosebud', click a result.")
+    outcome = run_rosebud_episode(sim.browser, sim.web,
+                                  prefer_topic="gardening")
+    print(f"  clicked: {outcome.clicked_url}")
+    print(f"  its title: {outcome.clicked_title!r}")
+    print(f"  query tokens appear in its text: {outcome.textually_findable}")
+
+    # ---- 2.1: history search comparison -----------------------------------
+    print("\nLater: she searches her HISTORY for 'rosebud'.")
+    baseline = HistorySearch(sim.browser.places)
+    baseline_hits = baseline.ranked_search("rosebud", limit=10)
+    target = str(outcome.clicked_url)
+    print(f"\n  Textual history search ({len(baseline_hits)} hits):")
+    for hit in baseline_hits[:5]:
+        marker = "  <-- target!" if hit.url == target else ""
+        print(f"    {hit.url}{marker}")
+    found = any(hit.url == target for hit in baseline_hits)
+    print(f"  target found by textual search: {found}")
+
+    engine = sim.query_engine()
+    hits = engine.contextual_search("rosebud", limit=10)
+    print(f"\n  Provenance contextual search ({len(hits)} hits):")
+    for hit in hits[:5]:
+        marker = "  <-- target!" if hit.url == target else ""
+        via = " [provenance]" if hit.found_by_provenance_only else ""
+        print(f"    {hit.score:6.2f} {hit.url}{via}{marker}")
+    found = any(hit.url == target for hit in hits)
+    print(f"  target found by contextual search: {found}")
+
+    # ---- 2.2: personalization ------------------------------------------------
+    print("\nNow she searches the WEB for 'rosebud' again.")
+    augmented = engine.personalize_query("rosebud")
+    print(f"  locally augmented query: {augmented.sent_to_engine!r}")
+    print(f"  extra terms from her provenance: {augmented.extra_terms}")
+    results = sim.engine.search(augmented.sent_to_engine, limit=5)
+    print("  engine results for the augmented query:")
+    for hit in results:
+        page = sim.web.get(hit.url)
+        topic = page.topic if page else "?"
+        print(f"    [{topic:>10}] {hit.url}")
+    print(
+        "\n  The engine's log saw only: "
+        f"{sim.engine.query_log[-1]!r} - no history left the machine."
+    )
+    sim.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Use case 2.3: "wine associated with plane tickets".
+
+The wine enthusiast browses wine pages while, in another tab, she books
+flights.  Weeks later she wants *that* wine page, remembers nothing
+specific about it — only that she was booking flights at the time.
+
+A plain history search for "wine" drowns her in wine pages; the
+time-contextual search ranks the co-open page first.
+
+Usage::
+
+    python examples/wine_tickets.py
+"""
+
+from repro import Simulation, WorkloadParams
+from repro.clock import MICROSECONDS_PER_DAY
+from repro.user.personas import (
+    run_wine_tickets_episode,
+    wine_enthusiast_profile,
+)
+
+
+def main() -> None:
+    sim = Simulation.build(seed=7)
+
+    print("Background: a wine enthusiast's browsing (4 days, lots of wine)...")
+    sim.run_workload(
+        wine_enthusiast_profile(),
+        WorkloadParams(days=4, sessions_per_day=3, actions_per_session=16,
+                       seed=3),
+    )
+
+    print("\nThe episode: wine browsing in one tab, flight search in another.")
+    outcome = run_wine_tickets_episode(sim.browser, sim.web)
+    print(f"  the wine page she will want: {outcome.wine_url}")
+    print(f"  concurrently open: {outcome.travel_urls[0]} (+{len(outcome.travel_urls) - 1} more)")
+
+    # Time passes.
+    sim.clock.advance(14 * MICROSECONDS_PER_DAY)
+
+    engine = sim.query_engine()
+    target = str(outcome.wine_url)
+
+    print("\nPlain history search for 'wine':")
+    plain = engine.textual_search("wine", limit=10)
+    rank = next(
+        (index + 1 for index, hit in enumerate(plain) if hit.url == target),
+        None,
+    )
+    for hit in plain[:5]:
+        marker = "  <-- target" if hit.url == target else ""
+        print(f"  {hit.url}{marker}")
+    print(f"  target rank: {rank if rank else 'not in top 10'}")
+
+    print("\nTime-contextual search: 'wine' associated with 'plane tickets':")
+    temporal = engine.temporal_search("wine", outcome.travel_query, limit=10)
+    rank = next(
+        (index + 1 for index, hit in enumerate(temporal) if hit.url == target),
+        None,
+    )
+    for hit in temporal[:5]:
+        marker = "  <-- target" if hit.url == target else ""
+        assoc = ""
+        if hit.associated_node_id:
+            partner = sim.capture.graph.node(hit.associated_node_id)
+            assoc = f"  (open with: {partner.url})"
+        print(f"  {hit.score:6.2f} {hit.url}{assoc}{marker}")
+    print(f"  target rank: {rank if rank else 'not in top 10'}")
+
+    print("\nAlternatively, a window query ('around when I booked flights'):")
+    window = engine.window_search(
+        "wine", outcome.window_start_us - MICROSECONDS_PER_DAY,
+        outcome.window_end_us + MICROSECONDS_PER_DAY, limit=5,
+    )
+    for hit in window:
+        marker = "  <-- target" if hit.url == target else ""
+        print(f"  {hit.url}{marker}")
+    sim.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a reproduction of "The Case for Browser Provenance".
+
+Margo & Seltzer (TaPP '09) argue that the metadata web browsers record
+is provenance, and that storing it as one homogeneous graph enables
+contextual history search, privacy-preserving web-search
+personalization, time-contextual retrieval, and download lineage.
+
+This package reproduces the whole system on simulated substrates:
+
+* :mod:`repro.web` — a synthetic topical web with a search engine;
+* :mod:`repro.browser` — a Firefox-3-faithful browser simulator whose
+  Places/downloads/form stores are the measured baseline;
+* :mod:`repro.user` — behaviour models, the paper's scenario personas,
+  and a 79-day workload generator;
+* :mod:`repro.core` — the contribution: provenance taxonomy, capture,
+  versioning policies, the homogeneous SQLite store, and the four
+  use-case query algorithms;
+* :mod:`repro.analysis` — metrics, storage and latency accounting;
+* :mod:`repro.sim` — one-call assembly of the full stack.
+
+Quickstart::
+
+    from repro import Simulation, default_profile, WorkloadParams
+
+    sim = Simulation.build(seed=7)
+    sim.run_workload(default_profile(), WorkloadParams(days=3))
+    engine = sim.query_engine()
+    for hit in engine.contextual_search("rosebud"):
+        print(hit.score, hit.url)
+"""
+
+from repro.clock import SimulatedClock
+from repro.core import (
+    CaptureConfig,
+    EdgeKind,
+    NodeKind,
+    ProvenanceCapture,
+    ProvenanceGraph,
+    ProvenanceQueryEngine,
+    ProvenanceStore,
+)
+from repro.sim import Simulation
+from repro.user import (
+    UserProfile,
+    WorkloadParams,
+    default_profile,
+    gardener_profile,
+    paper_scale_params,
+)
+from repro.web import Url, WebParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaptureConfig",
+    "EdgeKind",
+    "NodeKind",
+    "ProvenanceCapture",
+    "ProvenanceGraph",
+    "ProvenanceQueryEngine",
+    "ProvenanceStore",
+    "SimulatedClock",
+    "Simulation",
+    "Url",
+    "UserProfile",
+    "WebParams",
+    "WorkloadParams",
+    "__version__",
+    "default_profile",
+    "gardener_profile",
+    "paper_scale_params",
+]

@@ -1,0 +1,40 @@
+"""Measurement and reporting toolkit for the experiments."""
+
+from repro.analysis.graphstats import (
+    DegreeSummary,
+    GraphCharacterization,
+    characterize,
+    session_lengths,
+)
+from repro.analysis.latency import PAPER_BUDGET_MS, LatencySamples
+from repro.analysis.metrics import (
+    MetricAccumulator,
+    hit_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.analysis.overhead import MB, OverheadReport, measure_overhead
+from repro.analysis.report import claim_row, format_cell, format_table
+
+__all__ = [
+    "MB",
+    "PAPER_BUDGET_MS",
+    "DegreeSummary",
+    "GraphCharacterization",
+    "LatencySamples",
+    "MetricAccumulator",
+    "OverheadReport",
+    "characterize",
+    "claim_row",
+    "format_cell",
+    "format_table",
+    "hit_at_k",
+    "measure_overhead",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "session_lengths",
+]

@@ -1,0 +1,85 @@
+"""Latency measurement for the query experiments (E4/E5).
+
+The paper's claim is distributional — "less than 200ms in the majority
+of cases" — so the harness collects per-query samples and reports
+percentiles plus the fraction under the 200 ms bar.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+#: The paper's interactive budget.
+PAPER_BUDGET_MS = 200.0
+
+
+@dataclass
+class LatencySamples:
+    """A named collection of latency samples in milliseconds."""
+
+    name: str
+    samples_ms: list[float] = field(default_factory=list)
+
+    def add(self, value_ms: float) -> None:
+        self.samples_ms.append(value_ms)
+
+    def time_call(self, fn: Callable[[], Any]) -> Any:
+        """Run *fn*, record its wall time, return its result."""
+        start = time.perf_counter()
+        result = fn()
+        self.add((time.perf_counter() - start) * 1000.0)
+        return result
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.samples_ms:
+            return 0.0
+        return sum(self.samples_ms) / len(self.samples_ms)
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile (fraction in [0, 1])."""
+        if not self.samples_ms:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        ordered = sorted(self.samples_ms)
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def median_ms(self) -> float:
+        return self.percentile(0.5)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.samples_ms) if self.samples_ms else 0.0
+
+    def fraction_under(self, budget_ms: float = PAPER_BUDGET_MS) -> float:
+        """Fraction of samples under *budget_ms* (the 'majority' test)."""
+        if not self.samples_ms:
+            return 0.0
+        under = sum(1 for sample in self.samples_ms if sample < budget_ms)
+        return under / len(self.samples_ms)
+
+    def majority_under(self, budget_ms: float = PAPER_BUDGET_MS) -> bool:
+        return self.fraction_under(budget_ms) > 0.5
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: n={self.count} median={self.median_ms:.1f}ms "
+            f"p95={self.p95_ms:.1f}ms max={self.max_ms:.1f}ms "
+            f"under{PAPER_BUDGET_MS:.0f}ms={self.fraction_under() * 100:.0f}%"
+        )

@@ -1,0 +1,110 @@
+"""Retrieval metrics for the quality experiments.
+
+Standard top-k metrics over ranked result lists.  Results are compared
+by an extractable key (URL string by default) so hits from different
+search systems — Places baseline, contextual search, temporal search —
+score against the same ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+KeyFn = Callable[[Any], str]
+
+
+def _default_key(item: Any) -> str:
+    for attr in ("url", "target_url"):
+        value = getattr(item, attr, None)
+        if value is not None:
+            return str(value)
+    return str(item)
+
+
+def reciprocal_rank(
+    results: Sequence[Any], relevant: set[str], *, key: KeyFn = _default_key
+) -> float:
+    """1/rank of the first relevant result (0 when absent)."""
+    for rank, item in enumerate(results, start=1):
+        if key(item) in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+def precision_at_k(
+    results: Sequence[Any], relevant: set[str], k: int, *,
+    key: KeyFn = _default_key,
+) -> float:
+    """Fraction of the top-k results that are relevant."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = results[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if key(item) in relevant)
+    return hits / k
+
+
+def recall_at_k(
+    results: Sequence[Any], relevant: set[str], k: int, *,
+    key: KeyFn = _default_key,
+) -> float:
+    """Fraction of relevant items appearing in the top-k."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0
+    found = {key(item) for item in results[:k]} & relevant
+    return len(found) / len(relevant)
+
+
+def hit_at_k(
+    results: Sequence[Any], relevant: set[str], k: int, *,
+    key: KeyFn = _default_key,
+) -> bool:
+    """Whether any top-k result is relevant (success@k)."""
+    return any(key(item) in relevant for item in results[:k])
+
+
+def ndcg_at_k(
+    results: Sequence[Any], gains: dict[str, float], k: int, *,
+    key: KeyFn = _default_key,
+) -> float:
+    """Normalized discounted cumulative gain with graded relevance."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    dcg = 0.0
+    for rank, item in enumerate(results[:k], start=1):
+        gain = gains.get(key(item), 0.0)
+        if gain > 0.0:
+            dcg += gain / math.log2(rank + 1)
+    ideal = sorted(gains.values(), reverse=True)[:k]
+    idcg = sum(
+        gain / math.log2(rank + 1) for rank, gain in enumerate(ideal, start=1)
+    )
+    if idcg == 0.0:
+        return 0.0
+    return dcg / idcg
+
+
+@dataclass
+class MetricAccumulator:
+    """Averages a metric over many query instances."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.3f} over {self.count} queries"

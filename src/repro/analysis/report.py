@@ -1,0 +1,65 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every bench prints a small table comparing the paper's claim with the
+measured value; this module keeps that output consistent and legible
+without pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a left-aligned fixed-width table.
+
+    Cells are stringified with :func:`format_cell`; column widths fit
+    the widest cell.  Returns the table as one string (benches print
+    it).
+    """
+    rendered_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def format_cell(value: object) -> str:
+    """Stringify a table cell: floats to 3 significant style, rest str."""
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def claim_row(
+    experiment: str, claim: str, measured: object, holds: bool
+) -> list[object]:
+    """A standard paper-vs-measured row."""
+    return [experiment, claim, format_cell(measured), "yes" if holds else "NO"]

@@ -1,0 +1,75 @@
+"""Browser simulator substrate.
+
+A Firefox-3-era browser faithful in the dimension that matters to the
+paper: *what metadata it records*.  The Places store, download manager,
+and form history reproduce Firefox's heterogeneous stores (and
+omissions); the event bus exposes the full interaction stream that the
+provenance capture layer (:mod:`repro.core.capture`) subscribes to.
+"""
+
+from repro.browser.awesomebar import AwesomeBar, BarSuggestion
+from repro.browser.downloads import DownloadRow, DownloadState, DownloadStore
+from repro.browser.events import (
+    BookmarkCreated,
+    BrowserEvent,
+    DownloadFinished,
+    DownloadStarted,
+    EmbedLoaded,
+    EventBus,
+    FormSubmitted,
+    NavigationCommitted,
+    PageClosed,
+    SearchIssued,
+    TabClosed,
+    TabOpened,
+)
+from repro.browser.forms import SEARCHBAR_FIELD, FormEntry, FormHistoryStore
+from repro.browser.frecency import (
+    frecency_score,
+    recency_weight,
+    recompute_all,
+    recompute_frecency,
+)
+from repro.browser.history import HistoryHit, HistorySearch
+from repro.browser.places import PlaceRow, PlacesStore, VisitRow
+from repro.browser.session import DOWNLOAD_DIR, Browser
+from repro.browser.tabs import OpenInterval, Tab
+from repro.browser.transitions import FRECENCY_BONUS, TransitionType
+
+__all__ = [
+    "DOWNLOAD_DIR",
+    "FRECENCY_BONUS",
+    "SEARCHBAR_FIELD",
+    "AwesomeBar",
+    "BarSuggestion",
+    "BookmarkCreated",
+    "Browser",
+    "BrowserEvent",
+    "DownloadFinished",
+    "DownloadRow",
+    "DownloadStarted",
+    "DownloadState",
+    "DownloadStore",
+    "EmbedLoaded",
+    "EventBus",
+    "FormEntry",
+    "FormHistoryStore",
+    "FormSubmitted",
+    "HistoryHit",
+    "HistorySearch",
+    "NavigationCommitted",
+    "OpenInterval",
+    "PageClosed",
+    "PlaceRow",
+    "PlacesStore",
+    "SearchIssued",
+    "Tab",
+    "TabClosed",
+    "TabOpened",
+    "TransitionType",
+    "VisitRow",
+    "frecency_score",
+    "recency_weight",
+    "recompute_all",
+    "recompute_frecency",
+]

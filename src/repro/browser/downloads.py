@@ -1,0 +1,179 @@
+"""Download manager with a Firefox-3-style separate database.
+
+Firefox 3 kept downloads in ``downloads.sqlite`` (table
+``moz_downloads``), *not* in Places — one of the heterogeneous stores
+section 3.3 complains about: answering "where did this file come from?"
+requires joining this database against Places by URL string.  The
+baseline forensics walk in the lineage experiment does exactly that
+join; the provenance store answers the same question from one table.
+"""
+
+from __future__ import annotations
+
+import enum
+import sqlite3
+from dataclasses import dataclass
+
+from repro.errors import NoSuchDownloadError, StoreClosedError
+from repro.web.url import Url
+
+_SCHEMA = """
+CREATE TABLE moz_downloads (
+    id INTEGER PRIMARY KEY,
+    name LONGVARCHAR,
+    source LONGVARCHAR,
+    target LONGVARCHAR,
+    tempPath LONGVARCHAR,
+    startTime INTEGER,
+    endTime INTEGER,
+    state INTEGER,
+    referrer LONGVARCHAR,
+    entityID LONGVARCHAR,
+    currBytes INTEGER NOT NULL DEFAULT 0,
+    maxBytes INTEGER NOT NULL DEFAULT -1,
+    mimeType LONGVARCHAR,
+    preferredApplication LONGVARCHAR,
+    preferredAction INTEGER NOT NULL DEFAULT 0,
+    autoResume INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+class DownloadState(enum.IntEnum):
+    """``moz_downloads.state`` values (Firefox constants)."""
+
+    DOWNLOADING = 0
+    FINISHED = 1
+    FAILED = 2
+    CANCELED = 3
+    PAUSED = 4
+
+
+@dataclass(frozen=True, slots=True)
+class DownloadRow:
+    """One row of ``moz_downloads``."""
+
+    id: int
+    name: str
+    source: str
+    target: str
+    start_time: int
+    end_time: int
+    state: DownloadState
+    referrer: str
+    size_bytes: int
+
+
+class DownloadStore:
+    """SQLite-backed download history (``downloads.sqlite``)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn: sqlite3.Connection | None = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    @property
+    def conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise StoreClosedError("download store is closed")
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+    def commit(self) -> None:
+        self.conn.commit()
+
+    # -- recording ----------------------------------------------------------------
+
+    def start_download(
+        self,
+        source: Url,
+        target_path: str,
+        *,
+        when_us: int,
+        referrer: Url | None = None,
+        size_bytes: int = -1,
+    ) -> int:
+        """Record a starting download; return its id."""
+        cursor = self.conn.execute(
+            "INSERT INTO moz_downloads"
+            " (name, source, target, startTime, endTime, state, referrer, maxBytes)"
+            " VALUES (?, ?, ?, ?, 0, ?, ?, ?)",
+            (
+                source.filename or str(source),
+                str(source),
+                target_path,
+                when_us,
+                int(DownloadState.DOWNLOADING),
+                str(referrer) if referrer else "",
+                size_bytes,
+            ),
+        )
+        return cursor.lastrowid
+
+    def finish_download(
+        self, download_id: int, *, when_us: int, ok: bool = True
+    ) -> None:
+        state = DownloadState.FINISHED if ok else DownloadState.FAILED
+        updated = self.conn.execute(
+            "UPDATE moz_downloads SET endTime = ?, state = ?,"
+            " currBytes = CASE WHEN ? THEN maxBytes ELSE currBytes END"
+            " WHERE id = ?",
+            (when_us, int(state), int(ok), download_id),
+        ).rowcount
+        if not updated:
+            raise NoSuchDownloadError(download_id)
+
+    # -- queries --------------------------------------------------------------------
+
+    def get(self, download_id: int) -> DownloadRow:
+        row = self.conn.execute(
+            "SELECT id, name, source, target, startTime, endTime, state,"
+            " referrer, maxBytes FROM moz_downloads WHERE id = ?",
+            (download_id,),
+        ).fetchone()
+        if row is None:
+            raise NoSuchDownloadError(download_id)
+        return _download_row(row)
+
+    def all_downloads(self) -> list[DownloadRow]:
+        rows = self.conn.execute(
+            "SELECT id, name, source, target, startTime, endTime, state,"
+            " referrer, maxBytes FROM moz_downloads ORDER BY id"
+        )
+        return [_download_row(row) for row in rows]
+
+    def by_source(self, source: Url) -> list[DownloadRow]:
+        rows = self.conn.execute(
+            "SELECT id, name, source, target, startTime, endTime, state,"
+            " referrer, maxBytes FROM moz_downloads WHERE source = ? ORDER BY id",
+            (str(source),),
+        )
+        return [_download_row(row) for row in rows]
+
+    def count(self) -> int:
+        return self.conn.execute("SELECT COUNT(*) FROM moz_downloads").fetchone()[0]
+
+    def size_bytes(self) -> int:
+        page_count = self.conn.execute("PRAGMA page_count").fetchone()[0]
+        page_size = self.conn.execute("PRAGMA page_size").fetchone()[0]
+        return page_count * page_size
+
+
+def _download_row(row: tuple) -> DownloadRow:
+    return DownloadRow(
+        id=row[0],
+        name=row[1],
+        source=row[2],
+        target=row[3],
+        start_time=row[4],
+        end_time=row[5],
+        state=DownloadState(row[6]),
+        referrer=row[7],
+        size_bytes=row[8],
+    )

@@ -1,0 +1,166 @@
+"""The browser event model.
+
+Every user-visible thing the simulated browser does is announced as an
+immutable event on a publish/subscribe bus.  Two independent consumers
+exist:
+
+* the Places-compatible store (:mod:`repro.browser.places`) records the
+  subset Firefox 3 records — this is the *baseline* the paper measures
+  overhead against;
+* the provenance capture layer (:mod:`repro.core.capture`) records the
+  richer graph the paper proposes, including the events Firefox drops
+  (typed-URL context, page closes, form submissions as first-class
+  objects).
+
+Keeping both consumers on one event stream guarantees the overhead and
+quality comparisons are apples-to-apples: same browsing, two stores.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.browser.transitions import TransitionType
+from repro.web.url import Url
+
+
+@dataclass(frozen=True, slots=True)
+class BrowserEvent:
+    """Base class: every event is timestamped."""
+
+    timestamp_us: int
+
+
+@dataclass(frozen=True, slots=True)
+class TabOpened(BrowserEvent):
+    tab_id: int
+    #: The tab whose page spawned this one (e.g. middle-click), if any.
+    opener_tab_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TabClosed(BrowserEvent):
+    tab_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class NavigationCommitted(BrowserEvent):
+    """A top-level page load finished in a tab.
+
+    ``previous_url`` is the page this navigation displaced in the same
+    tab — present even for typed navigations, where Places records no
+    relationship at all (the section 3.2 "second-class citizen" gap the
+    provenance capture closes).
+
+    ``redirect_chain`` holds the intermediate redirect URLs between the
+    requested URL and ``url`` (empty when none).
+    """
+
+    tab_id: int
+    url: Url
+    title: str
+    transition: TransitionType
+    visit_id: int
+    referrer: Url | None = None
+    previous_url: Url | None = None
+    redirect_chain: tuple[Url, ...] = ()
+    requested_url: Url | None = None
+    via_bookmark_id: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class EmbedLoaded(BrowserEvent):
+    """A sub-resource loaded inside a committed top-level page."""
+
+    tab_id: int
+    parent_url: Url
+    embed_url: Url
+    visit_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class PageClosed(BrowserEvent):
+    """A page stopped being displayed (navigated away or tab closed).
+
+    Firefox does not record this; the paper (section 3.2) argues that
+    without it "every page is always open" and co-open time
+    relationships are unrecoverable.  Emitting it here is what enables
+    the time-contextual experiments (E8/E13).
+    """
+
+    tab_id: int
+    url: Url
+    opened_us: int
+
+
+@dataclass(frozen=True, slots=True)
+class SearchIssued(BrowserEvent):
+    """The user submitted a web search (via the search box)."""
+
+    tab_id: int
+    engine_host: str
+    query: str
+    results_url: Url
+
+
+@dataclass(frozen=True, slots=True)
+class FormSubmitted(BrowserEvent):
+    """The user submitted a form on a page."""
+
+    tab_id: int
+    source_url: Url
+    action_url: Url
+    fields: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DownloadStarted(BrowserEvent):
+    tab_id: int
+    download_id: int
+    source_url: Url
+    download_url: Url
+    target_path: str
+
+
+@dataclass(frozen=True, slots=True)
+class DownloadFinished(BrowserEvent):
+    download_id: int
+    download_url: Url
+    target_path: str
+    ok: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class BookmarkCreated(BrowserEvent):
+    tab_id: int
+    bookmark_id: int
+    url: Url
+    title: str
+
+
+EventListener = Callable[[BrowserEvent], None]
+
+
+@dataclass
+class EventBus:
+    """A minimal synchronous publish/subscribe bus.
+
+    Listeners are invoked in subscription order; a listener that raises
+    aborts the publish (fail-fast — silent capture loss would corrupt
+    experiments).
+    """
+
+    _listeners: list[EventListener] = field(default_factory=list)
+    published_count: int = 0
+
+    def subscribe(self, listener: EventListener) -> None:
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: EventListener) -> None:
+        self._listeners.remove(listener)
+
+    def publish(self, event: BrowserEvent) -> None:
+        self.published_count += 1
+        for listener in self._listeners:
+            listener(event)

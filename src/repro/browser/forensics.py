@@ -1,0 +1,136 @@
+"""Manual download forensics over heterogeneous stores (the baseline).
+
+Use case 2.4's "Currently:" story: without provenance, finding where a
+download came from means joining ``downloads.sqlite`` against Places
+by URL string, then recursively walking ``from_visit`` links — and the
+walk dead-ends wherever Firefox recorded no relationship (typed
+navigations, bookmark clicks, search-bar searches).
+
+This module implements that procedure faithfully, including its
+failure modes, so the lineage experiment can compare: how often does
+the manual walk reach a recognizable page, and how many steps does it
+take, versus the provenance path query?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.downloads import DownloadStore
+from repro.browser.places import PlacesStore, VisitRow
+from repro.web.url import Url
+
+
+@dataclass(frozen=True, slots=True)
+class ForensicStep:
+    """One hop of the manual walk."""
+
+    place_id: int
+    url: str
+    title: str
+    visit_count: int
+
+
+@dataclass(frozen=True)
+class ForensicResult:
+    """Outcome of a manual forensic walk."""
+
+    #: Steps from the download's source page upward, in walk order.
+    steps: tuple[ForensicStep, ...]
+    #: The first step that cleared the recognizability bar, if any.
+    recognized: ForensicStep | None
+    #: Why the walk stopped: 'recognized', 'dead_end', or 'not_found'.
+    stopped_because: str
+
+    @property
+    def succeeded(self) -> bool:
+        return self.recognized is not None
+
+
+class ManualForensics:
+    """The recursive history walk a user (or 2009 tool) performs."""
+
+    def __init__(
+        self,
+        places: PlacesStore,
+        downloads: DownloadStore,
+        *,
+        min_visits: int = 3,
+    ) -> None:
+        self.places = places
+        self.downloads = downloads
+        self.min_visits = min_visits
+
+    def trace_download(self, download_id: int) -> ForensicResult:
+        """Walk from a download back toward a recognizable page.
+
+        Joins the download's source URL against Places, finds the
+        DOWNLOAD-transition visit, and follows ``from_visit`` upward.
+        Stops at the first page with ``visit_count >= min_visits``
+        (recognized) or when ``from_visit`` is 0 (dead end — the gap
+        the paper highlights).
+        """
+        download = self.downloads.get(download_id)
+        source = Url.parse(download.source)
+        place = self.places.place_by_url(source)
+        if place is None:
+            return ForensicResult(steps=(), recognized=None,
+                                  stopped_because="not_found")
+
+        # The visit that recorded the download, matched by time.
+        visits = self.places.visits_for_place(place.id)
+        anchor: VisitRow | None = None
+        for visit in visits:
+            if visit.visit_date == download.start_time:
+                anchor = visit
+                break
+        if anchor is None and visits:
+            anchor = visits[-1]
+        if anchor is None:
+            return ForensicResult(steps=(), recognized=None,
+                                  stopped_because="not_found")
+
+        steps: list[ForensicStep] = []
+        seen_visits: set[int] = set()
+        current = anchor
+        while current.from_visit:
+            if current.from_visit in seen_visits:
+                break  # defensive: malformed chains
+            seen_visits.add(current.from_visit)
+            parent = self.places.visit_by_id(current.from_visit)
+            if parent is None:
+                break
+            parent_place = self.places.place_by_id(parent.place_id)
+            if parent_place is None:
+                break
+            step = ForensicStep(
+                place_id=parent_place.id,
+                url=parent_place.url,
+                title=parent_place.title,
+                visit_count=parent_place.visit_count,
+            )
+            steps.append(step)
+            if parent_place.visit_count >= self.min_visits:
+                return ForensicResult(
+                    steps=tuple(steps),
+                    recognized=step,
+                    stopped_because="recognized",
+                )
+            current = parent
+        return ForensicResult(
+            steps=tuple(steps), recognized=None, stopped_because="dead_end"
+        )
+
+    def downloads_under_page(self, url: Url) -> list[int]:
+        """Best-effort 'downloads descending from this page' baseline.
+
+        Without descendant edges, the only heterogeneous-store answer
+        is string matching: downloads whose recorded *referrer* is the
+        page.  One level deep — exactly why the paper calls the real
+        query "difficult for a user doing forensics".
+        """
+        matches = []
+        for row in self.downloads.all_downloads():
+            if row.referrer == str(url):
+                matches.append(row.id)
+        return matches

@@ -1,0 +1,134 @@
+"""Form and search-term history (``formhistory.sqlite``).
+
+Firefox 3 stored every value the user typed into a form field — search
+boxes included — in a standalone database keyed by field name.  The
+paper (section 3.3) calls search terms "concise, conceptual,
+user-generated descriptors" and laments that they sit outside the
+history graph; this store reproduces that isolation, and the capture
+layer shows what connecting them buys.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+from repro.errors import StoreClosedError
+
+_SCHEMA = """
+CREATE TABLE moz_formhistory (
+    id INTEGER PRIMARY KEY,
+    fieldname LONGVARCHAR NOT NULL,
+    value LONGVARCHAR NOT NULL,
+    timesUsed INTEGER,
+    firstUsed INTEGER,
+    lastUsed INTEGER
+);
+CREATE INDEX moz_formhistory_index ON moz_formhistory (fieldname);
+"""
+
+#: The field name Firefox uses for the search bar.
+SEARCHBAR_FIELD = "searchbar-history"
+
+
+@dataclass(frozen=True, slots=True)
+class FormEntry:
+    """One row of ``moz_formhistory``."""
+
+    id: int
+    fieldname: str
+    value: str
+    times_used: int
+    first_used: int
+    last_used: int
+
+
+class FormHistoryStore:
+    """SQLite-backed form history with autocomplete lookups."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn: sqlite3.Connection | None = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    @property
+    def conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise StoreClosedError("form history store is closed")
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+    def commit(self) -> None:
+        self.conn.commit()
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, fieldname: str, value: str, *, when_us: int) -> None:
+        """Record one use of *value* in *fieldname* (upsert semantics)."""
+        updated = self.conn.execute(
+            "UPDATE moz_formhistory"
+            " SET timesUsed = timesUsed + 1, lastUsed = ?"
+            " WHERE fieldname = ? AND value = ?",
+            (when_us, fieldname, value),
+        ).rowcount
+        if not updated:
+            self.conn.execute(
+                "INSERT INTO moz_formhistory"
+                " (fieldname, value, timesUsed, firstUsed, lastUsed)"
+                " VALUES (?, ?, 1, ?, ?)",
+                (fieldname, value, when_us, when_us),
+            )
+
+    def record_search(self, query: str, *, when_us: int) -> None:
+        """Record a search-bar query (what Firefox's autocomplete learns)."""
+        self.record(SEARCHBAR_FIELD, query, when_us=when_us)
+
+    # -- queries ------------------------------------------------------------------
+
+    def autocomplete(self, fieldname: str, prefix: str, *, limit: int = 10
+                     ) -> list[str]:
+        """Values for *fieldname* starting with *prefix*, most-used first."""
+        rows = self.conn.execute(
+            "SELECT value FROM moz_formhistory"
+            " WHERE fieldname = ? AND value LIKE ?"
+            " ORDER BY timesUsed DESC, lastUsed DESC LIMIT ?",
+            (fieldname, prefix + "%", limit),
+        )
+        return [row[0] for row in rows]
+
+    def searches(self) -> list[FormEntry]:
+        """All recorded search-bar queries."""
+        return self.entries_for(SEARCHBAR_FIELD)
+
+    def entries_for(self, fieldname: str) -> list[FormEntry]:
+        rows = self.conn.execute(
+            "SELECT id, fieldname, value, timesUsed, firstUsed, lastUsed"
+            " FROM moz_formhistory WHERE fieldname = ? ORDER BY id",
+            (fieldname,),
+        )
+        return [_entry(row) for row in rows]
+
+    def count(self) -> int:
+        return self.conn.execute("SELECT COUNT(*) FROM moz_formhistory").fetchone()[0]
+
+    def size_bytes(self) -> int:
+        page_count = self.conn.execute("PRAGMA page_count").fetchone()[0]
+        page_size = self.conn.execute("PRAGMA page_size").fetchone()[0]
+        return page_count * page_size
+
+
+def _entry(row: tuple) -> FormEntry:
+    return FormEntry(
+        id=row[0],
+        fieldname=row[1],
+        value=row[2],
+        times_used=row[3],
+        first_used=row[4],
+        last_used=row[5],
+    )

@@ -1,0 +1,124 @@
+"""Baseline textual history search.
+
+This is the "Currently:" column of the paper's use cases: search over
+the *text* of history entries — their URLs and titles — with no notion
+of relationships.  For "rosebud" it returns the web-search page (the
+term is in its URL and title) but not *Citizen Kane* (section 2.1).
+
+Two modes are provided:
+
+* :meth:`HistorySearch.substring_search` — faithful to Firefox 3's
+  history sidebar: case-insensitive substring match over URL and
+  title, ordered by visit count then recency;
+* :meth:`HistorySearch.ranked_search` — a stronger tf-idf baseline over
+  the same text, used in the experiments so the provenance comparison
+  is against the best purely textual search, not a strawman.
+
+Both deliberately see only ``moz_places`` — no visit graph — because
+that is the baseline the paper argues against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.places import PlaceRow, PlacesStore
+from repro.ir.index import InvertedIndex
+from repro.ir.scoring import tfidf_scores
+from repro.ir.tokenize import tokenize, tokenize_filtered, url_tokens
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryHit:
+    """One history search result."""
+
+    place_id: int
+    url: str
+    title: str
+    score: float
+
+
+class HistorySearch:
+    """Textual search over a Places store.
+
+    The index is rebuilt on demand when the store has grown; browsing
+    and querying interleave freely.  Rebuild cost is linear in places,
+    which at paper scale (~25k nodes) is well within the interactive
+    budget — and is charged to the *baseline*, not to provenance.
+    """
+
+    def __init__(self, store: PlacesStore) -> None:
+        self.store = store
+        self._index = InvertedIndex()
+        self._titles: dict[int, tuple[str, str]] = {}
+        self._indexed_places = 0
+
+    # -- indexing -------------------------------------------------------------
+
+    def reindex(self) -> int:
+        """Bring the index up to date; return places indexed."""
+        places = self.store.all_places(include_hidden=False)
+        if len(places) == self._indexed_places:
+            return 0
+        added = 0
+        for place in places:
+            if place.id in self._titles:
+                continue
+            tokens = url_tokens(place.url) + tokenize_filtered(place.title)
+            self._index.add(_doc_id(place.id), tokens)
+            self._titles[place.id] = (place.url, place.title)
+            added += 1
+        self._indexed_places = len(places)
+        return added
+
+    # -- search ----------------------------------------------------------------
+
+    def ranked_search(self, query: str, *, limit: int = 10) -> list[HistoryHit]:
+        """tf-idf ranked search over URL and title text."""
+        self.reindex()
+        terms = tokenize_filtered(query)
+        if not terms:
+            return []
+        hits: list[HistoryHit] = []
+        for scored in tfidf_scores(self._index, terms)[:limit]:
+            place_id = _place_id(scored.doc_id)
+            url, title = self._titles[place_id]
+            hits.append(
+                HistoryHit(place_id=place_id, url=url, title=title,
+                           score=scored.score)
+            )
+        return hits
+
+    def substring_search(self, query: str, *, limit: int = 10) -> list[HistoryHit]:
+        """Firefox-3-sidebar-style substring match.
+
+        Every query token must occur as a substring of the URL or
+        title; results order by visit count, breaking ties by id
+        (original visit order).
+        """
+        tokens = tokenize(query)
+        if not tokens:
+            return []
+        matches: list[tuple[PlaceRow, int]] = []
+        for place in self.store.all_places(include_hidden=False):
+            haystack = f"{place.url} {place.title}".lower()
+            if all(token in haystack for token in tokens):
+                matches.append((place, place.visit_count))
+        matches.sort(key=lambda pair: (-pair[1], pair[0].id))
+        return [
+            HistoryHit(
+                place_id=place.id,
+                url=place.url,
+                title=place.title,
+                score=float(count),
+            )
+            for place, count in matches[:limit]
+        ]
+
+
+def _doc_id(place_id: int) -> str:
+    return f"place:{place_id}"
+
+
+def _place_id(doc_id: str) -> int:
+    return int(doc_id.split(":", 1)[1])

@@ -1,0 +1,399 @@
+"""A Firefox-3 Places-compatible history store.
+
+This is the *baseline* store of the reproduction: the paper measured
+its provenance schema's overhead "over Places", so we implement Places
+faithfully enough that the comparison is meaningful — same tables,
+same columns, same recording policy (including what Firefox *drops*:
+no relationship for typed navigations or bookmark activations, no page
+closes, redirect and embed visits hidden).
+
+Schema derived from Firefox 3.0's ``places.sqlite``: ``moz_places``,
+``moz_historyvisits``, ``moz_bookmarks``, ``moz_inputhistory``, plus
+the annotation tables (present, as in real profiles, even when unused).
+Timestamps are PRTime-style microseconds.  Downloads and form history
+live in *separate databases* (see :mod:`repro.browser.downloads` and
+:mod:`repro.browser.forms`), reproducing the heterogeneous-store pain
+of section 3.3.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+from repro.browser.transitions import TransitionType
+from repro.errors import StoreClosedError
+from repro.web.url import Url
+
+_SCHEMA = """
+CREATE TABLE moz_places (
+    id INTEGER PRIMARY KEY,
+    url LONGVARCHAR,
+    title LONGVARCHAR,
+    rev_host LONGVARCHAR,
+    visit_count INTEGER DEFAULT 0,
+    hidden INTEGER DEFAULT 0 NOT NULL,
+    typed INTEGER DEFAULT 0 NOT NULL,
+    favicon_id INTEGER,
+    frecency INTEGER DEFAULT -1 NOT NULL
+);
+CREATE UNIQUE INDEX moz_places_url_uniqueindex ON moz_places (url);
+CREATE INDEX moz_places_frecencyindex ON moz_places (frecency);
+
+CREATE TABLE moz_historyvisits (
+    id INTEGER PRIMARY KEY,
+    from_visit INTEGER,
+    place_id INTEGER,
+    visit_date INTEGER,
+    visit_type INTEGER,
+    session INTEGER
+);
+CREATE INDEX moz_historyvisits_placedateindex
+    ON moz_historyvisits (place_id, visit_date);
+CREATE INDEX moz_historyvisits_fromindex ON moz_historyvisits (from_visit);
+CREATE INDEX moz_historyvisits_dateindex ON moz_historyvisits (visit_date);
+
+CREATE TABLE moz_bookmarks (
+    id INTEGER PRIMARY KEY,
+    type INTEGER,
+    fk INTEGER DEFAULT NULL,
+    parent INTEGER,
+    position INTEGER,
+    title LONGVARCHAR,
+    keyword_id INTEGER,
+    folder_type TEXT,
+    dateAdded INTEGER,
+    lastModified INTEGER
+);
+CREATE INDEX moz_bookmarks_itemindex ON moz_bookmarks (fk, type);
+
+CREATE TABLE moz_inputhistory (
+    place_id INTEGER NOT NULL,
+    input LONGVARCHAR NOT NULL,
+    use_count INTEGER,
+    PRIMARY KEY (place_id, input)
+);
+
+CREATE TABLE moz_anno_attributes (
+    id INTEGER PRIMARY KEY,
+    name VARCHAR(32) UNIQUE NOT NULL
+);
+CREATE TABLE moz_annos (
+    id INTEGER PRIMARY KEY,
+    place_id INTEGER NOT NULL,
+    anno_attribute_id INTEGER,
+    mime_type VARCHAR(32) DEFAULT NULL,
+    content LONGVARCHAR,
+    flags INTEGER DEFAULT 0,
+    expiration INTEGER DEFAULT 0,
+    type INTEGER DEFAULT 0,
+    dateAdded INTEGER DEFAULT 0,
+    lastModified INTEGER DEFAULT 0
+);
+"""
+
+#: moz_bookmarks.type values (Firefox constants).
+BOOKMARK_TYPE_URL = 1
+BOOKMARK_TYPE_FOLDER = 2
+
+#: The reserved root folder ids Firefox creates on first run.
+ROOT_FOLDER_ID = 1
+MENU_FOLDER_ID = 2
+
+
+@dataclass(frozen=True, slots=True)
+class PlaceRow:
+    """One row of ``moz_places``."""
+
+    id: int
+    url: str
+    title: str
+    visit_count: int
+    hidden: bool
+    typed: bool
+    frecency: int
+
+
+@dataclass(frozen=True, slots=True)
+class VisitRow:
+    """One row of ``moz_historyvisits``."""
+
+    id: int
+    from_visit: int
+    place_id: int
+    visit_date: int
+    visit_type: TransitionType
+    session: int
+
+
+class PlacesStore:
+    """SQLite-backed Places database.
+
+    Pass ``":memory:"`` for tests; benches use real files so that
+    on-disk size (the E1/E2 measurement) is honest.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn: sqlite3.Connection | None = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT INTO moz_bookmarks (id, type, parent, position, title,"
+            " dateAdded, lastModified) VALUES (?, ?, 0, 0, '', 0, 0)",
+            (ROOT_FOLDER_ID, BOOKMARK_TYPE_FOLDER),
+        )
+        self._conn.execute(
+            "INSERT INTO moz_bookmarks (id, type, parent, position, title,"
+            " dateAdded, lastModified) VALUES (?, ?, 1, 0, 'Bookmarks Menu', 0, 0)",
+            (MENU_FOLDER_ID, BOOKMARK_TYPE_FOLDER),
+        )
+        self._conn.commit()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise StoreClosedError("Places store is closed")
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+    def commit(self) -> None:
+        self.conn.commit()
+
+    def __enter__(self) -> "PlacesStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- recording ----------------------------------------------------------------
+
+    def get_or_create_place(
+        self, url: Url, title: str = "", *, hidden: bool = False
+    ) -> int:
+        """Return the place id for *url*, creating the row if needed.
+
+        An existing row's title is refreshed when a non-empty title is
+        supplied (Firefox updates titles on each visit).
+        """
+        text = str(url)
+        row = self.conn.execute(
+            "SELECT id, title FROM moz_places WHERE url = ?", (text,)
+        ).fetchone()
+        if row is not None:
+            place_id, old_title = row
+            if title and title != old_title:
+                self.conn.execute(
+                    "UPDATE moz_places SET title = ? WHERE id = ?", (title, place_id)
+                )
+            return place_id
+        cursor = self.conn.execute(
+            "INSERT INTO moz_places (url, title, rev_host, hidden)"
+            " VALUES (?, ?, ?, ?)",
+            (text, title, _rev_host(url.host), int(hidden)),
+        )
+        return cursor.lastrowid
+
+    def add_visit(
+        self,
+        url: Url,
+        *,
+        when_us: int,
+        transition: TransitionType,
+        title: str = "",
+        from_visit: int = 0,
+        session: int = 0,
+        typed: bool = False,
+    ) -> VisitRow:
+        """Record one visit, updating the place's counters.
+
+        ``from_visit = 0`` means "no known antecedent" — Firefox's value
+        for typed, bookmark, and search-box navigations, which is the
+        sparse-connection defect the provenance capture repairs.
+        """
+        place_id = self.get_or_create_place(
+            url, title, hidden=transition.is_hidden
+        )
+        cursor = self.conn.execute(
+            "INSERT INTO moz_historyvisits"
+            " (from_visit, place_id, visit_date, visit_type, session)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (from_visit, place_id, when_us, int(transition), session),
+        )
+        # Visit counters: hidden visits do not increment visit_count
+        # (Firefox behaviour); typed is sticky once set.
+        count_delta = 0 if transition.is_hidden else 1
+        if typed:
+            self.conn.execute(
+                "UPDATE moz_places SET visit_count = visit_count + ?, typed = 1"
+                " WHERE id = ?",
+                (count_delta, place_id),
+            )
+        elif count_delta:
+            self.conn.execute(
+                "UPDATE moz_places SET visit_count = visit_count + 1 WHERE id = ?",
+                (place_id,),
+            )
+        return VisitRow(
+            id=cursor.lastrowid,
+            from_visit=from_visit,
+            place_id=place_id,
+            visit_date=when_us,
+            visit_type=transition,
+            session=session,
+        )
+
+    def add_bookmark(self, url: Url, title: str, *, when_us: int) -> int:
+        """Add a bookmark under the menu folder; return its id."""
+        place_id = self.get_or_create_place(url, title)
+        position = self.conn.execute(
+            "SELECT COUNT(*) FROM moz_bookmarks WHERE parent = ?",
+            (MENU_FOLDER_ID,),
+        ).fetchone()[0]
+        cursor = self.conn.execute(
+            "INSERT INTO moz_bookmarks"
+            " (type, fk, parent, position, title, dateAdded, lastModified)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (BOOKMARK_TYPE_URL, place_id, MENU_FOLDER_ID, position, title,
+             when_us, when_us),
+        )
+        return cursor.lastrowid
+
+    def record_input(self, place_id: int, text: str) -> None:
+        """Record adaptive input history (location-bar learning)."""
+        self.conn.execute(
+            "INSERT INTO moz_inputhistory (place_id, input, use_count)"
+            " VALUES (?, ?, 1)"
+            " ON CONFLICT (place_id, input)"
+            " DO UPDATE SET use_count = use_count + 1",
+            (place_id, text.lower()),
+        )
+
+    def set_frecency(self, place_id: int, frecency: int) -> None:
+        self.conn.execute(
+            "UPDATE moz_places SET frecency = ? WHERE id = ?", (frecency, place_id)
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    def place_by_url(self, url: Url) -> PlaceRow | None:
+        row = self.conn.execute(
+            "SELECT id, url, title, visit_count, hidden, typed, frecency"
+            " FROM moz_places WHERE url = ?",
+            (str(url),),
+        ).fetchone()
+        return _place_row(row) if row else None
+
+    def place_by_id(self, place_id: int) -> PlaceRow | None:
+        row = self.conn.execute(
+            "SELECT id, url, title, visit_count, hidden, typed, frecency"
+            " FROM moz_places WHERE id = ?",
+            (place_id,),
+        ).fetchone()
+        return _place_row(row) if row else None
+
+    def all_places(self, *, include_hidden: bool = False) -> list[PlaceRow]:
+        sql = (
+            "SELECT id, url, title, visit_count, hidden, typed, frecency"
+            " FROM moz_places"
+        )
+        if not include_hidden:
+            sql += " WHERE hidden = 0"
+        return [_place_row(row) for row in self.conn.execute(sql + " ORDER BY id")]
+
+    def visits_for_place(self, place_id: int) -> list[VisitRow]:
+        rows = self.conn.execute(
+            "SELECT id, from_visit, place_id, visit_date, visit_type, session"
+            " FROM moz_historyvisits WHERE place_id = ? ORDER BY visit_date",
+            (place_id,),
+        )
+        return [_visit_row(row) for row in rows]
+
+    def visit_by_id(self, visit_id: int) -> VisitRow | None:
+        row = self.conn.execute(
+            "SELECT id, from_visit, place_id, visit_date, visit_type, session"
+            " FROM moz_historyvisits WHERE id = ?",
+            (visit_id,),
+        ).fetchone()
+        return _visit_row(row) if row else None
+
+    def visits_between(self, start_us: int, end_us: int) -> list[VisitRow]:
+        rows = self.conn.execute(
+            "SELECT id, from_visit, place_id, visit_date, visit_type, session"
+            " FROM moz_historyvisits"
+            " WHERE visit_date >= ? AND visit_date < ? ORDER BY visit_date",
+            (start_us, end_us),
+        )
+        return [_visit_row(row) for row in rows]
+
+    def bookmarks(self) -> list[tuple[int, int, str]]:
+        """All URL bookmarks as (bookmark_id, place_id, title)."""
+        rows = self.conn.execute(
+            "SELECT id, fk, title FROM moz_bookmarks WHERE type = ? ORDER BY id",
+            (BOOKMARK_TYPE_URL,),
+        )
+        return [(row[0], row[1], row[2]) for row in rows]
+
+    def input_history(self) -> list[tuple[int, str, int]]:
+        rows = self.conn.execute(
+            "SELECT place_id, input, use_count FROM moz_inputhistory"
+            " ORDER BY place_id, input"
+        )
+        return [(row[0], row[1], row[2]) for row in rows]
+
+    # -- accounting -----------------------------------------------------------------
+
+    def place_count(self, *, include_hidden: bool = True) -> int:
+        sql = "SELECT COUNT(*) FROM moz_places"
+        if not include_hidden:
+            sql += " WHERE hidden = 0"
+        return self.conn.execute(sql).fetchone()[0]
+
+    def visit_count(self) -> int:
+        return self.conn.execute(
+            "SELECT COUNT(*) FROM moz_historyvisits"
+        ).fetchone()[0]
+
+    def size_bytes(self) -> int:
+        """Current database size (page_count x page_size).
+
+        Accurate for both file and in-memory databases, and cheaper
+        than a VACUUM-then-stat cycle; benches commit first.
+        """
+        page_count = self.conn.execute("PRAGMA page_count").fetchone()[0]
+        page_size = self.conn.execute("PRAGMA page_size").fetchone()[0]
+        return page_count * page_size
+
+
+def _rev_host(host: str) -> str:
+    """Places stores the host reversed with a trailing dot (index trick)."""
+    return host[::-1] + "."
+
+
+def _place_row(row: tuple) -> PlaceRow:
+    return PlaceRow(
+        id=row[0],
+        url=row[1],
+        title=row[2] or "",
+        visit_count=row[3],
+        hidden=bool(row[4]),
+        typed=bool(row[5]),
+        frecency=row[6],
+    )
+
+
+def _visit_row(row: tuple) -> VisitRow:
+    return VisitRow(
+        id=row[0],
+        from_visit=row[1],
+        place_id=row[2],
+        visit_date=row[3],
+        visit_type=TransitionType(row[4]),
+        session=row[5],
+    )

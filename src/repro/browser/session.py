@@ -1,0 +1,537 @@
+"""The browser simulator.
+
+:class:`Browser` ties the substrates together: it fetches pages through
+a :class:`~repro.web.serving.WebServer`, keeps tab state, records into
+the Places/downloads/form-history stores exactly what Firefox 3
+recorded (including Firefox's omissions — that fidelity is the point
+of the baseline), and publishes the full event stream on an
+:class:`~repro.browser.events.EventBus` for provenance capture layers.
+
+The public methods are user gestures: ``navigate_typed``,
+``click_link``, ``click_bookmark``, ``search_web``, ``submit_form``,
+``download_link``, ``open_tab``/``close_tab``, ``back``.  The user
+behaviour model (:mod:`repro.user.behavior`) drives these; examples
+drive them directly to tell the paper's stories.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.browser.awesomebar import AwesomeBar
+from repro.browser.downloads import DownloadStore
+from repro.browser.events import (
+    BookmarkCreated,
+    DownloadFinished,
+    DownloadStarted,
+    EmbedLoaded,
+    EventBus,
+    FormSubmitted,
+    NavigationCommitted,
+    PageClosed,
+    SearchIssued,
+    TabClosed,
+    TabOpened,
+)
+from repro.browser.forms import FormHistoryStore
+from repro.browser.frecency import recompute_recent
+from repro.browser.places import PlacesStore
+from repro.browser.tabs import OpenInterval, Tab
+from repro.browser.transitions import TransitionType
+from repro.clock import MICROSECONDS_PER_DAY, SimulatedClock
+from repro.errors import NavigationError, NoSuchBookmarkError, NoSuchTabError
+from repro.web.page import FetchResult, Page, PageKind
+from repro.web.search_engine import SearchEngine
+from repro.web.serving import WebServer
+from repro.web.url import Url
+
+#: Where simulated downloads land.
+DOWNLOAD_DIR = "/home/user/Downloads"
+
+
+class Browser:
+    """A simulated Firefox-3-era browser."""
+
+    def __init__(
+        self,
+        server: WebServer,
+        clock: SimulatedClock,
+        *,
+        places_path: str = ":memory:",
+        downloads_path: str = ":memory:",
+        forms_path: str = ":memory:",
+    ) -> None:
+        self.server = server
+        self.clock = clock
+        self.places = PlacesStore(places_path)
+        self.downloads = DownloadStore(downloads_path)
+        self.forms = FormHistoryStore(forms_path)
+        self.bus = EventBus()
+        self.awesomebar = AwesomeBar(self.places)
+        self.search_engine: SearchEngine | None = None
+        self._tabs: dict[int, Tab] = {}
+        self._tab_ids = itertools.count(1)
+        self._session_ids = itertools.count(1)
+        self._closed_intervals: list[OpenInterval] = []
+
+    # -- configuration -------------------------------------------------------------
+
+    def configure_search(self, engine: SearchEngine) -> None:
+        """Install *engine* as the default search provider."""
+        self.search_engine = engine
+        self.server.register_handler(engine.host, engine.handler)
+
+    # -- tab management --------------------------------------------------------------
+
+    def open_tab(self, *, opener_tab_id: int | None = None) -> int:
+        """Open a blank tab; return its id."""
+        now = self.clock.tick()
+        session_id = next(self._session_ids)
+        tab_id = next(self._tab_ids)
+        self._tabs[tab_id] = Tab(
+            id=tab_id,
+            session_id=session_id,
+            opened_us=now,
+            opener_tab_id=opener_tab_id,
+        )
+        self.bus.publish(
+            TabOpened(timestamp_us=now, tab_id=tab_id, opener_tab_id=opener_tab_id)
+        )
+        return tab_id
+
+    def close_tab(self, tab_id: int) -> None:
+        """Close a tab, emitting the page-close the paper asks for."""
+        tab = self._tab(tab_id)
+        now = self.clock.tick()
+        self._close_current_page(tab, now)
+        del self._tabs[tab_id]
+        self.bus.publish(TabClosed(timestamp_us=now, tab_id=tab_id))
+
+    def open_tabs(self) -> list[int]:
+        return sorted(self._tabs)
+
+    def current_page(self, tab_id: int) -> Page | None:
+        return self._tab(tab_id).page
+
+    def current_url(self, tab_id: int) -> Url | None:
+        return self._tab(tab_id).url
+
+    # -- navigation gestures ------------------------------------------------------------
+
+    def navigate_typed(self, tab_id: int, target: Url | str) -> FetchResult:
+        """The user typed a URL (or accepted a location-bar completion).
+
+        Firefox records the visit with ``from_visit = 0`` — no
+        relationship to the page the user was on.  The event stream
+        still carries ``previous_url`` so provenance capture can do
+        better (section 3.2).
+        """
+        tab = self._tab(tab_id)
+        url = target if isinstance(target, Url) else Url.parse(target)
+        return self._navigate(
+            tab,
+            url,
+            transition=TransitionType.TYPED,
+            referrer=None,
+            from_visit=0,
+            typed=True,
+            new_session=True,
+        )
+
+    def click_link(self, tab_id: int, target: Url, *, strict: bool = True
+                   ) -> FetchResult:
+        """The user clicked a link on the current page."""
+        tab = self._tab(tab_id)
+        if tab.page is None:
+            raise NavigationError(f"tab {tab_id} has no page to click from")
+        if strict and target not in tab.page.out_urls():
+            raise NavigationError(
+                f"{target} is not a link on {tab.page.url}"
+            )
+        return self._navigate(
+            tab,
+            target,
+            transition=TransitionType.LINK,
+            referrer=tab.page.url,
+            from_visit=tab.current_visit_id,
+        )
+
+    def open_in_new_tab(self, tab_id: int, target: Url, *, strict: bool = True
+                        ) -> int:
+        """Middle-click: open *target* in a new tab; return the new tab id.
+
+        The new tab inherits the opener's Places session — Firefox
+        treats it as a continuation — and the link click is recorded
+        with the opener page as referrer.
+        """
+        opener = self._tab(tab_id)
+        if opener.page is None:
+            raise NavigationError(f"tab {tab_id} has no page to open from")
+        if strict and target not in opener.page.out_urls():
+            raise NavigationError(f"{target} is not a link on {opener.page.url}")
+        new_tab_id = self.open_tab(opener_tab_id=tab_id)
+        new_tab = self._tab(new_tab_id)
+        new_tab.session_id = opener.session_id
+        self._navigate(
+            new_tab,
+            target,
+            transition=TransitionType.LINK,
+            referrer=opener.page.url,
+            from_visit=opener.current_visit_id,
+        )
+        return new_tab_id
+
+    def click_bookmark(self, tab_id: int, bookmark_id: int) -> FetchResult:
+        """The user activated a bookmark (recorded relationship-free)."""
+        tab = self._tab(tab_id)
+        url = self._bookmark_url(bookmark_id)
+        return self._navigate(
+            tab,
+            url,
+            transition=TransitionType.BOOKMARK,
+            referrer=None,
+            from_visit=0,
+            new_session=True,
+            via_bookmark_id=bookmark_id,
+        )
+
+    def can_go_back(self, tab_id: int) -> bool:
+        """Whether :meth:`back` would succeed for *tab_id*."""
+        return self._tab(tab_id).can_go_back()
+
+    def back(self, tab_id: int) -> Url:
+        """Go back one page (no Places visit, Firefox behaviour)."""
+        tab = self._tab(tab_id)
+        if not tab.can_go_back():
+            raise NavigationError(f"tab {tab_id} has no back history")
+        now = self.clock.tick()
+        self._close_current_page(tab, now)
+        previous = tab.back_stack.pop()
+        result = self.server.fetch(previous, timestamp_us=now)
+        tab.page = result.page
+        tab.page_opened_us = now
+        return result.final_url
+
+    # -- search ----------------------------------------------------------------------------
+
+    def search_web(self, tab_id: int, query: str) -> FetchResult:
+        """The user searched from the search box.
+
+        Firefox 3: the query lands in form history (searchbar-history),
+        the results page is visited with no ``from_visit``.  The
+        :class:`SearchIssued` event carries the query for capture.
+        """
+        if self.search_engine is None:
+            raise NavigationError("no search engine configured")
+        tab = self._tab(tab_id)
+        now = self.clock.tick()
+        self.forms.record_search(query, when_us=now)
+        results_url = self.search_engine.results_url(query)
+        self.bus.publish(
+            SearchIssued(
+                timestamp_us=now,
+                tab_id=tab_id,
+                engine_host=self.search_engine.host,
+                query=query,
+                results_url=results_url,
+            )
+        )
+        return self._navigate(
+            tab,
+            results_url,
+            transition=TransitionType.LINK,
+            referrer=None,
+            from_visit=0,
+            new_session=True,
+        )
+
+    def click_result(self, tab_id: int, index: int) -> FetchResult:
+        """Click the *index*-th result on the current results page."""
+        tab = self._tab(tab_id)
+        if tab.page is None or tab.page.kind is not PageKind.SEARCH_RESULTS:
+            raise NavigationError(f"tab {tab_id} is not showing search results")
+        try:
+            target = tab.page.links[index]
+        except IndexError:
+            raise NavigationError(
+                f"results page has {len(tab.page.links)} results, no index {index}"
+            ) from None
+        return self.click_link(tab_id, target)
+
+    # -- forms --------------------------------------------------------------------------------
+
+    def submit_form(
+        self,
+        tab_id: int,
+        action: Url,
+        fields: dict[str, str],
+    ) -> FetchResult:
+        """Submit a form on the current page.
+
+        Field values go to form history; the result page is visited as
+        a LINK (Firefox records form submissions no differently from
+        clicks — the capture layer is what makes them first-class,
+        section 3.3).
+        """
+        tab = self._tab(tab_id)
+        if tab.page is None:
+            raise NavigationError(f"tab {tab_id} has no page with a form")
+        now = self.clock.tick()
+        for name, value in fields.items():
+            self.forms.record(name, value, when_us=now)
+        self.bus.publish(
+            FormSubmitted(
+                timestamp_us=now,
+                tab_id=tab_id,
+                source_url=tab.page.url,
+                action_url=action,
+                fields=tuple(sorted(fields.items())),
+            )
+        )
+        return self._navigate(
+            tab,
+            action,
+            transition=TransitionType.LINK,
+            referrer=tab.page.url,
+            from_visit=tab.current_visit_id,
+        )
+
+    # -- bookmarks -------------------------------------------------------------------------------
+
+    def add_bookmark(self, tab_id: int, *, title: str | None = None) -> int:
+        """Bookmark the current page; return the bookmark id."""
+        tab = self._tab(tab_id)
+        if tab.page is None:
+            raise NavigationError(f"tab {tab_id} has no page to bookmark")
+        now = self.clock.tick()
+        final_title = title if title is not None else tab.page.title
+        bookmark_id = self.places.add_bookmark(tab.page.url, final_title, when_us=now)
+        self.bus.publish(
+            BookmarkCreated(
+                timestamp_us=now,
+                tab_id=tab_id,
+                bookmark_id=bookmark_id,
+                url=tab.page.url,
+                title=final_title,
+            )
+        )
+        return bookmark_id
+
+    # -- downloads ----------------------------------------------------------------------------------
+
+    def download_link(self, tab_id: int, target: Url, *, strict: bool = True
+                      ) -> int:
+        """Download a file linked from the current page; return download id."""
+        tab = self._tab(tab_id)
+        if tab.page is None:
+            raise NavigationError(f"tab {tab_id} has no page to download from")
+        if strict and target not in tab.page.out_urls():
+            raise NavigationError(f"{target} is not linked from {tab.page.url}")
+        now = self.clock.tick()
+        result = self.server.fetch(target, referrer=tab.page.url, timestamp_us=now)
+        final = result.final_url
+        target_path = f"{DOWNLOAD_DIR}/{final.filename or 'download'}"
+        download_id = self.downloads.start_download(
+            final,
+            target_path,
+            when_us=now,
+            referrer=tab.page.url,
+            size_bytes=result.page.size_bytes,
+        )
+        # Firefox also records a DOWNLOAD-transition visit in Places.
+        self.places.add_visit(
+            final,
+            when_us=now,
+            transition=TransitionType.DOWNLOAD,
+            from_visit=tab.current_visit_id,
+            session=tab.session_id,
+        )
+        self.bus.publish(
+            DownloadStarted(
+                timestamp_us=now,
+                tab_id=tab_id,
+                download_id=download_id,
+                source_url=tab.page.url,
+                download_url=final,
+                target_path=target_path,
+            )
+        )
+        done = self.clock.tick()
+        self.downloads.finish_download(download_id, when_us=done)
+        self.bus.publish(
+            DownloadFinished(
+                timestamp_us=done,
+                download_id=download_id,
+                download_url=final,
+                target_path=target_path,
+                ok=True,
+            )
+        )
+        return download_id
+
+    # -- housekeeping ------------------------------------------------------------------------------------
+
+    def end_of_day(self) -> None:
+        """Idle-time maintenance: recompute frecency (Firefox does this).
+
+        Only places visited in the last day are touched, matching
+        Firefox's dirty-entry maintenance and keeping the cost
+        proportional to the day's browsing, not the whole history.
+        """
+        recompute_recent(
+            self.places,
+            since_us=max(0, self.clock.now_us - MICROSECONDS_PER_DAY),
+            now_us=self.clock.now_us,
+        )
+
+    def closed_intervals(self) -> list[OpenInterval]:
+        """Every completed page-display interval so far (copy)."""
+        return list(self._closed_intervals)
+
+    def shutdown(self) -> None:
+        """Close all tabs and flush stores."""
+        for tab_id in list(self._tabs):
+            self.close_tab(tab_id)
+        self.places.commit()
+        self.downloads.commit()
+        self.forms.commit()
+
+    def close(self) -> None:
+        """Shut down and release all store connections."""
+        self.shutdown()
+        self.places.close()
+        self.downloads.close()
+        self.forms.close()
+
+    # -- internals ------------------------------------------------------------------------------------------
+
+    def _tab(self, tab_id: int) -> Tab:
+        try:
+            return self._tabs[tab_id]
+        except KeyError:
+            raise NoSuchTabError(tab_id) from None
+
+    def _bookmark_url(self, bookmark_id: int) -> Url:
+        for existing_id, place_id, _title in self.places.bookmarks():
+            if existing_id == bookmark_id:
+                place = self.places.place_by_id(place_id)
+                if place is None:
+                    break
+                return Url.parse(place.url)
+        raise NoSuchBookmarkError(bookmark_id)
+
+    def _close_current_page(self, tab: Tab, now: int) -> None:
+        if tab.page is None:
+            return
+        self._closed_intervals.append(
+            OpenInterval(
+                tab_id=tab.id,
+                url=tab.page.url,
+                opened_us=tab.page_opened_us,
+                closed_us=now,
+            )
+        )
+        self.bus.publish(
+            PageClosed(
+                timestamp_us=now,
+                tab_id=tab.id,
+                url=tab.page.url,
+                opened_us=tab.page_opened_us,
+            )
+        )
+
+    def _navigate(
+        self,
+        tab: Tab,
+        requested: Url,
+        *,
+        transition: TransitionType,
+        referrer: Url | None,
+        from_visit: int,
+        typed: bool = False,
+        new_session: bool = False,
+        via_bookmark_id: int | None = None,
+    ) -> FetchResult:
+        now = self.clock.tick()
+        result = self.server.fetch(requested, referrer=referrer, timestamp_us=now)
+
+        previous_url = tab.url
+        self._close_current_page(tab, now)
+        if new_session:
+            tab.session_id = next(self._session_ids)
+
+        # Redirect hops: each hop gets a hidden visit chained by
+        # from_visit, the final page's visit descends from the last hop
+        # (Firefox's recording of server-side redirects).
+        last_visit = from_visit
+        for index, hop in enumerate(result.redirect_chain):
+            hop_visit = self.places.add_visit(
+                hop,
+                when_us=self.clock.tick(),
+                transition=(
+                    transition if index == 0 else TransitionType.REDIRECT_TEMPORARY
+                ),
+                from_visit=last_visit,
+                session=tab.session_id,
+                typed=typed and index == 0,
+            )
+            last_visit = hop_visit.id
+
+        final_transition = (
+            TransitionType.REDIRECT_TEMPORARY if result.redirect_chain else transition
+        )
+        visit = self.places.add_visit(
+            result.final_url,
+            when_us=self.clock.tick(),
+            transition=final_transition,
+            title=result.page.title,
+            from_visit=last_visit,
+            session=tab.session_id,
+            typed=typed and not result.redirect_chain,
+        )
+
+        if previous_url is not None:
+            tab.back_stack.append(previous_url)
+        tab.page = result.page
+        tab.current_visit_id = visit.id
+        tab.page_opened_us = visit.visit_date
+
+        self.bus.publish(
+            NavigationCommitted(
+                timestamp_us=visit.visit_date,
+                tab_id=tab.id,
+                url=result.final_url,
+                title=result.page.title,
+                transition=transition,
+                visit_id=visit.id,
+                referrer=referrer,
+                previous_url=previous_url,
+                redirect_chain=result.redirect_chain,
+                requested_url=requested,
+                via_bookmark_id=via_bookmark_id,
+            )
+        )
+
+        # Embedded content: hidden EMBED visits descending from the
+        # top-level visit, one per sub-resource.
+        for embed_url in result.page.embeds:
+            embed_result = self.server.fetch(
+                embed_url, referrer=result.final_url, timestamp_us=self.clock.now_us
+            )
+            embed_visit = self.places.add_visit(
+                embed_result.final_url,
+                when_us=self.clock.tick(),
+                transition=TransitionType.EMBED,
+                from_visit=visit.id,
+                session=tab.session_id,
+            )
+            self.bus.publish(
+                EmbedLoaded(
+                    timestamp_us=embed_visit.visit_date,
+                    tab_id=tab.id,
+                    parent_url=result.final_url,
+                    embed_url=embed_result.final_url,
+                    visit_id=embed_visit.id,
+                )
+            )
+        return result

@@ -1,0 +1,66 @@
+"""Tab state for the browser simulator.
+
+Tabs exist in the reproduction because two of the paper's arguments
+need them: opening a page in a new tab is a second-class relationship
+Places under-records (section 3.2), and pages open *simultaneously* in
+different tabs are what the time-contextual search (use case 2.3)
+relates — "she was also searching for plane tickets at the time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.page import Page
+from repro.web.url import Url
+
+
+@dataclass
+class Tab:
+    """One open tab: the displayed page plus session-history state."""
+
+    id: int
+    session_id: int
+    opened_us: int
+    opener_tab_id: int | None = None
+    page: Page | None = None
+    current_visit_id: int = 0
+    #: When the currently displayed page appeared in this tab.
+    page_opened_us: int = 0
+    #: Session history for the back button (URLs only, like a browser's
+    #: back list; Places rows are never duplicated by going back).
+    back_stack: list[Url] = field(default_factory=list)
+
+    @property
+    def url(self) -> Url | None:
+        return self.page.url if self.page else None
+
+    @property
+    def is_blank(self) -> bool:
+        return self.page is None
+
+    def can_go_back(self) -> bool:
+        return bool(self.back_stack)
+
+
+@dataclass
+class OpenInterval:
+    """A closed record of one page's time on screen in one tab.
+
+    The stream of these intervals is exactly the "corresponding close
+    to each page visit" the paper says browsers should record; the
+    temporal query layer consumes them.
+    """
+
+    tab_id: int
+    url: Url
+    opened_us: int
+    closed_us: int
+
+    @property
+    def duration_us(self) -> int:
+        return self.closed_us - self.opened_us
+
+    def overlaps(self, other: "OpenInterval") -> bool:
+        """Whether two intervals share any instant of display time."""
+        return self.opened_us < other.closed_us and other.opened_us < self.closed_us

@@ -1,0 +1,81 @@
+"""Firefox transition types.
+
+Firefox Places records, for every visit, the *transition* — the action
+that loaded the page.  The paper (section 3) calls transitions "a
+superset of the referrer" and builds its edge taxonomy on them.  The
+integer values match ``nsINavHistoryService`` constants so a generated
+``moz_historyvisits`` table is value-compatible with real Places data.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TransitionType(enum.IntEnum):
+    """How a page visit was initiated (Firefox constants)."""
+
+    #: The user followed a link on another page.
+    LINK = 1
+    #: The user typed the URL (or chose a location-bar completion).
+    TYPED = 2
+    #: The user activated a bookmark.
+    BOOKMARK = 3
+    #: Content embedded in a top-level page (image, iframe, ...).
+    EMBED = 4
+    #: A server-side permanent (301) redirect hop.
+    REDIRECT_PERMANENT = 5
+    #: A server-side temporary (302) redirect hop.
+    REDIRECT_TEMPORARY = 6
+    #: The visit saved a file to disk.
+    DOWNLOAD = 7
+    #: A link inside an embedded frame (added in Firefox 4; included
+    #: for schema completeness, unused by the Firefox-3-era simulator).
+    FRAMED_LINK = 8
+
+    @property
+    def is_redirect(self) -> bool:
+        return self in (
+            TransitionType.REDIRECT_PERMANENT,
+            TransitionType.REDIRECT_TEMPORARY,
+        )
+
+    @property
+    def is_user_action(self) -> bool:
+        """Whether a user gesture caused the visit.
+
+        Redirects and embeds happen to the user rather than because of
+        the user; section 3.2 says personalization algorithms should be
+        able to exclude them, and the capture layer tags provenance
+        edges with this flag for exactly that purpose.
+        """
+        return self in (
+            TransitionType.LINK,
+            TransitionType.TYPED,
+            TransitionType.BOOKMARK,
+            TransitionType.DOWNLOAD,
+        )
+
+    @property
+    def is_hidden(self) -> bool:
+        """Whether Places hides the visit from history UI by default."""
+        return self in (
+            TransitionType.EMBED,
+            TransitionType.REDIRECT_PERMANENT,
+            TransitionType.REDIRECT_TEMPORARY,
+            TransitionType.FRAMED_LINK,
+        )
+
+
+#: Frecency visit-type bonuses, as percentages, from Firefox 3 defaults
+#: (``places.frecency.*VisitBonus`` preferences).
+FRECENCY_BONUS = {
+    TransitionType.LINK: 100,
+    TransitionType.TYPED: 2000,
+    TransitionType.BOOKMARK: 75,
+    TransitionType.EMBED: 0,
+    TransitionType.REDIRECT_PERMANENT: 25,
+    TransitionType.REDIRECT_TEMPORARY: 25,
+    TransitionType.DOWNLOAD: 0,
+    TransitionType.FRAMED_LINK: 0,
+}

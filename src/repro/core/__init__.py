@@ -1,0 +1,133 @@
+"""The paper's contribution: browser history as a provenance graph.
+
+Taxonomy (:mod:`~repro.core.taxonomy`), graph and versioning policies
+(:mod:`~repro.core.graph`, :mod:`~repro.core.versioning`), capture from
+browser events or HTTP flows (:mod:`~repro.core.capture`,
+:mod:`~repro.core.proxy`), the homogeneous SQLite store
+(:mod:`~repro.core.store`), and the four use-case queries
+(:mod:`~repro.core.query`).
+"""
+
+from repro.core.capture import CaptureConfig, NodeInterval, ProvenanceCapture
+from repro.core.export import from_json, to_dot, to_json
+from repro.core.factorize import (
+    FactorizationReport,
+    write_denormalized,
+    write_factorized,
+)
+from repro.core.graph import ProvenanceGraph
+from repro.core.hits import HitsParams, HitsScores, expand_root_set, hits
+from repro.core.model import AttrValue, ProvEdge, ProvNode
+from repro.core.proxy import ProxyCapture
+from repro.core.query import (
+    AugmentedQuery,
+    BoundedResult,
+    ContextualHit,
+    ContextualParams,
+    ContextualSearch,
+    Deadline,
+    LineageAnswer,
+    LineageQuery,
+    LineageStep,
+    NodeTextIndex,
+    PersonalizerParams,
+    ProvenanceQueryEngine,
+    QueryPersonalizer,
+    RecognizabilityModel,
+    TemporalHit,
+    TemporalSearch,
+    run_bounded,
+)
+from repro.core.ranking import ExpansionParams, spread_scores
+from repro.core.retention import (
+    RedactionReport,
+    RetentionReport,
+    expire_before,
+    forget_site,
+)
+from repro.core.schema import SCHEMA_VERSION
+from repro.core.store import ProvenanceStore
+from repro.core.taxonomy import (
+    LINEAGE_EDGE_KINDS,
+    PERSONALIZATION_EDGE_KINDS,
+    SECOND_CLASS_EDGE_KINDS,
+    EdgeKind,
+    NodeKind,
+)
+from repro.core.treeview import (
+    ForestStats,
+    TreeNode,
+    build_history_forest,
+    forest_stats,
+    render_tree,
+)
+from repro.core.versioning import (
+    EdgeVersioningPolicy,
+    NodeVersioningPolicy,
+    TemporalReach,
+    temporal_ancestors,
+    temporal_descendants,
+    version_chain,
+)
+
+__all__ = [
+    "LINEAGE_EDGE_KINDS",
+    "PERSONALIZATION_EDGE_KINDS",
+    "SCHEMA_VERSION",
+    "SECOND_CLASS_EDGE_KINDS",
+    "AttrValue",
+    "AugmentedQuery",
+    "BoundedResult",
+    "CaptureConfig",
+    "ContextualHit",
+    "ContextualParams",
+    "ContextualSearch",
+    "Deadline",
+    "EdgeKind",
+    "EdgeVersioningPolicy",
+    "ExpansionParams",
+    "FactorizationReport",
+    "ForestStats",
+    "HitsParams",
+    "HitsScores",
+    "LineageAnswer",
+    "LineageQuery",
+    "LineageStep",
+    "NodeInterval",
+    "NodeKind",
+    "NodeTextIndex",
+    "NodeVersioningPolicy",
+    "PersonalizerParams",
+    "ProvEdge",
+    "ProvNode",
+    "ProvenanceCapture",
+    "ProvenanceGraph",
+    "ProvenanceQueryEngine",
+    "ProvenanceStore",
+    "ProxyCapture",
+    "QueryPersonalizer",
+    "RedactionReport",
+    "RetentionReport",
+    "RecognizabilityModel",
+    "TemporalHit",
+    "TemporalReach",
+    "TemporalSearch",
+    "TreeNode",
+    "build_history_forest",
+    "expand_root_set",
+    "expire_before",
+    "forget_site",
+    "forest_stats",
+    "hits",
+    "render_tree",
+    "from_json",
+    "run_bounded",
+    "spread_scores",
+    "to_dot",
+    "to_json",
+    "temporal_ancestors",
+    "temporal_descendants",
+    "version_chain",
+    "write_denormalized",
+    "write_factorized",
+]

@@ -1,0 +1,460 @@
+"""In-browser provenance capture.
+
+Subscribes to the browser's event bus and maintains the homogeneous
+provenance graph the paper envisions (section 3.4): page visits,
+search terms, form submissions, bookmarks, and downloads as nodes;
+links, redirects, embeds, typed-URL context, bookmark activations,
+search generation, and co-open time relationships as edges.
+
+Every capture feature the paper identifies as missing from 2009
+browsers is individually switchable in :class:`CaptureConfig`, so the
+ablation experiments can measure exactly what each buys:
+
+* ``capture_typed_edges`` — the location-bar relationship browsers
+  drop (section 3.2);
+* ``capture_co_open`` — page-close tracking and co-open edges
+  (section 3.2, "the simple addition of a corresponding close");
+* ``capture_search_terms`` / ``capture_forms`` — search terms and form
+  submissions as first-class nodes (section 3.3);
+* ``unify_redirects`` — in addition to the hop-accurate redirect
+  chain, add a direct user-action edge from source to final page so
+  personalization can ignore redirect nodes (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.events import (
+    BookmarkCreated,
+    BrowserEvent,
+    DownloadFinished,
+    DownloadStarted,
+    EmbedLoaded,
+    FormSubmitted,
+    NavigationCommitted,
+    PageClosed,
+    SearchIssued,
+    TabClosed,
+    TabOpened,
+)
+from repro.browser.session import Browser
+from repro.browser.transitions import TransitionType
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.core.versioning import NodeVersioningPolicy, VersioningPolicy
+from repro.ids import IdAllocator, content_id
+
+
+@dataclass(frozen=True)
+class CaptureConfig:
+    """Which provenance the capture layer records."""
+
+    capture_links: bool = True
+    capture_redirects: bool = True
+    capture_embeds: bool = True
+    capture_typed_edges: bool = True
+    capture_bookmarks: bool = True
+    capture_search_terms: bool = True
+    capture_forms: bool = True
+    capture_downloads: bool = True
+    capture_co_open: bool = True
+    unify_redirects: bool = True
+
+    @classmethod
+    def places_equivalent(cls) -> "CaptureConfig":
+        """Record only what Firefox 3 recorded relationally.
+
+        First-class edges only: links, redirects, embeds.  This is the
+        configuration the sparsity ablation (E12) compares against the
+        full capture.
+        """
+        return cls(
+            capture_typed_edges=False,
+            capture_bookmarks=False,
+            capture_search_terms=False,
+            capture_forms=False,
+            capture_co_open=False,
+            unify_redirects=False,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NodeInterval:
+    """One page-display interval, keyed to its provenance node."""
+
+    node_id: str
+    tab_id: int
+    opened_us: int
+    closed_us: int
+
+    def overlaps(self, other: "NodeInterval") -> bool:
+        return self.opened_us < other.closed_us and other.opened_us < self.closed_us
+
+
+@dataclass
+class _TabState:
+    """What the capture layer remembers about one open tab."""
+
+    current_node: str | None = None
+    opened_us: int = 0
+    pending_search: tuple[str, str] | None = None  # (term node, results url)
+    pending_form: tuple[str, str] | None = None  # (form node, action url)
+
+
+class ProvenanceCapture:
+    """The provenance-aware browser's recording half."""
+
+    def __init__(
+        self,
+        *,
+        policy: VersioningPolicy | None = None,
+        config: CaptureConfig | None = None,
+    ) -> None:
+        self.policy = policy or NodeVersioningPolicy()
+        self.config = config or CaptureConfig()
+        self.graph = ProvenanceGraph(enforce_dag=self.policy.enforce_dag)
+        self.intervals: list[NodeInterval] = []
+        self._alloc = IdAllocator()
+        self._tabs: dict[int, _TabState] = {}
+        self._visit_nodes: dict[int, str] = {}  # places visit id -> node id
+        self._bookmark_nodes: dict[int, str] = {}
+        self._download_nodes: dict[int, str] = {}
+        self._store = None  # optional write-through ProvenanceStore
+        self.events_seen = 0
+
+    def attach_store(self, store) -> "ProvenanceCapture":
+        """Persist write-through: every node/edge/interval goes straight
+        to *store* as it is captured (the browser-realistic mode — no
+        bulk save on shutdown).  Existing graph contents are flushed
+        first so attachment order doesn't matter.
+        """
+        for node in self.graph.nodes():
+            store.append_node(node)
+        for edge in self.graph.edges():
+            store.append_edge(edge)
+        for interval in self.intervals:
+            store.append_interval(interval)
+        self._store = store
+        return self
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach(self, browser: Browser) -> "ProvenanceCapture":
+        """Subscribe to *browser*'s event bus; returns self for chaining."""
+        browser.bus.subscribe(self.handle)
+        return self
+
+    def detach(self, browser: Browser) -> None:
+        browser.bus.unsubscribe(self.handle)
+
+    # -- event dispatch ------------------------------------------------------------
+
+    def handle(self, event: BrowserEvent) -> None:
+        """Process one browser event (the bus listener)."""
+        self.events_seen += 1
+        if isinstance(event, TabOpened):
+            self._tabs[event.tab_id] = _TabState()
+        elif isinstance(event, TabClosed):
+            self._tabs.pop(event.tab_id, None)
+        elif isinstance(event, NavigationCommitted):
+            self._on_navigation(event)
+        elif isinstance(event, EmbedLoaded):
+            self._on_embed(event)
+        elif isinstance(event, PageClosed):
+            self._on_page_closed(event)
+        elif isinstance(event, SearchIssued):
+            self._on_search(event)
+        elif isinstance(event, FormSubmitted):
+            self._on_form(event)
+        elif isinstance(event, DownloadStarted):
+            self._on_download(event)
+        elif isinstance(event, BookmarkCreated):
+            self._on_bookmark_created(event)
+        elif isinstance(event, DownloadFinished):
+            self._on_download_finished(event)
+
+    # -- navigation -----------------------------------------------------------------
+
+    def _on_navigation(self, event: NavigationCommitted) -> None:
+        tab = self._tabs.setdefault(event.tab_id, _TabState())
+        source_node = tab.current_node
+        config = self.config
+
+        # Redirect hops become their own (hidden) visit nodes chained by
+        # REDIRECT edges; the user-action edge lands on the first hop.
+        chain_nodes: list[str] = []
+        if event.redirect_chain and config.capture_redirects:
+            for hop in event.redirect_chain:
+                hop_node = self._new_visit(
+                    str(hop), "", event.timestamp_us, hidden=1
+                )
+                chain_nodes.append(hop_node)
+
+        final_node = self._new_visit(
+            str(event.url),
+            event.title,
+            event.timestamp_us,
+            transition=event.transition.name.lower(),
+        )
+        self._visit_nodes[event.visit_id] = final_node
+
+        # The user-action edge from the source page.
+        action_kind = self._action_edge_kind(event)
+        first_target = chain_nodes[0] if chain_nodes else final_node
+        if source_node is not None and action_kind is not None:
+            self._edge(action_kind, source_node, first_target, event.timestamp_us)
+        elif source_node is None and chain_nodes:
+            # No source (fresh tab/typed): the chain still needs its head
+            # anchored to nothing; hops simply chain to the final node.
+            pass
+
+        # Chain the hops and land on the final node.
+        if chain_nodes and config.capture_redirects:
+            for earlier, later in zip(chain_nodes, chain_nodes[1:]):
+                self._edge(EdgeKind.REDIRECT, earlier, later, event.timestamp_us)
+            self._edge(
+                EdgeKind.REDIRECT, chain_nodes[-1], final_node, event.timestamp_us
+            )
+            if config.unify_redirects and source_node is not None and action_kind:
+                self._edge(
+                    action_kind,
+                    source_node,
+                    final_node,
+                    event.timestamp_us,
+                    attrs={"unified": 1},
+                )
+
+        # Bookmark activation: edge from the bookmark object.
+        if (
+            event.via_bookmark_id is not None
+            and config.capture_bookmarks
+            and event.via_bookmark_id in self._bookmark_nodes
+        ):
+            self._edge(
+                EdgeKind.BOOKMARK_CLICK,
+                self._bookmark_nodes[event.via_bookmark_id],
+                final_node,
+                event.timestamp_us,
+            )
+
+        # Search generation: the pending search term points here.
+        if tab.pending_search is not None and config.capture_search_terms:
+            term_node, results_url = tab.pending_search
+            if str(event.url) == results_url or str(event.requested_url) == results_url:
+                self._edge(
+                    EdgeKind.SEARCHED, term_node, final_node, event.timestamp_us
+                )
+            tab.pending_search = None
+
+        # Form generation: the pending submission points here.
+        if tab.pending_form is not None and config.capture_forms:
+            form_node, action_url = tab.pending_form
+            if str(event.requested_url) == action_url or str(event.url) == action_url:
+                self._edge(
+                    EdgeKind.FORM_GENERATED, form_node, final_node,
+                    event.timestamp_us,
+                )
+            tab.pending_form = None
+
+        # Co-open edges: earlier-opened pages in *other* tabs point at
+        # the new page (the paper's time-ordering rule).
+        if config.capture_co_open:
+            for other_id, other in self._tabs.items():
+                if other_id == event.tab_id or other.current_node is None:
+                    continue
+                self._edge(
+                    EdgeKind.CO_OPEN,
+                    other.current_node,
+                    final_node,
+                    event.timestamp_us,
+                )
+
+        tab.current_node = final_node
+        tab.opened_us = event.timestamp_us
+
+    def _action_edge_kind(self, event: NavigationCommitted) -> EdgeKind | None:
+        transition = event.transition
+        config = self.config
+        if transition is TransitionType.LINK:
+            return EdgeKind.LINK if config.capture_links else None
+        if transition is TransitionType.TYPED:
+            return EdgeKind.TYPED_FROM if config.capture_typed_edges else None
+        if transition is TransitionType.BOOKMARK:
+            # The visit's graph antecedent is the bookmark object (added
+            # separately); the tab-context edge is second-class, treated
+            # like typed context.
+            return EdgeKind.TYPED_FROM if config.capture_typed_edges else None
+        return None
+
+    # -- other events ---------------------------------------------------------------
+
+    def _on_embed(self, event: EmbedLoaded) -> None:
+        if not self.config.capture_embeds:
+            return
+        tab = self._tabs.setdefault(event.tab_id, _TabState())
+        embed_node = self._new_visit(
+            str(event.embed_url), "", event.timestamp_us, hidden=1
+        )
+        self._visit_nodes[event.visit_id] = embed_node
+        parent = tab.current_node
+        if parent is not None:
+            self._edge(EdgeKind.EMBED, parent, embed_node, event.timestamp_us)
+
+    def _on_page_closed(self, event: PageClosed) -> None:
+        if not self.config.capture_co_open:
+            return
+        tab = self._tabs.get(event.tab_id)
+        if tab is None or tab.current_node is None:
+            return
+        interval = NodeInterval(
+            node_id=tab.current_node,
+            tab_id=event.tab_id,
+            opened_us=event.opened_us,
+            closed_us=event.timestamp_us,
+        )
+        self.intervals.append(interval)
+        if self._store is not None:
+            self._store.append_interval(interval)
+
+    def _on_search(self, event: SearchIssued) -> None:
+        if not self.config.capture_search_terms:
+            return
+        tab = self._tabs.setdefault(event.tab_id, _TabState())
+        term_id = content_id("term", event.query.lower())
+        existing = self.graph.get(term_id)
+        if existing is None:
+            node = ProvNode(
+                id=term_id,
+                kind=NodeKind.SEARCH_TERM,
+                timestamp_us=event.timestamp_us,
+                label=event.query,
+                attrs={"engine": event.engine_host},
+            )
+            self._add_node(node)
+        tab.pending_search = (term_id, str(event.results_url))
+
+    def _on_form(self, event: FormSubmitted) -> None:
+        if not self.config.capture_forms:
+            return
+        tab = self._tabs.setdefault(event.tab_id, _TabState())
+        values = " ".join(value for _name, value in event.fields)
+        node = ProvNode(
+            id=self._alloc.next("form"),
+            kind=NodeKind.FORM_SUBMISSION,
+            timestamp_us=event.timestamp_us,
+            label=values,
+            url=str(event.action_url),
+            attrs={"fields": ",".join(name for name, _ in event.fields)},
+        )
+        self._add_node(node)
+        if tab.current_node is not None:
+            self._edge(
+                EdgeKind.FORM_FROM, tab.current_node, node.id, event.timestamp_us
+            )
+        tab.pending_form = (node.id, str(event.action_url))
+
+    def _on_download(self, event: DownloadStarted) -> None:
+        if not self.config.capture_downloads:
+            return
+        tab = self._tabs.setdefault(event.tab_id, _TabState())
+        node = ProvNode(
+            id=self._alloc.next("dl"),
+            kind=NodeKind.DOWNLOAD,
+            timestamp_us=event.timestamp_us,
+            label=event.download_url.filename or str(event.download_url),
+            url=str(event.download_url),
+            attrs={
+                "target_path": event.target_path,
+                "download_id": event.download_id,
+                "state": "started",
+            },
+        )
+        self._add_node(node)
+        self._download_nodes[event.download_id] = node.id
+        if tab.current_node is not None:
+            self._edge(
+                EdgeKind.DOWNLOADED, tab.current_node, node.id, event.timestamp_us
+            )
+
+    def _on_download_finished(self, event: DownloadFinished) -> None:
+        # Nodes are immutable; completion state lives in the download
+        # store.  Nothing further to record for the graph.
+        return
+
+    def _on_bookmark_created(self, event: BookmarkCreated) -> None:
+        if not self.config.capture_bookmarks:
+            return
+        node = ProvNode(
+            id=self._alloc.next("bm"),
+            kind=NodeKind.BOOKMARK,
+            timestamp_us=event.timestamp_us,
+            label=event.title,
+            url=str(event.url),
+            attrs={"bookmark_id": event.bookmark_id},
+        )
+        self._add_node(node)
+        self._bookmark_nodes[event.bookmark_id] = node.id
+        # The bookmark descends from the page visit it was created on.
+        tab = self._tabs.get(event.tab_id)
+        if tab is not None and tab.current_node is not None:
+            self._edge(
+                EdgeKind.BOOKMARKED, tab.current_node, node.id, event.timestamp_us
+            )
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def node_for_visit(self, places_visit_id: int) -> str | None:
+        """The graph node recorded for a Places visit id, if any."""
+        return self._visit_nodes.get(places_visit_id)
+
+    def node_for_download(self, download_id: int) -> str | None:
+        return self._download_nodes.get(download_id)
+
+    def node_for_bookmark(self, bookmark_id: int) -> str | None:
+        return self._bookmark_nodes.get(bookmark_id)
+
+    def current_node(self, tab_id: int) -> str | None:
+        tab = self._tabs.get(tab_id)
+        return tab.current_node if tab else None
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _new_visit(
+        self,
+        url: str,
+        title: str,
+        when_us: int,
+        **attrs: str | int | float,
+    ) -> str:
+        node = self.policy.visit_node(url, title, when_us, **attrs)
+        before = self.graph.node_count
+        resolved = self.policy.resolve_visit(self.graph, node)
+        if self._store is not None and self.graph.node_count > before:
+            self._store.append_node(resolved)
+        return resolved.id
+
+    def _add_node(self, node: ProvNode) -> None:
+        self.graph.add_node(node)
+        if self._store is not None:
+            self._store.append_node(node)
+
+    def _edge(
+        self,
+        kind: EdgeKind,
+        src: str,
+        dst: str,
+        when_us: int,
+        *,
+        attrs: dict[str, str | int | float] | None = None,
+    ) -> None:
+        if src == dst:
+            # Self-transitions (page reload, revisit under edge
+            # versioning) carry no lineage; skip.
+            return
+        edge = self.graph.add_edge(
+            kind, src, dst, timestamp_us=when_us, attrs=attrs
+        )
+        if self._store is not None:
+            self._store.append_edge(edge)

@@ -1,0 +1,224 @@
+"""Factorized provenance storage (ablation E11).
+
+Section 3.1 cites Chapman et al.'s factorization and inheritance
+methods as "almost certainly applicable to browser history".  This
+module applies the two techniques that fit the domain:
+
+* **string factorization** — node URLs decompose into (host, path)
+  with hosts stored once in a dictionary table, and repeated labels
+  (titles recur across visit instances of the same page) stored once
+  in a label dictionary.  Browser history is extremely repetitive in
+  exactly these fields, which is why the technique pays.
+* **edge-identity inheritance** — under node versioning, the i-th
+  visit of page A following a link to page B produces an edge whose
+  (kind, page-pair) identity repeats; the factorized form stores the
+  page-pair once and per-traversal rows as (pair_id, timestamp).
+
+:func:`write_factorized` persists a graph in this form and returns a
+:class:`FactorizationReport` comparing sizes against the plain store
+schema, which is what the E11 bench prints.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+from repro.core.graph import ProvenanceGraph
+from repro.errors import StoreError
+from repro.web.url import Url
+
+_FACTORIZED_SCHEMA = """
+CREATE TABLE f_meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE f_hosts (id INTEGER PRIMARY KEY, host TEXT UNIQUE NOT NULL);
+CREATE TABLE f_labels (id INTEGER PRIMARY KEY, label TEXT UNIQUE NOT NULL);
+CREATE TABLE f_kinds (id INTEGER PRIMARY KEY, kind TEXT UNIQUE NOT NULL);
+CREATE TABLE f_nodes (
+    id TEXT PRIMARY KEY,
+    kind_id INTEGER NOT NULL REFERENCES f_kinds (id),
+    timestamp_us INTEGER NOT NULL,
+    label_id INTEGER REFERENCES f_labels (id),
+    host_id INTEGER REFERENCES f_hosts (id),
+    path TEXT
+);
+CREATE TABLE f_edge_pairs (
+    id INTEGER PRIMARY KEY,
+    kind_id INTEGER NOT NULL REFERENCES f_kinds (id),
+    src TEXT NOT NULL,
+    dst TEXT NOT NULL,
+    UNIQUE (kind_id, src, dst)
+);
+CREATE TABLE f_edge_instances (
+    pair_id INTEGER NOT NULL REFERENCES f_edge_pairs (id),
+    timestamp_us INTEGER NOT NULL
+);
+CREATE INDEX f_nodes_host ON f_nodes (host_id);
+CREATE INDEX f_edge_pairs_src ON f_edge_pairs (src);
+CREATE INDEX f_edge_pairs_dst ON f_edge_pairs (dst);
+"""
+
+
+@dataclass(frozen=True)
+class FactorizationReport:
+    """Size accounting for a factorized store."""
+
+    nodes: int
+    edges: int
+    distinct_hosts: int
+    distinct_labels: int
+    distinct_edge_pairs: int
+    factorized_bytes: int
+
+    @property
+    def edge_sharing(self) -> float:
+        """Mean traversals per distinct edge pair (>1 means sharing)."""
+        if not self.distinct_edge_pairs:
+            return 0.0
+        return self.edges / self.distinct_edge_pairs
+
+
+def write_factorized(graph: ProvenanceGraph, path: str = ":memory:"
+                     ) -> FactorizationReport:
+    """Persist *graph* in factorized form; return the size report.
+
+    The connection is closed before returning (the report carries the
+    size), except for in-memory stores, whose size is read first.
+    """
+    conn = sqlite3.connect(path)
+    try:
+        conn.executescript(_FACTORIZED_SCHEMA)
+        conn.execute(
+            "INSERT INTO f_meta (key, value) VALUES ('format', 'factorized-v1')"
+        )
+        host_ids: dict[str, int] = {}
+        label_ids: dict[str, int] = {}
+        kind_ids: dict[str, int] = {}
+
+        def intern(table: str, cache: dict[str, int], value: str) -> int:
+            cached = cache.get(value)
+            if cached is not None:
+                return cached
+            column = {"f_hosts": "host", "f_labels": "label", "f_kinds": "kind"}[table]
+            cursor = conn.execute(
+                f"INSERT INTO {table} ({column}) VALUES (?)", (value,)
+            )
+            cache[value] = cursor.lastrowid
+            return cursor.lastrowid
+
+        for node in graph.nodes():
+            host_id = None
+            node_path = None
+            if node.url is not None:
+                host, node_path = _split_url(node.url)
+                host_id = intern("f_hosts", host_ids, host)
+            label_id = (
+                intern("f_labels", label_ids, node.label) if node.label else None
+            )
+            kind_id = intern("f_kinds", kind_ids, node.kind.value)
+            conn.execute(
+                "INSERT INTO f_nodes (id, kind_id, timestamp_us, label_id,"
+                " host_id, path) VALUES (?, ?, ?, ?, ?, ?)",
+                (node.id, kind_id, node.timestamp_us, label_id, host_id, node_path),
+            )
+
+        pair_ids: dict[tuple[int, str, str], int] = {}
+        edge_count = 0
+        for edge in graph.edges():
+            kind_id = intern("f_kinds", kind_ids, edge.kind.value)
+            key = (kind_id, edge.src, edge.dst)
+            pair_id = pair_ids.get(key)
+            if pair_id is None:
+                cursor = conn.execute(
+                    "INSERT INTO f_edge_pairs (kind_id, src, dst) VALUES (?, ?, ?)",
+                    key,
+                )
+                pair_id = cursor.lastrowid
+                pair_ids[key] = pair_id
+            conn.execute(
+                "INSERT INTO f_edge_instances (pair_id, timestamp_us) VALUES (?, ?)",
+                (pair_id, edge.timestamp_us),
+            )
+            edge_count += 1
+
+        conn.commit()
+        page_count = conn.execute("PRAGMA page_count").fetchone()[0]
+        page_size = conn.execute("PRAGMA page_size").fetchone()[0]
+        return FactorizationReport(
+            nodes=graph.node_count,
+            edges=edge_count,
+            distinct_hosts=len(host_ids),
+            distinct_labels=len(label_ids),
+            distinct_edge_pairs=len(pair_ids),
+            factorized_bytes=page_count * page_size,
+        )
+    except sqlite3.Error as exc:
+        raise StoreError(f"factorized write failed: {exc}") from exc
+    finally:
+        conn.close()
+
+
+_DENORMALIZED_SCHEMA = """
+CREATE TABLE d_nodes (
+    id TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    timestamp_us INTEGER NOT NULL,
+    label TEXT NOT NULL DEFAULT '',
+    url TEXT
+);
+CREATE INDEX d_nodes_url ON d_nodes (url);
+CREATE TABLE d_edges (
+    id INTEGER PRIMARY KEY,
+    kind TEXT NOT NULL,
+    src TEXT NOT NULL,
+    dst TEXT NOT NULL,
+    timestamp_us INTEGER NOT NULL
+);
+CREATE INDEX d_edges_src ON d_edges (src);
+CREATE INDEX d_edges_dst ON d_edges (dst);
+"""
+
+
+def write_denormalized(graph: ProvenanceGraph, path: str = ":memory:") -> int:
+    """Persist *graph* naively (full strings inline); return byte size.
+
+    The strawman baseline for E11: every node row repeats its full URL
+    and label, every edge row carries two string node ids.  This is
+    what a provenance store looks like *before* applying either the
+    Places-style normalization of :mod:`repro.core.store` or the
+    Chapman-style factorization above.
+    """
+    conn = sqlite3.connect(path)
+    try:
+        conn.executescript(_DENORMALIZED_SCHEMA)
+        for node in graph.nodes():
+            conn.execute(
+                "INSERT INTO d_nodes (id, kind, timestamp_us, label, url)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (node.id, node.kind.value, node.timestamp_us, node.label,
+                 node.url),
+            )
+        for edge in graph.edges():
+            conn.execute(
+                "INSERT INTO d_edges (id, kind, src, dst, timestamp_us)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (edge.id, edge.kind.value, edge.src, edge.dst,
+                 edge.timestamp_us),
+            )
+        conn.commit()
+        page_count = conn.execute("PRAGMA page_count").fetchone()[0]
+        page_size = conn.execute("PRAGMA page_size").fetchone()[0]
+        return page_count * page_size
+    except sqlite3.Error as exc:
+        raise StoreError(f"denormalized write failed: {exc}") from exc
+    finally:
+        conn.close()
+
+
+def _split_url(url_text: str) -> tuple[str, str]:
+    """Split a URL into (scheme://host, rest) for host interning."""
+    try:
+        url = Url.parse(url_text)
+    except Exception:  # noqa: BLE001 - non-URL strings stay whole
+        return ("", url_text)
+    rest = url.path if not url.query else f"{url.path}?{url.query}"
+    return (url.origin, rest)

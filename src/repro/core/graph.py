@@ -1,0 +1,305 @@
+"""The in-memory provenance graph.
+
+A directed graph of :class:`~repro.core.model.ProvNode` /
+:class:`~repro.core.model.ProvEdge` with the indexes every query needs:
+adjacency both ways, nodes by kind, and nodes by URL (the "queries over
+all the objects that describe a given page" problem section 3.1 raises
+about instance-versioned stores).
+
+Acyclicity
+----------
+Provenance is by definition acyclic (section 3.1).  Under the default
+node-versioning policy the graph enforces a cheap sufficient condition:
+every edge must run forward in time (``src.timestamp_us <=
+dst.timestamp_us``), which with strictly increasing capture timestamps
+guarantees a DAG without per-insert cycle checks.  The edge-timestamp
+policy instead stores a *cyclic* page graph whose traversal order is
+disambiguated by edge timestamps; for that use, construct with
+``enforce_dag=False`` (see :mod:`repro.core.versioning`).
+:meth:`ProvenanceGraph.is_acyclic` runs a full Kahn check either way —
+property tests use it to verify the invariant the cheap rule promises.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from collections.abc import Iterable, Mapping
+
+from repro.core.model import AttrValue, ProvEdge, ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import CycleError, DuplicateNodeError, UnknownNodeError
+
+
+class ProvenanceGraph:
+    """Mutable provenance graph with query indexes."""
+
+    def __init__(self, *, enforce_dag: bool = True) -> None:
+        self.enforce_dag = enforce_dag
+        self._nodes: dict[str, ProvNode] = {}
+        self._out: dict[str, list[ProvEdge]] = {}
+        self._in: dict[str, list[ProvEdge]] = {}
+        self._by_kind: dict[NodeKind, list[str]] = {}
+        self._by_url: dict[str, list[str]] = {}
+        self._edge_ids = itertools.count()
+        self._edge_count = 0
+
+    # -- construction -------------------------------------------------------------
+
+    def add_node(self, node: ProvNode) -> ProvNode:
+        """Insert *node*; re-inserting the identical node is a no-op.
+
+        Raises :class:`DuplicateNodeError` if a different node already
+        uses the id.
+        """
+        existing = self._nodes.get(node.id)
+        if existing is not None:
+            if existing == node:
+                return existing
+            raise DuplicateNodeError(node.id)
+        self._nodes[node.id] = node
+        self._out[node.id] = []
+        self._in[node.id] = []
+        self._by_kind.setdefault(node.kind, []).append(node.id)
+        if node.url is not None:
+            self._by_url.setdefault(node.url, []).append(node.id)
+        return node
+
+    def add_edge(
+        self,
+        kind: EdgeKind,
+        src: str,
+        dst: str,
+        *,
+        timestamp_us: int,
+        attrs: Mapping[str, AttrValue] | None = None,
+    ) -> ProvEdge:
+        """Insert an edge from ancestor *src* to descendant *dst*."""
+        if src not in self._nodes:
+            raise UnknownNodeError(src)
+        if dst not in self._nodes:
+            raise UnknownNodeError(dst)
+        if self.enforce_dag:
+            if self._nodes[src].timestamp_us > self._nodes[dst].timestamp_us:
+                raise CycleError(src, dst)
+        edge = ProvEdge(
+            id=next(self._edge_ids),
+            kind=kind,
+            src=src,
+            dst=dst,
+            timestamp_us=timestamp_us,
+            attrs=attrs or {},
+        )
+        self._out[src].append(edge)
+        self._in[dst].append(edge)
+        self._edge_count += 1
+        return edge
+
+    # -- basic access ----------------------------------------------------------------
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def node(self, node_id: str) -> ProvNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def get(self, node_id: str) -> ProvNode | None:
+        return self._nodes.get(node_id)
+
+    def nodes(self) -> Iterable[ProvNode]:
+        return self._nodes.values()
+
+    def node_ids(self) -> Iterable[str]:
+        return self._nodes.keys()
+
+    def edges(self) -> Iterable[ProvEdge]:
+        for edges in self._out.values():
+            yield from edges
+
+    def by_kind(self, kind: NodeKind) -> list[str]:
+        """Node ids of *kind*, in insertion (capture) order."""
+        return list(self._by_kind.get(kind, ()))
+
+    def nodes_for_url(self, url: str) -> list[str]:
+        """Every node recorded for *url* (all visit instances, etc.)."""
+        return list(self._by_url.get(url, ()))
+
+    # -- adjacency ----------------------------------------------------------------------
+
+    def out_edges(
+        self, node_id: str, kinds: frozenset[EdgeKind] | None = None
+    ) -> list[ProvEdge]:
+        edges = self._out.get(node_id)
+        if edges is None:
+            raise UnknownNodeError(node_id)
+        if kinds is None:
+            return list(edges)
+        return [edge for edge in edges if edge.kind in kinds]
+
+    def in_edges(
+        self, node_id: str, kinds: frozenset[EdgeKind] | None = None
+    ) -> list[ProvEdge]:
+        edges = self._in.get(node_id)
+        if edges is None:
+            raise UnknownNodeError(node_id)
+        if kinds is None:
+            return list(edges)
+        return [edge for edge in edges if edge.kind in kinds]
+
+    def children(
+        self, node_id: str, kinds: frozenset[EdgeKind] | None = None
+    ) -> list[str]:
+        return [edge.dst for edge in self.out_edges(node_id, kinds)]
+
+    def parents(
+        self, node_id: str, kinds: frozenset[EdgeKind] | None = None
+    ) -> list[str]:
+        return [edge.src for edge in self.in_edges(node_id, kinds)]
+
+    def degree(self, node_id: str) -> tuple[int, int]:
+        """(in-degree, out-degree)."""
+        return len(self._in.get(node_id, ())), len(self._out.get(node_id, ()))
+
+    # -- traversal ----------------------------------------------------------------------
+
+    def ancestors(
+        self,
+        node_id: str,
+        *,
+        kinds: frozenset[EdgeKind] | None = None,
+        max_depth: int | None = None,
+        limit: int | None = None,
+    ) -> dict[str, int]:
+        """BFS over incoming edges; returns {ancestor_id: depth}.
+
+        The start node is not included.  ``limit`` bounds the number of
+        ancestors returned (breadth-first, so nearest first) — this is
+        the primitive behind the paper's "Download Lineage is a
+        breadth-first search over a node's ancestors".
+        """
+        return self._bfs(node_id, forward=False, kinds=kinds,
+                         max_depth=max_depth, limit=limit)
+
+    def descendants(
+        self,
+        node_id: str,
+        *,
+        kinds: frozenset[EdgeKind] | None = None,
+        max_depth: int | None = None,
+        limit: int | None = None,
+    ) -> dict[str, int]:
+        """BFS over outgoing edges; returns {descendant_id: depth}."""
+        return self._bfs(node_id, forward=True, kinds=kinds,
+                         max_depth=max_depth, limit=limit)
+
+    def _bfs(
+        self,
+        start: str,
+        *,
+        forward: bool,
+        kinds: frozenset[EdgeKind] | None,
+        max_depth: int | None,
+        limit: int | None,
+    ) -> dict[str, int]:
+        if start not in self._nodes:
+            raise UnknownNodeError(start)
+        adjacency = self._out if forward else self._in
+        found: dict[str, int] = {}
+        queue: deque[tuple[str, int]] = deque([(start, 0)])
+        seen = {start}
+        while queue:
+            current, depth = queue.popleft()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for edge in adjacency[current]:
+                if kinds is not None and edge.kind not in kinds:
+                    continue
+                neighbor = edge.dst if forward else edge.src
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                found[neighbor] = depth + 1
+                if limit is not None and len(found) >= limit:
+                    return found
+                queue.append((neighbor, depth + 1))
+        return found
+
+    # -- whole-graph checks -----------------------------------------------------------------
+
+    def is_acyclic(self) -> bool:
+        """Full Kahn's-algorithm acyclicity check (O(V + E))."""
+        in_degree = {node_id: len(edges) for node_id, edges in self._in.items()}
+        queue = deque(
+            node_id for node_id, degree in in_degree.items() if degree == 0
+        )
+        visited = 0
+        while queue:
+            current = queue.popleft()
+            visited += 1
+            for edge in self._out[current]:
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    queue.append(edge.dst)
+        return visited == len(self._nodes)
+
+    def topological_order(self) -> list[str]:
+        """Kahn topological order; raises :class:`CycleError` on cycles.
+
+        Ties broken by timestamp then id, so the order is deterministic.
+        """
+        in_degree = {node_id: len(edges) for node_id, edges in self._in.items()}
+        ready = sorted(
+            (node_id for node_id, degree in in_degree.items() if degree == 0),
+            key=self._order_key,
+        )
+        queue = deque(ready)
+        order: list[str] = []
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            newly_ready = []
+            for edge in self._out[current]:
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    newly_ready.append(edge.dst)
+            for node_id in sorted(newly_ready, key=self._order_key):
+                queue.append(node_id)
+        if len(order) != len(self._nodes):
+            remaining = set(self._nodes) - set(order)
+            some = sorted(remaining)[0]
+            raise CycleError(some, some + " (cycle member)")
+        return order
+
+    def _order_key(self, node_id: str) -> tuple[int, str]:
+        node = self._nodes[node_id]
+        return (node.timestamp_us, node_id)
+
+    # -- statistics ----------------------------------------------------------------------------
+
+    def kind_counts(self) -> dict[str, int]:
+        """Node counts per kind (string keys, for reports)."""
+        return {
+            kind.value: len(ids) for kind, ids in sorted(
+                self._by_kind.items(), key=lambda item: item[0].value
+            )
+        }
+
+    def edge_kind_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for edge in self.edges():
+            counts[edge.kind.value] = counts.get(edge.kind.value, 0) + 1
+        return dict(sorted(counts.items()))

@@ -1,0 +1,141 @@
+"""Kleinberg's HITS adapted to browser history graphs.
+
+Section 4 describes contextual history search as "a graph neighborhood
+expansion algorithm, similar to web search algorithms such as
+Kleinberg's HITS".  We provide HITS itself as well: given a root set
+(e.g. textual matches), expand to the base set (neighbors) and run the
+hub/authority power iteration.  On a history graph, authorities are
+pages many user actions converge on; hubs are the pages (or search
+terms) whose out-edges led to them — the paper's observation that
+browser graphs have crawler-invisible structure (actually-traversed
+links) is what makes these scores personal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.query.timebound import Deadline
+from repro.core.taxonomy import PERSONALIZATION_EDGE_KINDS, EdgeKind
+
+
+@dataclass(frozen=True)
+class HitsParams:
+    iterations: int = 20
+    tolerance: float = 1e-8
+    edge_kinds: frozenset[EdgeKind] = PERSONALIZATION_EDGE_KINDS
+    #: Cap on the base set to bound work (root set plus neighbors).
+    base_limit: int = 5000
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+        if self.base_limit < 1:
+            raise ValueError("base_limit must be positive")
+
+
+@dataclass(frozen=True)
+class HitsScores:
+    """Hub and authority vectors over the base set."""
+
+    hubs: dict[str, float]
+    authorities: dict[str, float]
+    iterations_run: int
+
+    def top_authorities(self, count: int = 10) -> list[tuple[str, float]]:
+        ranked = sorted(
+            self.authorities.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+    def top_hubs(self, count: int = 10) -> list[tuple[str, float]]:
+        ranked = sorted(self.hubs.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+
+def expand_root_set(
+    graph: ProvenanceGraph,
+    roots: list[str],
+    params: HitsParams | None = None,
+) -> set[str]:
+    """Kleinberg's base set: roots plus their immediate neighbors."""
+    params = params or HitsParams()
+    base: set[str] = set()
+    for root in roots:
+        if root not in graph:
+            continue
+        base.add(root)
+        for neighbor in graph.children(root, params.edge_kinds):
+            base.add(neighbor)
+        for neighbor in graph.parents(root, params.edge_kinds):
+            base.add(neighbor)
+        if len(base) >= params.base_limit:
+            break
+    return base
+
+
+def hits(
+    graph: ProvenanceGraph,
+    roots: list[str],
+    params: HitsParams | None = None,
+    *,
+    deadline: Deadline | None = None,
+) -> HitsScores:
+    """Run HITS over the base set expanded from *roots*.
+
+    Deadline-aware: iteration stops early when the budget expires; the
+    scores computed so far are returned (they are meaningful after
+    every iteration — HITS converges monotonically in practice).
+    """
+    params = params or HitsParams()
+    base = expand_root_set(graph, roots, params)
+    if not base:
+        return HitsScores(hubs={}, authorities={}, iterations_run=0)
+
+    out_neighbors: dict[str, list[str]] = {}
+    in_neighbors: dict[str, list[str]] = {}
+    for node_id in base:
+        out_neighbors[node_id] = [
+            child for child in graph.children(node_id, params.edge_kinds)
+            if child in base
+        ]
+        in_neighbors[node_id] = [
+            parent for parent in graph.parents(node_id, params.edge_kinds)
+            if parent in base
+        ]
+
+    hubs = {node_id: 1.0 for node_id in base}
+    authorities = {node_id: 1.0 for node_id in base}
+    iterations_run = 0
+    for _ in range(params.iterations):
+        if deadline is not None and deadline.exceeded:
+            break
+        new_authorities = {
+            node_id: sum(hubs[parent] for parent in in_neighbors[node_id])
+            for node_id in base
+        }
+        _normalize(new_authorities)
+        new_hubs = {
+            node_id: sum(new_authorities[child] for child in out_neighbors[node_id])
+            for node_id in base
+        }
+        _normalize(new_hubs)
+        delta = sum(
+            abs(new_authorities[node_id] - authorities[node_id]) for node_id in base
+        )
+        hubs, authorities = new_hubs, new_authorities
+        iterations_run += 1
+        if delta < params.tolerance:
+            break
+    return HitsScores(hubs=hubs, authorities=authorities,
+                      iterations_run=iterations_run)
+
+
+def _normalize(vector: dict[str, float]) -> None:
+    norm = math.sqrt(sum(value * value for value in vector.values()))
+    if norm <= 0.0:
+        return
+    for key in vector:
+        vector[key] /= norm

@@ -1,0 +1,154 @@
+"""Proxy-vantage provenance capture (the mitmproxy substitution).
+
+The reproduction hint notes that real in-browser capture is not
+available from Python; the practical equivalent is an intercepting
+HTTP proxy (mitmproxy).  This module implements that vantage point
+against the simulated network: it observes
+:class:`~repro.web.serving.HttpFlow` records — request URL, referrer,
+redirect chain, content type, time — and nothing else.
+
+What a proxy **can** reconstruct:
+
+* page-visit nodes and referrer (LINK) edges,
+* redirect chains,
+* embed edges (sub-resource content types with a referrer),
+* downloads (content-disposition / binary content types),
+* search terms — they travel inside SERP URLs (``?q=...``), so even an
+  out-of-browser observer gets section 3.3's descriptors.
+
+What it **cannot** see: tabs (so no co-open intervals), typed-URL
+context (no referrer is sent), bookmarks, or page closes.  The capture
+ablation (E12) quantifies the difference against
+:class:`~repro.core.capture.ProvenanceCapture`.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import parse_qsl
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.core.versioning import NodeVersioningPolicy, VersioningPolicy
+from repro.ids import IdAllocator, content_id
+from repro.web.serving import HttpFlow
+
+
+class ProxyCapture:
+    """Builds a provenance graph from HTTP flows alone.
+
+    Register with ``server.add_observer(proxy)``.  Referrer edges
+    resolve to the *most recent* visit node for the referrer URL —
+    the only resolution a proxy can perform, and a source of (rare,
+    realistic) mis-attribution when the same URL is open twice.
+    """
+
+    def __init__(self, *, policy: VersioningPolicy | None = None,
+                 search_hosts: tuple[str, ...] = ("www.findit.com",)) -> None:
+        self.policy = policy or NodeVersioningPolicy()
+        self.graph = ProvenanceGraph(enforce_dag=self.policy.enforce_dag)
+        self.search_hosts = tuple(host.lower() for host in search_hosts)
+        self._alloc = IdAllocator()
+        self._latest_for_url: dict[str, str] = {}
+        self.flows_seen = 0
+
+    # -- FlowObserver protocol ----------------------------------------------------
+
+    def observe(self, flow: HttpFlow) -> None:
+        self.flows_seen += 1
+        if flow.content_type == "application/octet-stream":
+            self._observe_download(flow)
+        elif flow.content_type.startswith(("image/", "text/css", "text/javascript")):
+            self._observe_embed(flow)
+        else:
+            self._observe_page(flow)
+
+    # -- flow handlers ---------------------------------------------------------------
+
+    def _observe_page(self, flow: HttpFlow) -> None:
+        referrer_node = self._resolve_referrer(flow)
+
+        chain_nodes = [
+            self._visit(str(hop), flow.timestamp_us, hidden=1)
+            for hop in flow.redirect_chain
+        ]
+        final_node = self._visit(str(flow.final), flow.timestamp_us)
+
+        first = chain_nodes[0] if chain_nodes else final_node
+        if referrer_node is not None and referrer_node != first:
+            self.graph.add_edge(
+                EdgeKind.LINK, referrer_node, first,
+                timestamp_us=flow.timestamp_us,
+            )
+        previous = None
+        for node in (*chain_nodes, final_node):
+            if previous is not None and previous != node:
+                self.graph.add_edge(
+                    EdgeKind.REDIRECT, previous, node,
+                    timestamp_us=flow.timestamp_us,
+                )
+            previous = node
+
+        self._maybe_search_term(flow, final_node)
+
+    def _observe_embed(self, flow: HttpFlow) -> None:
+        parent = self._resolve_referrer(flow)
+        embed_node = self._visit(str(flow.final), flow.timestamp_us, hidden=1)
+        if parent is not None and parent != embed_node:
+            self.graph.add_edge(
+                EdgeKind.EMBED, parent, embed_node, timestamp_us=flow.timestamp_us
+            )
+
+    def _observe_download(self, flow: HttpFlow) -> None:
+        node = ProvNode(
+            id=self._alloc.next("dl"),
+            kind=NodeKind.DOWNLOAD,
+            timestamp_us=flow.timestamp_us,
+            label=flow.final.filename or str(flow.final),
+            url=str(flow.final),
+        )
+        self.graph.add_node(node)
+        parent = self._resolve_referrer(flow)
+        if parent is not None:
+            self.graph.add_edge(
+                EdgeKind.DOWNLOADED, parent, node.id, timestamp_us=flow.timestamp_us
+            )
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _visit(self, url: str, when_us: int, **attrs: str | int | float) -> str:
+        node = self.policy.visit_node(url, "", when_us, **attrs)
+        resolved = self.policy.resolve_visit(self.graph, node)
+        self._latest_for_url[url] = resolved.id
+        return resolved.id
+
+    def _resolve_referrer(self, flow: HttpFlow) -> str | None:
+        if flow.referrer is None:
+            return None
+        return self._latest_for_url.get(str(flow.referrer))
+
+    def _maybe_search_term(self, flow: HttpFlow, serp_node: str) -> None:
+        """Extract ``q=`` from SERP URLs on known engine hosts."""
+        url = flow.final
+        if url.host not in self.search_hosts or url.path != "/search":
+            return
+        params = dict(parse_qsl(url.query))
+        query = params.get("q", "").strip()
+        if not query:
+            return
+        term_id = content_id("term", query.lower())
+        if self.graph.get(term_id) is None:
+            self.graph.add_node(
+                ProvNode(
+                    id=term_id,
+                    kind=NodeKind.SEARCH_TERM,
+                    timestamp_us=flow.timestamp_us,
+                    label=query,
+                    attrs={"engine": url.host, "vantage": "proxy"},
+                )
+            )
+        if term_id != serp_node:
+            self.graph.add_edge(
+                EdgeKind.SEARCHED, term_id, serp_node,
+                timestamp_us=flow.timestamp_us,
+            )

@@ -1,0 +1,67 @@
+"""Provenance query layer: the paper's four use cases plus primitives.
+
+* :mod:`~repro.core.query.contextual` — use case 2.1
+* :mod:`~repro.core.query.personalize` — use case 2.2
+* :mod:`~repro.core.query.temporal` — use case 2.3
+* :mod:`~repro.core.query.lineage` — use case 2.4
+* :mod:`~repro.core.query.timebound` — the 200 ms bounding (E5)
+* :mod:`~repro.core.query.engine` — one facade over all of it
+"""
+
+from repro.core.query.contextual import (
+    ContextualHit,
+    ContextualParams,
+    ContextualSearch,
+)
+from repro.core.query.engine import ProvenanceQueryEngine
+from repro.core.query.lineage import (
+    LineageAnswer,
+    LineageQuery,
+    LineageStep,
+    RecognizabilityModel,
+)
+from repro.core.query.suggest import ContextSuggestion, ProvenanceSuggest
+from repro.core.query.personalize import (
+    AugmentedQuery,
+    PersonalizerParams,
+    QueryPersonalizer,
+)
+from repro.core.query.temporal import TemporalHit, TemporalSearch
+from repro.core.query.textindex import NodeTextIndex
+from repro.core.query.timebound import BoundedResult, Deadline, run_bounded
+from repro.core.query.traversal import (
+    Visit,
+    descendants_of_kind,
+    first_matching_ancestor,
+    path_between,
+    walk_ancestors,
+    walk_descendants,
+)
+
+__all__ = [
+    "AugmentedQuery",
+    "BoundedResult",
+    "ContextSuggestion",
+    "ContextualHit",
+    "ContextualParams",
+    "ContextualSearch",
+    "Deadline",
+    "LineageAnswer",
+    "LineageQuery",
+    "LineageStep",
+    "NodeTextIndex",
+    "PersonalizerParams",
+    "ProvenanceQueryEngine",
+    "ProvenanceSuggest",
+    "QueryPersonalizer",
+    "RecognizabilityModel",
+    "TemporalHit",
+    "TemporalSearch",
+    "Visit",
+    "descendants_of_kind",
+    "first_matching_ancestor",
+    "path_between",
+    "run_bounded",
+    "walk_ancestors",
+    "walk_descendants",
+]

@@ -1,0 +1,141 @@
+"""Contextual history search (use case 2.1).
+
+"Browser provenance would show that Citizen Kane descends from the
+search term rosebud.  Therefore, a provenance-aware browser could
+evaluate and return Citizen Kane in its history search results."
+
+The algorithm follows the paper's description of Shah et al.: perform
+a textual search, then reorder (and *extend*) results by the relevance
+of their provenance neighbors:
+
+1. **Seed** — tf-idf match of the query against node text (labels and
+   URLs).  This alone is the textual baseline.
+2. **Expand** — spread seed scores across user-action provenance edges
+   (:func:`repro.core.ranking.spread_scores`).  A page reached *from*
+   the rosebud search inherits relevance even though its own text
+   never says rosebud.
+3. **Rank** — blend seed and spread mass, deduplicate visit instances
+   to one hit per URL, and return the top results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.query.textindex import NodeTextIndex
+from repro.core.query.timebound import Deadline
+from repro.core.ranking import ExpansionParams, spread_scores
+from repro.core.taxonomy import NodeKind
+
+
+@dataclass(frozen=True)
+class ContextualParams:
+    """Tuning for contextual search."""
+
+    seed_limit: int = 50
+    #: Weight of spread (neighborhood) score relative to seed score.
+    context_weight: float = 1.0
+    expansion: ExpansionParams = field(default_factory=ExpansionParams)
+    #: Node kinds eligible to appear as results (search terms and form
+    #: submissions participate in spreading but are not results a
+    #: history UI would show).
+    result_kinds: frozenset[NodeKind] = frozenset(
+        {NodeKind.PAGE_VISIT, NodeKind.PAGE, NodeKind.DOWNLOAD, NodeKind.BOOKMARK}
+    )
+
+    def __post_init__(self) -> None:
+        if self.seed_limit < 1:
+            raise ValueError("seed_limit must be positive")
+        if self.context_weight < 0:
+            raise ValueError("context_weight must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ContextualHit:
+    """One contextual history search result."""
+
+    node_id: str
+    url: str | None
+    label: str
+    score: float
+    #: The purely textual component (0 for results found only through
+    #: provenance — the Citizen Kane case).
+    seed_score: float
+
+    @property
+    def found_by_provenance_only(self) -> bool:
+        return self.seed_score == 0.0
+
+
+class ContextualSearch:
+    """Provenance-aware history search over one graph."""
+
+    def __init__(
+        self,
+        graph: ProvenanceGraph,
+        params: ContextualParams | None = None,
+        *,
+        index: NodeTextIndex | None = None,
+    ) -> None:
+        self.graph = graph
+        self.params = params or ContextualParams()
+        self.index = index or NodeTextIndex(graph)
+
+    def search(
+        self,
+        query: str,
+        *,
+        limit: int = 10,
+        deadline: Deadline | None = None,
+    ) -> list[ContextualHit]:
+        """Run the full seed -> expand -> rank pipeline."""
+        seeds = self.index.seed_scores(query, limit=self.params.seed_limit)
+        if not seeds:
+            return []
+        scores = spread_scores(
+            self.graph, seeds, self.params.expansion, deadline=deadline
+        )
+        return self._rank(scores, seeds, limit)
+
+    def textual_search(self, query: str, *, limit: int = 10) -> list[ContextualHit]:
+        """The seed stage alone — the baseline the paper contrasts."""
+        seeds = self.index.seed_scores(query, limit=self.params.seed_limit)
+        return self._rank(seeds, seeds, limit)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _rank(
+        self,
+        scores: dict[str, float],
+        seeds: dict[str, float],
+        limit: int,
+    ) -> list[ContextualHit]:
+        """Blend, deduplicate by URL, and cut to *limit*."""
+        best_by_key: dict[str, ContextualHit] = {}
+        weight = self.params.context_weight
+        for node_id, score in scores.items():
+            node = self.graph.get(node_id)
+            if node is None or node.kind not in self.params.result_kinds:
+                continue
+            if node.attr("hidden", 0) == 1:
+                continue
+            seed = seeds.get(node_id, 0.0)
+            blended = seed + weight * (score - seed)
+            if blended <= 0.0:
+                continue
+            key = node.url or node_id
+            hit = ContextualHit(
+                node_id=node_id,
+                url=node.url,
+                label=node.label,
+                score=blended,
+                seed_score=seed,
+            )
+            existing = best_by_key.get(key)
+            if existing is None or existing.score < hit.score:
+                best_by_key[key] = hit
+        ranked = sorted(
+            best_by_key.values(), key=lambda hit: (-hit.score, hit.node_id)
+        )
+        return ranked[:limit]

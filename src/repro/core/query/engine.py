@@ -1,0 +1,171 @@
+"""The provenance query engine facade.
+
+One object exposing all four use-case queries over a captured graph,
+with uniform time-bounding: every method takes an optional
+``budget_ms``; when set, the query runs under a deadline and returns a
+:class:`~repro.core.query.timebound.BoundedResult` wrapper.
+
+This is the object an application (or the examples) holds; the
+individual query classes remain available for tuned use.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+from repro.core.capture import NodeInterval, ProvenanceCapture
+from repro.core.graph import ProvenanceGraph
+from repro.core.query.contextual import ContextualHit, ContextualParams, ContextualSearch
+from repro.core.query.lineage import (
+    LineageAnswer,
+    LineageQuery,
+    LineageStep,
+    RecognizabilityModel,
+)
+from repro.core.query.personalize import (
+    AugmentedQuery,
+    PersonalizerParams,
+    QueryPersonalizer,
+)
+from repro.core.query.temporal import TemporalHit, TemporalSearch
+from repro.core.query.textindex import NodeTextIndex
+from repro.core.query.timebound import BoundedResult, run_bounded
+
+T = TypeVar("T")
+
+
+class ProvenanceQueryEngine:
+    """All use-case queries over one provenance graph."""
+
+    def __init__(
+        self,
+        graph: ProvenanceGraph,
+        intervals: list[NodeInterval] | None = None,
+        *,
+        contextual_params: ContextualParams | None = None,
+        personalizer_params: PersonalizerParams | None = None,
+        recognizer: RecognizabilityModel | None = None,
+    ) -> None:
+        self.graph = graph
+        self.index = NodeTextIndex(graph)
+        self.contextual = ContextualSearch(
+            graph, contextual_params, index=self.index
+        )
+        self.personalizer = QueryPersonalizer(
+            graph, self.contextual, personalizer_params
+        )
+        self.temporal = TemporalSearch(graph, intervals, index=self.index)
+        self.lineage = LineageQuery(graph, recognizer=recognizer)
+
+    @classmethod
+    def from_capture(cls, capture: ProvenanceCapture, **kwargs) -> (
+            "ProvenanceQueryEngine"):
+        """Build an engine over a live capture's graph and intervals."""
+        return cls(capture.graph, capture.intervals, **kwargs)
+
+    # -- use case 2.1 -----------------------------------------------------------
+
+    def contextual_search(
+        self, query: str, *, limit: int = 10, budget_ms: float | None = None
+    ) -> list[ContextualHit] | BoundedResult[list[ContextualHit]]:
+        if budget_ms is None:
+            return self.contextual.search(query, limit=limit)
+        return run_bounded(
+            lambda deadline: self.contextual.search(
+                query, limit=limit, deadline=deadline
+            ),
+            budget_ms=budget_ms,
+        )
+
+    def textual_search(self, query: str, *, limit: int = 10) -> list[ContextualHit]:
+        """The no-provenance baseline, for comparisons."""
+        return self.contextual.textual_search(query, limit=limit)
+
+    # -- use case 2.2 ---------------------------------------------------------------
+
+    def personalize_query(
+        self, query: str, *, budget_ms: float | None = None
+    ) -> AugmentedQuery | BoundedResult[AugmentedQuery]:
+        if budget_ms is None:
+            return self.personalizer.augment(query)
+        return run_bounded(
+            lambda deadline: self.personalizer.augment(query, deadline=deadline),
+            budget_ms=budget_ms,
+        )
+
+    # -- use case 2.3 -----------------------------------------------------------------
+
+    def temporal_search(
+        self,
+        primary: str,
+        associated: str,
+        *,
+        limit: int = 10,
+        budget_ms: float | None = None,
+    ) -> list[TemporalHit] | BoundedResult[list[TemporalHit]]:
+        if budget_ms is None:
+            return self.temporal.search_associated(primary, associated, limit=limit)
+        return run_bounded(
+            lambda deadline: self.temporal.search_associated(
+                primary, associated, limit=limit, deadline=deadline
+            ),
+            budget_ms=budget_ms,
+        )
+
+    def window_search(
+        self,
+        query: str,
+        start_us: int,
+        end_us: int,
+        *,
+        limit: int = 10,
+        budget_ms: float | None = None,
+    ) -> list[TemporalHit] | BoundedResult[list[TemporalHit]]:
+        if budget_ms is None:
+            return self.temporal.search_in_window(query, start_us, end_us,
+                                                  limit=limit)
+        return run_bounded(
+            lambda deadline: self.temporal.search_in_window(
+                query, start_us, end_us, limit=limit, deadline=deadline
+            ),
+            budget_ms=budget_ms,
+        )
+
+    # -- use case 2.4 -------------------------------------------------------------------
+
+    def download_lineage(
+        self, node_id: str, *, budget_ms: float | None = None
+    ) -> LineageAnswer | BoundedResult[LineageAnswer]:
+        if budget_ms is None:
+            return self.lineage.first_recognizable_ancestor(node_id)
+        return run_bounded(
+            lambda deadline: self.lineage.first_recognizable_ancestor(
+                node_id, deadline=deadline
+            ),
+            budget_ms=budget_ms,
+        )
+
+    def file_lineage(
+        self, target_path: str, *, budget_ms: float | None = None
+    ) -> LineageAnswer | BoundedResult[LineageAnswer]:
+        """Lineage addressed by the downloaded file's on-disk path."""
+        if budget_ms is None:
+            return self.lineage.file_lineage(target_path)
+        return run_bounded(
+            lambda deadline: self.lineage.file_lineage(
+                target_path, deadline=deadline
+            ),
+            budget_ms=budget_ms,
+        )
+
+    def downloads_from(
+        self, url: str, *, budget_ms: float | None = None
+    ) -> list[LineageStep] | BoundedResult[list[LineageStep]]:
+        if budget_ms is None:
+            return self.lineage.downloads_from_url(url)
+        return run_bounded(
+            lambda deadline: self.lineage.downloads_from_url(
+                url, deadline=deadline
+            ),
+            budget_ms=budget_ms,
+        )

@@ -1,0 +1,272 @@
+"""Download lineage queries (use case 2.4).
+
+"What the user really wants is, starting from a known location, the
+sequence of actions that resulted in the download — that is, the
+lineage of the download."
+
+Three queries, straight from the paper's text:
+
+* :meth:`LineageQuery.first_recognizable_ancestor` — "Find the first
+  ancestor of this file that the user is likely to recognize", with
+  recognizability "defined in terms of history, e.g., the number of
+  visits the user has made to the page";
+* :meth:`LineageQuery.lineage_path` — the hop-by-hop chain from that
+  recognizable ancestor down to the download (the forensic narrative);
+* :meth:`LineageQuery.downloads_descending_from` — "Find all
+  descendants of this page that are downloads", the untrusted-page
+  virus sweep.
+
+Lineage traversal uses *all* causal edge kinds, including redirects
+and embeds: unlike personalization, forensics must see the automatic
+hops (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.timebound import Deadline
+from repro.core.query.traversal import (
+    Visit,
+    descendants_of_kind,
+    first_matching_ancestor,
+    path_between,
+    walk_ancestors,
+)
+from repro.core.taxonomy import LINEAGE_EDGE_KINDS, NodeKind
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class RecognizabilityModel:
+    """Scores how likely the user is to recognize a page.
+
+    The paper's suggestion — visit count — is the backbone; typed
+    navigations and bookmarks are stronger recognition signals (the
+    user knew the address / chose to keep it), so they weigh extra.
+    The typed bonus is deliberately below ``min_visits - 1``: a URL
+    typed (or pasted) exactly once must not count as recognized — the
+    malware-lure case is precisely a once-pasted address.
+    """
+
+    min_visits: int = 3
+    typed_bonus: float = 1.5
+    bookmark_bonus: float = 3.0
+
+    def score(self, graph: ProvenanceGraph, node: ProvNode) -> float:
+        if node.url is None:
+            return 0.0
+        instances = graph.nodes_for_url(node.url)
+        visits = 0.0
+        for instance_id in instances:
+            instance = graph.node(instance_id)
+            if instance.kind not in (NodeKind.PAGE_VISIT, NodeKind.PAGE):
+                continue
+            visits += 1.0
+            transition = instance.attr("transition", "")
+            if transition == "typed":
+                visits += self.typed_bonus
+            if instance.kind is NodeKind.PAGE:
+                # Edge-versioned stores keep one node; weight by the
+                # number of incoming traversals instead.
+                visits += max(0, len(graph.in_edges(instance_id)) - 1)
+        for instance_id in instances:
+            if graph.node(instance_id).kind is NodeKind.BOOKMARK:
+                visits += self.bookmark_bonus
+        return visits
+
+    def recognizes(self, graph: ProvenanceGraph, node: ProvNode) -> bool:
+        return self.score(graph, node) >= self.min_visits
+
+
+@dataclass(frozen=True, slots=True)
+class LineageStep:
+    """One hop in a lineage narrative."""
+
+    node_id: str
+    url: str | None
+    label: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class LineageAnswer:
+    """Result of a first-recognizable-ancestor query."""
+
+    recognizable: LineageStep | None
+    depth: int
+    #: The full chain recognizable -> ... -> download (empty when no
+    #: recognizable ancestor exists).
+    path: tuple[LineageStep, ...]
+    ancestors_examined: int
+
+
+class LineageQuery:
+    """Lineage queries over one provenance graph."""
+
+    def __init__(
+        self,
+        graph: ProvenanceGraph,
+        *,
+        recognizer: RecognizabilityModel | None = None,
+    ) -> None:
+        self.graph = graph
+        self.recognizer = recognizer or RecognizabilityModel()
+
+    # -- the paper's three queries ---------------------------------------------------
+
+    def first_recognizable_ancestor(
+        self,
+        node_id: str,
+        *,
+        max_depth: int | None = None,
+        deadline: Deadline | None = None,
+    ) -> LineageAnswer:
+        """BFS over ancestors until one clears the recognition bar."""
+        examined = 0
+
+        def counting_predicate(node: ProvNode) -> bool:
+            nonlocal examined
+            examined += 1
+            return self.recognizer.recognizes(self.graph, node)
+
+        found = first_matching_ancestor(
+            self.graph,
+            node_id,
+            counting_predicate,
+            kinds=LINEAGE_EDGE_KINDS,
+            max_depth=max_depth,
+            deadline=deadline,
+        )
+        if found is None:
+            return LineageAnswer(
+                recognizable=None, depth=-1, path=(), ancestors_examined=examined
+            )
+        path_ids = path_between(
+            self.graph, found.node.id, node_id, kinds=LINEAGE_EDGE_KINDS
+        )
+        path = tuple(self._step(step_id) for step_id in (path_ids or ()))
+        return LineageAnswer(
+            recognizable=self._step(found.node.id),
+            depth=found.depth,
+            path=path,
+            ancestors_examined=examined,
+        )
+
+    def lineage_path(
+        self, node_id: str, *, deadline: Deadline | None = None
+    ) -> list[LineageStep]:
+        """The chain from the nearest recognizable ancestor down to here."""
+        answer = self.first_recognizable_ancestor(node_id, deadline=deadline)
+        return list(answer.path)
+
+    def downloads_descending_from(
+        self,
+        node_id: str,
+        *,
+        max_depth: int | None = None,
+        deadline: Deadline | None = None,
+    ) -> list[LineageStep]:
+        """All download objects descending from *node_id*.
+
+        For a URL with several visit instances, pass any instance and
+        use :meth:`downloads_from_url` to sweep all of them.
+        """
+        visits = descendants_of_kind(
+            self.graph,
+            node_id,
+            NodeKind.DOWNLOAD,
+            kinds=LINEAGE_EDGE_KINDS,
+            max_depth=max_depth,
+            deadline=deadline,
+        )
+        return [self._step(visit.node.id) for visit in visits]
+
+    def downloads_from_url(
+        self,
+        url: str,
+        *,
+        max_depth: int | None = None,
+        deadline: Deadline | None = None,
+    ) -> list[LineageStep]:
+        """Downloads descending from *any* visit instance of *url*.
+
+        The untrusted-page sweep: "find all downloads descending from
+        that page and check them for viruses".
+        """
+        instance_ids = self.graph.nodes_for_url(url)
+        if not instance_ids:
+            raise QueryError(f"no history for URL {url!r}")
+        seen: set[str] = set()
+        steps: list[LineageStep] = []
+        for instance_id in instance_ids:
+            for step in self.downloads_descending_from(
+                instance_id, max_depth=max_depth, deadline=deadline
+            ):
+                if step.node_id in seen:
+                    continue
+                seen.add(step.node_id)
+                steps.append(step)
+        return steps
+
+    # -- entry points from user-visible handles ------------------------------------------
+
+    def node_for_file(self, target_path: str) -> str | None:
+        """The download node for a file on disk, by its saved path.
+
+        This is how the use case actually starts: the user has a
+        suspicious *file*, not a graph id.  Returns the most recent
+        download node whose recorded ``target_path`` matches, or
+        ``None``.
+        """
+        best: tuple[int, str] | None = None
+        for node_id in self.graph.by_kind(NodeKind.DOWNLOAD):
+            node = self.graph.node(node_id)
+            if node.attr("target_path") == target_path:
+                candidate = (node.timestamp_us, node_id)
+                if best is None or candidate > best:
+                    best = candidate
+        return best[1] if best else None
+
+    def file_lineage(
+        self, target_path: str, *, deadline: Deadline | None = None
+    ) -> LineageAnswer:
+        """First-recognizable-ancestor query addressed by file path.
+
+        Raises :class:`QueryError` when no download produced the file.
+        """
+        node_id = self.node_for_file(target_path)
+        if node_id is None:
+            raise QueryError(f"no recorded download for {target_path!r}")
+        return self.first_recognizable_ancestor(node_id, deadline=deadline)
+
+    # -- supporting queries --------------------------------------------------------------
+
+    def ancestry(
+        self,
+        node_id: str,
+        *,
+        max_depth: int | None = None,
+        deadline: Deadline | None = None,
+    ) -> list[Visit]:
+        """The full BFS ancestor list (nearest first) for displays."""
+        return list(
+            walk_ancestors(
+                self.graph,
+                node_id,
+                kinds=LINEAGE_EDGE_KINDS,
+                max_depth=max_depth,
+                deadline=deadline,
+            )
+        )
+
+    def _step(self, node_id: str) -> LineageStep:
+        node = self.graph.node(node_id)
+        return LineageStep(
+            node_id=node_id,
+            url=node.url,
+            label=node.label,
+            kind=node.kind.value,
+        )

@@ -1,0 +1,153 @@
+"""Privacy-preserving web search personalization (use case 2.2).
+
+"A provenance-aware browser could ... supplement a rosebud web search
+with flower as an additional search term ... The search engine would
+only see a search for 'rosebud flower'; it would not know anything
+about the user's history."
+
+Implementation per section 4: "term frequency analysis on the results
+of a contextual history search to find terms in user history
+associated with the search term."  The entire computation runs over
+the local provenance graph; the only output is a short list of extra
+terms.  :class:`AugmentedQuery.sent_to_engine` is the exact string
+that crosses the privacy boundary — the privacy experiment audits the
+engine's query log against it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.query.contextual import ContextualSearch
+from repro.core.query.timebound import Deadline
+from repro.core.taxonomy import NodeKind
+from repro.ir.tokenize import STOPWORDS, tokenize_filtered
+from repro.web.topics import COMMON_TERMS
+from repro.web.url import Url
+
+
+@dataclass(frozen=True)
+class AugmentedQuery:
+    """A personalized web query, assembled locally."""
+
+    original: str
+    extra_terms: tuple[str, ...]
+
+    @property
+    def sent_to_engine(self) -> str:
+        """The one string that leaves the user's machine."""
+        if not self.extra_terms:
+            return self.original
+        return " ".join((self.original, *self.extra_terms))
+
+    @property
+    def was_personalized(self) -> bool:
+        return bool(self.extra_terms)
+
+
+@dataclass(frozen=True)
+class PersonalizerParams:
+    """Tuning for query augmentation."""
+
+    max_extra_terms: int = 1
+    #: How many contextual hits feed the term-frequency analysis.
+    evidence_hits: int = 25
+    #: Minimum weighted frequency before a term is trusted as context.
+    min_weight: float = 0.5
+    #: Generic web furniture never worth adding to a query.
+    banned_terms: frozenset[str] = frozenset(COMMON_TERMS) | STOPWORDS
+
+    def __post_init__(self) -> None:
+        if self.max_extra_terms < 0:
+            raise ValueError("max_extra_terms must be non-negative")
+        if self.evidence_hits < 1:
+            raise ValueError("evidence_hits must be positive")
+
+
+class QueryPersonalizer:
+    """Augments web queries from local provenance context."""
+
+    def __init__(
+        self,
+        graph: ProvenanceGraph,
+        contextual: ContextualSearch | None = None,
+        params: PersonalizerParams | None = None,
+    ) -> None:
+        self.graph = graph
+        self.contextual = contextual or ContextualSearch(graph)
+        self.params = params or PersonalizerParams()
+
+    def augment(
+        self,
+        query: str,
+        *,
+        deadline: Deadline | None = None,
+    ) -> AugmentedQuery:
+        """Return *query* plus history-derived context terms.
+
+        Degrades gracefully: with no history evidence (or an expired
+        deadline) the original query is returned unaugmented — never
+        worse than the unpersonalized engine.
+        """
+        params = self.params
+        if params.max_extra_terms == 0:
+            return AugmentedQuery(original=query, extra_terms=())
+        hits = self.contextual.search(
+            query, limit=params.evidence_hits, deadline=deadline
+        )
+        if not hits:
+            return AugmentedQuery(original=query, extra_terms=())
+
+        # Search-engine pages are evidence-free: their text is the
+        # query itself plus engine branding.  The engines in use are
+        # discoverable from the graph's own search-term nodes.
+        engine_hosts = self._engine_hosts()
+        engine_tokens = set(tokenize_filtered(" ".join(engine_hosts)))
+
+        query_tokens = set(tokenize_filtered(query))
+        weighted: Counter[str] = Counter()
+        for hit in hits:
+            if hit.url is not None and _host_of(hit.url) in engine_hosts:
+                continue
+            tokens = tokenize_filtered(hit.label)
+            if hit.url:
+                tokens += [
+                    token for token in tokenize_filtered(hit.url.replace("/", " "))
+                ]
+            if not tokens:
+                continue
+            # Each hit votes with its relevance, split over its tokens,
+            # so one verbose page cannot dominate the analysis.
+            vote = hit.score / len(tokens)
+            for token in tokens:
+                if token in query_tokens or token in params.banned_terms:
+                    continue
+                if token in engine_tokens:
+                    continue
+                if len(token) < 3 or token.isdigit():
+                    continue
+                weighted[token] += vote
+
+        extras = [
+            term for term, weight in weighted.most_common(params.max_extra_terms * 3)
+            if weight >= params.min_weight
+        ][: params.max_extra_terms]
+        return AugmentedQuery(original=query, extra_terms=tuple(extras))
+
+    def _engine_hosts(self) -> set[str]:
+        """Search-engine hosts recorded on the graph's term nodes."""
+        hosts: set[str] = set()
+        for term_id in self.graph.by_kind(NodeKind.SEARCH_TERM):
+            engine = self.graph.node(term_id).attr("engine")
+            if isinstance(engine, str) and engine:
+                hosts.add(engine.lower())
+        return hosts
+
+
+def _host_of(url_text: str) -> str:
+    try:
+        return Url.parse(url_text).host
+    except Exception:  # noqa: BLE001 - non-URL evidence stays unfiltered
+        return ""

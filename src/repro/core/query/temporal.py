@@ -1,0 +1,184 @@
+"""Time-contextual history search (use case 2.3).
+
+"A history search for 'wine associated with plane tickets' is both
+natural to the user and likely to return the desired result."
+
+Two time relationships are available, per section 3.2:
+
+* **co-open edges** — captured live when close events are recorded
+  (the paper's proposed fix to "every page is always open");
+* **display intervals** — the raw open/close records, supporting
+  window queries ("around the time I was booking flights").
+
+The associated search scores a candidate by its own match to the
+primary terms times the best match of any *time-neighbor* to the
+associated terms.  Both factors come from the same text index, so the
+comparison against plain textual search isolates exactly the temporal
+signal.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.capture import NodeInterval
+from repro.core.graph import ProvenanceGraph
+from repro.core.query.textindex import NodeTextIndex
+from repro.core.query.timebound import Deadline
+from repro.core.taxonomy import EdgeKind
+
+_CO_OPEN_ONLY = frozenset({EdgeKind.CO_OPEN})
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalHit:
+    """One time-contextual search result."""
+
+    node_id: str
+    url: str | None
+    label: str
+    score: float
+    #: The time-neighbor that satisfied the association, if any.
+    associated_node_id: str | None
+
+
+class TemporalSearch:
+    """Queries over time relationships in a provenance graph."""
+
+    def __init__(
+        self,
+        graph: ProvenanceGraph,
+        intervals: list[NodeInterval] | None = None,
+        *,
+        index: NodeTextIndex | None = None,
+    ) -> None:
+        self.graph = graph
+        self.intervals = sorted(intervals or [], key=lambda iv: iv.opened_us)
+        self._open_starts = [iv.opened_us for iv in self.intervals]
+        self.index = index or NodeTextIndex(graph)
+
+    # -- co-open neighborhood ----------------------------------------------------
+
+    def co_open_neighbors(self, node_id: str) -> list[str]:
+        """Nodes that shared screen time with *node_id* (via CO_OPEN)."""
+        neighbors = self.graph.children(node_id, _CO_OPEN_ONLY)
+        neighbors += self.graph.parents(node_id, _CO_OPEN_ONLY)
+        return neighbors
+
+    def nodes_open_during(self, start_us: int, end_us: int) -> list[str]:
+        """Nodes whose display interval intersects [start_us, end_us).
+
+        Binary-searches the interval list by open time; intervals are
+        short relative to history span, so scanning the candidate
+        window is near-linear in matches.
+        """
+        if end_us <= start_us:
+            return []
+        # Any interval opening before end_us may intersect; intervals
+        # opening after end_us cannot.
+        cutoff = bisect.bisect_left(self._open_starts, end_us)
+        result = []
+        for interval in self.intervals[:cutoff]:
+            if interval.closed_us > start_us:
+                result.append(interval.node_id)
+        return result
+
+    # -- associated search (the wine/tickets query) ------------------------------------
+
+    def search_associated(
+        self,
+        primary: str,
+        associated: str,
+        *,
+        limit: int = 10,
+        deadline: Deadline | None = None,
+    ) -> list[TemporalHit]:
+        """'primary associated with associated' history search.
+
+        Candidates match *primary* textually; their score is multiplied
+        by ``1 + best association match`` over pages open at the same
+        time, so temporal confirmation re-orders but never erases
+        textual evidence.
+        """
+        primary_scores = self.index.seed_scores(primary, limit=200)
+        if not primary_scores:
+            return []
+        associated_scores = self.index.seed_scores(associated, limit=200)
+
+        hits: list[TemporalHit] = []
+        for node_id, base_score in primary_scores.items():
+            if deadline is not None and deadline.exceeded:
+                break
+            best_neighbor: str | None = None
+            best_assoc = 0.0
+            for neighbor in self.co_open_neighbors(node_id):
+                assoc = associated_scores.get(neighbor, 0.0)
+                if assoc > best_assoc:
+                    best_assoc = assoc
+                    best_neighbor = neighbor
+            node = self.graph.node(node_id)
+            hits.append(
+                TemporalHit(
+                    node_id=node_id,
+                    url=node.url,
+                    label=node.label,
+                    score=base_score * (1.0 + best_assoc),
+                    associated_node_id=best_neighbor,
+                )
+            )
+        hits.sort(key=lambda hit: (-hit.score, hit.node_id))
+        return self._dedupe(hits, limit)
+
+    def search_in_window(
+        self,
+        query: str,
+        start_us: int,
+        end_us: int,
+        *,
+        limit: int = 10,
+        deadline: Deadline | None = None,
+    ) -> list[TemporalHit]:
+        """Textual search restricted to pages displayed in a window.
+
+        This is the recall-model query: "I saw it around then".
+        """
+        open_nodes = set(self.nodes_open_during(start_us, end_us))
+        if not open_nodes:
+            return []
+        scores = self.index.seed_scores(query, limit=1000)
+        hits: list[TemporalHit] = []
+        for node_id, score in scores.items():
+            if deadline is not None and deadline.exceeded:
+                break
+            if node_id not in open_nodes:
+                continue
+            node = self.graph.node(node_id)
+            hits.append(
+                TemporalHit(
+                    node_id=node_id,
+                    url=node.url,
+                    label=node.label,
+                    score=score,
+                    associated_node_id=None,
+                )
+            )
+        hits.sort(key=lambda hit: (-hit.score, hit.node_id))
+        return self._dedupe(hits, limit)
+
+    # -- internals ----------------------------------------------------------------------
+
+    @staticmethod
+    def _dedupe(hits: list[TemporalHit], limit: int) -> list[TemporalHit]:
+        """One hit per URL (visit instances collapse to their best)."""
+        seen: set[str] = set()
+        unique: list[TemporalHit] = []
+        for hit in hits:
+            key = hit.url or hit.node_id
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(hit)
+            if len(unique) >= limit:
+                break
+        return unique

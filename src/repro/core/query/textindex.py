@@ -1,0 +1,67 @@
+"""Incremental text index over provenance nodes.
+
+The textual *seed* stage of contextual history search needs ranked
+lexical matching over node labels and URLs.  This index wraps the IR
+substrate's inverted index and tracks what it has already seen, so
+interleaved capture and querying stay cheap (re-indexing only new
+nodes) — the locality argument of the paper's feasibility claim.
+
+Hidden nodes (redirect hops, embeds) are not indexed: they have no
+user-meaningful text, and section 3.2 excludes them from
+personalization-style queries.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.ir.index import InvertedIndex
+from repro.ir.scoring import ScoredDoc, tfidf_scores
+from repro.ir.tokenize import tokenize_filtered, url_tokens
+
+
+class NodeTextIndex:
+    """tf-idf searchable view of a provenance graph's node text."""
+
+    def __init__(self, graph: ProvenanceGraph) -> None:
+        self.graph = graph
+        self.index = InvertedIndex()
+        self._indexed: set[str] = set()
+
+    def refresh(self) -> int:
+        """Index nodes added since the last refresh; return how many."""
+        added = 0
+        for node in self.graph.nodes():
+            if node.id in self._indexed:
+                continue
+            self._indexed.add(node.id)
+            if self._should_skip(node):
+                continue
+            tokens = self._tokens_for(node)
+            if tokens:
+                self.index.add(node.id, tokens)
+            added += 1
+        return added
+
+    def seed_scores(self, query: str, *, limit: int = 50) -> dict[str, float]:
+        """Textual seed: tf-idf scores for *query* over node text."""
+        self.refresh()
+        terms = tokenize_filtered(query)
+        if not terms:
+            return {}
+        ranked: list[ScoredDoc] = tfidf_scores(self.index, terms)[:limit]
+        return {scored.doc_id: scored.score for scored in ranked}
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @staticmethod
+    def _should_skip(node: ProvNode) -> bool:
+        return node.attr("hidden", 0) == 1
+
+    @staticmethod
+    def _tokens_for(node: ProvNode) -> list[str]:
+        tokens = tokenize_filtered(node.label)
+        if node.url:
+            tokens += url_tokens(node.url)
+        return tokens

@@ -1,0 +1,166 @@
+"""Bounded graph traversal helpers shared by the query layer.
+
+Thin, deadline-aware wrappers over the adjacency primitives in
+:class:`~repro.core.graph.ProvenanceGraph`.  Everything here is
+breadth-first — nearest-context-first is the right order for every
+use case in the paper (lineage wants the *first* recognizable
+ancestor; neighborhood queries want close context before far).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.timebound import Deadline
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import UnknownNodeError
+
+
+@dataclass(frozen=True, slots=True)
+class Visit:
+    """One node reached during traversal."""
+
+    node: ProvNode
+    depth: int
+
+
+def walk_ancestors(
+    graph: ProvenanceGraph,
+    start: str,
+    *,
+    kinds: frozenset[EdgeKind] | None = None,
+    max_depth: int | None = None,
+    deadline: Deadline | None = None,
+):
+    """Yield ancestors of *start* breadth-first as :class:`Visit`.
+
+    Stops early when the deadline expires — callers receive the
+    nearest ancestors found so far, which is the useful prefix.
+    """
+    yield from _walk(graph, start, forward=False, kinds=kinds,
+                     max_depth=max_depth, deadline=deadline)
+
+
+def walk_descendants(
+    graph: ProvenanceGraph,
+    start: str,
+    *,
+    kinds: frozenset[EdgeKind] | None = None,
+    max_depth: int | None = None,
+    deadline: Deadline | None = None,
+):
+    """Yield descendants of *start* breadth-first as :class:`Visit`."""
+    yield from _walk(graph, start, forward=True, kinds=kinds,
+                     max_depth=max_depth, deadline=deadline)
+
+
+def _walk(
+    graph: ProvenanceGraph,
+    start: str,
+    *,
+    forward: bool,
+    kinds: frozenset[EdgeKind] | None,
+    max_depth: int | None,
+    deadline: Deadline | None,
+):
+    if start not in graph:
+        raise UnknownNodeError(start)
+    queue: deque[tuple[str, int]] = deque([(start, 0)])
+    seen = {start}
+    while queue:
+        if deadline is not None and deadline.exceeded:
+            return
+        current, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        edges = (
+            graph.out_edges(current, kinds) if forward
+            else graph.in_edges(current, kinds)
+        )
+        for edge in edges:
+            neighbor = edge.dst if forward else edge.src
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            yield Visit(node=graph.node(neighbor), depth=depth + 1)
+            queue.append((neighbor, depth + 1))
+
+
+def first_matching_ancestor(
+    graph: ProvenanceGraph,
+    start: str,
+    predicate: Callable[[ProvNode], bool],
+    *,
+    kinds: frozenset[EdgeKind] | None = None,
+    max_depth: int | None = None,
+    deadline: Deadline | None = None,
+) -> Visit | None:
+    """The nearest ancestor satisfying *predicate*, or ``None``."""
+    for visit in walk_ancestors(graph, start, kinds=kinds,
+                                max_depth=max_depth, deadline=deadline):
+        if predicate(visit.node):
+            return visit
+    return None
+
+
+def descendants_of_kind(
+    graph: ProvenanceGraph,
+    start: str,
+    node_kind: NodeKind,
+    *,
+    kinds: frozenset[EdgeKind] | None = None,
+    max_depth: int | None = None,
+    deadline: Deadline | None = None,
+) -> list[Visit]:
+    """All descendants of *start* whose node kind is *node_kind*."""
+    return [
+        visit for visit in walk_descendants(
+            graph, start, kinds=kinds, max_depth=max_depth, deadline=deadline
+        )
+        if visit.node.kind is node_kind
+    ]
+
+
+def path_between(
+    graph: ProvenanceGraph,
+    ancestor: str,
+    descendant: str,
+    *,
+    kinds: frozenset[EdgeKind] | None = None,
+    max_depth: int | None = None,
+) -> list[str] | None:
+    """A shortest ancestor->descendant path as node ids, or ``None``.
+
+    BFS backward from *descendant* with parent pointers; the forensics
+    displays ("how did I get to this download?") want the hop list,
+    not just the endpoint.
+    """
+    if ancestor not in graph:
+        raise UnknownNodeError(ancestor)
+    if descendant not in graph:
+        raise UnknownNodeError(descendant)
+    if ancestor == descendant:
+        return [ancestor]
+    parents: dict[str, str] = {}
+    queue: deque[tuple[str, int]] = deque([(descendant, 0)])
+    seen = {descendant}
+    while queue:
+        current, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for edge in graph.in_edges(current, kinds):
+            if edge.src in seen:
+                continue
+            seen.add(edge.src)
+            parents[edge.src] = current
+            if edge.src == ancestor:
+                path = [ancestor]
+                while path[-1] != descendant:
+                    path.append(parents[path[-1]])
+                return path
+            queue.append((edge.src, depth + 1))
+    return None

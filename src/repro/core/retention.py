@@ -1,0 +1,226 @@
+"""Provenance retention and redaction.
+
+Section 4 of the paper flags privacy as the open problem: "browser
+history potentially contains a great deal of sensitive personal data".
+A browser that keeps provenance needs the operations every browser
+offers for plain history — expire old entries, forget a site — but on
+a *graph*, where deletion has semantics: removing a node can sever the
+lineage of everything downstream of it.
+
+Two operations are provided, mirroring the two browser affordances:
+
+* :func:`expire_before` — age-based expiration ("keep 90 days").
+  Expired interior nodes are not simply dropped: their lineage is
+  *bridged* — each expired node's parents are connected to its
+  children with BRIDGED-marked edges — so that descendants keep
+  truthful (if less detailed) ancestry.  This mirrors how provenance
+  systems compact old lineage rather than break it.
+* :func:`forget_site` — redaction ("forget everything about
+  example.com").  Redaction deliberately does **not** bridge: the
+  user's intent is that the connection itself disappear.  Downstream
+  lineage becomes genuinely unanswerable, and the function reports
+  exactly how many nodes lost ancestry, making the privacy/utility
+  trade-off measurable.
+
+Both operate on the in-memory graph and return a report; persisting
+the result is a normal :meth:`ProvenanceStore.save_graph` of the new
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvEdge
+from repro.core.taxonomy import EdgeKind
+from repro.web.url import Url
+
+
+@dataclass(frozen=True)
+class RetentionReport:
+    """What an expiration pass did."""
+
+    nodes_before: int
+    nodes_removed: int
+    edges_removed: int
+    bridge_edges_added: int
+
+    @property
+    def nodes_after(self) -> int:
+        return self.nodes_before - self.nodes_removed
+
+
+@dataclass(frozen=True)
+class RedactionReport:
+    """What a forget-site pass did."""
+
+    nodes_removed: int
+    edges_removed: int
+    #: Nodes that still exist but lost every lineage ancestor.
+    orphaned_descendants: int
+
+
+def expire_before(
+    graph: ProvenanceGraph,
+    cutoff_us: int,
+    *,
+    bridge: bool = True,
+) -> tuple[ProvenanceGraph, RetentionReport]:
+    """Return a new graph without nodes older than *cutoff_us*.
+
+    With ``bridge=True`` (default), for every removed node the cross
+    product of its surviving lineage parents and children is connected
+    with edges attributed ``bridged=1``, preserving reachability of
+    ancestry across the expired region.  CO_OPEN edges are never
+    bridged — co-presence is not transitive.
+    """
+    keep = {
+        node.id for node in graph.nodes() if node.timestamp_us >= cutoff_us
+    }
+    removed = graph.node_count - len(keep)
+
+    new_graph = ProvenanceGraph(enforce_dag=graph.enforce_dag)
+    for node in graph.nodes():
+        if node.id in keep:
+            new_graph.add_node(node)
+
+    edges_removed = 0
+    kept_edges: list[ProvEdge] = []
+    for edge in graph.edges():
+        if edge.src in keep and edge.dst in keep:
+            kept_edges.append(edge)
+        else:
+            edges_removed += 1
+    for edge in kept_edges:
+        new_graph.add_edge(
+            edge.kind, edge.src, edge.dst,
+            timestamp_us=edge.timestamp_us, attrs=dict(edge.attrs),
+        )
+
+    bridges = 0
+    if bridge and removed:
+        bridges = _bridge_expired(graph, new_graph, keep)
+
+    report = RetentionReport(
+        nodes_before=graph.node_count,
+        nodes_removed=removed,
+        edges_removed=edges_removed,
+        bridge_edges_added=bridges,
+    )
+    return new_graph, report
+
+
+def _bridge_expired(
+    old_graph: ProvenanceGraph,
+    new_graph: ProvenanceGraph,
+    keep: set[str],
+) -> int:
+    """Connect surviving parents to surviving children across expired
+    regions.
+
+    For each surviving node with an expired lineage parent, walk up
+    through expired nodes to the nearest surviving ancestors and add a
+    bridge edge from each.  The walk is bounded by the expired region
+    size, and each (ancestor, descendant) pair is bridged once.
+    """
+    added = 0
+    seen_pairs: set[tuple[str, str]] = set()
+    for node_id in keep:
+        expired_parents = [
+            edge.src for edge in old_graph.in_edges(node_id)
+            if edge.src not in keep and edge.kind.is_lineage
+        ]
+        if not expired_parents:
+            continue
+        # Find surviving ancestors reachable through expired nodes only.
+        frontier = list(expired_parents)
+        visited: set[str] = set(frontier)
+        surviving_ancestors: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            for edge in old_graph.in_edges(current):
+                if not edge.kind.is_lineage:
+                    continue
+                if edge.src in keep:
+                    surviving_ancestors.add(edge.src)
+                elif edge.src not in visited:
+                    visited.add(edge.src)
+                    frontier.append(edge.src)
+        node_ts = new_graph.node(node_id).timestamp_us
+        for ancestor in surviving_ancestors:
+            pair = (ancestor, node_id)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            new_graph.add_edge(
+                EdgeKind.LINK, ancestor, node_id,
+                timestamp_us=node_ts, attrs={"bridged": 1},
+            )
+            added += 1
+    return added
+
+
+def forget_site(
+    graph: ProvenanceGraph,
+    site: str,
+) -> tuple[ProvenanceGraph, RedactionReport]:
+    """Return a new graph with every node about *site* removed.
+
+    *site* matches :attr:`repro.web.url.Url.site` (registrable domain):
+    forgetting ``example.com`` removes ``www.example.com`` pages,
+    ``cdn.example.com`` downloads, and the search terms whose only
+    outgoing edges led there.  No bridging — the point of redaction is
+    that the connection disappears.
+    """
+    site = site.lower()
+    doomed: set[str] = set()
+    for node in graph.nodes():
+        if node.url is None:
+            continue
+        try:
+            if Url.parse(node.url).site == site:
+                doomed.add(node.id)
+        except Exception:  # noqa: BLE001 - unparseable URL: keep the node
+            continue
+
+    # Search terms whose every child is doomed are themselves evidence
+    # of the visit; remove them too.
+    from repro.core.taxonomy import NodeKind
+
+    for term_id in graph.by_kind(NodeKind.SEARCH_TERM):
+        children = graph.children(term_id)
+        if children and all(child in doomed for child in children):
+            doomed.add(term_id)
+
+    new_graph = ProvenanceGraph(enforce_dag=graph.enforce_dag)
+    for node in graph.nodes():
+        if node.id not in doomed:
+            new_graph.add_node(node)
+    edges_removed = 0
+    for edge in graph.edges():
+        if edge.src in doomed or edge.dst in doomed:
+            edges_removed += 1
+            continue
+        new_graph.add_edge(
+            edge.kind, edge.src, edge.dst,
+            timestamp_us=edge.timestamp_us, attrs=dict(edge.attrs),
+        )
+
+    orphaned = 0
+    for node_id in new_graph.node_ids():
+        had_lineage_parent = any(
+            edge.kind.is_lineage for edge in graph.in_edges(node_id)
+        )
+        has_lineage_parent = any(
+            edge.kind.is_lineage for edge in new_graph.in_edges(node_id)
+        )
+        if had_lineage_parent and not has_lineage_parent:
+            orphaned += 1
+
+    report = RedactionReport(
+        nodes_removed=len(doomed),
+        edges_removed=edges_removed,
+        orphaned_descendants=orphaned,
+    )
+    return new_graph, report

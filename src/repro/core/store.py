@@ -1,0 +1,428 @@
+"""The SQLite-backed homogeneous provenance store.
+
+Persists a :class:`~repro.core.graph.ProvenanceGraph` (plus display
+intervals) in the Places-derived schema of :mod:`repro.core.schema`,
+and answers the paper's queries *in SQL* — ancestors and descendants
+run as recursive CTEs inside SQLite, exactly the kind of local
+computation whose feasibility the paper set out to demonstrate.  The
+latency experiment (E4) times these SQL paths; the in-memory query
+engine (:mod:`repro.core.query`) is the optimized alternative measured
+alongside.
+
+The store normalizes like Places: URLs and titles live once in
+``prov_pages``; visit-instance nodes reference them.  Node string ids
+remain the public interface — integer rowids are internal.
+
+Supports bulk persistence (:meth:`save_graph`), write-through capture
+(:meth:`append_node` / :meth:`append_edge`), and lossless round-trips
+(:meth:`load_graph`).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable
+
+from repro.browser.transitions import TransitionType
+from repro.core.capture import NodeInterval
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import AttrValue, ProvEdge, ProvNode
+from repro.core.schema import (
+    ANCESTOR_QUERY,
+    DESCENDANT_QUERY,
+    EDGE_KIND_IDS,
+    EDGE_KINDS_BY_ID,
+    NODE_KIND_IDS,
+    NODE_KINDS_BY_ID,
+    PROVENANCE_SCHEMA,
+    SCHEMA_VERSION,
+)
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import SchemaVersionError, StoreClosedError, UnknownNodeError
+
+_TRANSITION_NAMES = {t.name.lower(): t.value for t in TransitionType}
+_TRANSITION_BY_VALUE = {t.value: t.name.lower() for t in TransitionType}
+
+
+class ProvenanceStore:
+    """SQLite persistence and SQL query layer for provenance graphs."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn: sqlite3.Connection | None = sqlite3.connect(path)
+        self._nids: dict[str, int] = {}
+        self._node_ts: dict[str, int] = {}
+        existing = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='prov_meta'"
+        ).fetchone()
+        if existing is None:
+            self._conn.executescript(PROVENANCE_SCHEMA)
+            self._conn.execute(
+                "INSERT INTO prov_meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+        else:
+            found = int(
+                self._conn.execute(
+                    "SELECT value FROM prov_meta WHERE key = 'schema_version'"
+                ).fetchone()[0]
+            )
+            if found != SCHEMA_VERSION:
+                self._conn.close()
+                self._conn = None
+                raise SchemaVersionError(found, SCHEMA_VERSION)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise StoreClosedError("provenance store is closed")
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+    def commit(self) -> None:
+        self.conn.commit()
+
+    def __enter__(self) -> "ProvenanceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writing ------------------------------------------------------------------
+
+    def append_node(self, node: ProvNode) -> None:
+        """Insert one node (id collisions replace, for idempotence)."""
+        page_id = None
+        stored_label: str | None = node.label
+        if node.url is not None:
+            page_id = self._intern_page(node.url, node.label)
+            page_title = self.conn.execute(
+                "SELECT title FROM prov_pages WHERE id = ?", (page_id,)
+            ).fetchone()[0]
+            if node.label == page_title:
+                stored_label = None  # inherit from the page row
+
+        attrs = dict(node.attrs)
+        hidden = 1 if attrs.pop("hidden", 0) == 1 else 0
+        transition = attrs.pop("transition", None)
+        transition_id = None
+        if isinstance(transition, str) and transition in _TRANSITION_NAMES:
+            transition_id = _TRANSITION_NAMES[transition]
+        elif transition is not None:
+            attrs["transition"] = transition  # unknown value: keep generic
+
+        cursor = self.conn.execute(
+            "INSERT OR REPLACE INTO prov_nodes"
+            " (id, kind, timestamp_us, page_id, label, hidden, transition)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                node.id,
+                NODE_KIND_IDS[node.kind],
+                node.timestamp_us,
+                page_id,
+                stored_label,
+                hidden,
+                transition_id,
+            ),
+        )
+        self._nids[node.id] = cursor.lastrowid
+        self._node_ts[node.id] = node.timestamp_us
+        if attrs:
+            nid = self._nids[node.id]
+            self.conn.executemany(
+                "INSERT OR REPLACE INTO prov_node_attrs (nid, name, value)"
+                " VALUES (?, ?, ?)",
+                [(nid, name, value) for name, value in attrs.items()],
+            )
+
+    def append_edge(self, edge: ProvEdge) -> None:
+        stored_ts: int | None = edge.timestamp_us
+        if self._dst_timestamp(edge.dst) == edge.timestamp_us:
+            stored_ts = None  # inherit from the destination node
+        self.conn.execute(
+            "INSERT OR REPLACE INTO prov_edges (id, kind, src, dst, timestamp_us)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (
+                edge.id,
+                EDGE_KIND_IDS[edge.kind],
+                self._nid(edge.src),
+                self._nid(edge.dst),
+                stored_ts,
+            ),
+        )
+        if edge.attrs:
+            self.conn.executemany(
+                "INSERT OR REPLACE INTO prov_edge_attrs (edge_id, name, value)"
+                " VALUES (?, ?, ?)",
+                [(edge.id, name, value) for name, value in edge.attrs.items()],
+            )
+
+    def append_interval(self, interval: NodeInterval) -> None:
+        self.conn.execute(
+            "INSERT INTO prov_intervals (nid, tab_id, opened_us, closed_us)"
+            " VALUES (?, ?, ?, ?)",
+            (
+                self._nid(interval.node_id),
+                interval.tab_id,
+                interval.opened_us,
+                interval.closed_us,
+            ),
+        )
+
+    def save_graph(
+        self,
+        graph: ProvenanceGraph,
+        intervals: Iterable[NodeInterval] = (),
+    ) -> None:
+        """Bulk-persist *graph* (and optional intervals), then commit."""
+        for node in graph.nodes():
+            self.append_node(node)
+        for edge in graph.edges():
+            self.append_edge(edge)
+        for interval in intervals:
+            self.append_interval(interval)
+        self.commit()
+
+    # -- loading --------------------------------------------------------------------
+
+    def load_graph(self, *, enforce_dag: bool = True) -> ProvenanceGraph:
+        """Reconstruct the full graph from the store."""
+        graph = ProvenanceGraph(enforce_dag=enforce_dag)
+        pages: dict[int, tuple[str, str]] = {
+            row[0]: (row[1], row[2])
+            for row in self.conn.execute("SELECT id, url, title FROM prov_pages")
+        }
+        node_attrs: dict[int, dict[str, AttrValue]] = {}
+        for nid, name, value in self.conn.execute(
+            "SELECT nid, name, value FROM prov_node_attrs"
+        ):
+            node_attrs.setdefault(nid, {})[name] = value
+
+        id_by_nid: dict[int, str] = {}
+        for nid, node_id, kind, when, page_id, label, hidden, transition in (
+            self.conn.execute(
+                "SELECT nid, id, kind, timestamp_us, page_id, label, hidden,"
+                " transition FROM prov_nodes ORDER BY timestamp_us, nid"
+            )
+        ):
+            url = None
+            if page_id is not None:
+                url, page_title = pages[page_id]
+                if label is None:
+                    label = page_title
+            attrs = node_attrs.get(nid, {})
+            if hidden:
+                attrs["hidden"] = 1
+            if transition is not None:
+                attrs["transition"] = _TRANSITION_BY_VALUE[transition]
+            graph.add_node(
+                ProvNode(
+                    id=node_id,
+                    kind=NODE_KINDS_BY_ID[kind],
+                    timestamp_us=when,
+                    label=label or "",
+                    url=url,
+                    attrs=attrs,
+                )
+            )
+            id_by_nid[nid] = node_id
+            self._nids[node_id] = nid
+            self._node_ts[node_id] = when
+
+        edge_attrs: dict[int, dict[str, AttrValue]] = {}
+        for edge_id, name, value in self.conn.execute(
+            "SELECT edge_id, name, value FROM prov_edge_attrs"
+        ):
+            edge_attrs.setdefault(edge_id, {})[name] = value
+        for edge_id, kind, src, dst, when in self.conn.execute(
+            "SELECT id, kind, src, dst, timestamp_us FROM prov_edges ORDER BY id"
+        ):
+            dst_id = id_by_nid[dst]
+            if when is None:
+                when = graph.node(dst_id).timestamp_us
+            graph.add_edge(
+                EDGE_KINDS_BY_ID[kind],
+                id_by_nid[src],
+                dst_id,
+                timestamp_us=when,
+                attrs=edge_attrs.get(edge_id, {}),
+            )
+        return graph
+
+    def load_intervals(self) -> list[NodeInterval]:
+        rows = self.conn.execute(
+            "SELECT n.id, i.tab_id, i.opened_us, i.closed_us"
+            " FROM prov_intervals AS i JOIN prov_nodes AS n ON n.nid = i.nid"
+            " ORDER BY i.opened_us"
+        )
+        return [
+            NodeInterval(node_id=row[0], tab_id=row[1], opened_us=row[2],
+                         closed_us=row[3])
+            for row in rows
+        ]
+
+    # -- SQL queries (the paper's implementation path) ----------------------------------
+
+    def sql_ancestors(
+        self,
+        node_id: str,
+        *,
+        max_depth: int = 100,
+        kinds: Iterable[EdgeKind] | None = None,
+    ) -> list[tuple[str, int]]:
+        """Ancestors via recursive CTE; [(node_id, depth)] nearest-first."""
+        self._require_node(node_id)
+        return self._walk(ANCESTOR_QUERY, node_id, max_depth, kinds)
+
+    def sql_descendants(
+        self,
+        node_id: str,
+        *,
+        max_depth: int = 100,
+        kinds: Iterable[EdgeKind] | None = None,
+    ) -> list[tuple[str, int]]:
+        """Descendants via recursive CTE; [(node_id, depth)] nearest-first."""
+        self._require_node(node_id)
+        return self._walk(DESCENDANT_QUERY, node_id, max_depth, kinds)
+
+    def sql_nodes_in_window(
+        self, start_us: int, end_us: int, *, kind: NodeKind | None = None
+    ) -> list[str]:
+        """Node ids with timestamps in [start_us, end_us)."""
+        if kind is None:
+            rows = self.conn.execute(
+                "SELECT id FROM prov_nodes"
+                " WHERE timestamp_us >= ? AND timestamp_us < ?"
+                " ORDER BY timestamp_us, id",
+                (start_us, end_us),
+            )
+        else:
+            rows = self.conn.execute(
+                "SELECT id FROM prov_nodes"
+                " WHERE timestamp_us >= ? AND timestamp_us < ? AND kind = ?"
+                " ORDER BY timestamp_us, id",
+                (start_us, end_us, NODE_KIND_IDS[kind]),
+            )
+        return [row[0] for row in rows]
+
+    def sql_text_search(self, term: str, *, limit: int = 50) -> list[str]:
+        """Substring search over labels, page titles, and URLs."""
+        pattern = f"%{term.lower()}%"
+        rows = self.conn.execute(
+            "SELECT n.id FROM prov_nodes AS n"
+            " LEFT JOIN prov_pages AS p ON p.id = n.page_id"
+            " WHERE lower(coalesce(n.label, p.title, '')) LIKE ?"
+            "    OR lower(coalesce(p.url, '')) LIKE ?"
+            " ORDER BY n.timestamp_us DESC, n.id LIMIT ?",
+            (pattern, pattern, limit),
+        )
+        return [row[0] for row in rows]
+
+    def sql_nodes_of_kind(self, kind: NodeKind) -> list[str]:
+        rows = self.conn.execute(
+            "SELECT id FROM prov_nodes WHERE kind = ? ORDER BY timestamp_us, id",
+            (NODE_KIND_IDS[kind],),
+        )
+        return [row[0] for row in rows]
+
+    def sql_visits_for_url(self, url: str) -> list[str]:
+        """All node ids recorded for *url* (the version-chain query)."""
+        rows = self.conn.execute(
+            "SELECT n.id FROM prov_nodes AS n"
+            " JOIN prov_pages AS p ON p.id = n.page_id"
+            " WHERE p.url = ? ORDER BY n.timestamp_us, n.id",
+            (url,),
+        )
+        return [row[0] for row in rows]
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return self.conn.execute("SELECT COUNT(*) FROM prov_nodes").fetchone()[0]
+
+    def edge_count(self) -> int:
+        return self.conn.execute("SELECT COUNT(*) FROM prov_edges").fetchone()[0]
+
+    def page_count(self) -> int:
+        return self.conn.execute("SELECT COUNT(*) FROM prov_pages").fetchone()[0]
+
+    def interval_count(self) -> int:
+        return self.conn.execute("SELECT COUNT(*) FROM prov_intervals").fetchone()[0]
+
+    def size_bytes(self) -> int:
+        page_count = self.conn.execute("PRAGMA page_count").fetchone()[0]
+        page_size = self.conn.execute("PRAGMA page_size").fetchone()[0]
+        return page_count * page_size
+
+    # -- internals ----------------------------------------------------------------------------
+
+    def _intern_page(self, url: str, title: str) -> int:
+        """Intern a URL; the title is fixed at first sight.
+
+        Immutability matters for losslessness: nodes whose label equals
+        the page title store NULL and inherit it on load — retroactive
+        title updates would silently rewrite those nodes' labels.
+        Later nodes with a different title store it explicitly.
+        """
+        row = self.conn.execute(
+            "SELECT id FROM prov_pages WHERE url = ?", (url,)
+        ).fetchone()
+        if row is not None:
+            return row[0]
+        cursor = self.conn.execute(
+            "INSERT INTO prov_pages (url, title) VALUES (?, ?)", (url, title)
+        )
+        return cursor.lastrowid
+
+    def _dst_timestamp(self, node_id: str) -> int | None:
+        cached = self._node_ts.get(node_id)
+        if cached is not None:
+            return cached
+        row = self.conn.execute(
+            "SELECT timestamp_us FROM prov_nodes WHERE id = ?", (node_id,)
+        ).fetchone()
+        if row is None:
+            return None
+        self._node_ts[node_id] = row[0]
+        return row[0]
+
+    def _nid(self, node_id: str) -> int:
+        nid = self._nids.get(node_id)
+        if nid is not None:
+            return nid
+        row = self.conn.execute(
+            "SELECT nid FROM prov_nodes WHERE id = ?", (node_id,)
+        ).fetchone()
+        if row is None:
+            raise UnknownNodeError(node_id)
+        self._nids[node_id] = row[0]
+        return row[0]
+
+    def _require_node(self, node_id: str) -> None:
+        self._nid(node_id)
+
+    def _walk(
+        self,
+        template: str,
+        node_id: str,
+        max_depth: int,
+        kinds: Iterable[EdgeKind] | None,
+    ) -> list[tuple[str, int]]:
+        kinds_csv = ""
+        if kinds is not None:
+            kinds_csv = (
+                "," + ",".join(str(EDGE_KIND_IDS[kind]) for kind in kinds) + ","
+            )
+        rows = self.conn.execute(
+            template,
+            {"start": node_id, "max_depth": max_depth, "kinds_csv": kinds_csv},
+        )
+        return [(row[0], row[1]) for row in rows]

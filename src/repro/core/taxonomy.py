@@ -1,0 +1,122 @@
+"""The browser provenance taxonomy (paper, section 3).
+
+The paper proposes treating *all* browser metadata as one provenance
+graph over heterogeneous objects.  This module enumerates the node and
+edge kinds of that graph, with the two classifications the paper's
+algorithms rely on:
+
+* **first-class vs. second-class** — whether 2009 browsers already
+  recorded the relationship (links, redirects, embeds) or dropped it
+  (typed-URL context, bookmark activations, co-open intervals, search
+  terms as graph objects).  The sparsity ablation (E12) toggles
+  second-class capture.
+* **user action vs. automatic** — whether a user gesture created the
+  edge.  Section 3.2: redirects and embeds "are not generated as the
+  result of a user action" and personalization algorithms may wish to
+  exclude them; lineage must keep them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeKind(enum.Enum):
+    """Kinds of objects in the homogeneous provenance store."""
+
+    #: A page *object*, identified by URL (edge-versioning policy).
+    PAGE = "page"
+    #: One visit *instance* of a page (node-versioning policy — the
+    #: default, mirroring how Firefox stores time stamps "as instances
+    #: of link traversals").
+    PAGE_VISIT = "page_visit"
+    #: A user-entered web search query (section 3.3: "concise,
+    #: conceptual, user-generated descriptors").
+    SEARCH_TERM = "search_term"
+    #: One form submission (fields and values) — deep-web provenance.
+    FORM_SUBMISSION = "form_submission"
+    #: A bookmark object.
+    BOOKMARK = "bookmark"
+    #: A downloaded file on disk.
+    DOWNLOAD = "download"
+
+    @property
+    def is_versioned_instance(self) -> bool:
+        """Whether nodes of this kind are per-event instances."""
+        return self in (NodeKind.PAGE_VISIT, NodeKind.FORM_SUBMISSION)
+
+
+class EdgeKind(enum.Enum):
+    """Kinds of relationships (edges run ancestor -> descendant)."""
+
+    #: The user followed a link: source visit -> target visit.
+    LINK = "link"
+    #: The hop relationship inside a server redirect chain.
+    REDIRECT = "redirect"
+    #: Top-level page -> embedded content it loaded.
+    EMBED = "embed"
+    #: Location-bar navigation: previous page -> new page.  The
+    #: relationship browsers drop entirely (section 3.2).
+    TYPED_FROM = "typed_from"
+    #: Bookmark object -> the visit its activation produced.
+    BOOKMARK_CLICK = "bookmark_click"
+    #: The visit during which a bookmark was created -> bookmark object.
+    BOOKMARKED = "bookmarked"
+    #: Search term -> the results-page visit it generated.
+    SEARCHED = "searched"
+    #: The visit from which a form was submitted -> submission object.
+    FORM_FROM = "form_from"
+    #: Form submission object -> the result-page visit.
+    FORM_GENERATED = "form_generated"
+    #: Hosting page visit -> download object.
+    DOWNLOADED = "downloaded"
+    #: Temporal co-presence: earlier-opened visit -> later-opened visit
+    #: ("the first node opened in a time span points to later nodes",
+    #: section 3.2's arbitrary time-ordering rule).
+    CO_OPEN = "co_open"
+
+    @property
+    def is_user_action(self) -> bool:
+        """Whether a deliberate user gesture created this edge."""
+        return self in (
+            EdgeKind.LINK,
+            EdgeKind.TYPED_FROM,
+            EdgeKind.BOOKMARK_CLICK,
+            EdgeKind.BOOKMARKED,
+            EdgeKind.SEARCHED,
+            EdgeKind.FORM_FROM,
+            EdgeKind.FORM_GENERATED,
+            EdgeKind.DOWNLOADED,
+        )
+
+    @property
+    def is_first_class(self) -> bool:
+        """Whether 2009 browsers already recorded this relationship."""
+        return self in (EdgeKind.LINK, EdgeKind.REDIRECT, EdgeKind.EMBED)
+
+    @property
+    def is_lineage(self) -> bool:
+        """Whether the edge carries causal lineage (vs. co-occurrence).
+
+        CO_OPEN edges relate things the user saw together; they are not
+        ancestry, and lineage queries must not traverse them.
+        """
+        return self is not EdgeKind.CO_OPEN
+
+
+#: Edge kinds that personalization-style neighborhood expansion follows
+#: by default: user actions plus the lineage-relevant automatic kinds
+#: collapsed away (section 3.2 suggests unifying redirect/embed chains
+#: rather than walking them).
+PERSONALIZATION_EDGE_KINDS = frozenset(
+    kind for kind in EdgeKind if kind.is_user_action
+)
+
+#: Edge kinds lineage queries traverse (everything causal).
+LINEAGE_EDGE_KINDS = frozenset(kind for kind in EdgeKind if kind.is_lineage)
+
+#: Second-class relationships: what the provenance capture adds over a
+#: 2009 browser's history store.
+SECOND_CLASS_EDGE_KINDS = frozenset(
+    kind for kind in EdgeKind if not kind.is_first_class
+)

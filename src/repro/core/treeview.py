@@ -1,0 +1,141 @@
+"""Tree-structured history view (paper, section 3.1).
+
+"If both pages and links are versioned as new instances, and only link
+relationships are considered, the result is a tree structure" — the
+property Ayers & Stasko exploited for graphical history, and which the
+paper suggests "could also be used for efficient storage and query".
+
+:func:`build_history_forest` materializes that view: every visit node
+gets at most one parent (its earliest causal in-edge), producing a
+forest whose roots are session starts (typed URLs, bookmarks, search
+landings with no context).  The module also provides the statistics
+(depth distribution, branching) the treeview storage argument rests
+on, and an ASCII renderer used by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.taxonomy import LINEAGE_EDGE_KINDS, EdgeKind, NodeKind
+
+
+@dataclass
+class TreeNode:
+    """One node of the history forest."""
+
+    node_id: str
+    label: str
+    url: str | None
+    children: list["TreeNode"] = field(default_factory=list)
+
+    def walk(self):
+        """Yield (node, depth) pairs in depth-first order."""
+        stack: list[tuple[TreeNode, int]] = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            yield node, depth
+            for child in reversed(node.children):
+                stack.append((child, depth + 1))
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def height(self) -> int:
+        return max(depth for _, depth in self.walk()) + 1
+
+
+@dataclass(frozen=True)
+class ForestStats:
+    """Shape statistics for a history forest."""
+
+    trees: int
+    nodes: int
+    max_depth: int
+    mean_branching: float
+
+
+def build_history_forest(
+    graph: ProvenanceGraph,
+    *,
+    edge_kinds: frozenset[EdgeKind] = LINEAGE_EDGE_KINDS,
+    node_kinds: frozenset[NodeKind] = frozenset(
+        {NodeKind.PAGE_VISIT, NodeKind.PAGE, NodeKind.DOWNLOAD}
+    ),
+) -> list[TreeNode]:
+    """Reduce the provenance DAG to a forest.
+
+    Each eligible node keeps only its *earliest* in-edge (the action
+    that first produced it); remaining edges are view-dropped, not
+    deleted.  Under node versioning every visit has at most one causal
+    in-edge anyway, so the reduction is usually lossless — the stats
+    in the treeview bench quantify how often it is not.
+    """
+    parent_of: dict[str, str] = {}
+    eligible = {
+        node.id for node in graph.nodes() if node.kind in node_kinds
+    }
+    for node_id in eligible:
+        in_edges = [
+            edge for edge in graph.in_edges(node_id, edge_kinds)
+            if edge.src in eligible
+        ]
+        if in_edges:
+            earliest = min(in_edges, key=lambda edge: (edge.timestamp_us, edge.id))
+            parent_of[node_id] = earliest.src
+
+    trees: dict[str, TreeNode] = {}
+
+    def materialize(node_id: str) -> TreeNode:
+        existing = trees.get(node_id)
+        if existing is not None:
+            return existing
+        node = graph.node(node_id)
+        tree_node = TreeNode(node_id=node_id, label=node.label, url=node.url)
+        trees[node_id] = tree_node
+        return tree_node
+
+    roots: list[TreeNode] = []
+    ordered = sorted(eligible, key=lambda nid: (graph.node(nid).timestamp_us, nid))
+    for node_id in ordered:
+        tree_node = materialize(node_id)
+        parent_id = parent_of.get(node_id)
+        if parent_id is None:
+            roots.append(tree_node)
+        else:
+            materialize(parent_id).children.append(tree_node)
+    return roots
+
+
+def forest_stats(roots: list[TreeNode]) -> ForestStats:
+    """Shape statistics over a forest."""
+    nodes = 0
+    max_depth = 0
+    internal = 0
+    child_count = 0
+    for root in roots:
+        for node, depth in root.walk():
+            nodes += 1
+            max_depth = max(max_depth, depth)
+            if node.children:
+                internal += 1
+                child_count += len(node.children)
+    return ForestStats(
+        trees=len(roots),
+        nodes=nodes,
+        max_depth=max_depth,
+        mean_branching=(child_count / internal) if internal else 0.0,
+    )
+
+
+def render_tree(root: TreeNode, *, max_nodes: int = 50) -> str:
+    """ASCII-render a tree (truncated for display)."""
+    lines: list[str] = []
+    for node, depth in root.walk():
+        if len(lines) >= max_nodes:
+            lines.append("  ... (truncated)")
+            break
+        text = node.label or node.url or node.node_id
+        lines.append(f"{'  ' * depth}- {text}")
+    return "\n".join(lines)

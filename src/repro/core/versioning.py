@@ -1,0 +1,208 @@
+"""Cycle-breaking versioning policies (paper, section 3.1).
+
+Pages and links on the web are cyclic; provenance must be acyclic.  The
+paper discusses two resolutions and we implement both:
+
+* :class:`NodeVersioningPolicy` — "each version creates a new instance
+  of an object": every navigation mints a fresh ``PAGE_VISIT`` node, as
+  in the PASS prototype.  The graph is a DAG by construction (edges run
+  forward in time).  Cost: many nodes per page, and "queries over all
+  the objects that describe a given page" need the URL index.
+
+* :class:`EdgeVersioningPolicy` — one ``PAGE`` node per URL; each
+  traversal adds a timestamped edge, "creating a traversal order among
+  edges".  The stored graph may be cyclic, but *temporal* traversal —
+  only crossing edges no later than the time bound established by the
+  path so far — is acyclic in effect.  Cost: time-respecting queries
+  are more complex; benefit: far fewer nodes.
+
+The ablation experiment E10 runs the same workload under both policies
+and compares store size and query cost, quantifying the trade-off the
+paper describes qualitatively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import UnknownNodeError
+from repro.ids import IdAllocator, content_id
+
+
+class NodeVersioningPolicy:
+    """New ``PAGE_VISIT`` instance per navigation (the default)."""
+
+    name = "node-versioning"
+    enforce_dag = True
+
+    def __init__(self) -> None:
+        self._alloc = IdAllocator()
+
+    def visit_node(
+        self, url: str, title: str, when_us: int, **attrs: str | int | float
+    ) -> ProvNode:
+        """Mint the node for one page visit."""
+        return ProvNode(
+            id=self._alloc.next("visit"),
+            kind=NodeKind.PAGE_VISIT,
+            timestamp_us=when_us,
+            label=title,
+            url=url,
+            attrs=attrs,
+        )
+
+    def resolve_visit(self, graph: ProvenanceGraph, node: ProvNode) -> ProvNode:
+        """Insert the freshly minted visit node (always new)."""
+        return graph.add_node(node)
+
+
+class EdgeVersioningPolicy:
+    """One ``PAGE`` node per URL; traversal order lives on edges."""
+
+    name = "edge-versioning"
+    enforce_dag = False
+
+    def visit_node(
+        self, url: str, title: str, when_us: int, **attrs: str | int | float
+    ) -> ProvNode:
+        """Mint (or re-mint) the page node for *url*.
+
+        Deterministic id: revisits produce an equal node, which
+        :meth:`resolve_visit` deduplicates.  The node's timestamp is
+        the *first* visit time; later visits exist only as edges.
+        """
+        return ProvNode(
+            id=content_id("page", url),
+            kind=NodeKind.PAGE,
+            timestamp_us=when_us,
+            label=title,
+            url=url,
+            attrs=attrs,
+        )
+
+    def resolve_visit(self, graph: ProvenanceGraph, node: ProvNode) -> ProvNode:
+        existing = graph.get(node.id)
+        if existing is not None:
+            return existing
+        return graph.add_node(node)
+
+
+VersioningPolicy = NodeVersioningPolicy | EdgeVersioningPolicy
+
+
+# ---------------------------------------------------------------------------
+# Temporal traversal (the query side of edge versioning)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalReach:
+    """One node reached by a time-respecting walk."""
+
+    node_id: str
+    depth: int
+    #: The latest time bound under which the node was reachable.
+    bound_us: int
+
+
+def temporal_ancestors(
+    graph: ProvenanceGraph,
+    start: str,
+    *,
+    at_us: int,
+    kinds: frozenset[EdgeKind] | None = None,
+    max_depth: int | None = None,
+) -> dict[str, TemporalReach]:
+    """Ancestors of *start* respecting edge-timestamp order.
+
+    A backward step across an edge is allowed only if the edge's
+    timestamp is at or before the bound established by the path so far
+    (initially *at_us*); the crossed edge's timestamp becomes the new
+    bound.  This is exactly the "traversal order among edges" cycle
+    break: a cyclic page graph yields acyclic time-respecting paths.
+
+    Each node is reported once with the *maximum* bound at which it was
+    reached (later bounds dominate: any edge crossable under an earlier
+    bound is crossable under a later one).
+    """
+    if start not in graph:
+        raise UnknownNodeError(start)
+    best: dict[str, TemporalReach] = {}
+    queue: deque[tuple[str, int, int]] = deque([(start, at_us, 0)])
+    best_bound: dict[str, int] = {start: at_us}
+    while queue:
+        current, bound, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for edge in graph.in_edges(current, kinds):
+            if edge.timestamp_us > bound:
+                continue
+            previous = best_bound.get(edge.src)
+            if previous is not None and previous >= edge.timestamp_us:
+                continue
+            best_bound[edge.src] = edge.timestamp_us
+            reach = TemporalReach(
+                node_id=edge.src, depth=depth + 1, bound_us=edge.timestamp_us
+            )
+            existing = best.get(edge.src)
+            if existing is None or existing.bound_us < reach.bound_us:
+                best[edge.src] = reach
+            queue.append((edge.src, edge.timestamp_us, depth + 1))
+    return best
+
+
+def temporal_descendants(
+    graph: ProvenanceGraph,
+    start: str,
+    *,
+    from_us: int = 0,
+    kinds: frozenset[EdgeKind] | None = None,
+    max_depth: int | None = None,
+) -> dict[str, TemporalReach]:
+    """Descendants of *start* along non-decreasing edge timestamps.
+
+    The forward dual of :func:`temporal_ancestors`: each step's edge
+    must be at or after the bound established so far, so influence only
+    flows forward in time.
+    """
+    if start not in graph:
+        raise UnknownNodeError(start)
+    best: dict[str, TemporalReach] = {}
+    best_bound: dict[str, int] = {start: from_us}
+    queue: deque[tuple[str, int, int]] = deque([(start, from_us, 0)])
+    while queue:
+        current, bound, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for edge in graph.out_edges(current, kinds):
+            if edge.timestamp_us < bound:
+                continue
+            previous = best_bound.get(edge.dst)
+            if previous is not None and previous <= edge.timestamp_us:
+                continue
+            best_bound[edge.dst] = edge.timestamp_us
+            reach = TemporalReach(
+                node_id=edge.dst, depth=depth + 1, bound_us=edge.timestamp_us
+            )
+            existing = best.get(edge.dst)
+            if existing is None or existing.bound_us > reach.bound_us:
+                best[edge.dst] = reach
+            queue.append((edge.dst, edge.timestamp_us, depth + 1))
+    return best
+
+
+def version_chain(graph: ProvenanceGraph, url: str) -> list[ProvNode]:
+    """All node instances recorded for *url*, oldest first.
+
+    Under node versioning this is the page's visit history; under edge
+    versioning it has at most one element.  This is the query the paper
+    notes instance-versioned stores make "more difficult" — the URL
+    index makes it O(instances).
+    """
+    nodes = [graph.node(node_id) for node_id in graph.nodes_for_url(url)]
+    nodes.sort(key=lambda node: (node.timestamp_us, node.id))
+    return nodes

@@ -1,0 +1,149 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also catching programming
+errors such as :class:`TypeError`.  Subpackages raise the most specific
+subclass that applies; the class docstrings describe when each is used.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+# --------------------------------------------------------------------------
+# Web substrate errors
+# --------------------------------------------------------------------------
+
+
+class WebError(ReproError):
+    """Base class for errors in the synthetic web substrate."""
+
+
+class InvalidUrlError(WebError, ValueError):
+    """A string could not be parsed as a URL."""
+
+
+class PageNotFoundError(WebError, KeyError):
+    """A fetch referenced a URL that does not exist in the web graph."""
+
+
+class RedirectLoopError(WebError):
+    """A redirect chain exceeded the maximum number of hops."""
+
+
+# --------------------------------------------------------------------------
+# Browser substrate errors
+# --------------------------------------------------------------------------
+
+
+class BrowserError(ReproError):
+    """Base class for errors in the browser simulator."""
+
+
+class NoSuchTabError(BrowserError, KeyError):
+    """An operation referenced a tab id that is not open."""
+
+
+class NoSuchBookmarkError(BrowserError, KeyError):
+    """An operation referenced a bookmark id that does not exist."""
+
+
+class NoSuchDownloadError(BrowserError, KeyError):
+    """An operation referenced a download id that does not exist."""
+
+
+class NavigationError(BrowserError):
+    """A navigation could not be completed (e.g. bad URL, closed tab)."""
+
+
+# --------------------------------------------------------------------------
+# Provenance core errors
+# --------------------------------------------------------------------------
+
+
+class ProvenanceError(ReproError):
+    """Base class for errors in the provenance core."""
+
+
+class CycleError(ProvenanceError):
+    """An edge insertion would create a cycle in the provenance DAG.
+
+    The paper (section 3.1) requires provenance to be acyclic; the
+    versioning policies exist precisely to prevent this error from ever
+    surfacing during normal capture.  It is raised only when a caller
+    bypasses the policies and inserts a cyclic edge directly.
+    """
+
+    def __init__(self, source: str, target: str) -> None:
+        super().__init__(
+            f"edge {source!r} -> {target!r} would create a cycle in the provenance graph"
+        )
+        self.source = source
+        self.target = target
+
+
+class UnknownNodeError(ProvenanceError, KeyError):
+    """A graph or store operation referenced a node id that does not exist."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"unknown provenance node: {node_id!r}")
+        self.node_id = node_id
+
+
+class UnknownEdgeError(ProvenanceError, KeyError):
+    """A graph or store operation referenced an edge id that does not exist."""
+
+    def __init__(self, edge_id: str) -> None:
+        super().__init__(f"unknown provenance edge: {edge_id!r}")
+        self.edge_id = edge_id
+
+
+class DuplicateNodeError(ProvenanceError):
+    """A node with the same id was inserted twice with different content."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"duplicate provenance node: {node_id!r}")
+        self.node_id = node_id
+
+
+class StoreError(ProvenanceError):
+    """A storage-layer failure (schema mismatch, closed connection, ...)."""
+
+
+class StoreClosedError(StoreError):
+    """An operation was attempted on a store that has been closed."""
+
+
+class SchemaVersionError(StoreError):
+    """An on-disk store has a schema version this library cannot read."""
+
+    def __init__(self, found: int, expected: int) -> None:
+        super().__init__(
+            f"store schema version {found} is not supported (expected {expected})"
+        )
+        self.found = found
+        self.expected = expected
+
+
+class QueryError(ProvenanceError):
+    """A provenance query was malformed or referenced missing objects."""
+
+
+class QueryTimeoutError(QueryError):
+    """A time-bounded query exceeded its deadline and was not recoverable.
+
+    Most bounded queries degrade gracefully by returning partial results
+    (see :mod:`repro.core.query.timebound`); this error is reserved for
+    queries that cannot produce any meaningful partial result.
+    """
+
+    def __init__(self, deadline_ms: float) -> None:
+        super().__init__(f"query exceeded its {deadline_ms:.0f} ms deadline")
+        self.deadline_ms = deadline_ms

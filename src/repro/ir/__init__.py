@@ -1,0 +1,36 @@
+"""Information-retrieval toolkit.
+
+Shared by the simulated web search engine and every flavour of history
+search, so that ranking comparisons in the experiments reflect
+provenance, not analyzer differences.
+"""
+
+from repro.ir.index import InvertedIndex, Posting
+from repro.ir.pagerank import normalize_scores, pagerank
+from repro.ir.scoring import Bm25Params, ScoredDoc, bm25_scores, coverage, tfidf_scores
+from repro.ir.tokenize import (
+    STOPWORDS,
+    iter_tokens,
+    jaccard,
+    tokenize,
+    tokenize_filtered,
+    url_tokens,
+)
+
+__all__ = [
+    "STOPWORDS",
+    "Bm25Params",
+    "InvertedIndex",
+    "Posting",
+    "ScoredDoc",
+    "bm25_scores",
+    "coverage",
+    "iter_tokens",
+    "jaccard",
+    "normalize_scores",
+    "pagerank",
+    "tfidf_scores",
+    "tokenize",
+    "tokenize_filtered",
+    "url_tokens",
+]

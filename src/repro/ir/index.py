@@ -1,0 +1,112 @@
+"""Inverted index with incremental updates.
+
+Backs both the simulated web search engine and the textual history
+search baseline.  Documents are identified by opaque string ids (URLs
+for the web, node ids for history), carry a token bag, and can be added
+or removed at any time — history indexes grow as the user browses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """One document's entry in a term's posting list."""
+
+    doc_id: str
+    term_frequency: int
+
+
+class InvertedIndex:
+    """A term -> postings mapping with document statistics.
+
+    The index keeps per-document lengths for BM25 normalization and
+    exposes document frequencies for idf.  All operations are O(tokens)
+    — no global rebuilds — so capture-time incremental indexing stays
+    cheap (the paper's feasibility argument depends on local, on-line
+    maintenance of these structures).
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, int]] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._total_length = 0
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, doc_id: str, tokens: Iterable[str]) -> None:
+        """Index *doc_id* with *tokens*; re-adding replaces the old entry."""
+        if doc_id in self._doc_lengths:
+            self.remove(doc_id)
+        counts = Counter(tokens)
+        length = sum(counts.values())
+        self._doc_lengths[doc_id] = length
+        self._total_length += length
+        for term, frequency in counts.items():
+            self._postings.setdefault(term, {})[doc_id] = frequency
+
+    def remove(self, doc_id: str) -> None:
+        """Remove *doc_id* from the index; missing ids are ignored."""
+        length = self._doc_lengths.pop(doc_id, None)
+        if length is None:
+            return
+        self._total_length -= length
+        empty_terms = []
+        for term, docs in self._postings.items():
+            if doc_id in docs:
+                del docs[doc_id]
+                if not docs:
+                    empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # -- statistics ----------------------------------------------------------------
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    @property
+    def average_doc_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return self._total_length / len(self._doc_lengths)
+
+    def doc_length(self, doc_id: str) -> int:
+        return self._doc_lengths.get(doc_id, 0)
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def idf(self, term: str) -> float:
+        """BM25-style smoothed inverse document frequency (never negative)."""
+        doc_count = len(self._doc_lengths)
+        doc_frequency = self.document_frequency(term)
+        return math.log(1.0 + (doc_count - doc_frequency + 0.5) / (doc_frequency + 0.5))
+
+    def postings(self, term: str) -> list[Posting]:
+        """The posting list for *term* (empty for unknown terms)."""
+        docs = self._postings.get(term, {})
+        return [Posting(doc_id, tf) for doc_id, tf in docs.items()]
+
+    def doc_ids(self) -> list[str]:
+        return list(self._doc_lengths.keys())
+
+    def terms_for(self, doc_id: str) -> Counter[str]:
+        """Reconstruct a document's term bag (O(vocabulary) — debug use)."""
+        counts: Counter[str] = Counter()
+        for term, docs in self._postings.items():
+            if doc_id in docs:
+                counts[term] = docs[doc_id]
+        return counts

@@ -1,0 +1,94 @@
+"""Lexical scoring functions over an :class:`~repro.ir.index.InvertedIndex`.
+
+Provides tf-idf and BM25 scoring.  The simulated web search engine uses
+BM25 blended with PageRank; the history-search baseline uses plain
+tf-idf, matching the modest lexical matching a 2009-era browser's
+history search performed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.ir.index import InvertedIndex
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredDoc:
+    """A document id with its retrieval score (higher is better)."""
+
+    doc_id: str
+    score: float
+
+
+@dataclass(frozen=True)
+class Bm25Params:
+    """Standard BM25 free parameters."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ValueError("k1 must be non-negative")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError("b must be in [0, 1]")
+
+
+def tfidf_scores(index: InvertedIndex, terms: list[str]) -> list[ScoredDoc]:
+    """Score every document matching any query term by tf·idf."""
+    accumulator: dict[str, float] = defaultdict(float)
+    for term in terms:
+        idf = index.idf(term)
+        for posting in index.postings(term):
+            accumulator[posting.doc_id] += posting.term_frequency * idf
+    return _ranked(accumulator)
+
+
+def bm25_scores(
+    index: InvertedIndex,
+    terms: list[str],
+    params: Bm25Params | None = None,
+) -> list[ScoredDoc]:
+    """Score every document matching any query term by BM25."""
+    params = params or Bm25Params()
+    average_length = index.average_doc_length or 1.0
+    accumulator: dict[str, float] = defaultdict(float)
+    for term in terms:
+        idf = index.idf(term)
+        for posting in index.postings(term):
+            tf = posting.term_frequency
+            length_norm = 1.0 - params.b + params.b * (
+                index.doc_length(posting.doc_id) / average_length
+            )
+            accumulator[posting.doc_id] += idf * (
+                tf * (params.k1 + 1.0) / (tf + params.k1 * length_norm)
+            )
+    return _ranked(accumulator)
+
+
+def coverage(index: InvertedIndex, doc_id: str, terms: list[str]) -> float:
+    """Fraction of distinct query terms present in *doc_id*.
+
+    Used as a tie-breaker: documents matching all query terms beat
+    documents matching one term many times.
+    """
+    if not terms:
+        return 0.0
+    distinct = set(terms)
+    hits = sum(
+        1 for term in distinct
+        if any(p.doc_id == doc_id for p in index.postings(term))
+    )
+    return hits / len(distinct)
+
+
+def _ranked(accumulator: dict[str, float]) -> list[ScoredDoc]:
+    """Sort descending by score, then ascending by id for determinism."""
+    return [
+        ScoredDoc(doc_id, score)
+        for doc_id, score in sorted(
+            accumulator.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]

@@ -1,0 +1,64 @@
+"""Tokenization shared by the search engine and history search.
+
+Both sides of every comparison in the reproduction (web search vs.
+history search, textual baseline vs. provenance-aware search) must
+tokenize identically, or ranking differences would be artifacts of
+analysis rather than of provenance.  This module is that single shared
+definition.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stopword list.  History titles and synthetic bodies
+#: are short, so aggressive stopping would lose signal; we remove only
+#: the words that carry no topical content at all.
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has have in is it its of on or
+    that the this to was were will with www http https com net org
+    html""".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and split *text* into alphanumeric tokens.
+
+    >>> tokenize("Citizen Kane (1941) — review")
+    ['citizen', 'kane', '1941', 'review']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def tokenize_filtered(text: str) -> list[str]:
+    """Tokenize and drop stopwords."""
+    return [token for token in tokenize(text) if token not in STOPWORDS]
+
+
+def iter_tokens(texts: Iterable[str]) -> Iterator[str]:
+    """Stream filtered tokens from many texts without concatenating."""
+    for text in texts:
+        yield from tokenize_filtered(text)
+
+
+def url_tokens(url_text: str) -> list[str]:
+    """Tokenize a URL the way history search engines do.
+
+    Hosts and path segments both contribute: a search for "wine" should
+    match ``www.wine-site0.com/cellar/`` on URL alone, which is exactly
+    the "Currently:" behaviour of section 2.1's baseline.
+    """
+    return tokenize_filtered(url_text.replace("/", " ").replace("-", " "))
+
+
+def jaccard(first: Iterable[str], second: Iterable[str]) -> float:
+    """Jaccard similarity of two token collections (as sets)."""
+    set_first = set(first)
+    set_second = set(second)
+    if not set_first and not set_second:
+        return 0.0
+    union = set_first | set_second
+    return len(set_first & set_second) / len(union)

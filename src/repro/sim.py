@@ -1,0 +1,100 @@
+"""One-call wiring of the full simulation stack.
+
+Tests, benches, and examples all need the same assembly: synthetic web
+-> server -> search engine -> browser -> provenance capture.
+:class:`Simulation` builds it in one deterministic call and exposes the
+pieces, so experiment code reads as *what* it measures rather than
+plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.history import HistorySearch
+from repro.browser.session import Browser
+from repro.clock import SimulatedClock
+from repro.core.capture import CaptureConfig, ProvenanceCapture
+from repro.core.proxy import ProxyCapture
+from repro.core.query.engine import ProvenanceQueryEngine
+from repro.core.versioning import VersioningPolicy
+from repro.user.profile import UserProfile
+from repro.user.workload import WorkloadParams, WorkloadStats, run_workload
+from repro.web.graph import WebGraph, WebParams, build_web
+from repro.web.search_engine import SearchEngine
+from repro.web.serving import WebServer
+
+
+@dataclass
+class Simulation:
+    """A fully wired browsing simulation."""
+
+    web: WebGraph
+    server: WebServer
+    engine: SearchEngine
+    clock: SimulatedClock
+    browser: Browser
+    capture: ProvenanceCapture
+    proxy: ProxyCapture | None = None
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        seed: int = 0,
+        web_params: WebParams | None = None,
+        capture_config: CaptureConfig | None = None,
+        policy: VersioningPolicy | None = None,
+        with_proxy: bool = False,
+        places_path: str = ":memory:",
+        downloads_path: str = ":memory:",
+        forms_path: str = ":memory:",
+    ) -> "Simulation":
+        """Assemble web, server, search engine, browser, and capture."""
+        web = build_web(web_params, seed=seed)
+        server = WebServer(web)
+        engine = SearchEngine(web)
+        engine.crawl()
+        clock = SimulatedClock()
+        browser = Browser(
+            server,
+            clock,
+            places_path=places_path,
+            downloads_path=downloads_path,
+            forms_path=forms_path,
+        )
+        browser.configure_search(engine)
+        capture = ProvenanceCapture(policy=policy, config=capture_config)
+        capture.attach(browser)
+        proxy = None
+        if with_proxy:
+            proxy = ProxyCapture(search_hosts=(engine.host,))
+            server.add_observer(proxy)
+        return cls(
+            web=web,
+            server=server,
+            engine=engine,
+            clock=clock,
+            browser=browser,
+            capture=capture,
+            proxy=proxy,
+        )
+
+    # -- conveniences -----------------------------------------------------------
+
+    def run_workload(
+        self, profile: UserProfile, params: WorkloadParams | None = None
+    ) -> WorkloadStats:
+        """Drive the browser with a behaviour-model workload."""
+        return run_workload(self.browser, self.web, profile, params)
+
+    def query_engine(self, **kwargs) -> ProvenanceQueryEngine:
+        """A query engine over the captured provenance."""
+        return ProvenanceQueryEngine.from_capture(self.capture, **kwargs)
+
+    def history_search(self) -> HistorySearch:
+        """The textual Places baseline over this browser's history."""
+        return HistorySearch(self.browser.places)
+
+    def close(self) -> None:
+        self.browser.close()

@@ -1,0 +1,54 @@
+"""User simulation substrate.
+
+Interest profiles, a seeded behaviour model, scripted scenario episodes
+matching the paper's four use cases, a multi-day workload generator
+calibrated to the paper's 25k-node/79-day history, and a recall model
+for sampling realistic "find it again" queries.
+"""
+
+from repro.user.behavior import BehaviorModel, SessionStats
+from repro.user.personas import (
+    MalwareOutcome,
+    RosebudOutcome,
+    WineOutcome,
+    default_profile,
+    film_buff_profile,
+    gardener_profile,
+    heavy_awesomebar_profile,
+    run_malware_episode,
+    run_rosebud_episode,
+    run_wine_tickets_episode,
+    wine_enthusiast_profile,
+)
+from repro.user.profile import Habits, UserProfile
+from repro.user.recall import RecallModel, RememberedQuery
+from repro.user.workload import (
+    WorkloadParams,
+    WorkloadStats,
+    paper_scale_params,
+    run_workload,
+)
+
+__all__ = [
+    "BehaviorModel",
+    "Habits",
+    "MalwareOutcome",
+    "RecallModel",
+    "RememberedQuery",
+    "RosebudOutcome",
+    "SessionStats",
+    "UserProfile",
+    "WineOutcome",
+    "WorkloadParams",
+    "WorkloadStats",
+    "default_profile",
+    "film_buff_profile",
+    "gardener_profile",
+    "heavy_awesomebar_profile",
+    "paper_scale_params",
+    "run_malware_episode",
+    "run_rosebud_episode",
+    "run_wine_tickets_episode",
+    "run_workload",
+    "wine_enthusiast_profile",
+]

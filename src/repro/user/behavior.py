@@ -1,0 +1,278 @@
+"""The user behaviour model.
+
+Drives a :class:`~repro.browser.session.Browser` through realistic
+browsing sessions: arrive somewhere (search, typed URL, or bookmark),
+walk links with interest-biased choice, occasionally branch into a new
+tab, go back, download, submit a form, or bookmark.  Everything is
+seeded and deterministic.
+
+The model's purpose is structural realism of the *history graph*, not
+cognitive fidelity: it produces the features the paper's queries
+exploit or suffer from — revisit-heavy hubs, topically coherent
+sessions, co-open tabs, typed-navigation discontinuities, and
+downloads buried behind redirect chains.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.browser.session import Browser
+from repro.errors import NavigationError, NoSuchTabError, PageNotFoundError
+from repro.user.profile import UserProfile
+from repro.web.graph import WebGraph
+from repro.web.page import Page, PageKind
+from repro.web.url import Url
+
+
+@dataclass
+class SessionStats:
+    """What one browsing session did (summed into workload stats)."""
+
+    navigations: int = 0
+    searches: int = 0
+    typed: int = 0
+    bookmark_clicks: int = 0
+    bookmarks_added: int = 0
+    downloads: int = 0
+    forms: int = 0
+    new_tabs: int = 0
+    backs: int = 0
+
+    def merge(self, other: "SessionStats") -> None:
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class BehaviorModel:
+    """Interest-driven session generator over one browser."""
+
+    browser: Browser
+    web: WebGraph
+    profile: UserProfile
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    #: Revisit memory: URL -> times this model has landed on it.  Kept
+    #: here rather than querying Places per decision so workload
+    #: generation stays O(actions), not O(actions x history).
+    _visit_memory: dict[Url, int] = field(default_factory=dict)
+
+    # -- public entry points ---------------------------------------------------
+
+    def browse_session(self, *, actions: int = 20) -> SessionStats:
+        """Run one session of roughly *actions* user gestures.
+
+        A session opens its own tab(s) and closes them at the end —
+        the close events are what give the temporal layer its co-open
+        intervals.
+        """
+        stats = SessionStats()
+        habits = self.profile.habits
+        tab = self.browser.open_tab()
+        open_tabs = [tab]
+        self._arrive(tab, stats)
+
+        for _ in range(actions):
+            active = self.rng.choice(open_tabs)
+            page = self.browser.current_page(active)
+            if page is None:
+                self._arrive(active, stats)
+                continue
+            roll = self.rng.random()
+            if roll < habits.download_rate and page.downloads:
+                self._download(active, page, stats)
+            elif roll < habits.download_rate + habits.form_rate:
+                self._submit_form(active, page, stats)
+            elif (
+                roll < habits.download_rate + habits.form_rate + habits.new_tab_rate
+                and page.links
+                and len(open_tabs) < 6
+            ):
+                new_tab = self._branch(active, page, stats)
+                if new_tab is not None:
+                    open_tabs.append(new_tab)
+            elif roll < 0.5 and page.links:
+                self._follow_link(active, page, stats)
+            elif self.rng.random() < habits.back_rate and self._can_back(active):
+                self.browser.back(active)
+                stats.backs += 1
+            else:
+                self._arrive(active, stats)
+            if self.rng.random() < habits.bookmark_add_rate:
+                self._maybe_bookmark(active, stats)
+            # Dwell time between gestures: 5-90 seconds.
+            self.browser.clock.advance_seconds(self.rng.uniform(5, 90))
+
+        for open_tab in open_tabs:
+            self.browser.close_tab(open_tab)
+        return stats
+
+    # -- arrival (session starts and topic switches) -------------------------------
+
+    def _arrive(self, tab: int, stats: SessionStats) -> None:
+        """Get the tab somewhere: search, bookmark, or typed URL."""
+        habits = self.profile.habits
+        roll = self.rng.random()
+        if roll < habits.search_rate:
+            self._search(tab, stats)
+        elif roll < habits.search_rate + habits.bookmark_use_rate:
+            if not self._use_bookmark(tab, stats):
+                self._typed(tab, stats)
+        else:
+            self._typed(tab, stats)
+
+    def _search(self, tab: int, stats: SessionStats) -> None:
+        topic_name = self.profile.sample_topic(self.rng)
+        try:
+            topic = self.web.vocabulary[topic_name]
+        except KeyError:
+            return
+        term_count = self.rng.randint(1, 2)
+        query = " ".join(topic.sample(self.rng) for _ in range(term_count))
+        try:
+            result = self.browser.search_web(tab, query)
+        except (NavigationError, PageNotFoundError):
+            return
+        stats.searches += 1
+        stats.navigations += 1
+        if result.page.links and self.rng.random() < 0.9:
+            choice = self._pick_interesting(result.page.links)
+            try:
+                self.browser.click_link(tab, choice)
+                stats.navigations += 1
+                self._note_visit(tab)
+            except (NavigationError, PageNotFoundError):
+                pass
+
+    def _typed(self, tab: int, stats: SessionStats) -> None:
+        url = self._pick_destination()
+        if url is None:
+            return
+        try:
+            self.browser.navigate_typed(tab, url)
+        except (NavigationError, PageNotFoundError):
+            return
+        stats.typed += 1
+        stats.navigations += 1
+        self._note_visit(tab)
+
+    def _use_bookmark(self, tab: int, stats: SessionStats) -> bool:
+        bookmarks = self.browser.places.bookmarks()
+        if not bookmarks:
+            return False
+        bookmark_id, _place_id, _title = self.rng.choice(bookmarks)
+        try:
+            self.browser.click_bookmark(tab, bookmark_id)
+        except (NavigationError, PageNotFoundError):
+            return False
+        stats.bookmark_clicks += 1
+        stats.navigations += 1
+        self._note_visit(tab)
+        return True
+
+    # -- in-page gestures -----------------------------------------------------------
+
+    def _follow_link(self, tab: int, page: Page, stats: SessionStats) -> None:
+        choice = self._pick_interesting(page.links)
+        try:
+            self.browser.click_link(tab, choice)
+            stats.navigations += 1
+            self._note_visit(tab)
+        except (NavigationError, PageNotFoundError):
+            pass
+
+    def _branch(self, tab: int, page: Page, stats: SessionStats) -> int | None:
+        choice = self._pick_interesting(page.links)
+        try:
+            new_tab = self.browser.open_in_new_tab(tab, choice)
+        except (NavigationError, PageNotFoundError):
+            return None
+        stats.new_tabs += 1
+        stats.navigations += 1
+        self._note_visit(new_tab)
+        return new_tab
+
+    def _download(self, tab: int, page: Page, stats: SessionStats) -> None:
+        target = self.rng.choice(page.downloads)
+        try:
+            self.browser.download_link(tab, target)
+            stats.downloads += 1
+        except (NavigationError, PageNotFoundError):
+            pass
+
+    def _submit_form(self, tab: int, page: Page, stats: SessionStats) -> None:
+        """Submit a site-search form on the current page's site.
+
+        Modeled as a query against the page's own site root with a
+        topical term — "deep web" content reachable only by form
+        (section 3.3).
+        """
+        if page.topic is None:
+            return
+        topic = self.web.vocabulary[page.topic]
+        term = topic.sample(self.rng)
+        action = Url.build(page.url.host, "/", scheme=page.url.scheme).with_query(
+            q=term
+        )
+        if self.web.get(action) is None:
+            # Site has no form endpoint in the static graph; fall back
+            # to the site home so the submission still lands somewhere.
+            action = Url.build(page.url.host, "/", scheme=page.url.scheme)
+            if self.web.get(action) is None:
+                return
+        try:
+            self.browser.submit_form(tab, action, {"q": term})
+            stats.forms += 1
+            stats.navigations += 1
+        except (NavigationError, PageNotFoundError):
+            pass
+
+    def _maybe_bookmark(self, tab: int, stats: SessionStats) -> None:
+        page = self.browser.current_page(tab)
+        if page is None or page.kind is not PageKind.CONTENT:
+            return
+        try:
+            self.browser.add_bookmark(tab)
+            stats.bookmarks_added += 1
+        except NavigationError:
+            pass
+
+    # -- choice helpers ---------------------------------------------------------------
+
+    def _note_visit(self, tab: int) -> None:
+        """Record the tab's current URL in revisit memory."""
+        url = self.browser.current_url(tab)
+        if url is not None:
+            self._visit_memory[url] = self._visit_memory.get(url, 0) + 1
+
+    def _pick_destination(self) -> Url | None:
+        """Pick a typed-navigation target: revisit or fresh interest page."""
+        if self._visit_memory and (
+            self.rng.random() < self.profile.habits.revisit_rate
+        ):
+            urls = list(self._visit_memory)
+            weights = list(self._visit_memory.values())
+            return self.rng.choices(urls, weights=weights)[0]
+        topic = self.profile.sample_topic(self.rng)
+        candidates = self.web.content_pages(topic)
+        if not candidates:
+            candidates = self.web.content_pages()
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _pick_interesting(self, links: tuple[Url, ...]) -> Url:
+        """Choose a link, weighting by interest in the target's topic."""
+        weights = []
+        for link in links:
+            page = self.web.get(link)
+            topic = page.topic if page is not None else None
+            weights.append(0.2 + self.profile.interest_in(topic))
+        return self.rng.choices(list(links), weights=weights)[0]
+
+    def _can_back(self, tab: int) -> bool:
+        try:
+            return self.browser.can_go_back(tab)
+        except NoSuchTabError:
+            return False

@@ -1,0 +1,352 @@
+"""Personas and scripted scenario episodes.
+
+The paper's four use cases are stories about specific users; this
+module makes each story executable.  Profiles provide the background
+browsing colour, and each ``run_*_episode`` function drives a browser
+through the exact interaction sequence the paper narrates, returning
+the ground truth the experiments score against (which page *should*
+the query find, which download *is* the infection, ...).
+
+The episodes use ``strict=False`` clicks only where the story calls
+for deception (the malware lure) — everywhere else navigation follows
+real links in the synthetic web.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.browser.session import Browser
+from repro.errors import ConfigurationError
+from repro.ir.tokenize import tokenize
+from repro.user.profile import Habits, UserProfile
+from repro.web.graph import WebGraph
+from repro.web.page import PageKind
+from repro.web.url import Url
+
+
+# ---------------------------------------------------------------------------
+# Profiles
+# ---------------------------------------------------------------------------
+
+
+def default_profile(name: str = "alice") -> UserProfile:
+    """A balanced general-interest user (background workloads)."""
+    return UserProfile(
+        name=name,
+        interests={
+            "technology": 3.0,
+            "film": 2.0,
+            "cooking": 2.0,
+            "sports": 1.5,
+            "music": 1.5,
+            "finance": 1.0,
+            "health": 1.0,
+        },
+    )
+
+
+def gardener_profile(name: str = "gardener") -> UserProfile:
+    """The section 2.2 gardener: 'rosebud' means the flower."""
+    return UserProfile(
+        name=name,
+        interests={"gardening": 6.0, "cooking": 2.0, "health": 1.0},
+    )
+
+
+def film_buff_profile(name: str = "cinephile") -> UserProfile:
+    """The dual of the gardener: 'rosebud' means the sled."""
+    return UserProfile(
+        name=name,
+        interests={"film": 6.0, "music": 2.0, "technology": 1.0},
+    )
+
+
+def wine_enthusiast_profile(name: str = "oenophile") -> UserProfile:
+    """The section 2.3 user: wine pages browsed while booking flights."""
+    return UserProfile(
+        name=name,
+        interests={"wine": 5.0, "travel": 3.0, "cooking": 2.0},
+    )
+
+
+def heavy_awesomebar_profile(name: str = "poweruser") -> UserProfile:
+    """Section 3.2's ironic power user: mostly typed navigations.
+
+    Used by the sparsity ablation — this user's Places graph is nearly
+    edge-free although their behaviour is as coherent as anyone's.
+    """
+    return UserProfile(
+        name=name,
+        interests=default_profile().interests,
+        habits=Habits(typed_rate=0.6, search_rate=0.1, revisit_rate=0.5),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Episode outcomes (ground truth for experiments)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RosebudOutcome:
+    """Ground truth of the contextual-search story (use case 2.1)."""
+
+    query: str
+    results_url: Url
+    clicked_url: Url
+    clicked_title: str
+    #: Whether the clicked page's URL+title contain the query term
+    #: (when False, textual history search *cannot* find it — the
+    #: paper's exact setup).
+    textually_findable: bool
+
+
+@dataclass(frozen=True)
+class WineOutcome:
+    """Ground truth of the time-contextual story (use case 2.3)."""
+
+    wine_url: Url
+    wine_title: str
+    travel_query: str
+    travel_urls: tuple[Url, ...]
+    window_start_us: int
+    window_end_us: int
+
+
+@dataclass(frozen=True)
+class MalwareOutcome:
+    """Ground truth of the download-lineage story (use case 2.4)."""
+
+    download_id: int
+    download_url: Url
+    #: The well-known page the chain started from (the answer to
+    #: "first ancestor the user is likely to recognize").
+    known_url: Url
+    #: Top-level pages on the lure chain, in order, ending at the page
+    #: hosting the download.
+    chain: tuple[Url, ...]
+    #: The page the user would mark untrusted (hosts the download).
+    untrusted_url: Url
+
+
+# ---------------------------------------------------------------------------
+# Episodes
+# ---------------------------------------------------------------------------
+
+
+def run_rosebud_episode(
+    browser: Browser,
+    web: WebGraph,
+    *,
+    query: str = "rosebud",
+    prefer_topic: str = "film",
+    seed: int = 0,
+) -> RosebudOutcome:
+    """Search the web for *query* and click a result found by body text.
+
+    Picks, when possible, a result whose URL and title do *not* contain
+    the query tokens — the Citizen Kane situation: the page is about
+    rosebud but does not say so anywhere textual history search looks.
+    """
+    rng = random.Random(seed)
+    tab = browser.open_tab()
+    serp = browser.search_web(tab, query)
+    links = serp.page.links
+    if not links:
+        browser.close_tab(tab)
+        raise ConfigurationError(f"web search for {query!r} returned nothing")
+
+    tokens = set(tokenize(query))
+    hidden_hits = []
+    for link in links:
+        page = web.get(link)
+        if page is None:
+            continue
+        haystack = set(tokenize(f"{link} {page.title}"))
+        if tokens & haystack:
+            continue
+        if prefer_topic and page.topic != prefer_topic:
+            continue
+        hidden_hits.append(link)
+    if not hidden_hits:
+        # Fall back to any result not textually matching, any topic.
+        for link in links:
+            page = web.get(link)
+            if page is None:
+                continue
+            if not tokens & set(tokenize(f"{link} {page.title}")):
+                hidden_hits.append(link)
+    target = rng.choice(hidden_hits) if hidden_hits else links[0]
+
+    result = browser.click_link(tab, target)
+    browser.clock.advance_seconds(45)
+    browser.close_tab(tab)
+    textual = bool(
+        tokens & set(tokenize(f"{result.final_url} {result.page.title}"))
+    )
+    return RosebudOutcome(
+        query=query,
+        results_url=serp.final_url,
+        clicked_url=result.final_url,
+        clicked_title=result.page.title,
+        textually_findable=textual,
+    )
+
+
+def run_wine_tickets_episode(
+    browser: Browser,
+    web: WebGraph,
+    *,
+    travel_query: str = "plane tickets",
+    seed: int = 0,
+) -> WineOutcome:
+    """Browse wine pages while shopping for flights in another tab.
+
+    The wine page the user will later want is *not* searched for — she
+    reaches it by browsing — so its only retrievable association is
+    temporal, exactly as in section 2.3.
+    """
+    rng = random.Random(seed)
+    wine_pages = web.content_pages("wine")
+    if not wine_pages:
+        raise ConfigurationError("the web has no wine pages")
+
+    window_start = browser.clock.now_us
+    wine_tab = browser.open_tab()
+    # Arrive at a wine site home and browse a few hops.
+    site_home = min(
+        (url for url in wine_pages if url.path == "/"),
+        key=str,
+        default=wine_pages[0],
+    )
+    browser.navigate_typed(wine_tab, site_home)
+    target_result = None
+    for _hop in range(3):
+        page = browser.current_page(wine_tab)
+        candidates = [u for u in page.links if web.get(u) is not None]
+        if not candidates:
+            break
+        choice = rng.choice(candidates)
+        target_result = browser.click_link(wine_tab, choice)
+        browser.clock.advance_seconds(rng.uniform(20, 60))
+    if target_result is None:
+        raise ConfigurationError("could not browse away from the wine home page")
+    wine_url = target_result.final_url
+    wine_title = target_result.page.title
+
+    # Meanwhile, in another tab: the flight search.
+    travel_tab = browser.open_tab()
+    serp = browser.search_web(travel_tab, travel_query)
+    travel_urls = [serp.final_url]
+    for index in range(min(2, len(serp.page.links))):
+        clicked = browser.click_result(travel_tab, index)
+        travel_urls.append(clicked.final_url)
+        browser.clock.advance_seconds(rng.uniform(20, 60))
+        if index + 1 < min(2, len(serp.page.links)):
+            browser.back(travel_tab)
+
+    browser.clock.advance_seconds(30)
+    browser.close_tab(wine_tab)
+    browser.close_tab(travel_tab)
+    return WineOutcome(
+        wine_url=wine_url,
+        wine_title=wine_title,
+        travel_query=travel_query,
+        travel_urls=tuple(travel_urls),
+        window_start_us=window_start,
+        window_end_us=browser.clock.now_us,
+    )
+
+
+def run_malware_episode(
+    browser: Browser,
+    web: WebGraph,
+    *,
+    familiar_visits: int = 5,
+    lure_via: str = "click",
+    seed: int = 0,
+) -> MalwareOutcome:
+    """Get tricked into downloading malware through a lure chain.
+
+    The user starts from a page they know well (visited
+    *familiar_visits* times beforehand), follows a deceptive link
+    through a URL shortener onto a malicious site, clicks deeper, and
+    downloads an executable whose URL names nothing.
+
+    ``lure_via`` selects the deception vector: ``"click"`` (a link on
+    the page — referrer chain intact in Places) or ``"typed"`` (a URL
+    pasted from mail/chat — Firefox records *no relationship*, which
+    is exactly where manual forensics dead-ends and provenance capture
+    does not; section 3.2).
+    """
+    if lure_via not in ("click", "typed"):
+        raise ConfigurationError(f"unknown lure_via: {lure_via!r}")
+    rng = random.Random(seed)
+    malicious_downloads = [
+        url for url in web.malicious_urls()
+        if web.page(url).kind is PageKind.DOWNLOAD
+    ]
+    if not malicious_downloads:
+        raise ConfigurationError("the web has no malicious downloads")
+    download_url = rng.choice(malicious_downloads)
+    hosts = [
+        url for url in web.malicious_urls()
+        if download_url in web.page(url).downloads
+    ]
+    if not hosts:
+        raise ConfigurationError(f"no page hosts {download_url}")
+    host_page = hosts[0]
+
+    # A shortener redirect into the malicious site, if one exists —
+    # otherwise the lure link goes direct (both are real lures).
+    lure_target = host_page
+    site = web.site_for(host_page)
+    for candidate in web.all_urls():
+        page = web.page(candidate)
+        if (
+            page.kind is PageKind.REDIRECT
+            and site is not None
+            and page.redirect_to is not None
+            and site.owns(page.redirect_to)
+        ):
+            lure_target = candidate
+            break
+
+    # Build familiarity with the starting page.
+    content = web.content_pages()
+    known_url = rng.choice([url for url in content if url.path == "/"] or content)
+    tab = browser.open_tab()
+    for _ in range(familiar_visits):
+        browser.navigate_typed(tab, known_url)
+        browser.clock.advance_seconds(rng.uniform(30, 120))
+
+    # The lure: from the known page, a deceptive link (strict=False —
+    # the link arrived by mail/ad, it is not part of the page) or a
+    # pasted URL typed into the location bar.
+    if lure_via == "typed":
+        lure_result = browser.navigate_typed(tab, lure_target)
+    else:
+        lure_result = browser.click_link(tab, lure_target, strict=False)
+    chain = [lure_result.final_url]
+    browser.clock.advance_seconds(10)
+
+    # Wander one or two hops inside the malicious site toward the host
+    # page, then download.
+    current = browser.current_page(tab)
+    if current.url != host_page:
+        if host_page in current.out_urls():
+            browser.click_link(tab, host_page)
+        else:
+            browser.click_link(tab, host_page, strict=False)
+        chain.append(host_page)
+    download_id = browser.download_link(tab, download_url)
+    browser.close_tab(tab)
+    return MalwareOutcome(
+        download_id=download_id,
+        download_url=download_url,
+        known_url=known_url,
+        chain=tuple(chain),
+        untrusted_url=host_page,
+    )

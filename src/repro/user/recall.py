@@ -1,0 +1,162 @@
+"""A user recall model for generating realistic history queries.
+
+Blanc-Brude & Scapin (cited in section 2.3) found that when people look
+for an old document they rarely recall its name or location, but almost
+always recall *associated events* and approximate time.  The quality
+experiments need history queries with that character: partial terms,
+fuzzy time, remembered associations.
+
+:class:`RecallModel` samples such queries from a finished workload: it
+picks a target the user actually visited, then "remembers" it the way
+the study says people do — a couple of topical terms (not necessarily
+from the title), a time window widened by how long ago it was, and
+possibly the topic of a page that was open at the same time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.browser.places import PlacesStore
+from repro.browser.tabs import OpenInterval
+from repro.clock import MICROSECONDS_PER_DAY
+from repro.ir.tokenize import tokenize_filtered
+from repro.web.graph import WebGraph
+from repro.web.page import PageKind
+from repro.web.url import Url
+
+
+@dataclass(frozen=True)
+class RememberedQuery:
+    """One sampled 'find that page again' task."""
+
+    #: The page the user is trying to find (ground truth).
+    target_url: Url
+    #: Terms the user recalls (drawn from the page's topic/body).
+    terms: tuple[str, ...]
+    #: Approximate time window the user would give ("around then").
+    window_start_us: int
+    window_end_us: int
+    #: Terms describing a co-open page, when one was open ("I was also
+    #: looking at ..."); empty if nothing co-open existed.
+    associated_terms: tuple[str, ...]
+
+
+class RecallModel:
+    """Samples remembered queries from a completed browsing history."""
+
+    def __init__(
+        self,
+        places: PlacesStore,
+        web: WebGraph,
+        intervals: list[OpenInterval],
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.places = places
+        self.web = web
+        self.intervals = sorted(intervals, key=lambda iv: iv.opened_us)
+        self._rng = random.Random(seed)
+
+    def sample(self, *, now_us: int) -> RememberedQuery | None:
+        """Sample one remembered query, or ``None`` if history is empty.
+
+        Targets are content pages with at least one recorded display
+        interval; pages the user never actually looked at cannot be
+        remembered.
+        """
+        candidates = [
+            interval for interval in self.intervals
+            if self._is_memorable(interval.url)
+        ]
+        if not candidates:
+            return None
+        interval = self._rng.choice(candidates)
+        page = self.web.get(interval.url)
+
+        terms = self._recalled_terms(page)
+        window = self._recalled_window(interval, now_us=now_us)
+        associated = self._associated_terms(interval)
+        return RememberedQuery(
+            target_url=interval.url,
+            terms=terms,
+            window_start_us=window[0],
+            window_end_us=window[1],
+            associated_terms=associated,
+        )
+
+    def sample_many(self, count: int, *, now_us: int) -> list[RememberedQuery]:
+        """Sample up to *count* distinct-target queries."""
+        queries: list[RememberedQuery] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(queries) < count and attempts < count * 20:
+            attempts += 1
+            query = self.sample(now_us=now_us)
+            if query is None:
+                break
+            key = str(query.target_url)
+            if key in seen:
+                continue
+            seen.add(key)
+            queries.append(query)
+        return queries
+
+    # -- internals -----------------------------------------------------------
+
+    def _is_memorable(self, url: Url) -> bool:
+        page = self.web.get(url)
+        return page is not None and page.kind is PageKind.CONTENT
+
+    def _recalled_terms(self, page) -> tuple[str, ...]:
+        """One or two terms the user associates with the page.
+
+        Drawn from the page's body (weighted by frequency), not its
+        title — people remember what a page was *about*, not what it
+        was called.
+        """
+        body = [t for t in tokenize_filtered(" ".join(page.terms)) if len(t) > 2]
+        if not body:
+            body = tokenize_filtered(page.title) or ["page"]
+        count = self._rng.randint(1, 2)
+        picks: list[str] = []
+        for _ in range(count):
+            picks.append(self._rng.choice(body))
+        return tuple(dict.fromkeys(picks))
+
+    def _recalled_window(
+        self, interval: OpenInterval, *, now_us: int
+    ) -> tuple[int, int]:
+        """A time window around the visit, wider the longer ago it was.
+
+        Recency-dependent blur: same-week events are recalled to within
+        a day; months-old events to within a week or two.
+        """
+        age_days = max(0.0, (now_us - interval.opened_us) / MICROSECONDS_PER_DAY)
+        if age_days <= 7:
+            blur_days = 1.0
+        elif age_days <= 31:
+            blur_days = 4.0
+        else:
+            blur_days = 10.0
+        blur_us = int(blur_days * MICROSECONDS_PER_DAY)
+        return (interval.opened_us - blur_us, interval.closed_us + blur_us)
+
+    def _associated_terms(self, interval: OpenInterval) -> tuple[str, ...]:
+        """Terms from a page that was open at the same time, if any."""
+        co_open = [
+            other for other in self.intervals
+            if other is not interval
+            and other.tab_id != interval.tab_id
+            and other.overlaps(interval)
+            and self._is_memorable(other.url)
+        ]
+        if not co_open:
+            return ()
+        other = self._rng.choice(co_open)
+        page = self.web.get(other.url)
+        body = [t for t in tokenize_filtered(" ".join(page.terms)) if len(t) > 2]
+        if not body:
+            return ()
+        return (self._rng.choice(body),)

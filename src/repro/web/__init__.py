@@ -1,0 +1,44 @@
+"""Synthetic web substrate.
+
+Everything the browser simulator browses: a static topical web graph
+(:mod:`repro.web.graph`), fetch semantics with redirects and dynamic
+pages (:mod:`repro.web.serving`), and a simulated search engine
+(:mod:`repro.web.search_engine`).
+"""
+
+from repro.web.content import ContentGenerator, ContentParams
+from repro.web.graph import WebGraph, WebGraphBuilder, WebParams, build_web
+from repro.web.page import FetchResult, Page, PageKind, PageStats
+from repro.web.search_engine import ParsedQuery, SearchEngine, SearchHit, parse_query
+from repro.web.serving import MAX_REDIRECTS, HttpFlow, WebServer
+from repro.web.sites import Site, SiteRole, make_site_name
+from repro.web.topics import Topic, TopicVocabulary, build_vocabulary, topic_similarity
+from repro.web.url import Url
+
+__all__ = [
+    "MAX_REDIRECTS",
+    "ContentGenerator",
+    "ContentParams",
+    "FetchResult",
+    "HttpFlow",
+    "Page",
+    "PageKind",
+    "PageStats",
+    "ParsedQuery",
+    "SearchEngine",
+    "SearchHit",
+    "Site",
+    "SiteRole",
+    "Topic",
+    "TopicVocabulary",
+    "Url",
+    "WebGraph",
+    "WebGraphBuilder",
+    "WebParams",
+    "WebServer",
+    "build_vocabulary",
+    "build_web",
+    "make_site_name",
+    "parse_query",
+    "topic_similarity",
+]

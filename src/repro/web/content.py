@@ -1,0 +1,118 @@
+"""Synthetic page content generation.
+
+Generates titles and body text for pages from topic mixtures.  Content
+generation is split from graph generation so experiments can vary text
+statistics (vocabulary size, body length, title shape) independently of
+link structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.web.topics import COMMON_TERMS, Topic, TopicVocabulary
+
+
+@dataclass(frozen=True)
+class ContentParams:
+    """Knobs for text generation.
+
+    ``body_terms`` is the mean body length in tokens; actual lengths
+    vary ±50% uniformly, giving the index realistic document-length
+    variance for BM25-style normalization to act on.
+    ``common_term_rate`` is the probability any given body token is
+    drawn from the common (topic-free) pool instead of the topic.
+    """
+
+    body_terms: int = 60
+    title_terms: int = 3
+    common_term_rate: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.body_terms < 1:
+            raise ValueError("body_terms must be positive")
+        if self.title_terms < 1:
+            raise ValueError("title_terms must be positive")
+        if not 0.0 <= self.common_term_rate < 1.0:
+            raise ValueError("common_term_rate must be in [0, 1)")
+
+
+class ContentGenerator:
+    """Draws titles and bodies for pages of a given topic.
+
+    A single generator instance is deterministic for a given seed and
+    call sequence; the web-graph builder owns one and threads it through
+    page creation in a fixed order.
+    """
+
+    def __init__(
+        self,
+        vocabulary: TopicVocabulary,
+        params: ContentParams | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.params = params or ContentParams()
+        self._rng = random.Random(seed)
+
+    def title_for(self, topic: Topic, *, ordinal: int) -> str:
+        """A short, topical title such as ``'vineyard tasting guide 17'``.
+
+        The ordinal keeps titles unique within a topic, mirroring how
+        real sites number articles; uniqueness matters because history
+        search dedupes on title+URL.
+        """
+        head = topic.sample_many(self._rng, self.params.title_terms)
+        return " ".join((*head, str(ordinal)))
+
+    def body_for(self, topic: Topic) -> tuple[str, ...]:
+        """A bag of body tokens mixing topical and common terms."""
+        length = self._body_length()
+        tokens: list[str] = []
+        for _ in range(length):
+            if self._rng.random() < self.params.common_term_rate:
+                tokens.append(self._rng.choice(COMMON_TERMS))
+            else:
+                tokens.append(topic.sample(self._rng))
+        return tuple(tokens)
+
+    def mixed_body_for(self, topics: list[tuple[Topic, float]]) -> tuple[str, ...]:
+        """A body drawn from a weighted mixture of topics.
+
+        Used for portal/hub pages that span topics; weights need not be
+        normalized.
+        """
+        if not topics:
+            raise ValueError("mixture needs at least one topic")
+        total = sum(weight for _, weight in topics)
+        if total <= 0:
+            raise ValueError("mixture weights must be positive")
+        length = self._body_length()
+        tokens: list[str] = []
+        for _ in range(length):
+            if self._rng.random() < self.params.common_term_rate:
+                tokens.append(self._rng.choice(COMMON_TERMS))
+                continue
+            point = self._rng.random() * total
+            running = 0.0
+            chosen = topics[-1][0]
+            for topic, weight in topics:
+                running += weight
+                if point <= running:
+                    chosen = topic
+                    break
+            tokens.append(chosen.sample(self._rng))
+        return tuple(tokens)
+
+    def slug_for(self, topic: Topic, *, ordinal: int) -> str:
+        """A URL path slug such as ``'vineyard-tasting-17'``."""
+        parts = topic.sample_many(self._rng, 2)
+        return "-".join((*parts, str(ordinal)))
+
+    def _body_length(self) -> int:
+        mean = self.params.body_terms
+        low = max(1, mean // 2)
+        high = mean + mean // 2
+        return self._rng.randint(low, high)

@@ -1,0 +1,507 @@
+"""Synthetic web graph generation.
+
+Builds a static web of sites and pages with the structural features the
+paper's use cases depend on:
+
+* **topical sites** whose pages share a vocabulary, so search and
+  interest-driven browsing are coherent (use cases 2.1/2.2);
+* **cross-site links** biased toward topically similar sites, plus
+  high-degree portal hubs, giving the familiar heavy-tailed web shape;
+* **redirect pages** (URL shorteners, tracking hops), the non-user-action
+  edges section 3.2 says lineage must keep and personalization unify;
+* **embedded resources**, the top-level/inner-content relationship the
+  Firefox transition table records;
+* **downloadable artifacts**, including malicious ones reachable only
+  through innocuous-looking pages — the forensics scenario of use case
+  2.4 requires a download whose URL is uninformative but whose lineage
+  passes through a recognizable page.
+
+The builder is deterministic for a given :class:`WebParams` and seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, PageNotFoundError
+from repro.web.content import ContentGenerator, ContentParams
+from repro.web.page import Page, PageKind, PageStats
+from repro.web.sites import Site, SiteRole, make_site_name
+from repro.web.topics import TopicVocabulary, build_vocabulary, topic_similarity
+from repro.web.url import Url
+
+_DOWNLOAD_EXTENSIONS = ("zip", "pdf", "exe", "tar.gz", "jpg", "mp3")
+_EMBED_EXTENSIONS = ("png", "gif", "css", "js")
+
+
+@dataclass(frozen=True)
+class WebParams:
+    """Shape parameters for the synthetic web.
+
+    Defaults produce a web of roughly 2,500 pages — big enough that
+    browsing histories sample it sparsely (as real histories sample the
+    real web) while keeping test runtimes low.  Benches scale these up.
+    """
+
+    sites_per_topic: int = 3
+    pages_per_site: int = 60
+    portal_sites: int = 2
+    shortener_sites: int = 1
+    filehost_sites: int = 1
+    malicious_sites: int = 1
+    links_per_page: int = 6
+    cross_site_link_rate: float = 0.25
+    redirect_rate: float = 0.06
+    embed_rate: float = 0.5
+    embeds_per_page: int = 2
+    download_rate: float = 0.08
+    extra_topics: int = 0
+    content: ContentParams = field(default_factory=ContentParams)
+
+    def __post_init__(self) -> None:
+        if self.sites_per_topic < 1:
+            raise ConfigurationError("sites_per_topic must be >= 1")
+        if self.pages_per_site < 3:
+            raise ConfigurationError("pages_per_site must be >= 3")
+        if self.links_per_page < 1:
+            raise ConfigurationError("links_per_page must be >= 1")
+        for name in ("cross_site_link_rate", "redirect_rate", "embed_rate",
+                     "download_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+
+class WebGraph:
+    """The static synthetic web: an immutable URL -> Page mapping.
+
+    Lookup helpers are provided for the components that consume the
+    graph: the server fetches by URL, the crawler walks ``all_pages``,
+    the user model samples by topic, and the benches pull download
+    targets and malicious seeds.
+    """
+
+    def __init__(
+        self,
+        pages: dict[Url, Page],
+        sites: list[Site],
+        vocabulary: TopicVocabulary,
+    ) -> None:
+        self._pages = pages
+        self.sites = sites
+        self.vocabulary = vocabulary
+        self._by_topic: dict[str, list[Url]] = {}
+        for url, page in pages.items():
+            if page.kind is PageKind.CONTENT and page.topic:
+                self._by_topic.setdefault(page.topic, []).append(url)
+
+    # -- lookup -------------------------------------------------------------
+
+    def __contains__(self, url: Url) -> bool:
+        return url in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def page(self, url: Url) -> Page:
+        """Return the page at *url* or raise :class:`PageNotFoundError`."""
+        try:
+            return self._pages[url]
+        except KeyError:
+            raise PageNotFoundError(str(url)) from None
+
+    def get(self, url: Url) -> Page | None:
+        return self._pages.get(url)
+
+    def all_pages(self) -> list[Page]:
+        return list(self._pages.values())
+
+    def all_urls(self) -> list[Url]:
+        return list(self._pages.keys())
+
+    # -- topical views ------------------------------------------------------
+
+    def content_pages(self, topic: str | None = None) -> list[Url]:
+        """Content-page URLs, optionally restricted to one topic."""
+        if topic is None:
+            return [
+                url for url, page in self._pages.items()
+                if page.kind is PageKind.CONTENT
+            ]
+        return list(self._by_topic.get(topic, ()))
+
+    def download_urls(self) -> list[Url]:
+        return [
+            url for url, page in self._pages.items()
+            if page.kind is PageKind.DOWNLOAD
+        ]
+
+    def malicious_urls(self) -> list[Url]:
+        return [url for url, page in self._pages.items() if page.malicious]
+
+    def site_for(self, url: Url) -> Site | None:
+        for site in self.sites:
+            if site.owns(url):
+                return site
+        return None
+
+    def stats(self) -> PageStats:
+        stats = PageStats()
+        for page in self._pages.values():
+            stats.observe(page)
+        return stats
+
+
+class WebGraphBuilder:
+    """Deterministic builder for :class:`WebGraph`.
+
+    Construction proceeds in phases: mint sites, lay out each site's
+    internal page tree, add topically biased cross-site links, then
+    thread redirects through shortener sites.  Phases are ordered so
+    that every random draw happens in a fixed sequence for a seed.
+    """
+
+    def __init__(self, params: WebParams | None = None, *, seed: int = 0) -> None:
+        self.params = params or WebParams()
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.vocabulary = build_vocabulary(
+            extra_topics=self.params.extra_topics, seed=seed
+        )
+        self._content = ContentGenerator(
+            self.vocabulary, self.params.content, seed=seed + 1
+        )
+        self._pages: dict[Url, Page] = {}
+        self._sites: list[Site] = []
+        self._page_ordinal = 0
+
+    # -- public entry point ---------------------------------------------------
+
+    def build(self) -> WebGraph:
+        """Build and return the web graph."""
+        self._mint_sites()
+        shorteners = [s for s in self._sites if s.role is SiteRole.SHORTENER]
+        for site in self._sites:
+            if site.role is SiteRole.SHORTENER:
+                continue  # filled after targets exist
+            self._build_site(site)
+        self._add_cross_links()
+        for site in shorteners:
+            self._build_shortener(site)
+        return WebGraph(self._pages, self._sites, self.vocabulary)
+
+    # -- phase 1: sites -------------------------------------------------------
+
+    def _mint_sites(self) -> None:
+        params = self.params
+        for topic in self.vocabulary.names:
+            for ordinal in range(params.sites_per_topic):
+                self._sites.append(
+                    Site(
+                        name=make_site_name(topic, ordinal, SiteRole.CONTENT),
+                        role=SiteRole.CONTENT,
+                        topic=topic,
+                    )
+                )
+        for ordinal in range(params.portal_sites):
+            topic = self._rng.choice(self.vocabulary.names)
+            self._sites.append(
+                Site(
+                    name=make_site_name(topic, ordinal, SiteRole.PORTAL),
+                    role=SiteRole.PORTAL,
+                    topic=topic,
+                )
+            )
+        for ordinal in range(params.filehost_sites):
+            topic = "technology" if "technology" in self.vocabulary else (
+                self.vocabulary.names[0]
+            )
+            self._sites.append(
+                Site(
+                    name=make_site_name(topic, ordinal, SiteRole.FILEHOST),
+                    role=SiteRole.FILEHOST,
+                    topic=topic,
+                )
+            )
+        for ordinal in range(params.malicious_sites):
+            topic = self._rng.choice(self.vocabulary.names)
+            self._sites.append(
+                Site(
+                    name=make_site_name(topic, ordinal, SiteRole.MALICIOUS),
+                    role=SiteRole.MALICIOUS,
+                    topic=topic,
+                )
+            )
+        for ordinal in range(params.shortener_sites):
+            self._sites.append(
+                Site(
+                    name=make_site_name("", ordinal, SiteRole.SHORTENER),
+                    role=SiteRole.SHORTENER,
+                    topic=self.vocabulary.names[0],
+                )
+            )
+
+    # -- phase 2: per-site page trees ------------------------------------------
+
+    def _build_site(self, site: Site) -> None:
+        params = self.params
+        topic = self.vocabulary[site.topic]
+        host = f"www.{site.domain}"
+        home_url = Url.build(host, "/")
+
+        section_count = max(2, params.pages_per_site // 12)
+        article_budget = params.pages_per_site - 1 - section_count
+        sections: list[Url] = []
+        articles: list[Url] = []
+
+        for index in range(section_count):
+            slug = self._content.slug_for(topic, ordinal=index)
+            sections.append(Url.build(host, f"/{slug}/"))
+        per_section = max(1, article_budget // max(1, section_count))
+        for section in sections:
+            for _ in range(per_section):
+                self._page_ordinal += 1
+                slug = self._content.slug_for(topic, ordinal=self._page_ordinal)
+                articles.append(section.child(f"{slug}.html"))
+
+        # Articles: leaves with topical text, occasional embeds/downloads.
+        article_pages: list[Page] = []
+        for url in articles:
+            embeds = self._maybe_embeds(site, url)
+            downloads = self._maybe_downloads(site, url)
+            self._page_ordinal += 1
+            page = Page(
+                url=url,
+                kind=PageKind.CONTENT,
+                title=self._content.title_for(topic, ordinal=self._page_ordinal),
+                terms=self._article_terms(site, topic),
+                topic=site.topic,
+                embeds=embeds,
+                downloads=downloads,
+                malicious=site.role is SiteRole.MALICIOUS,
+                size_bytes=self._rng.randint(2_000, 40_000),
+            )
+            self._register(page)
+            article_pages.append(page)
+
+        # Sections: link to their articles plus sibling sections.
+        for index, url in enumerate(sections):
+            children = tuple(
+                a.url for a in article_pages if a.url.path.startswith(url.path)
+            )
+            siblings = tuple(s for s in sections if s != url)[:2]
+            self._page_ordinal += 1
+            self._register(
+                Page(
+                    url=url,
+                    kind=PageKind.CONTENT,
+                    title=self._content.title_for(topic, ordinal=self._page_ordinal),
+                    terms=self._content.body_for(topic),
+                    topic=site.topic,
+                    links=children + siblings,
+                    malicious=site.role is SiteRole.MALICIOUS,
+                    size_bytes=self._rng.randint(2_000, 20_000),
+                )
+            )
+
+        # Home: links to all sections and a sample of articles.
+        featured = tuple(
+            a.url for a in self._rng.sample(
+                article_pages, k=min(4, len(article_pages))
+            )
+        )
+        self._page_ordinal += 1
+        self._register(
+            Page(
+                url=home_url,
+                kind=PageKind.CONTENT,
+                title=f"{site.name} {topic.head_terms(1)[0]} home",
+                terms=self._content.body_for(topic),
+                topic=site.topic,
+                links=tuple(sections) + featured,
+                malicious=site.role is SiteRole.MALICIOUS,
+                size_bytes=self._rng.randint(4_000, 30_000),
+            )
+        )
+        site.pages = [home_url, *sections, *(a.url for a in article_pages)]
+
+    def _article_terms(self, site: Site, topic) -> tuple[str, ...]:
+        if site.role is SiteRole.PORTAL:
+            mixture = [
+                (self.vocabulary[name], 1.0)
+                for name in self._rng.sample(
+                    self.vocabulary.names, k=min(3, len(self.vocabulary))
+                )
+            ]
+            return self._content.mixed_body_for(mixture)
+        return self._content.body_for(topic)
+
+    def _maybe_embeds(self, site: Site, url: Url) -> tuple[Url, ...]:
+        if self._rng.random() >= self.params.embed_rate:
+            return ()
+        embeds: list[Url] = []
+        for index in range(self._rng.randint(1, self.params.embeds_per_page)):
+            ext = self._rng.choice(_EMBED_EXTENSIONS)
+            embed_url = Url.build(
+                f"static.{site.domain}", f"/assets/{url.filename}-{index}.{ext}"
+            )
+            if embed_url not in self._pages:
+                self._register(
+                    Page(
+                        url=embed_url,
+                        kind=PageKind.EMBED,
+                        title="",
+                        terms=(),
+                        size_bytes=self._rng.randint(500, 90_000),
+                    )
+                )
+            embeds.append(embed_url)
+        return tuple(embeds)
+
+    def _maybe_downloads(self, site: Site, url: Url) -> tuple[Url, ...]:
+        rate = self.params.download_rate
+        if site.role in (SiteRole.FILEHOST, SiteRole.MALICIOUS):
+            rate = 0.6  # hosting downloads is these sites' purpose
+        if self._rng.random() >= rate:
+            return ()
+        ext = self._rng.choice(_DOWNLOAD_EXTENSIONS)
+        if site.role is SiteRole.MALICIOUS:
+            ext = "exe"
+        self._page_ordinal += 1
+        # Deliberately uninformative filename: the paper notes download
+        # URLs are often unrecognizable, which is what makes lineage
+        # queries necessary.
+        name = f"f{self._page_ordinal:05d}.{ext}"
+        download_url = Url.build(f"cdn.{site.domain}", f"/dl/{name}")
+        if download_url not in self._pages:
+            self._register(
+                Page(
+                    url=download_url,
+                    kind=PageKind.DOWNLOAD,
+                    title=name,
+                    terms=(),
+                    malicious=site.role is SiteRole.MALICIOUS,
+                    size_bytes=self._rng.randint(10_000, 5_000_000),
+                )
+            )
+        return (download_url,)
+
+    # -- phase 3: cross-site links ----------------------------------------------
+
+    def _add_cross_links(self) -> None:
+        content_sites = [
+            s for s in self._sites
+            if s.role in (SiteRole.CONTENT, SiteRole.PORTAL, SiteRole.MALICIOUS)
+        ]
+        similarity: dict[tuple[str, str], float] = {}
+        for source in content_sites:
+            for target in content_sites:
+                if source is target:
+                    continue
+                key = (source.topic, target.topic)
+                if key not in similarity:
+                    similarity[key] = topic_similarity(
+                        self.vocabulary[source.topic], self.vocabulary[target.topic]
+                    )
+
+        for site in content_sites:
+            fanout = self.params.links_per_page
+            if site.role is SiteRole.PORTAL:
+                fanout *= 3  # portals are hubs
+            candidates = [t for t in content_sites if t is not site]
+            if not candidates:
+                continue
+            weights = [
+                0.05 + similarity.get((site.topic, target.topic), 0.0)
+                + (1.0 if target.topic == site.topic else 0.0)
+                for target in candidates
+            ]
+            for page_url in site.pages:
+                page = self._pages[page_url]
+                if self._rng.random() >= self.params.cross_site_link_rate:
+                    continue
+                extra: list[Url] = []
+                for _ in range(self._rng.randint(1, max(1, fanout // 2))):
+                    target_site = self._rng.choices(candidates, weights=weights)[0]
+                    if target_site.pages:
+                        extra.append(self._rng.choice(target_site.pages))
+                if extra:
+                    self._pages[page_url] = _with_links(page, tuple(extra))
+
+    # -- phase 4: shorteners ------------------------------------------------------
+
+    def _build_shortener(self, site: Site) -> None:
+        """Mint redirect pages pointing at existing content pages.
+
+        A fraction of cross-site links are then rewritten to route
+        through the shortener, creating multi-hop redirect chains.
+        """
+        targets = [
+            url for url, page in self._pages.items()
+            if page.kind is PageKind.CONTENT
+        ]
+        if not targets:
+            return
+        count = max(5, len(targets) * self.params.redirect_rate.__trunc__() or 5)
+        count = max(5, int(len(targets) * self.params.redirect_rate))
+        redirects: list[Url] = []
+        for index in range(count):
+            short_url = Url.build(site.domain, f"/{index:04x}")
+            target = self._rng.choice(targets)
+            self._register(
+                Page(
+                    url=short_url,
+                    kind=PageKind.REDIRECT,
+                    title="",
+                    terms=(),
+                    redirect_to=target,
+                    size_bytes=0,
+                )
+            )
+            redirects.append(short_url)
+        site.pages = redirects
+
+        # Rewrite a slice of existing links through the shortener.
+        rewritable = [
+            url for url, page in self._pages.items()
+            if page.kind is PageKind.CONTENT and page.links
+        ]
+        for url in rewritable:
+            if self._rng.random() >= self.params.redirect_rate:
+                continue
+            page = self._pages[url]
+            links = list(page.links)
+            slot = self._rng.randrange(len(links))
+            links[slot] = self._rng.choice(redirects)
+            self._pages[url] = _replace_links(page, tuple(links))
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _register(self, page: Page) -> None:
+        self._pages[page.url] = page
+
+
+def _with_links(page: Page, extra: tuple[Url, ...]) -> Page:
+    return _replace_links(page, page.links + extra)
+
+
+def _replace_links(page: Page, links: tuple[Url, ...]) -> Page:
+    return Page(
+        url=page.url,
+        kind=page.kind,
+        title=page.title,
+        terms=page.terms,
+        topic=page.topic,
+        links=links,
+        embeds=page.embeds,
+        downloads=page.downloads,
+        redirect_to=page.redirect_to,
+        malicious=page.malicious,
+        size_bytes=page.size_bytes,
+    )
+
+
+def build_web(params: WebParams | None = None, *, seed: int = 0) -> WebGraph:
+    """Convenience wrapper: build a web graph in one call."""
+    return WebGraphBuilder(params, seed=seed).build()

@@ -1,0 +1,132 @@
+"""Page and resource models for the synthetic web.
+
+A :class:`Page` is everything the browser can observe about a URL: its
+title, visible text, outgoing links, embedded sub-resources, redirect
+behaviour, and downloadable attachments.  These are exactly the
+observables that generate provenance in the paper's taxonomy —
+link-click edges, embed edges, redirect edges, and download nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.web.url import Url
+
+
+class PageKind(enum.Enum):
+    """What role a URL plays in the synthetic web."""
+
+    #: An ordinary content page: text, links, maybe embeds/downloads.
+    CONTENT = "content"
+    #: A pure redirect: fetching it yields a 3xx to ``redirect_to``.
+    REDIRECT = "redirect"
+    #: An embedded sub-resource (image, stylesheet, ad iframe).
+    EMBED = "embed"
+    #: A downloadable artifact (served with content-disposition).
+    DOWNLOAD = "download"
+    #: A search-engine results page (generated dynamically).
+    SEARCH_RESULTS = "search_results"
+    #: A form endpoint whose content depends on submitted values.
+    FORM_RESULT = "form_result"
+
+
+@dataclass(frozen=True, slots=True)
+class Page:
+    """An immutable snapshot of a URL's content.
+
+    ``terms`` is the page's body text as a bag of tokens; keeping the
+    bag rather than a rendered string makes indexing and tf statistics
+    cheap while preserving everything textual search can use.
+    """
+
+    url: Url
+    kind: PageKind
+    title: str
+    terms: tuple[str, ...]
+    topic: str | None = None
+    links: tuple[Url, ...] = ()
+    embeds: tuple[Url, ...] = ()
+    downloads: tuple[Url, ...] = ()
+    redirect_to: Url | None = None
+    malicious: bool = False
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is PageKind.REDIRECT and self.redirect_to is None:
+            raise ValueError(f"redirect page {self.url} has no target")
+        if self.kind is not PageKind.REDIRECT and self.redirect_to is not None:
+            raise ValueError(f"non-redirect page {self.url} has a redirect target")
+
+    @property
+    def text(self) -> str:
+        """The page text as a single string (titles first, as in HTML)."""
+        return " ".join((self.title, *self.terms))
+
+    def term_counts(self) -> Counter[str]:
+        """Term frequencies over title and body, lowercased."""
+        counts: Counter[str] = Counter()
+        for token in self.title.lower().split():
+            counts[token] += 1
+        for token in self.terms:
+            counts[token] += 1
+        return counts
+
+    def out_urls(self) -> tuple[Url, ...]:
+        """Every URL this page can lead the browser to, of any kind."""
+        return (*self.links, *self.embeds, *self.downloads)
+
+
+@dataclass(frozen=True, slots=True)
+class FetchResult:
+    """What the network layer returns for one HTTP exchange.
+
+    ``redirect_chain`` lists the intermediate redirect URLs traversed
+    before arriving at ``page`` (empty for direct fetches).  Redirect
+    hops matter to provenance: they create non-user-action edges that
+    lineage queries keep and personalization queries unify away
+    (section 3.2 of the paper).
+    """
+
+    requested: Url
+    page: Page
+    redirect_chain: tuple[Url, ...] = ()
+    status: int = 200
+
+    @property
+    def final_url(self) -> Url:
+        return self.page.url
+
+    @property
+    def was_redirected(self) -> bool:
+        return bool(self.redirect_chain)
+
+
+@dataclass
+class PageStats:
+    """Aggregate statistics over a collection of pages (used in reports)."""
+
+    pages: int = 0
+    links: int = 0
+    embeds: int = 0
+    downloads: int = 0
+    redirects: int = 0
+    malicious: int = 0
+    by_kind: Counter[str] = field(default_factory=Counter)
+
+    def observe(self, page: Page) -> None:
+        self.pages += 1
+        self.links += len(page.links)
+        self.embeds += len(page.embeds)
+        self.downloads += len(page.downloads)
+        if page.kind is PageKind.REDIRECT:
+            self.redirects += 1
+        if page.malicious:
+            self.malicious += 1
+        self.by_kind[page.kind.value] += 1
+
+    @property
+    def mean_out_degree(self) -> float:
+        return self.links / self.pages if self.pages else 0.0

@@ -1,0 +1,248 @@
+"""Simulated web search engine.
+
+A 2009-plausible engine over the synthetic web: a crawler feeds an
+inverted index, ranking blends BM25 lexical relevance with PageRank
+authority, and a small query language supports the "advanced operators
+... intended for power users" the paper cites (Google's cheat sheet):
+``site:`` restriction, quoted phrases, ``-term`` exclusion, and plain
+additional terms — the operators a provenance-aware browser would wield
+automatically on the user's behalf (use case 2.2).
+
+The engine also plays its part in the privacy argument: it keeps a
+``query_log`` of every query string it has been sent.  The
+personalization experiment asserts that the log contains only augmented
+query text — never history contents — which is the paper's
+"personalize without giving information about the user to the search
+engine" claim made checkable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from urllib.parse import quote_plus
+
+from repro.ir.index import InvertedIndex
+from repro.ir.pagerank import normalize_scores, pagerank
+from repro.ir.scoring import Bm25Params, bm25_scores
+from repro.ir.tokenize import tokenize_filtered, url_tokens
+from repro.web.graph import WebGraph
+from repro.web.page import Page, PageKind
+from repro.web.url import Url
+
+_SITE_RE = re.compile(r"site:(\S+)")
+_PHRASE_RE = re.compile(r'"([^"]+)"')
+_EXCLUDE_RE = re.compile(r"(?:^|\s)-(\w+)")
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A query string decomposed into operator parts."""
+
+    terms: tuple[str, ...]
+    phrases: tuple[tuple[str, ...], ...] = ()
+    excluded: tuple[str, ...] = ()
+    site: str | None = None
+
+    @property
+    def all_terms(self) -> tuple[str, ...]:
+        """Every positive term, including those inside phrases."""
+        flattened = list(self.terms)
+        for phrase in self.phrases:
+            flattened.extend(phrase)
+        return tuple(flattened)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a query string with ``site:``, phrase, and ``-`` operators.
+
+    >>> parse_query('rosebud -kane site:gardening-site0.com "prune roses"')
+    ... # doctest: +SKIP
+    """
+    site_match = _SITE_RE.search(text)
+    site = site_match.group(1).lower() if site_match else None
+    remainder = _SITE_RE.sub(" ", text)
+
+    phrases = tuple(
+        tuple(tokenize_filtered(match)) for match in _PHRASE_RE.findall(remainder)
+    )
+    remainder = _PHRASE_RE.sub(" ", remainder)
+
+    excluded = tuple(token.lower() for token in _EXCLUDE_RE.findall(remainder))
+    remainder = _EXCLUDE_RE.sub(" ", remainder)
+
+    terms = tuple(tokenize_filtered(remainder))
+    return ParsedQuery(terms=terms, phrases=phrases, excluded=excluded, site=site)
+
+
+@dataclass(frozen=True, slots=True)
+class SearchHit:
+    """One web search result."""
+
+    url: Url
+    title: str
+    score: float
+    snippet: str
+
+
+class SearchEngine:
+    """Crawler, index, and ranker for the synthetic web."""
+
+    #: Weight of PageRank relative to BM25 in the final blend.  Chosen so
+    #: lexical relevance dominates but authority breaks ties — the blend
+    #: that makes "canonical and popular" pages win generic queries, the
+    #: behaviour section 2.3 complains about.
+    AUTHORITY_WEIGHT = 0.3
+
+    def __init__(self, web: WebGraph, *, host: str = "www.findit.com") -> None:
+        self.web = web
+        self.host = host.lower()
+        self.index = InvertedIndex()
+        self.authority: dict[str, float] = {}
+        self.query_log: list[str] = []
+        self._titles: dict[str, str] = {}
+        self._crawled = False
+
+    # -- crawling -----------------------------------------------------------------
+
+    def crawl(self) -> int:
+        """Index every content page in the web graph; return page count.
+
+        Embeds, downloads, and redirects are not indexed — crawlers do
+        not index binary artifacts, and redirect URLs carry no text.
+        This asymmetry is why web search cannot answer download-lineage
+        questions and browser provenance can.
+        """
+        links: dict[str, list[str]] = {}
+        count = 0
+        for page in self.web.all_pages():
+            if page.kind is not PageKind.CONTENT:
+                continue
+            doc_id = str(page.url)
+            tokens = (
+                tokenize_filtered(page.title)
+                + list(page.terms)
+                + url_tokens(str(page.url))
+            )
+            self.index.add(doc_id, tokens)
+            self._titles[doc_id] = page.title
+            links[doc_id] = [
+                str(target) for target in page.links
+                if self.web.get(target) is not None
+            ]
+            count += 1
+        self.authority = normalize_scores(pagerank(links))
+        self._crawled = True
+        return count
+
+    # -- searching -----------------------------------------------------------------
+
+    def search(self, query: str, *, limit: int = 10) -> list[SearchHit]:
+        """Run *query* and return ranked hits.
+
+        Every call is appended to ``query_log`` before execution — the
+        log is the engine's-eye view the privacy experiment audits.
+        """
+        if not self._crawled:
+            raise RuntimeError("search engine has not crawled yet")
+        self.query_log.append(query)
+        parsed = parse_query(query)
+        terms = list(parsed.all_terms)
+        if not terms:
+            return []
+
+        scored = bm25_scores(self.index, terms, Bm25Params())
+        hits: list[SearchHit] = []
+        for candidate in scored:
+            url = Url.parse(candidate.doc_id)
+            if parsed.site is not None and url.site != parsed.site:
+                continue
+            if parsed.excluded and self._contains_any(candidate.doc_id, parsed.excluded):
+                continue
+            if parsed.phrases and not self._matches_phrases(
+                candidate.doc_id, parsed.phrases
+            ):
+                continue
+            blended = candidate.score * (
+                1.0 + self.AUTHORITY_WEIGHT * self.authority.get(candidate.doc_id, 0.0)
+            )
+            hits.append(
+                SearchHit(
+                    url=url,
+                    title=self._titles.get(candidate.doc_id, ""),
+                    score=blended,
+                    snippet=self._snippet(candidate.doc_id, terms),
+                )
+            )
+            if len(hits) >= limit * 3:
+                break  # enough candidates to re-sort and cut
+        hits.sort(key=lambda hit: (-hit.score, str(hit.url)))
+        return hits[:limit]
+
+    # -- dynamic results pages ---------------------------------------------------------
+
+    def results_url(self, query: str) -> Url:
+        """The URL of the results page for *query* (what the browser visits)."""
+        return Url.build(self.host, "/search", query=f"q={quote_plus(query)}")
+
+    def handler(self, url: Url) -> Page | None:
+        """Dynamic-page handler for the engine's host (see WebServer).
+
+        Generates a results page whose links are the ranked hits, so
+        navigating from a search to a result produces an ordinary
+        link-click with the results page as referrer — exactly the
+        provenance chain use case 2.1 mines.
+        """
+        if url.host != self.host:
+            return None
+        if url.path == "/":
+            return Page(
+                url=url,
+                kind=PageKind.CONTENT,
+                title="findit search",
+                terms=("search", "web", "findit"),
+            )
+        if url.path != "/search":
+            return None
+        params = dict(url.query_params())
+        query = params.get("q", "")
+        hits = self.search(query, limit=10)
+        return Page(
+            url=url,
+            kind=PageKind.SEARCH_RESULTS,
+            title=f"{query} - findit search",
+            terms=tuple(tokenize_filtered(query)),
+            links=tuple(hit.url for hit in hits),
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _contains_any(self, doc_id: str, terms: tuple[str, ...]) -> bool:
+        return any(
+            any(posting.doc_id == doc_id for posting in self.index.postings(term))
+            for term in terms
+        )
+
+    def _matches_phrases(
+        self, doc_id: str, phrases: tuple[tuple[str, ...], ...]
+    ) -> bool:
+        """Phrase matching degraded to all-terms-present.
+
+        The index stores bags, not positions; conjunctive matching is
+        the standard approximation and preserves the operator's
+        restrictive effect, which is all the experiments use it for.
+        """
+        return all(
+            all(
+                any(posting.doc_id == doc_id for posting in self.index.postings(term))
+                for term in phrase
+            )
+            for phrase in phrases
+        )
+
+    def _snippet(self, doc_id: str, terms: list[str]) -> str:
+        matched = [
+            term for term in dict.fromkeys(terms)
+            if any(posting.doc_id == doc_id for posting in self.index.postings(term))
+        ]
+        return " ... ".join(matched[:4])

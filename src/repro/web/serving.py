@@ -1,0 +1,159 @@
+"""Fetch semantics for the synthetic web.
+
+:class:`WebServer` is the network boundary the browser talks to.  It
+resolves redirect chains, serves dynamic pages (search results, form
+endpoints) through registered handlers, and reports each hop so the
+capture layer can record redirect provenance.
+
+This is also where the mitmproxy-substitution hook lives: a
+:class:`FlowObserver` can be attached to see every HTTP exchange —
+request URL, referrer, redirect chain, final URL — which is exactly the
+vantage point an out-of-browser proxy capture has (see
+``repro.core.proxy``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import PageNotFoundError, RedirectLoopError
+from repro.web.graph import WebGraph
+from repro.web.page import FetchResult, Page, PageKind
+from repro.web.url import Url
+
+#: Maximum redirect hops before the server gives up — matches the limit
+#: Firefox 3 used.
+MAX_REDIRECTS = 20
+
+
+@dataclass(frozen=True, slots=True)
+class HttpFlow:
+    """One observed HTTP exchange, as a proxy would see it."""
+
+    request: Url
+    final: Url
+    referrer: Url | None
+    redirect_chain: tuple[Url, ...]
+    status: int
+    content_type: str
+    timestamp_us: int
+
+
+class FlowObserver(Protocol):
+    """Anything that wants to watch HTTP flows (the proxy capture)."""
+
+    def observe(self, flow: HttpFlow) -> None: ...
+
+
+#: A dynamic handler maps a request URL to a generated page, or ``None``
+#: to fall through to the static graph.
+DynamicHandler = Callable[[Url], Page | None]
+
+
+class WebServer:
+    """Resolves URLs against the static graph plus dynamic handlers."""
+
+    def __init__(self, web: WebGraph) -> None:
+        self.web = web
+        self._handlers: dict[str, DynamicHandler] = {}
+        self._observers: list[FlowObserver] = []
+        self.fetch_count = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register_handler(self, host: str, handler: DynamicHandler) -> None:
+        """Route requests for *host* through *handler* before the graph."""
+        self._handlers[host.lower()] = handler
+
+    def add_observer(self, observer: FlowObserver) -> None:
+        """Attach a flow observer (e.g. the proxy-capture layer)."""
+        self._observers.append(observer)
+
+    # -- fetching ---------------------------------------------------------------
+
+    def fetch(
+        self,
+        url: Url,
+        *,
+        referrer: Url | None = None,
+        timestamp_us: int = 0,
+    ) -> FetchResult:
+        """Fetch *url*, following redirects; raise for unknown URLs.
+
+        Raises :class:`PageNotFoundError` if the URL (or a redirect
+        target) does not exist, and :class:`RedirectLoopError` if a
+        chain exceeds :data:`MAX_REDIRECTS` hops.
+        """
+        self.fetch_count += 1
+        chain: list[Url] = []
+        current = url
+        while True:
+            page = self._resolve(current)
+            if page.kind is not PageKind.REDIRECT:
+                break
+            chain.append(current)
+            if len(chain) > MAX_REDIRECTS:
+                raise RedirectLoopError(
+                    f"redirect chain from {url} exceeded {MAX_REDIRECTS} hops"
+                )
+            assert page.redirect_to is not None  # guaranteed by Page validation
+            current = page.redirect_to
+
+        result = FetchResult(
+            requested=url,
+            page=page,
+            redirect_chain=tuple(chain),
+            status=200,
+        )
+        self._notify(result, referrer, timestamp_us)
+        return result
+
+    def exists(self, url: Url) -> bool:
+        """Whether a fetch of *url* would succeed (without side effects)."""
+        try:
+            self._resolve(url)
+        except PageNotFoundError:
+            return False
+        return True
+
+    # -- internals ----------------------------------------------------------------
+
+    def _resolve(self, url: Url) -> Page:
+        handler = self._handlers.get(url.host)
+        if handler is not None:
+            page = handler(url)
+            if page is not None:
+                return page
+        return self.web.page(url)
+
+    def _notify(
+        self, result: FetchResult, referrer: Url | None, timestamp_us: int
+    ) -> None:
+        if not self._observers:
+            return
+        flow = HttpFlow(
+            request=result.requested,
+            final=result.final_url,
+            referrer=referrer,
+            redirect_chain=result.redirect_chain,
+            status=result.status,
+            content_type=_content_type_for(result.page),
+            timestamp_us=timestamp_us,
+        )
+        for observer in self._observers:
+            observer.observe(flow)
+
+
+def _content_type_for(page: Page) -> str:
+    if page.kind is PageKind.DOWNLOAD:
+        return "application/octet-stream"
+    if page.kind is PageKind.EMBED:
+        name = page.url.filename
+        if name.endswith(".css"):
+            return "text/css"
+        if name.endswith(".js"):
+            return "text/javascript"
+        return "image/png"
+    return "text/html"

@@ -1,0 +1,88 @@
+"""Site model: domains and the pages they host.
+
+A :class:`Site` groups pages under one registrable domain with a single
+dominant topic.  Sites matter to the reproduction in two ways: the
+browser's frecency algorithm and the search engine's ``site:`` operator
+both key on domains, and the user model picks "favorite sites" whose
+pages it revisits (the hubs that make a real history graph heavy-tailed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.web.url import Url
+
+
+class SiteRole(enum.Enum):
+    """Structural roles a site can play in the synthetic web."""
+
+    #: An ordinary topical content site.
+    CONTENT = "content"
+    #: A cross-topic portal with high out-degree (link hub).
+    PORTAL = "portal"
+    #: A file-hosting site: most terminal URLs are downloads.
+    FILEHOST = "filehost"
+    #: A URL shortener: every page is a redirect.
+    SHORTENER = "shortener"
+    #: A site serving malicious downloads behind innocuous pages.
+    MALICIOUS = "malicious"
+    #: The (single) search engine site; its pages are dynamic.
+    SEARCH_ENGINE = "search_engine"
+
+
+#: TLD assignment by role — purely cosmetic, but it keeps generated URLs
+#: legible in reports and examples.
+_ROLE_TLDS = {
+    SiteRole.CONTENT: "com",
+    SiteRole.PORTAL: "com",
+    SiteRole.FILEHOST: "net",
+    SiteRole.SHORTENER: "ly",
+    SiteRole.MALICIOUS: "biz",
+    SiteRole.SEARCH_ENGINE: "com",
+}
+
+
+@dataclass
+class Site:
+    """A domain plus its pages (URLs are filled in by the graph builder)."""
+
+    name: str
+    role: SiteRole
+    topic: str
+    pages: list[Url] = field(default_factory=list)
+
+    @property
+    def domain(self) -> str:
+        return f"{self.name}.{_ROLE_TLDS[self.role]}"
+
+    @property
+    def home(self) -> Url:
+        return Url.build(f"www.{self.domain}", "/")
+
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    def owns(self, url: Url) -> bool:
+        """Whether *url* is hosted by this site."""
+        return url.site == self.domain
+
+
+def make_site_name(topic: str, ordinal: int, role: SiteRole) -> str:
+    """Deterministic site names like ``wine-cellar3`` or ``portal0``.
+
+    Names embed the topic so examples and debug output read naturally;
+    the ordinal disambiguates multiple sites on one topic.
+    """
+    if role is SiteRole.PORTAL:
+        return f"portal{ordinal}"
+    if role is SiteRole.SHORTENER:
+        return f"sho{ordinal}"
+    if role is SiteRole.FILEHOST:
+        return f"files{ordinal}"
+    if role is SiteRole.MALICIOUS:
+        return f"free-{topic}-stuff{ordinal}"
+    if role is SiteRole.SEARCH_ENGINE:
+        return "findit"
+    return f"{topic}-site{ordinal}"

@@ -1,0 +1,260 @@
+"""Topic model for the synthetic web.
+
+Pages in the synthetic web draw their text from *topics*: named term
+distributions with a Zipfian shape.  Topics serve three purposes:
+
+* they give pages realistic, skewed vocabularies so that textual search
+  (both the web search engine and baseline history search) behaves like
+  search over real text — a few head terms dominate, most terms are rare;
+* they let the user model express *interests* as topic mixtures, which
+  is how browsing sessions become topically coherent (section 2.2's
+  gardener "often visits pages containing flower, gardening, ...");
+* they provide **ambiguous terms** shared between topics — the paper's
+  running example is "rosebud", shared between a film topic and a
+  gardening topic — which the personalization experiment needs.
+
+The vocabulary is generated deterministically from a seed, so workloads
+are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+#: Terms every topic can emit with small probability — the connective
+#: tissue of web text.  Kept lowercase; the tokenizer folds case anyway.
+COMMON_TERMS = (
+    "home", "page", "about", "contact", "news", "guide", "official",
+    "welcome", "index", "info", "site", "online", "free", "best", "top",
+)
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A named Zipfian distribution over terms.
+
+    ``terms`` is ordered by rank: ``terms[0]`` is the head term.  The
+    probability of rank *r* is proportional to ``1 / (r + 1) ** skew``.
+    """
+
+    name: str
+    terms: tuple[str, ...]
+    skew: float = 1.1
+    _cdf: tuple[float, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError(f"topic {self.name!r} has no terms")
+        weights = [1.0 / (rank + 1) ** self.skew for rank in range(len(self.terms))]
+        total = sum(weights)
+        cumulative: list[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        object.__setattr__(self, "_cdf", tuple(cumulative))
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one term according to the Zipfian distribution."""
+        point = rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.terms[lo]
+
+    def sample_many(self, rng: random.Random, count: int) -> list[str]:
+        """Draw *count* terms (with repetition, as in real text)."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def head_terms(self, count: int = 5) -> tuple[str, ...]:
+        """The most probable terms — what a human would call the topic's words."""
+        return self.terms[:count]
+
+    def probability(self, term: str) -> float:
+        """The probability of drawing *term* from this topic (0 if absent)."""
+        try:
+            rank = self.terms.index(term)
+        except ValueError:
+            return 0.0
+        prior = self._cdf[rank]
+        previous = self._cdf[rank - 1] if rank else 0.0
+        return prior - previous
+
+
+@dataclass(frozen=True)
+class TopicVocabulary:
+    """A universe of topics with controlled overlap.
+
+    ``ambiguous_terms`` maps a shared term to the names of the topics
+    that contain it; the personalization experiments look these up to
+    construct queries whose meaning depends on the user.
+    """
+
+    topics: tuple[Topic, ...]
+    ambiguous_terms: dict[str, tuple[str, ...]]
+
+    def __getitem__(self, name: str) -> Topic:
+        for topic in self.topics:
+            if topic.name == name:
+                return topic
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(topic.name == name for topic in self.topics)
+
+    def __iter__(self):
+        return iter(self.topics)
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(topic.name for topic in self.topics)
+
+    def topics_for_term(self, term: str) -> tuple[str, ...]:
+        """All topic names whose vocabulary includes *term*."""
+        return tuple(
+            topic.name for topic in self.topics if topic.probability(term) > 0.0
+        )
+
+
+# ---------------------------------------------------------------------------
+# Vocabulary generation
+# ---------------------------------------------------------------------------
+
+#: Curated seed topics.  The first few realize the paper's scenarios
+#: verbatim — film (rosebud/citizen kane), gardening (rosebud the
+#: flower), wine, and travel (plane tickets) — so examples and benches
+#: can tell the paper's stories with the paper's words.  "rosebud" is
+#: deliberately present in both film and gardening.
+_SEED_TOPICS: dict[str, tuple[str, ...]] = {
+    "film": (
+        "film", "movie", "kane", "citizen", "rosebud", "director", "welles",
+        "cinema", "review", "classic", "scene", "actor", "screenplay",
+        "oscar", "noir", "studio", "premiere", "critic", "reel", "script",
+    ),
+    "gardening": (
+        "garden", "flower", "rosebud", "rose", "soil", "bloom", "plant",
+        "seed", "prune", "petal", "shrub", "compost", "perennial",
+        "trellis", "mulch", "stem", "nursery", "pollinator", "hardy", "bed",
+    ),
+    "wine": (
+        "wine", "bottle", "vineyard", "grape", "tasting", "vintage",
+        "cellar", "red", "white", "cabernet", "merlot", "pinot", "cork",
+        "sommelier", "barrel", "winery", "bouquet", "tannin", "blend",
+        "reserve",
+    ),
+    "travel": (
+        "travel", "flight", "plane", "tickets", "airline", "airport",
+        "hotel", "booking", "destination", "itinerary", "fare", "luggage",
+        "departure", "arrival", "passport", "tour", "resort", "cruise",
+        "visa", "layover",
+    ),
+    "cooking": (
+        "recipe", "cooking", "kitchen", "ingredient", "bake", "oven",
+        "flavor", "dish", "sauce", "spice", "chef", "roast", "simmer",
+        "dough", "grill", "season", "menu", "dinner", "herb", "pan",
+    ),
+    "technology": (
+        "software", "computer", "code", "browser", "internet", "data",
+        "download", "server", "network", "program", "developer", "linux",
+        "database", "release", "version", "opensource", "patch", "driver",
+        "install", "update",
+    ),
+    "sports": (
+        "game", "team", "score", "season", "player", "league", "match",
+        "coach", "playoff", "stadium", "tournament", "goal", "champion",
+        "roster", "draft", "referee", "inning", "race", "medal", "record",
+    ),
+    "finance": (
+        "market", "stock", "price", "invest", "fund", "bank", "rate",
+        "bond", "dividend", "portfolio", "trade", "earnings", "asset",
+        "credit", "loan", "budget", "tax", "broker", "hedge", "yield",
+    ),
+    "music": (
+        "music", "album", "song", "band", "concert", "guitar", "lyrics",
+        "singer", "melody", "record", "tour", "vinyl", "chord", "drummer",
+        "festival", "acoustic", "tempo", "harmony", "playlist", "studio",
+    ),
+    "health": (
+        "health", "doctor", "exercise", "diet", "sleep", "vitamin",
+        "symptom", "clinic", "therapy", "fitness", "nutrition", "immune",
+        "wellness", "stress", "muscle", "heart", "allergy", "remedy",
+        "posture", "hydration",
+    ),
+}
+
+#: Suffixes used to mint synthetic vocabulary for generated topics.
+_SYNTH_STEMS = (
+    "lumen", "verdant", "cobalt", "meridian", "quartz", "saffron", "umbra",
+    "zephyr", "basalt", "ember", "fathom", "gossamer", "halcyon", "indigo",
+    "juniper", "krypton", "lattice", "monsoon", "nimbus", "obsidian",
+    "paragon", "quiver", "russet", "sonder", "talisman", "ultramarine",
+    "vesper", "willow", "xylem", "yonder", "zenith", "aurora", "borealis",
+    "cascade", "delta", "estuary", "fjord", "glacier", "harbor", "isthmus",
+)
+
+
+def build_vocabulary(
+    *,
+    extra_topics: int = 0,
+    terms_per_topic: int = 20,
+    seed: int = 0,
+) -> TopicVocabulary:
+    """Build the standard vocabulary, optionally with synthetic topics.
+
+    The ten curated topics are always present.  *extra_topics* appends
+    deterministic synthetic topics (``synth00``, ``synth01``, ...) whose
+    terms are minted from stem+index pairs, for experiments that need
+    larger universes without disturbing the scenario topics.
+    """
+    if terms_per_topic < 3:
+        raise ValueError("terms_per_topic must be at least 3")
+    rng = random.Random(seed)
+    topics = [
+        Topic(name=name, terms=terms[:terms_per_topic])
+        for name, terms in _SEED_TOPICS.items()
+    ]
+    for index in range(extra_topics):
+        name = f"synth{index:02d}"
+        stems = rng.sample(_SYNTH_STEMS, k=min(len(_SYNTH_STEMS), terms_per_topic))
+        terms = tuple(f"{stem}{index:02d}" for stem in stems)[:terms_per_topic]
+        topics.append(Topic(name=name, terms=terms))
+
+    ambiguous: dict[str, tuple[str, ...]] = {}
+    seen: dict[str, list[str]] = {}
+    for topic in topics:
+        for term in topic.terms:
+            seen.setdefault(term, []).append(topic.name)
+    for term, names in seen.items():
+        if len(names) > 1 and term not in COMMON_TERMS:
+            ambiguous[term] = tuple(names)
+    return TopicVocabulary(topics=tuple(topics), ambiguous_terms=ambiguous)
+
+
+def topic_similarity(first: Topic, second: Topic) -> float:
+    """Cosine similarity between two topics' term distributions.
+
+    Used by the web-graph generator to decide cross-topic link density:
+    sites link more readily to topically nearby sites.
+    """
+    terms = set(first.terms) | set(second.terms)
+    dot = 0.0
+    norm_first = 0.0
+    norm_second = 0.0
+    for term in terms:
+        p = first.probability(term)
+        q = second.probability(term)
+        dot += p * q
+        norm_first += p * p
+        norm_second += q * q
+    if norm_first == 0.0 or norm_second == 0.0:
+        return 0.0
+    return dot / math.sqrt(norm_first * norm_second)

@@ -1,0 +1,180 @@
+"""URL value type and normalization.
+
+Browser history keys everything on URLs, and the provenance store
+inherits that: two visits are visits *to the same page* exactly when
+their normalized URLs are equal.  This module provides a small,
+hashable :class:`Url` value type with the normalization rules that
+matter for history identity (case-folding the scheme and host, dropping
+default ports, resolving dot segments, stripping fragments).
+
+Fragments are stripped because Firefox Places treats ``page#a`` and
+``page#b`` as the same place; query strings are preserved because form
+submissions ("deep web" content, section 3.3 of the paper) are
+distinguished by them.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import re
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, urlencode, urlsplit
+
+from repro.errors import InvalidUrlError
+
+_DEFAULT_PORTS = {"http": 80, "https": 443, "ftp": 21}
+_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*$")
+_HOST_RE = re.compile(r"^[a-z0-9]([a-z0-9.-]*[a-z0-9])?$")
+
+
+@dataclass(frozen=True, slots=True)
+class Url:
+    """A parsed, normalized URL.
+
+    Construct with :meth:`parse` (from a string) or :meth:`build` (from
+    components); the constructor itself trusts its arguments and is
+    meant for internal use.
+    """
+
+    scheme: str
+    host: str
+    port: int | None
+    path: str
+    query: str
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse and normalize a URL string.
+
+        Raises :class:`InvalidUrlError` for relative URLs, empty hosts,
+        unsupported schemes, or malformed ports.
+        """
+        if not text or text.isspace():
+            raise InvalidUrlError(f"empty URL: {text!r}")
+        parts = urlsplit(text.strip())
+        if not parts.scheme:
+            raise InvalidUrlError(f"relative URL (no scheme): {text!r}")
+        scheme = parts.scheme.lower()
+        if not _SCHEME_RE.match(scheme):
+            raise InvalidUrlError(f"bad scheme in {text!r}")
+        host = (parts.hostname or "").lower()
+        if not host or not _HOST_RE.match(host):
+            raise InvalidUrlError(f"bad host in {text!r}")
+        try:
+            port = parts.port
+        except ValueError as exc:
+            raise InvalidUrlError(f"bad port in {text!r}") from exc
+        if port == _DEFAULT_PORTS.get(scheme):
+            port = None
+        path = _normalize_path(parts.path)
+        query = _normalize_query(parts.query)
+        return cls(scheme=scheme, host=host, port=port, path=path, query=query)
+
+    @classmethod
+    def build(
+        cls,
+        host: str,
+        path: str = "/",
+        *,
+        scheme: str = "http",
+        query: str = "",
+        port: int | None = None,
+    ) -> "Url":
+        """Build a URL from components, applying the same normalization."""
+        authority = host if port is None else f"{host}:{port}"
+        text = f"{scheme}://{authority}{path}"
+        if query:
+            text = f"{text}?{query}"
+        return cls.parse(text)
+
+    # -- derived views ------------------------------------------------------
+
+    def __str__(self) -> str:
+        authority = self.host if self.port is None else f"{self.host}:{self.port}"
+        text = f"{self.scheme}://{authority}{self.path}"
+        if self.query:
+            text = f"{text}?{self.query}"
+        return text
+
+    @property
+    def origin(self) -> str:
+        """Scheme + authority, the browser same-origin unit."""
+        authority = self.host if self.port is None else f"{self.host}:{self.port}"
+        return f"{self.scheme}://{authority}"
+
+    @property
+    def site(self) -> str:
+        """The registrable-domain approximation used to group pages by site.
+
+        Real browsers consult the public-suffix list; the synthetic web
+        only generates two-label hosts under generic TLDs, for which the
+        last two labels are the right grouping.
+        """
+        labels = self.host.split(".")
+        if len(labels) <= 2:
+            return self.host
+        return ".".join(labels[-2:])
+
+    @property
+    def filename(self) -> str:
+        """The last path segment, or '' for directory-like paths."""
+        return posixpath.basename(self.path)
+
+    @property
+    def is_download_like(self) -> bool:
+        """Whether the path looks like a downloadable artifact."""
+        name = self.filename
+        return "." in name and not name.endswith((".html", ".htm"))
+
+    def query_params(self) -> list[tuple[str, str]]:
+        """Decoded query parameters in normalized order."""
+        return parse_qsl(self.query, keep_blank_values=True)
+
+    def child(self, segment: str) -> "Url":
+        """Return a URL one path segment below this one."""
+        base = self.path if self.path.endswith("/") else self.path + "/"
+        return Url.build(
+            self.host,
+            base + segment,
+            scheme=self.scheme,
+            port=self.port,
+        )
+
+    def with_query(self, **params: str) -> "Url":
+        """Return this URL with the given query parameters."""
+        return Url.build(
+            self.host,
+            self.path,
+            scheme=self.scheme,
+            port=self.port,
+            query=urlencode(sorted(params.items())),
+        )
+
+    def same_site(self, other: "Url") -> bool:
+        """Whether two URLs belong to the same site."""
+        return self.site == other.site
+
+
+def _normalize_path(path: str) -> str:
+    """Resolve dot segments and guarantee a leading slash."""
+    if not path:
+        return "/"
+    # posixpath.normpath collapses '//' and resolves '.'/'..', but eats
+    # a meaningful trailing slash; restore it.
+    normalized = posixpath.normpath(path)
+    if normalized == ".":
+        normalized = "/"
+    if not normalized.startswith("/"):
+        normalized = "/" + normalized
+    if path.endswith("/") and not normalized.endswith("/"):
+        normalized += "/"
+    return normalized
+
+
+def _normalize_query(query: str) -> str:
+    """Sort query parameters so equivalent URLs compare equal."""
+    if not query:
+        return ""
+    return urlencode(sorted(parse_qsl(query, keep_blank_values=True)))

@@ -1,0 +1,86 @@
+"""Tests for history-graph characterization."""
+
+import pytest
+
+from repro.analysis.graphstats import (
+    DegreeSummary,
+    characterize,
+    session_lengths,
+)
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+
+
+def visit(node_id, ts, url):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    url=url, label=f"page {node_id}")
+
+
+@pytest.fixture()
+def graph():
+    graph = ProvenanceGraph()
+    # Two visits to the same URL (one revisit), one to another.
+    graph.add_node(visit("a", 1, "http://www.x.com/"))
+    graph.add_node(visit("b", 2, "http://www.y.com/"))
+    graph.add_node(visit("c", 3, "http://www.x.com/"))
+    graph.add_edge(EdgeKind.LINK, "a", "b", timestamp_us=2)
+    graph.add_edge(EdgeKind.LINK, "b", "c", timestamp_us=3)
+    graph.add_edge(EdgeKind.CO_OPEN, "a", "c", timestamp_us=3)
+    return graph
+
+
+class TestDegreeSummary:
+    def test_empty(self):
+        summary = DegreeSummary.of([])
+        assert summary.mean == 0.0
+        assert summary.max == 0
+
+    def test_statistics(self):
+        summary = DegreeSummary.of([0, 1, 1, 2, 10])
+        assert summary.mean == pytest.approx(2.8)
+        assert summary.p50 == 1
+        assert summary.max == 10
+
+
+class TestCharacterize:
+    def test_counts(self, graph):
+        result = characterize(graph)
+        assert result.nodes == 3
+        assert result.edges == 3
+        assert result.distinct_urls == 2
+        assert result.max_visits_per_url == 2
+
+    def test_revisit_fraction(self, graph):
+        result = characterize(graph)
+        # 3 visits over 2 URLs -> 1 revisit / 3 visits.
+        assert result.revisit_fraction == pytest.approx(1 / 3)
+
+    def test_user_action_fraction(self, graph):
+        result = characterize(graph)
+        # 2 LINK (user action) + 1 CO_OPEN (automatic).
+        assert result.user_action_edge_fraction == pytest.approx(2 / 3)
+
+    def test_kind_breakdowns(self, graph):
+        result = characterize(graph)
+        assert result.node_kinds == {"page_visit": 3}
+        assert result.edge_kinds == {"co_open": 1, "link": 2}
+
+    def test_as_rows_shape(self, graph):
+        rows = characterize(graph).as_rows()
+        assert all(len(row) == 2 for row in rows)
+        labels = [row[0] for row in rows]
+        assert "revisit fraction" in labels
+
+    def test_empty_graph(self):
+        result = characterize(ProvenanceGraph())
+        assert result.nodes == 0
+        assert result.revisit_fraction == 0.0
+        assert result.user_action_edge_fraction == 0.0
+
+
+class TestSessionLengths:
+    def test_lengths_descending(self, graph):
+        lengths = session_lengths(graph)
+        assert lengths == sorted(lengths, reverse=True)
+        assert sum(lengths) == 3  # every visit is in exactly one tree

@@ -1,0 +1,68 @@
+"""Tests for latency measurement."""
+
+import pytest
+
+from repro.analysis.latency import PAPER_BUDGET_MS, LatencySamples
+
+
+class TestLatencySamples:
+    def test_add_and_count(self):
+        samples = LatencySamples("q")
+        samples.add(10.0)
+        samples.add(20.0)
+        assert samples.count == 2
+        assert samples.mean_ms == 15.0
+
+    def test_time_call_returns_result(self):
+        samples = LatencySamples("q")
+        assert samples.time_call(lambda: 42) == 42
+        assert samples.count == 1
+        assert samples.samples_ms[0] >= 0.0
+
+    def test_percentiles(self):
+        samples = LatencySamples("q")
+        for value in range(1, 101):
+            samples.add(float(value))
+        assert samples.median_ms == pytest.approx(50.0, abs=1.0)
+        assert samples.p95_ms == pytest.approx(95.0, abs=1.0)
+        assert samples.max_ms == 100.0
+
+    def test_percentile_bounds(self):
+        samples = LatencySamples("q")
+        samples.add(5.0)
+        assert samples.percentile(0.0) == 5.0
+        assert samples.percentile(1.0) == 5.0
+        with pytest.raises(ValueError):
+            samples.percentile(1.5)
+
+    def test_empty_statistics(self):
+        samples = LatencySamples("q")
+        assert samples.mean_ms == 0.0
+        assert samples.median_ms == 0.0
+        assert samples.max_ms == 0.0
+        assert samples.fraction_under() == 0.0
+
+    def test_fraction_under_budget(self):
+        samples = LatencySamples("q")
+        samples.add(100.0)
+        samples.add(150.0)
+        samples.add(300.0)
+        assert samples.fraction_under(200.0) == pytest.approx(2 / 3)
+        assert samples.majority_under(200.0)
+
+    def test_majority_fails_when_slow(self):
+        samples = LatencySamples("q")
+        samples.add(300.0)
+        samples.add(400.0)
+        samples.add(100.0)
+        assert not samples.majority_under(200.0)
+
+    def test_paper_budget_is_200ms(self):
+        assert PAPER_BUDGET_MS == 200.0
+
+    def test_summary_format(self):
+        samples = LatencySamples("contextual")
+        samples.add(12.0)
+        text = samples.summary()
+        assert "contextual" in text
+        assert "median" in text

@@ -1,0 +1,105 @@
+"""Tests for retrieval metrics."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.metrics import (
+    MetricAccumulator,
+    hit_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+@dataclass
+class Hit:
+    url: str
+
+
+RESULTS = [Hit("a"), Hit("b"), Hit("c"), Hit("d")]
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(RESULTS, {"a"}) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank(RESULTS, {"c"}) == pytest.approx(1 / 3)
+
+    def test_absent(self):
+        assert reciprocal_rank(RESULTS, {"z"}) == 0.0
+
+    def test_first_relevant_wins(self):
+        assert reciprocal_rank(RESULTS, {"b", "d"}) == 0.5
+
+
+class TestPrecisionRecall:
+    def test_precision_at_2(self):
+        assert precision_at_k(RESULTS, {"a", "c"}, 2) == 0.5
+
+    def test_precision_empty_results(self):
+        assert precision_at_k([], {"a"}, 5) == 0.0
+
+    def test_precision_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RESULTS, {"a"}, 0)
+
+    def test_recall_at_4(self):
+        assert recall_at_k(RESULTS, {"a", "z"}, 4) == 0.5
+
+    def test_recall_no_relevant(self):
+        assert recall_at_k(RESULTS, set(), 4) == 0.0
+
+    def test_hit_at_k(self):
+        assert hit_at_k(RESULTS, {"c"}, 3)
+        assert not hit_at_k(RESULTS, {"c"}, 2)
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(RESULTS, gains, 3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        gains = {"c": 3.0, "b": 2.0, "a": 1.0}
+        assert ndcg_at_k(RESULTS, gains, 3) < 1.0
+
+    def test_no_gains(self):
+        assert ndcg_at_k(RESULTS, {}, 3) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(RESULTS, {"a": 1.0}, 0)
+
+
+class TestAccumulator:
+    def test_mean(self):
+        acc = MetricAccumulator("mrr")
+        acc.add(1.0)
+        acc.add(0.0)
+        assert acc.mean == 0.5
+        assert acc.count == 2
+
+    def test_empty_mean(self):
+        assert MetricAccumulator("x").mean == 0.0
+
+    def test_str(self):
+        acc = MetricAccumulator("mrr")
+        acc.add(0.25)
+        assert "mrr" in str(acc)
+
+
+class TestKeyExtraction:
+    def test_target_url_attribute(self):
+        @dataclass
+        class Remembered:
+            target_url: str
+
+        assert reciprocal_rank([Remembered("x")], {"x"}) == 1.0
+
+    def test_custom_key(self):
+        hits = [("k1", 0.9), ("k2", 0.8)]
+        assert reciprocal_rank(hits, {"k2"}, key=lambda h: h[0]) == 0.5

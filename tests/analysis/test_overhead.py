@@ -1,0 +1,52 @@
+"""Tests for storage overhead accounting."""
+
+import pytest
+
+from repro.analysis.overhead import MB, OverheadReport, measure_overhead
+from repro.browser.downloads import DownloadStore
+from repro.browser.forms import FormHistoryStore
+from repro.browser.places import PlacesStore
+from repro.core.store import ProvenanceStore
+
+
+class TestOverheadReport:
+    def make(self, places=100, downloads=10, forms=10, provenance=50):
+        return OverheadReport(
+            places_bytes=places, downloads_bytes=downloads,
+            forms_bytes=forms, provenance_bytes=provenance,
+        )
+
+    def test_baseline_sums_browser_stores(self):
+        report = self.make()
+        assert report.baseline_bytes == 120
+
+    def test_overhead_ratio(self):
+        report = self.make(places=100, downloads=0, forms=0, provenance=40)
+        assert report.overhead_ratio == pytest.approx(0.4)
+        assert report.overhead_percent == pytest.approx(40.0)
+
+    def test_zero_baseline(self):
+        report = self.make(places=0, downloads=0, forms=0)
+        assert report.overhead_ratio == 0.0
+
+    def test_overhead_mb(self):
+        report = self.make(provenance=2 * MB)
+        assert report.overhead_mb == pytest.approx(2.0)
+
+    def test_summary_mentions_percent(self):
+        assert "%" in self.make().summary()
+
+
+class TestMeasureOverhead:
+    def test_reads_live_stores(self):
+        places = PlacesStore()
+        downloads = DownloadStore()
+        forms = FormHistoryStore()
+        provenance = ProvenanceStore()
+        report = measure_overhead(places, downloads, forms, provenance)
+        assert report.places_bytes > 0
+        assert report.downloads_bytes > 0
+        assert report.forms_bytes > 0
+        assert report.provenance_bytes > 0
+        for store in (places, downloads, forms, provenance):
+            store.close()

@@ -1,0 +1,59 @@
+"""Tests for table rendering."""
+
+from repro.analysis.report import claim_row, format_cell, format_table
+
+
+class TestFormatCell:
+    def test_strings_pass_through(self):
+        assert format_cell("abc") == "abc"
+
+    def test_integers(self):
+        assert format_cell(42) == "42"
+
+    def test_large_float(self):
+        assert format_cell(1234.5) == "1234"
+
+    def test_mid_float(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_small_float(self):
+        assert format_cell(0.1234) == "0.123"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["short", 1], ["a-much-longer-name", 22]],
+        )
+        lines = table.splitlines()
+        # Header and all rows share column positions.
+        value_column = lines[0].index("value")
+        assert lines[2][value_column:].strip().startswith("1")
+
+    def test_title_underlined(self):
+        table = format_table(["a"], [[1]], title="My Table")
+        lines = table.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+    def test_separator_row(self):
+        table = format_table(["col"], [["x"]])
+        assert "---" in table
+
+
+class TestClaimRow:
+    def test_positive(self):
+        row = claim_row("E1", "overhead < 40%", 39.5, True)
+        assert row == ["E1", "overhead < 40%", "39.50", "yes"]
+
+    def test_negative(self):
+        row = claim_row("E1", "overhead < 40%", 99.9, False)
+        assert row[-1] == "NO"

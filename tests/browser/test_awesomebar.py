@@ -1,0 +1,89 @@
+"""Tests for the smart location bar."""
+
+import pytest
+
+from repro.browser.awesomebar import AwesomeBar
+from repro.browser.places import PlacesStore
+from repro.browser.transitions import TransitionType
+from repro.web.url import Url
+
+WINE = Url.parse("http://www.wine-cellar.com/reds")
+FILM = Url.parse("http://www.film-fans.com/kane")
+
+
+@pytest.fixture()
+def store():
+    store = PlacesStore()
+    wine_visit = store.add_visit(
+        WINE, when_us=100, transition=TransitionType.LINK, title="red wines"
+    )
+    store.set_frecency(wine_visit.place_id, 200)
+    film_visit = store.add_visit(
+        FILM, when_us=200, transition=TransitionType.LINK, title="citizen kane"
+    )
+    store.set_frecency(film_visit.place_id, 900)
+    return store
+
+
+@pytest.fixture()
+def bar(store):
+    return AwesomeBar(store)
+
+
+class TestSuggest:
+    def test_matches_url_substring(self, bar):
+        hits = bar.suggest("cellar")
+        assert [h.url for h in hits] == [str(WINE)]
+
+    def test_matches_title_substring(self, bar):
+        hits = bar.suggest("kane")
+        assert [h.url for h in hits] == [str(FILM)]
+
+    def test_all_tokens_must_match(self, bar):
+        assert bar.suggest("wine kane") == []
+        assert bar.suggest("red wines") != []
+
+    def test_frecency_orders(self, bar):
+        # Both match 'www'; film has higher frecency.
+        hits = bar.suggest("www")
+        assert hits[0].url == str(FILM)
+
+    def test_empty_input(self, bar):
+        assert bar.suggest("") == []
+
+    def test_limit(self, store, bar):
+        for index in range(10):
+            store.add_visit(
+                Url.parse(f"http://bulk.com/p{index}"),
+                when_us=300 + index,
+                transition=TransitionType.LINK,
+                title=f"bulk page {index}",
+            )
+        assert len(bar.suggest("bulk", limit=4)) == 4
+
+    def test_hidden_places_excluded(self, store, bar):
+        store.add_visit(
+            Url.parse("http://hidden.com/embed.png"),
+            when_us=400,
+            transition=TransitionType.EMBED,
+        )
+        assert bar.suggest("hidden") == []
+
+
+class TestAdaptive:
+    def test_learn_promotes_choice(self, store, bar):
+        wine_place = store.place_by_url(WINE)
+        # Give film higher frecency so it would win without learning.
+        hits_before = bar.suggest("www")
+        assert hits_before[0].url == str(FILM)
+        bar.learn("www", wine_place.id)
+        hits_after = bar.suggest("www")
+        assert hits_after[0].url == str(WINE)
+        assert hits_after[0].adaptive
+
+    def test_adaptive_prefix_extends(self, store, bar):
+        """Learning 'wi' also boosts the longer input 'wine'."""
+        wine_place = store.place_by_url(WINE)
+        bar.learn("wi", wine_place.id)
+        hits = bar.suggest("wine")
+        assert hits and hits[0].adaptive

@@ -1,0 +1,81 @@
+"""Tests for the download store."""
+
+import pytest
+
+from repro.browser.downloads import DownloadState, DownloadStore
+from repro.errors import NoSuchDownloadError, StoreClosedError
+from repro.web.url import Url
+
+SOURCE = Url.parse("http://cdn.a.com/dl/f001.zip")
+REFERRER = Url.parse("http://www.a.com/files")
+
+
+@pytest.fixture()
+def store():
+    store = DownloadStore()
+    yield store
+    store.close()
+
+
+class TestDownloads:
+    def test_start_records_row(self, store):
+        download_id = store.start_download(
+            SOURCE, "/tmp/f001.zip", when_us=100, referrer=REFERRER,
+            size_bytes=2048,
+        )
+        row = store.get(download_id)
+        assert row.source == str(SOURCE)
+        assert row.target == "/tmp/f001.zip"
+        assert row.referrer == str(REFERRER)
+        assert row.state is DownloadState.DOWNLOADING
+        assert row.size_bytes == 2048
+        assert row.name == "f001.zip"
+
+    def test_finish_marks_finished(self, store):
+        download_id = store.start_download(SOURCE, "/tmp/f", when_us=100)
+        store.finish_download(download_id, when_us=150)
+        row = store.get(download_id)
+        assert row.state is DownloadState.FINISHED
+        assert row.end_time == 150
+
+    def test_finish_failure(self, store):
+        download_id = store.start_download(SOURCE, "/tmp/f", when_us=100)
+        store.finish_download(download_id, when_us=150, ok=False)
+        assert store.get(download_id).state is DownloadState.FAILED
+
+    def test_finish_unknown_raises(self, store):
+        with pytest.raises(NoSuchDownloadError):
+            store.finish_download(999, when_us=1)
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(NoSuchDownloadError):
+            store.get(999)
+
+    def test_no_referrer_stored_empty(self, store):
+        download_id = store.start_download(SOURCE, "/tmp/f", when_us=1)
+        assert store.get(download_id).referrer == ""
+
+    def test_all_downloads_ordered(self, store):
+        first = store.start_download(SOURCE, "/tmp/1", when_us=1)
+        second = store.start_download(SOURCE, "/tmp/2", when_us=2)
+        assert [d.id for d in store.all_downloads()] == [first, second]
+
+    def test_by_source(self, store):
+        store.start_download(SOURCE, "/tmp/1", when_us=1)
+        other = Url.parse("http://cdn.b.com/x.pdf")
+        store.start_download(other, "/tmp/2", when_us=2)
+        assert len(store.by_source(SOURCE)) == 1
+
+    def test_count(self, store):
+        assert store.count() == 0
+        store.start_download(SOURCE, "/tmp/1", when_us=1)
+        assert store.count() == 1
+
+    def test_closed_raises(self):
+        store = DownloadStore()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.count()
+
+    def test_size_bytes(self, store):
+        assert store.size_bytes() > 0

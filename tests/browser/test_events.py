@@ -1,0 +1,53 @@
+"""Tests for the event bus."""
+
+import pytest
+
+from repro.browser.events import EventBus, TabClosed, TabOpened
+
+
+class TestEventBus:
+    def test_publish_reaches_subscribers(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        event = TabOpened(timestamp_us=1, tab_id=1)
+        bus.publish(event)
+        assert seen == [event]
+
+    def test_multiple_subscribers_in_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("first"))
+        bus.subscribe(lambda e: order.append("second"))
+        bus.publish(TabOpened(timestamp_us=1, tab_id=1))
+        assert order == ["first", "second"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.publish(TabClosed(timestamp_us=1, tab_id=1))
+        assert seen == []
+
+    def test_published_count(self):
+        bus = EventBus()
+        bus.publish(TabOpened(timestamp_us=1, tab_id=1))
+        bus.publish(TabClosed(timestamp_us=2, tab_id=1))
+        assert bus.published_count == 2
+
+    def test_listener_error_propagates(self):
+        """Capture loss must be loud, not silent."""
+        bus = EventBus()
+
+        def broken(event):
+            raise RuntimeError("capture failed")
+
+        bus.subscribe(broken)
+        with pytest.raises(RuntimeError):
+            bus.publish(TabOpened(timestamp_us=1, tab_id=1))
+
+    def test_events_are_immutable(self):
+        event = TabOpened(timestamp_us=1, tab_id=1)
+        with pytest.raises(AttributeError):
+            event.tab_id = 2

@@ -1,0 +1,93 @@
+"""Tests for the manual-forensics baseline (use case 2.4 'Currently')."""
+
+import pytest
+
+from repro.browser.downloads import DownloadStore
+from repro.browser.forensics import ManualForensics
+from repro.browser.places import PlacesStore
+from repro.browser.transitions import TransitionType
+from repro.web.url import Url
+
+KNOWN = Url.parse("http://www.known-site.com/")
+LURE = Url.parse("http://www.free-stuff.biz/deals")
+HOST = Url.parse("http://www.free-stuff.biz/files")
+FILE = Url.parse("http://cdn.free-stuff.biz/dl/f1.exe")
+
+
+def build_history(*, typed_break: bool):
+    """KNOWN -> LURE -> HOST -> download, with KNOWN visited 4 times.
+
+    With ``typed_break`` the LURE visit is typed (from_visit = 0),
+    severing the chain exactly where Firefox severs it.
+    """
+    places = PlacesStore()
+    downloads = DownloadStore()
+    for index in range(3):
+        places.add_visit(KNOWN, when_us=index, transition=TransitionType.TYPED,
+                         typed=True)
+    known_visit = places.add_visit(
+        KNOWN, when_us=10, transition=TransitionType.TYPED, typed=True
+    )
+    lure_visit = places.add_visit(
+        LURE, when_us=20,
+        transition=TransitionType.TYPED if typed_break else TransitionType.LINK,
+        from_visit=0 if typed_break else known_visit.id,
+    )
+    host_visit = places.add_visit(
+        HOST, when_us=30, transition=TransitionType.LINK,
+        from_visit=lure_visit.id,
+    )
+    places.add_visit(
+        FILE, when_us=40, transition=TransitionType.DOWNLOAD,
+        from_visit=host_visit.id,
+    )
+    download_id = downloads.start_download(
+        FILE, "/tmp/f1.exe", when_us=40, referrer=HOST
+    )
+    downloads.finish_download(download_id, when_us=41)
+    return places, downloads, download_id
+
+
+class TestTraceDownload:
+    def test_walk_reaches_known_page(self):
+        places, downloads, download_id = build_history(typed_break=False)
+        result = ManualForensics(places, downloads).trace_download(download_id)
+        assert result.succeeded
+        assert result.recognized.url == str(KNOWN)
+        assert result.stopped_because == "recognized"
+        # HOST, LURE, then KNOWN.
+        assert [step.url for step in result.steps] == [
+            str(HOST), str(LURE), str(KNOWN)
+        ]
+
+    def test_typed_navigation_breaks_the_walk(self):
+        """The paper's gap: typed nav has no from_visit, walk dead-ends."""
+        places, downloads, download_id = build_history(typed_break=True)
+        result = ManualForensics(places, downloads).trace_download(download_id)
+        assert not result.succeeded
+        assert result.stopped_because == "dead_end"
+        assert [step.url for step in result.steps] == [str(HOST), str(LURE)]
+
+    def test_unknown_source_not_found(self):
+        places = PlacesStore()
+        downloads = DownloadStore()
+        download_id = downloads.start_download(FILE, "/tmp/x", when_us=1)
+        result = ManualForensics(places, downloads).trace_download(download_id)
+        assert result.stopped_because == "not_found"
+
+    def test_min_visits_threshold_respected(self):
+        places, downloads, download_id = build_history(typed_break=False)
+        strict = ManualForensics(places, downloads, min_visits=100)
+        result = strict.trace_download(download_id)
+        assert not result.succeeded
+
+
+class TestDownloadsUnderPage:
+    def test_referrer_match_only(self):
+        places, downloads, download_id = build_history(typed_break=False)
+        forensics = ManualForensics(places, downloads)
+        assert forensics.downloads_under_page(HOST) == [download_id]
+        # One level up the chain: string matching finds nothing —
+        # the baseline cannot answer descendant queries.
+        assert forensics.downloads_under_page(LURE) == []
+        assert forensics.downloads_under_page(KNOWN) == []

@@ -1,0 +1,77 @@
+"""Tests for form and search-term history."""
+
+import pytest
+
+from repro.browser.forms import SEARCHBAR_FIELD, FormHistoryStore
+from repro.errors import StoreClosedError
+
+
+@pytest.fixture()
+def store():
+    store = FormHistoryStore()
+    yield store
+    store.close()
+
+
+class TestRecord:
+    def test_first_use(self, store):
+        store.record("email", "user@example.com", when_us=100)
+        entries = store.entries_for("email")
+        assert len(entries) == 1
+        assert entries[0].times_used == 1
+        assert entries[0].first_used == 100
+
+    def test_reuse_increments(self, store):
+        store.record("q", "wine", when_us=100)
+        store.record("q", "wine", when_us=200)
+        entry = store.entries_for("q")[0]
+        assert entry.times_used == 2
+        assert entry.first_used == 100
+        assert entry.last_used == 200
+
+    def test_values_distinct_per_field(self, store):
+        store.record("q", "wine", when_us=1)
+        store.record("city", "wine", when_us=2)
+        assert store.count() == 2
+
+    def test_record_search_uses_searchbar_field(self, store):
+        store.record_search("rosebud", when_us=1)
+        searches = store.searches()
+        assert len(searches) == 1
+        assert searches[0].fieldname == SEARCHBAR_FIELD
+        assert searches[0].value == "rosebud"
+
+
+class TestAutocomplete:
+    def test_prefix_match(self, store):
+        store.record_search("rosebud", when_us=1)
+        store.record_search("rose pruning", when_us=2)
+        store.record_search("wine", when_us=3)
+        hits = store.autocomplete(SEARCHBAR_FIELD, "rose")
+        assert set(hits) == {"rosebud", "rose pruning"}
+
+    def test_most_used_first(self, store):
+        store.record_search("rosebud", when_us=1)
+        store.record_search("rose pruning", when_us=2)
+        store.record_search("rose pruning", when_us=3)
+        hits = store.autocomplete(SEARCHBAR_FIELD, "rose")
+        assert hits[0] == "rose pruning"
+
+    def test_limit(self, store):
+        for index in range(20):
+            store.record_search(f"query {index}", when_us=index)
+        assert len(store.autocomplete(SEARCHBAR_FIELD, "query", limit=5)) == 5
+
+    def test_no_match(self, store):
+        assert store.autocomplete(SEARCHBAR_FIELD, "zzz") == []
+
+
+class TestLifecycle:
+    def test_closed_raises(self):
+        store = FormHistoryStore()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.count()
+
+    def test_size_bytes(self, store):
+        assert store.size_bytes() > 0

@@ -1,0 +1,114 @@
+"""Tests for the Firefox frecency algorithm."""
+
+import pytest
+
+from repro.browser.frecency import (
+    SAMPLE_SIZE,
+    VisitSample,
+    frecency_score,
+    recency_weight,
+    recompute_all,
+    recompute_frecency,
+    recompute_recent,
+)
+from repro.browser.places import PlacesStore
+from repro.browser.transitions import TransitionType
+from repro.clock import MICROSECONDS_PER_DAY
+from repro.web.url import Url
+
+URL_A = Url.parse("http://a.com/")
+
+
+class TestRecencyWeight:
+    @pytest.mark.parametrize(
+        "age,weight",
+        [(0, 100), (4, 100), (5, 70), (14, 70), (20, 50), (31, 50),
+         (60, 30), (90, 30), (100, 10)],
+    )
+    def test_buckets(self, age, weight):
+        assert recency_weight(age) == weight
+
+
+class TestFrecencyScore:
+    def test_no_samples_zero(self):
+        assert frecency_score([], 5) == 0
+
+    def test_zero_visit_count_zero(self):
+        samples = [VisitSample(age_days=1, transition=TransitionType.LINK)]
+        assert frecency_score(samples, 0) == 0
+
+    def test_single_recent_link_visit(self):
+        samples = [VisitSample(age_days=1, transition=TransitionType.LINK)]
+        # bonus 100% x weight 100 = 100 points; x 1 visit / 1 sample.
+        assert frecency_score(samples, 1) == 100
+
+    def test_typed_outweighs_link(self):
+        link = [VisitSample(age_days=1, transition=TransitionType.LINK)]
+        typed = [VisitSample(age_days=1, transition=TransitionType.TYPED)]
+        assert frecency_score(typed, 1) > frecency_score(link, 1)
+
+    def test_recency_decay(self):
+        fresh = [VisitSample(age_days=1, transition=TransitionType.LINK)]
+        stale = [VisitSample(age_days=200, transition=TransitionType.LINK)]
+        assert frecency_score(fresh, 1) > frecency_score(stale, 1)
+
+    def test_visit_count_scales(self):
+        samples = [VisitSample(age_days=1, transition=TransitionType.LINK)]
+        assert frecency_score(samples, 10) == 10 * frecency_score(samples, 1)
+
+    def test_embed_only_scores_zero(self):
+        samples = [VisitSample(age_days=1, transition=TransitionType.EMBED)]
+        assert frecency_score(samples, 3) == 0
+
+
+class TestRecompute:
+    def test_recompute_persists(self):
+        store = PlacesStore()
+        now = 10 * MICROSECONDS_PER_DAY
+        visit = store.add_visit(
+            URL_A, when_us=now - MICROSECONDS_PER_DAY,
+            transition=TransitionType.TYPED, typed=True,
+        )
+        score = recompute_frecency(store, visit.place_id, now_us=now)
+        assert score > 0
+        assert store.place_by_id(visit.place_id).frecency == score
+
+    def test_unvisited_place_scores_zero(self):
+        store = PlacesStore()
+        place_id = store.get_or_create_place(URL_A)
+        assert recompute_frecency(store, place_id, now_us=100) == 0
+
+    def test_samples_only_recent_visits(self):
+        store = PlacesStore()
+        now = 400 * MICROSECONDS_PER_DAY
+        place_id = None
+        # SAMPLE_SIZE old visits then one fresh typed visit: the fresh
+        # one must be inside the sample window.
+        for index in range(SAMPLE_SIZE):
+            visit = store.add_visit(
+                URL_A, when_us=index + 1, transition=TransitionType.LINK
+            )
+            place_id = visit.place_id
+        store.add_visit(
+            URL_A, when_us=now - 1000, transition=TransitionType.TYPED,
+            typed=True,
+        )
+        score = recompute_frecency(store, place_id, now_us=now)
+        # All old visits are ancient (weight 10); the fresh typed visit
+        # carries weight 100 at bonus 2000% = 2000 points.
+        assert score > 100
+
+    def test_recompute_all_touches_everything(self):
+        store = PlacesStore()
+        store.add_visit(URL_A, when_us=1, transition=TransitionType.LINK)
+        store.add_visit(Url.parse("http://b.com/"), when_us=2,
+                        transition=TransitionType.LINK)
+        assert recompute_all(store, now_us=100) == 2
+
+    def test_recompute_recent_touches_only_recent(self):
+        store = PlacesStore()
+        store.add_visit(URL_A, when_us=1, transition=TransitionType.LINK)
+        store.add_visit(Url.parse("http://b.com/"), when_us=1000,
+                        transition=TransitionType.LINK)
+        touched = recompute_recent(store, since_us=500, now_us=2000)
+        assert touched == 1

@@ -1,0 +1,91 @@
+"""Tests for baseline textual history search."""
+
+import pytest
+
+from repro.browser.history import HistorySearch
+from repro.browser.places import PlacesStore
+from repro.browser.transitions import TransitionType
+from repro.web.url import Url
+
+SERP = Url.parse("http://www.findit.com/search?q=rosebud")
+KANE = Url.parse("http://www.film-fans.com/citizen-kane.html")
+WINE = Url.parse("http://www.wine-cellar.com/reds")
+
+
+@pytest.fixture()
+def store():
+    store = PlacesStore()
+    store.add_visit(SERP, when_us=1, transition=TransitionType.LINK,
+                    title="rosebud - findit search")
+    store.add_visit(KANE, when_us=2, transition=TransitionType.LINK,
+                    title="citizen kane review")
+    store.add_visit(WINE, when_us=3, transition=TransitionType.LINK,
+                    title="red wines")
+    store.add_visit(WINE, when_us=4, transition=TransitionType.LINK,
+                    title="red wines")
+    return store
+
+
+@pytest.fixture()
+def search(store):
+    return HistorySearch(store)
+
+
+class TestRankedSearch:
+    def test_finds_textual_matches(self, search):
+        hits = search.ranked_search("rosebud")
+        assert [h.url for h in hits] == [str(SERP)]
+
+    def test_the_papers_gap(self, search):
+        """The rosebud query cannot find Citizen Kane — section 2.1."""
+        hits = search.ranked_search("rosebud")
+        assert str(KANE) not in [h.url for h in hits]
+
+    def test_title_terms_match(self, search):
+        hits = search.ranked_search("citizen kane")
+        assert hits[0].url == str(KANE)
+
+    def test_url_terms_match(self, search):
+        hits = search.ranked_search("cellar")
+        assert hits[0].url == str(WINE)
+
+    def test_empty_query(self, search):
+        assert search.ranked_search("") == []
+
+    def test_limit(self, search):
+        assert len(search.ranked_search("red", limit=1)) <= 1
+
+    def test_incremental_reindex(self, store, search):
+        assert search.ranked_search("fresh") == []
+        store.add_visit(
+            Url.parse("http://new.com/fresh"), when_us=9,
+            transition=TransitionType.LINK, title="fresh page",
+        )
+        hits = search.ranked_search("fresh")
+        assert len(hits) == 1
+
+    def test_reindex_returns_added_count(self, store):
+        search = HistorySearch(store)
+        assert search.reindex() == 3  # three distinct places
+        assert search.reindex() == 0
+
+
+class TestSubstringSearch:
+    def test_substring_match(self, search):
+        hits = search.substring_search("kane")
+        assert [h.url for h in hits] == [str(KANE)]
+
+    def test_all_tokens_required(self, search):
+        assert search.substring_search("kane wine") == []
+
+    def test_ordered_by_visit_count(self, store, search):
+        # WINE visited twice, so for a query matching both it wins.
+        store.add_visit(
+            Url.parse("http://www.red-site.com/"), when_us=5,
+            transition=TransitionType.LINK, title="red things",
+        )
+        hits = search.substring_search("red")
+        assert hits[0].url == str(WINE)
+
+    def test_empty_query(self, search):
+        assert search.substring_search("") == []

@@ -1,0 +1,178 @@
+"""Tests for the Places-compatible store."""
+
+import pytest
+
+from repro.browser.places import PlacesStore
+from repro.browser.transitions import TransitionType
+from repro.errors import StoreClosedError
+from repro.web.url import Url
+
+URL_A = Url.parse("http://a.com/x")
+URL_B = Url.parse("http://b.com/y")
+
+
+@pytest.fixture()
+def store():
+    with PlacesStore() as store:
+        yield store
+
+
+class TestPlaces:
+    def test_get_or_create_is_idempotent(self, store):
+        first = store.get_or_create_place(URL_A, "title")
+        second = store.get_or_create_place(URL_A)
+        assert first == second
+        assert store.place_count() == 1
+
+    def test_title_refreshed(self, store):
+        place_id = store.get_or_create_place(URL_A, "old")
+        store.get_or_create_place(URL_A, "new")
+        assert store.place_by_id(place_id).title == "new"
+
+    def test_empty_title_does_not_erase(self, store):
+        place_id = store.get_or_create_place(URL_A, "kept")
+        store.get_or_create_place(URL_A, "")
+        assert store.place_by_id(place_id).title == "kept"
+
+    def test_rev_host_stored_reversed(self, store):
+        store.get_or_create_place(URL_A)
+        row = store.conn.execute("SELECT rev_host FROM moz_places").fetchone()
+        assert row[0] == "moc.a."
+
+    def test_place_by_url_missing(self, store):
+        assert store.place_by_url(URL_B) is None
+
+
+class TestVisits:
+    def test_add_visit_creates_place(self, store):
+        visit = store.add_visit(
+            URL_A, when_us=100, transition=TransitionType.LINK, title="t"
+        )
+        assert visit.id == 1
+        place = store.place_by_url(URL_A)
+        assert place.visit_count == 1
+
+    def test_from_visit_chain(self, store):
+        first = store.add_visit(URL_A, when_us=1, transition=TransitionType.TYPED,
+                                typed=True)
+        second = store.add_visit(
+            URL_B, when_us=2, transition=TransitionType.LINK,
+            from_visit=first.id,
+        )
+        assert second.from_visit == first.id
+
+    def test_hidden_visit_does_not_count(self, store):
+        store.add_visit(URL_A, when_us=1, transition=TransitionType.EMBED)
+        place = store.place_by_url(URL_A)
+        assert place.visit_count == 0
+        assert place.hidden
+
+    def test_typed_flag_sticky(self, store):
+        store.add_visit(URL_A, when_us=1, transition=TransitionType.TYPED,
+                        typed=True)
+        store.add_visit(URL_A, when_us=2, transition=TransitionType.LINK)
+        assert store.place_by_url(URL_A).typed
+
+    def test_visits_for_place_ordered(self, store):
+        store.add_visit(URL_A, when_us=5, transition=TransitionType.LINK)
+        store.add_visit(URL_A, when_us=3, transition=TransitionType.LINK)
+        place = store.place_by_url(URL_A)
+        dates = [v.visit_date for v in store.visits_for_place(place.id)]
+        assert dates == sorted(dates)
+
+    def test_visits_between(self, store):
+        store.add_visit(URL_A, when_us=10, transition=TransitionType.LINK)
+        store.add_visit(URL_B, when_us=20, transition=TransitionType.LINK)
+        window = store.visits_between(5, 15)
+        assert len(window) == 1
+        assert window[0].visit_date == 10
+
+    def test_visit_by_id(self, store):
+        visit = store.add_visit(URL_A, when_us=1, transition=TransitionType.LINK)
+        assert store.visit_by_id(visit.id).place_id == visit.place_id
+        assert store.visit_by_id(9999) is None
+
+    def test_session_recorded(self, store):
+        visit = store.add_visit(
+            URL_A, when_us=1, transition=TransitionType.LINK, session=42
+        )
+        assert store.visit_by_id(visit.id).session == 42
+
+    def test_visit_count_total(self, store):
+        store.add_visit(URL_A, when_us=1, transition=TransitionType.LINK)
+        store.add_visit(URL_A, when_us=2, transition=TransitionType.LINK)
+        assert store.visit_count() == 2
+
+
+class TestBookmarks:
+    def test_roots_created(self, store):
+        # Firefox creates root folders on first run; ids 1 and 2.
+        rows = store.conn.execute(
+            "SELECT COUNT(*) FROM moz_bookmarks WHERE type = 2"
+        ).fetchone()
+        assert rows[0] == 2
+
+    def test_add_bookmark(self, store):
+        bookmark_id = store.add_bookmark(URL_A, "my page", when_us=100)
+        bookmarks = store.bookmarks()
+        assert len(bookmarks) == 1
+        assert bookmarks[0][0] == bookmark_id
+        assert bookmarks[0][2] == "my page"
+
+    def test_bookmark_positions_increment(self, store):
+        store.add_bookmark(URL_A, "first", when_us=1)
+        store.add_bookmark(URL_B, "second", when_us=2)
+        positions = [
+            row[0] for row in store.conn.execute(
+                "SELECT position FROM moz_bookmarks WHERE type = 1"
+                " ORDER BY id"
+            )
+        ]
+        assert positions == [0, 1]
+
+
+class TestInputHistory:
+    def test_record_input_upserts(self, store):
+        place_id = store.get_or_create_place(URL_A)
+        store.record_input(place_id, "wine")
+        store.record_input(place_id, "wine")
+        history = store.input_history()
+        assert history == [(place_id, "wine", 2)]
+
+    def test_input_lowercased(self, store):
+        place_id = store.get_or_create_place(URL_A)
+        store.record_input(place_id, "WiNe")
+        assert store.input_history()[0][1] == "wine"
+
+
+class TestLifecycle:
+    def test_closed_store_raises(self):
+        store = PlacesStore()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.place_count()
+
+    def test_double_close_safe(self):
+        store = PlacesStore()
+        store.close()
+        store.close()
+
+    def test_size_bytes_positive(self, store):
+        assert store.size_bytes() > 0
+
+    def test_size_grows_with_data(self, store):
+        before = store.size_bytes()
+        for index in range(2000):
+            store.add_visit(
+                Url.parse(f"http://bulk.com/page{index}"),
+                when_us=index,
+                transition=TransitionType.LINK,
+                title=f"title {index}",
+            )
+        store.commit()
+        assert store.size_bytes() > before
+
+    def test_frecency_update(self, store):
+        place_id = store.get_or_create_place(URL_A)
+        store.set_frecency(place_id, 1234)
+        assert store.place_by_id(place_id).frecency == 1234

@@ -1,0 +1,363 @@
+"""Tests for the Browser simulator (Places recording and events)."""
+
+import pytest
+
+from repro.browser.events import (
+    BookmarkCreated,
+    DownloadFinished,
+    DownloadStarted,
+    EmbedLoaded,
+    FormSubmitted,
+    NavigationCommitted,
+    PageClosed,
+    SearchIssued,
+    TabClosed,
+    TabOpened,
+)
+from repro.browser.session import Browser
+from repro.browser.transitions import TransitionType
+from repro.clock import SimulatedClock
+from repro.errors import NavigationError, NoSuchBookmarkError, NoSuchTabError
+from repro.web.graph import WebParams, build_web
+from repro.web.page import PageKind
+from repro.web.search_engine import SearchEngine
+from repro.web.serving import WebServer
+
+
+@pytest.fixture(scope="module")
+def web():
+    return build_web(WebParams(sites_per_topic=1, pages_per_site=20), seed=3)
+
+
+@pytest.fixture()
+def browser(web):
+    server = WebServer(web)
+    engine = SearchEngine(web)
+    engine.crawl()
+    browser = Browser(server, SimulatedClock())
+    browser.configure_search(engine)
+    yield browser
+    browser.close()
+
+
+@pytest.fixture()
+def events(browser):
+    collected = []
+    browser.bus.subscribe(collected.append)
+    return collected
+
+
+def events_of(collected, event_type):
+    return [event for event in collected if isinstance(event, event_type)]
+
+
+class TestTabs:
+    def test_open_close(self, browser, events):
+        tab = browser.open_tab()
+        assert browser.open_tabs() == [tab]
+        browser.close_tab(tab)
+        assert browser.open_tabs() == []
+        assert events_of(events, TabOpened)
+        assert events_of(events, TabClosed)
+
+    def test_unknown_tab_raises(self, browser):
+        with pytest.raises(NoSuchTabError):
+            browser.current_page(99)
+
+    def test_blank_tab_has_no_page(self, browser):
+        tab = browser.open_tab()
+        assert browser.current_page(tab) is None
+        assert browser.current_url(tab) is None
+
+
+class TestTypedNavigation:
+    def test_records_visit_without_relationship(self, browser, web, events):
+        tab = browser.open_tab()
+        url = web.content_pages()[0]
+        browser.navigate_typed(tab, url)
+        nav = events_of(events, NavigationCommitted)[0]
+        assert nav.transition is TransitionType.TYPED
+        visit = browser.places.visit_by_id(nav.visit_id)
+        assert visit.from_visit == 0  # Firefox's gap
+        assert browser.places.place_by_url(url).typed
+
+    def test_event_carries_previous_url(self, browser, web, events):
+        tab = browser.open_tab()
+        first, second = web.content_pages()[:2]
+        browser.navigate_typed(tab, first)
+        browser.navigate_typed(tab, second)
+        navs = events_of(events, NavigationCommitted)
+        assert navs[0].previous_url is None
+        assert navs[1].previous_url == first
+
+    def test_accepts_string_url(self, browser, web):
+        tab = browser.open_tab()
+        url = web.content_pages()[0]
+        browser.navigate_typed(tab, str(url))
+        assert browser.current_url(tab) == url
+
+    def test_new_session_per_typed_nav(self, browser, web):
+        tab = browser.open_tab()
+        first, second = web.content_pages()[:2]
+        visit_a = browser.navigate_typed(tab, first)
+        nav_a = browser.places.visits_for_place(
+            browser.places.place_by_url(visit_a.final_url).id
+        )[-1]
+        visit_b = browser.navigate_typed(tab, second)
+        nav_b = browser.places.visits_for_place(
+            browser.places.place_by_url(visit_b.final_url).id
+        )[-1]
+        assert nav_a.session != nav_b.session
+
+
+class TestLinkClicks:
+    def test_from_visit_chains(self, browser, web, events):
+        tab = browser.open_tab()
+        start = next(u for u in web.content_pages() if web.page(u).links)
+        browser.navigate_typed(tab, start)
+        target = web.page(start).links[0]
+        browser.click_link(tab, target)
+        navs = events_of(events, NavigationCommitted)
+        link_visit = browser.places.visit_by_id(navs[-1].visit_id)
+        assert link_visit.from_visit == navs[-2].visit_id
+        assert navs[-1].referrer == start
+
+    def test_strict_rejects_absent_link(self, browser, web):
+        tab = browser.open_tab()
+        pages = web.content_pages()
+        browser.navigate_typed(tab, pages[0])
+        stranger = pages[-1]
+        if stranger in web.page(pages[0]).out_urls():
+            pytest.skip("unlucky web layout")
+        with pytest.raises(NavigationError):
+            browser.click_link(tab, stranger)
+
+    def test_click_without_page_raises(self, browser, web):
+        tab = browser.open_tab()
+        with pytest.raises(NavigationError):
+            browser.click_link(tab, web.content_pages()[0])
+
+    def test_session_inherited_on_click(self, browser, web):
+        tab = browser.open_tab()
+        start = next(u for u in web.content_pages() if web.page(u).links)
+        browser.navigate_typed(tab, start)
+        target = web.page(start).links[0]
+        browser.click_link(tab, target)
+        place = browser.places.place_by_url(browser.current_url(tab))
+        visits = browser.places.visits_for_place(place.id)
+        start_place = browser.places.place_by_url(start)
+        start_visit = browser.places.visits_for_place(start_place.id)[-1]
+        assert visits[-1].session == start_visit.session
+
+
+class TestNewTab:
+    def test_open_in_new_tab(self, browser, web, events):
+        tab = browser.open_tab()
+        start = next(u for u in web.content_pages() if web.page(u).links)
+        browser.navigate_typed(tab, start)
+        target = web.page(start).links[0]
+        new_tab = browser.open_in_new_tab(tab, target)
+        assert new_tab != tab
+        assert browser.current_url(new_tab) is not None
+        opened = events_of(events, TabOpened)[-1]
+        assert opened.opener_tab_id == tab
+
+
+class TestEmbeds:
+    def test_embed_visits_recorded_hidden(self, browser, web, events):
+        tab = browser.open_tab()
+        with_embed = next(
+            (u for u in web.content_pages() if web.page(u).embeds), None
+        )
+        if with_embed is None:
+            pytest.skip("no embeds in this web")
+        browser.navigate_typed(tab, with_embed)
+        embeds = events_of(events, EmbedLoaded)
+        assert len(embeds) == len(web.page(with_embed).embeds)
+        for event in embeds:
+            place = browser.places.place_by_url(event.embed_url)
+            assert place.hidden
+            visit = browser.places.visit_by_id(event.visit_id)
+            assert visit.visit_type is TransitionType.EMBED
+            assert visit.from_visit != 0
+
+
+class TestRedirects:
+    def test_chain_recorded(self, browser, web, events):
+        redirect = next(
+            page.url for page in web.all_pages()
+            if page.kind is PageKind.REDIRECT
+        )
+        tab = browser.open_tab()
+        result = browser.navigate_typed(tab, redirect)
+        assert result.was_redirected
+        nav = events_of(events, NavigationCommitted)[-1]
+        assert nav.redirect_chain == result.redirect_chain
+        final_visit = browser.places.visit_by_id(nav.visit_id)
+        assert final_visit.visit_type is TransitionType.REDIRECT_TEMPORARY
+        hop_visit = browser.places.visit_by_id(final_visit.from_visit)
+        assert hop_visit is not None
+        assert hop_visit.visit_type is TransitionType.TYPED
+
+
+class TestSearch:
+    def test_search_records_term_and_serp(self, browser, events):
+        tab = browser.open_tab()
+        browser.search_web(tab, "wine tasting")
+        issued = events_of(events, SearchIssued)[0]
+        assert issued.query == "wine tasting"
+        assert browser.forms.searches()[0].value == "wine tasting"
+        nav = events_of(events, NavigationCommitted)[-1]
+        assert nav.url == issued.results_url
+        assert browser.places.visit_by_id(nav.visit_id).from_visit == 0
+
+    def test_click_result(self, browser, events):
+        tab = browser.open_tab()
+        browser.search_web(tab, "wine")
+        result = browser.click_result(tab, 0)
+        assert result.final_url != browser.search_engine.results_url("wine")
+        nav = events_of(events, NavigationCommitted)[-1]
+        assert nav.transition is TransitionType.LINK
+
+    def test_click_result_out_of_range(self, browser):
+        tab = browser.open_tab()
+        browser.search_web(tab, "wine")
+        with pytest.raises(NavigationError):
+            browser.click_result(tab, 99)
+
+    def test_click_result_requires_serp(self, browser, web):
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, web.content_pages()[0])
+        with pytest.raises(NavigationError):
+            browser.click_result(tab, 0)
+
+    def test_search_without_engine(self, web):
+        browser = Browser(WebServer(web), SimulatedClock())
+        tab = browser.open_tab()
+        with pytest.raises(NavigationError):
+            browser.search_web(tab, "wine")
+        browser.close()
+
+
+class TestBookmarks:
+    def test_add_and_click(self, browser, web, events):
+        tab = browser.open_tab()
+        url = web.content_pages()[0]
+        browser.navigate_typed(tab, url)
+        bookmark_id = browser.add_bookmark(tab)
+        created = events_of(events, BookmarkCreated)[0]
+        assert created.bookmark_id == bookmark_id
+        assert created.url == url
+
+        other = web.content_pages()[1]
+        browser.navigate_typed(tab, other)
+        browser.click_bookmark(tab, bookmark_id)
+        assert browser.current_url(tab) == url
+        nav = events_of(events, NavigationCommitted)[-1]
+        assert nav.transition is TransitionType.BOOKMARK
+        assert nav.via_bookmark_id == bookmark_id
+        assert browser.places.visit_by_id(nav.visit_id).from_visit == 0
+
+    def test_click_unknown_bookmark(self, browser):
+        tab = browser.open_tab()
+        with pytest.raises(NoSuchBookmarkError):
+            browser.click_bookmark(tab, 999)
+
+    def test_bookmark_blank_tab_raises(self, browser):
+        tab = browser.open_tab()
+        with pytest.raises(NavigationError):
+            browser.add_bookmark(tab)
+
+
+class TestDownloads:
+    def test_download_records_everywhere(self, browser, web, events):
+        hosting = next(
+            (u for u in web.all_urls() if web.page(u).downloads), None
+        )
+        assert hosting is not None
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, hosting)
+        target = web.page(hosting).downloads[0]
+        download_id = browser.download_link(tab, target)
+
+        row = browser.downloads.get(download_id)
+        assert row.referrer == str(hosting)
+        assert row.state.name == "FINISHED"
+
+        started = events_of(events, DownloadStarted)[0]
+        finished = events_of(events, DownloadFinished)[0]
+        assert started.download_id == finished.download_id == download_id
+        assert started.source_url == hosting
+
+        place = browser.places.place_by_url(started.download_url)
+        visits = browser.places.visits_for_place(place.id)
+        assert visits[-1].visit_type is TransitionType.DOWNLOAD
+
+    def test_strict_download_requires_link(self, browser, web):
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, web.content_pages()[0])
+        download = web.download_urls()[0]
+        if download in web.page(web.content_pages()[0]).out_urls():
+            pytest.skip("unlucky layout")
+        with pytest.raises(NavigationError):
+            browser.download_link(tab, download)
+
+
+class TestForms:
+    def test_submit_form(self, browser, web, events):
+        tab = browser.open_tab()
+        start = web.content_pages()[0]
+        browser.navigate_typed(tab, start)
+        from repro.web.url import Url
+
+        action = Url.build(start.host, "/")
+        browser.submit_form(tab, action, {"q": "wine"})
+        submitted = events_of(events, FormSubmitted)[0]
+        assert submitted.fields == (("q", "wine"),)
+        assert browser.forms.entries_for("q")[0].value == "wine"
+        nav = events_of(events, NavigationCommitted)[-1]
+        assert nav.transition is TransitionType.LINK
+
+
+class TestBackAndClose:
+    def test_back_restores_previous(self, browser, web):
+        tab = browser.open_tab()
+        first, second = web.content_pages()[:2]
+        browser.navigate_typed(tab, first)
+        browser.navigate_typed(tab, second)
+        visits_before = browser.places.visit_count()
+        assert browser.back(tab) == first
+        assert browser.current_url(tab) == first
+        assert browser.places.visit_count() == visits_before  # no new visit
+
+    def test_back_without_history(self, browser):
+        tab = browser.open_tab()
+        assert not browser.can_go_back(tab)
+        with pytest.raises(NavigationError):
+            browser.back(tab)
+
+    def test_page_closed_on_navigate_away(self, browser, web, events):
+        tab = browser.open_tab()
+        first, second = web.content_pages()[:2]
+        browser.navigate_typed(tab, first)
+        browser.navigate_typed(tab, second)
+        closes = events_of(events, PageClosed)
+        assert closes[0].url == first
+
+    def test_intervals_track_display_time(self, browser, web):
+        tab = browser.open_tab()
+        first, second = web.content_pages()[:2]
+        browser.navigate_typed(tab, first)
+        browser.clock.advance_seconds(30)
+        browser.navigate_typed(tab, second)
+        browser.close_tab(tab)
+        intervals = browser.closed_intervals()
+        assert len(intervals) == 2
+        assert intervals[0].url == first
+        assert intervals[0].duration_us >= 30_000_000
+
+    def test_shutdown_closes_all_tabs(self, browser, web):
+        browser.open_tab()
+        browser.open_tab()
+        browser.shutdown()
+        assert browser.open_tabs() == []

@@ -1,0 +1,45 @@
+"""Tests for tab state and open intervals."""
+
+from repro.browser.tabs import OpenInterval, Tab
+from repro.web.url import Url
+
+URL = Url.parse("http://a.com/")
+
+
+class TestTab:
+    def test_blank_tab(self):
+        tab = Tab(id=1, session_id=1, opened_us=0)
+        assert tab.is_blank
+        assert tab.url is None
+        assert not tab.can_go_back()
+
+    def test_back_stack(self):
+        tab = Tab(id=1, session_id=1, opened_us=0)
+        tab.back_stack.append(URL)
+        assert tab.can_go_back()
+
+
+class TestOpenInterval:
+    def make(self, tab_id, opened, closed):
+        return OpenInterval(tab_id=tab_id, url=URL, opened_us=opened,
+                            closed_us=closed)
+
+    def test_duration(self):
+        assert self.make(1, 10, 25).duration_us == 15
+
+    def test_overlap_true(self):
+        assert self.make(1, 0, 10).overlaps(self.make(2, 5, 15))
+
+    def test_overlap_symmetric(self):
+        first = self.make(1, 0, 10)
+        second = self.make(2, 5, 15)
+        assert first.overlaps(second) == second.overlaps(first)
+
+    def test_touching_does_not_overlap(self):
+        assert not self.make(1, 0, 10).overlaps(self.make(2, 10, 20))
+
+    def test_disjoint(self):
+        assert not self.make(1, 0, 5).overlaps(self.make(2, 6, 8))
+
+    def test_containment_overlaps(self):
+        assert self.make(1, 0, 100).overlaps(self.make(2, 40, 50))

@@ -1,0 +1,57 @@
+"""Tests for Firefox transition types."""
+
+import pytest
+
+from repro.browser.transitions import FRECENCY_BONUS, TransitionType
+
+
+class TestValues:
+    """Integer values must match Firefox's nsINavHistoryService."""
+
+    @pytest.mark.parametrize(
+        "name,value",
+        [
+            ("LINK", 1), ("TYPED", 2), ("BOOKMARK", 3), ("EMBED", 4),
+            ("REDIRECT_PERMANENT", 5), ("REDIRECT_TEMPORARY", 6),
+            ("DOWNLOAD", 7), ("FRAMED_LINK", 8),
+        ],
+    )
+    def test_firefox_constants(self, name, value):
+        assert TransitionType[name].value == value
+
+
+class TestClassification:
+    def test_redirects(self):
+        assert TransitionType.REDIRECT_PERMANENT.is_redirect
+        assert TransitionType.REDIRECT_TEMPORARY.is_redirect
+        assert not TransitionType.LINK.is_redirect
+
+    def test_user_actions(self):
+        user_driven = {t for t in TransitionType if t.is_user_action}
+        assert user_driven == {
+            TransitionType.LINK, TransitionType.TYPED,
+            TransitionType.BOOKMARK, TransitionType.DOWNLOAD,
+        }
+
+    def test_hidden(self):
+        hidden = {t for t in TransitionType if t.is_hidden}
+        assert hidden == {
+            TransitionType.EMBED, TransitionType.REDIRECT_PERMANENT,
+            TransitionType.REDIRECT_TEMPORARY, TransitionType.FRAMED_LINK,
+        }
+
+    def test_user_action_and_hidden_disjoint(self):
+        for transition in TransitionType:
+            assert not (transition.is_user_action and transition.is_hidden)
+
+
+class TestFrecencyBonuses:
+    def test_every_transition_has_bonus(self):
+        assert set(FRECENCY_BONUS) == set(TransitionType)
+
+    def test_typed_is_strongest(self):
+        assert FRECENCY_BONUS[TransitionType.TYPED] == max(FRECENCY_BONUS.values())
+
+    def test_automatic_transitions_weak(self):
+        assert FRECENCY_BONUS[TransitionType.EMBED] == 0
+        assert FRECENCY_BONUS[TransitionType.DOWNLOAD] == 0

@@ -1,0 +1,54 @@
+"""Shared fixtures.
+
+The expensive fixtures (built web, browsed simulation) are session- or
+module-scoped: tests that only read from them share one instance,
+keeping the suite fast while still exercising realistic state.
+Mutating tests build their own small instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulation
+from repro.user.personas import default_profile
+from repro.user.workload import WorkloadParams
+from repro.web.graph import WebParams, build_web
+
+
+@pytest.fixture(scope="session")
+def small_web():
+    """A compact web graph shared by read-only tests."""
+    return build_web(
+        WebParams(sites_per_topic=1, pages_per_site=20), seed=42
+    )
+
+
+@pytest.fixture(scope="session")
+def browsed_sim():
+    """A simulation after a 3-day workload — READ ONLY.
+
+    Shared across the suite; tests must not navigate, mutate stores,
+    or attach captures.  Tests that need to drive the browser build
+    their own simulation.
+    """
+    sim = Simulation.build(seed=42, with_proxy=True)
+    sim.run_workload(
+        default_profile(),
+        WorkloadParams(days=3, sessions_per_day=3, actions_per_session=14, seed=5),
+    )
+    return sim
+
+
+@pytest.fixture()
+def fresh_sim():
+    """A small, freshly assembled simulation the test may mutate."""
+    sim = Simulation.build(seed=7)
+    yield sim
+    sim.close()
+
+
+def make_sim(**kwargs) -> Simulation:
+    """Builder for tests needing custom configuration."""
+    kwargs.setdefault("seed", 7)
+    return Simulation.build(**kwargs)

@@ -1,0 +1,141 @@
+"""Tests for contextual history search (use case 2.1)."""
+
+import pytest
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.contextual import ContextualParams, ContextualSearch
+from repro.core.taxonomy import EdgeKind, NodeKind
+
+
+@pytest.fixture()
+def rosebud_graph():
+    """The paper's exact scenario as a minimal graph.
+
+    term('rosebud') -> serp (rosebud in label/url)
+    serp -> kane (no 'rosebud' anywhere in its text)
+    plus an unrelated wine page.
+    """
+    graph = ProvenanceGraph()
+    graph.add_node(ProvNode(id="term", kind=NodeKind.SEARCH_TERM,
+                            timestamp_us=1, label="rosebud"))
+    graph.add_node(ProvNode(
+        id="serp", kind=NodeKind.PAGE_VISIT, timestamp_us=2,
+        label="rosebud - findit search",
+        url="http://www.findit.com/search?q=rosebud",
+    ))
+    graph.add_node(ProvNode(
+        id="kane", kind=NodeKind.PAGE_VISIT, timestamp_us=3,
+        label="citizen kane review",
+        url="http://www.film-fans.com/citizen-kane.html",
+    ))
+    graph.add_node(ProvNode(
+        id="wine", kind=NodeKind.PAGE_VISIT, timestamp_us=4,
+        label="red wines", url="http://www.wine-cellar.com/reds",
+    ))
+    graph.add_edge(EdgeKind.SEARCHED, "term", "serp", timestamp_us=2)
+    graph.add_edge(EdgeKind.LINK, "serp", "kane", timestamp_us=3)
+    return graph
+
+
+@pytest.fixture()
+def search(rosebud_graph):
+    return ContextualSearch(rosebud_graph)
+
+
+class TestThePapersScenario:
+    def test_textual_baseline_misses_kane(self, search):
+        hits = search.textual_search("rosebud")
+        assert "kane" not in [hit.node_id for hit in hits]
+
+    def test_contextual_search_finds_kane(self, search):
+        hits = search.search("rosebud")
+        ids = [hit.node_id for hit in hits]
+        assert "kane" in ids
+
+    def test_kane_flagged_as_provenance_find(self, search):
+        hits = search.search("rosebud")
+        kane = next(hit for hit in hits if hit.node_id == "kane")
+        assert kane.found_by_provenance_only
+        assert kane.seed_score == 0.0
+        assert kane.score > 0.0
+
+    def test_unrelated_page_excluded(self, search):
+        hits = search.search("rosebud")
+        assert "wine" not in [hit.node_id for hit in hits]
+
+    def test_serp_still_ranked_first(self, search):
+        hits = search.search("rosebud")
+        assert hits[0].node_id == "serp"
+
+
+class TestMechanics:
+    def test_empty_query(self, search):
+        assert search.search("") == []
+
+    def test_no_match_query(self, search):
+        assert search.search("zzzzz") == []
+
+    def test_limit(self, search):
+        assert len(search.search("rosebud", limit=1)) == 1
+
+    def test_search_terms_not_in_results(self, search):
+        hits = search.search("rosebud")
+        assert "term" not in [hit.node_id for hit in hits]
+
+    def test_url_dedup_keeps_best_instance(self, rosebud_graph):
+        # Second visit to the kane URL, unconnected to the search.
+        rosebud_graph.add_node(ProvNode(
+            id="kane2", kind=NodeKind.PAGE_VISIT, timestamp_us=9,
+            label="citizen kane review",
+            url="http://www.film-fans.com/citizen-kane.html",
+        ))
+        search = ContextualSearch(rosebud_graph)
+        hits = search.search("rosebud")
+        kane_hits = [
+            hit for hit in hits
+            if hit.url == "http://www.film-fans.com/citizen-kane.html"
+        ]
+        assert len(kane_hits) == 1
+
+    def test_hidden_nodes_not_results(self, rosebud_graph):
+        rosebud_graph.add_node(ProvNode(
+            id="hop", kind=NodeKind.PAGE_VISIT, timestamp_us=5,
+            label="rosebud hop", url="http://sho.ly/rosebud",
+            attrs={"hidden": 1},
+        ))
+        search = ContextualSearch(rosebud_graph)
+        assert "hop" not in [hit.node_id for hit in search.search("rosebud")]
+
+    def test_incremental_nodes_visible(self, rosebud_graph, search):
+        search.search("rosebud")  # build index
+        rosebud_graph.add_node(ProvNode(
+            id="late", kind=NodeKind.PAGE_VISIT, timestamp_us=10,
+            label="late rosebud page", url="http://late.com/",
+        ))
+        hits = search.search("rosebud")
+        assert "late" in [hit.node_id for hit in hits]
+
+    def test_zero_context_weight_equals_textual(self, rosebud_graph):
+        params = ContextualParams(context_weight=0.0)
+        search = ContextualSearch(rosebud_graph, params)
+        contextual_ids = {h.node_id for h in search.search("rosebud")}
+        textual_ids = {h.node_id for h in search.textual_search("rosebud")}
+        assert contextual_ids == textual_ids
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            ContextualParams(seed_limit=0)
+        with pytest.raises(ValueError):
+            ContextualParams(context_weight=-1.0)
+
+    def test_downloads_can_be_results(self, rosebud_graph):
+        rosebud_graph.add_node(ProvNode(
+            id="dl", kind=NodeKind.DOWNLOAD, timestamp_us=6,
+            label="kane-poster.jpg", url="http://cdn.film-fans.com/p.jpg",
+        ))
+        rosebud_graph.add_edge(EdgeKind.DOWNLOADED, "kane", "dl",
+                               timestamp_us=6)
+        search = ContextualSearch(rosebud_graph)
+        hits = search.search("rosebud")
+        assert "dl" in [hit.node_id for hit in hits]

@@ -1,0 +1,122 @@
+"""Tests for the query engine facade (uniform time-bounding)."""
+
+import pytest
+
+from repro.core.query.engine import ProvenanceQueryEngine
+from repro.core.query.timebound import BoundedResult
+from tests.conftest import make_sim
+
+
+@pytest.fixture(scope="module")
+def engine_and_sim():
+    sim = make_sim(seed=19)
+    browser, web = sim.browser, sim.web
+    tab = browser.open_tab()
+    browser.search_web(tab, "wine tasting")
+    browser.click_result(tab, 0)
+    other = browser.open_tab()
+    browser.navigate_typed(other, web.content_pages()[5])
+    hosting = next(u for u in web.all_urls() if web.page(u).downloads)
+    browser.navigate_typed(tab, hosting)
+    download_id = browser.download_link(tab, web.page(hosting).downloads[0])
+    browser.close_tab(other)
+    browser.close_tab(tab)
+    engine = ProvenanceQueryEngine.from_capture(sim.capture)
+    return engine, sim, download_id
+
+
+class TestUnbounded:
+    def test_contextual(self, engine_and_sim):
+        engine, _sim, _dl = engine_and_sim
+        hits = engine.contextual_search("wine")
+        assert isinstance(hits, list)
+        assert hits
+
+    def test_textual_baseline(self, engine_and_sim):
+        engine, _sim, _dl = engine_and_sim
+        assert isinstance(engine.textual_search("wine"), list)
+
+    def test_personalize(self, engine_and_sim):
+        engine, _sim, _dl = engine_and_sim
+        augmented = engine.personalize_query("wine")
+        assert augmented.original == "wine"
+
+    def test_temporal(self, engine_and_sim):
+        engine, _sim, _dl = engine_and_sim
+        assert isinstance(engine.temporal_search("wine", "tasting"), list)
+
+    def test_window(self, engine_and_sim):
+        engine, sim, _dl = engine_and_sim
+        hits = engine.window_search("wine", 0, sim.clock.now_us)
+        assert isinstance(hits, list)
+
+    def test_lineage(self, engine_and_sim):
+        engine, sim, download_id = engine_and_sim
+        node_id = sim.capture.node_for_download(download_id)
+        answer = engine.download_lineage(node_id)
+        assert answer.path or answer.recognizable is None
+
+    def test_downloads_from(self, engine_and_sim):
+        engine, sim, download_id = engine_and_sim
+        source = sim.browser.downloads.get(download_id).referrer
+        steps = engine.downloads_from(source)
+        assert [step.kind for step in steps] == ["download"]
+
+
+class TestBounded:
+    @pytest.mark.parametrize("method,args", [
+        ("contextual_search", ("wine",)),
+        ("personalize_query", ("wine",)),
+        ("temporal_search", ("wine", "tasting")),
+    ])
+    def test_bounded_returns_wrapper(self, engine_and_sim, method, args):
+        engine, _sim, _dl = engine_and_sim
+        result = getattr(engine, method)(*args, budget_ms=200.0)
+        assert isinstance(result, BoundedResult)
+        assert result.elapsed_ms >= 0.0
+
+    def test_bounded_lineage(self, engine_and_sim):
+        engine, sim, download_id = engine_and_sim
+        node_id = sim.capture.node_for_download(download_id)
+        result = engine.download_lineage(node_id, budget_ms=200.0)
+        assert isinstance(result, BoundedResult)
+
+    def test_bounded_window(self, engine_and_sim):
+        engine, sim, _dl = engine_and_sim
+        result = engine.window_search("wine", 0, sim.clock.now_us,
+                                      budget_ms=200.0)
+        assert isinstance(result, BoundedResult)
+
+    def test_generous_budget_completes(self, engine_and_sim):
+        engine, _sim, _dl = engine_and_sim
+        result = engine.contextual_search("wine", budget_ms=5000.0)
+        assert result.completed
+
+    def test_bounded_value_matches_unbounded(self, engine_and_sim):
+        engine, _sim, _dl = engine_and_sim
+        unbounded = engine.contextual_search("wine")
+        bounded = engine.contextual_search("wine", budget_ms=5000.0)
+        assert [h.node_id for h in bounded.value] == [
+            h.node_id for h in unbounded
+        ]
+
+
+class TestFileLineage:
+    def test_by_target_path(self, engine_and_sim):
+        engine, sim, download_id = engine_and_sim
+        row = sim.browser.downloads.get(download_id)
+        answer = engine.file_lineage(row.target)
+        assert answer.recognizable is not None or answer.path == ()
+
+    def test_bounded_variant(self, engine_and_sim):
+        engine, sim, download_id = engine_and_sim
+        row = sim.browser.downloads.get(download_id)
+        result = engine.file_lineage(row.target, budget_ms=200.0)
+        assert isinstance(result, BoundedResult)
+
+    def test_unknown_file(self, engine_and_sim):
+        engine, _sim, _dl = engine_and_sim
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            engine.file_lineage("/no/such/file.bin")

@@ -1,0 +1,211 @@
+"""Tests for download lineage queries (use case 2.4)."""
+
+import pytest
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.lineage import LineageQuery, RecognizabilityModel
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import QueryError
+
+
+def visit(node_id, ts, url, label="", **attrs):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    label=label, url=url, attrs=attrs)
+
+
+@pytest.fixture()
+def infection_graph():
+    """known (visited 4x) -> lure -> redirect hop -> host -> malware.exe.
+
+    Only 'known' clears the recognizability bar; the redirect hop is a
+    non-user-action edge lineage must traverse anyway.
+    """
+    graph = ProvenanceGraph()
+    known_url = "http://www.music-site.com/"
+    for index in range(4):
+        graph.add_node(visit(f"known{index}", index, known_url, "music home",
+                             transition="typed"))
+    graph.add_node(visit("lure", 10, "http://www.free-stuff.biz/deals",
+                         "free stuff deals"))
+    graph.add_node(visit("hop", 11, "http://sho.ly/3f2a", "", hidden=1))
+    graph.add_node(visit("host", 12, "http://www.free-stuff.biz/files",
+                         "download files"))
+    graph.add_node(ProvNode(
+        id="malware", kind=NodeKind.DOWNLOAD, timestamp_us=13,
+        label="f00123.exe", url="http://cdn.free-stuff.biz/dl/f00123.exe",
+    ))
+    graph.add_edge(EdgeKind.LINK, "known3", "lure", timestamp_us=10)
+    graph.add_edge(EdgeKind.LINK, "lure", "hop", timestamp_us=11)
+    graph.add_edge(EdgeKind.REDIRECT, "hop", "host", timestamp_us=12)
+    graph.add_edge(EdgeKind.DOWNLOADED, "host", "malware", timestamp_us=13)
+    return graph
+
+
+@pytest.fixture()
+def query(infection_graph):
+    return LineageQuery(infection_graph)
+
+
+class TestRecognizability:
+    def test_visit_count_drives_score(self, infection_graph):
+        model = RecognizabilityModel()
+        known = infection_graph.node("known0")
+        lure = infection_graph.node("lure")
+        assert model.score(infection_graph, known) > model.score(
+            infection_graph, lure
+        )
+
+    def test_typed_bonus(self, infection_graph):
+        model = RecognizabilityModel()
+        known = infection_graph.node("known0")
+        # 4 instances + 4 typed bonuses of 1.5 = 10.
+        assert model.score(infection_graph, known) == pytest.approx(10.0)
+
+    def test_single_pasted_url_not_recognized(self):
+        """One typed visit must stay below the recognition bar."""
+        graph = ProvenanceGraph()
+        graph.add_node(visit("v", 1, "http://www.pasted.biz/",
+                             transition="typed"))
+        model = RecognizabilityModel()
+        assert not model.recognizes(graph, graph.node("v"))
+
+    def test_urlless_nodes_score_zero(self, infection_graph):
+        model = RecognizabilityModel()
+        node = ProvNode(id="x", kind=NodeKind.SEARCH_TERM, timestamp_us=1,
+                        label="term")
+        assert model.score(infection_graph, node) == 0.0
+
+    def test_bookmark_bonus(self):
+        graph = ProvenanceGraph()
+        url = "http://www.saved.com/"
+        graph.add_node(visit("v", 1, url))
+        graph.add_node(ProvNode(id="bm", kind=NodeKind.BOOKMARK,
+                                timestamp_us=2, label="saved", url=url))
+        model = RecognizabilityModel()
+        assert model.score(graph, graph.node("v")) == pytest.approx(4.0)
+
+
+class TestFirstRecognizableAncestor:
+    def test_finds_known_page(self, query):
+        answer = query.first_recognizable_ancestor("malware")
+        assert answer.recognizable is not None
+        assert answer.recognizable.url == "http://www.music-site.com/"
+        assert answer.depth == 4  # host, hop, lure, known
+
+    def test_path_is_complete_chain(self, query):
+        answer = query.first_recognizable_ancestor("malware")
+        urls = [step.url for step in answer.path]
+        assert urls[0] == "http://www.music-site.com/"
+        assert urls[-1] == "http://cdn.free-stuff.biz/dl/f00123.exe"
+        assert len(urls) == 5
+
+    def test_ancestors_examined_counted(self, query):
+        answer = query.first_recognizable_ancestor("malware")
+        assert answer.ancestors_examined == 4
+
+    def test_no_recognizable_ancestor(self, infection_graph):
+        strict = LineageQuery(
+            infection_graph,
+            recognizer=RecognizabilityModel(min_visits=1000),
+        )
+        answer = strict.first_recognizable_ancestor("malware")
+        assert answer.recognizable is None
+        assert answer.depth == -1
+        assert answer.path == ()
+
+    def test_depth_bound(self, query):
+        answer = query.first_recognizable_ancestor("malware", max_depth=2)
+        assert answer.recognizable is None
+
+
+class TestDownloadsDescending:
+    def test_from_visit_instance(self, query):
+        steps = query.downloads_descending_from("lure")
+        assert [step.node_id for step in steps] == ["malware"]
+
+    def test_from_url_sweeps_instances(self, query):
+        steps = query.downloads_from_url("http://www.free-stuff.biz/deals")
+        assert [step.node_id for step in steps] == ["malware"]
+
+    def test_unknown_url_raises(self, query):
+        with pytest.raises(QueryError):
+            query.downloads_from_url("http://never-visited.com/")
+
+    def test_no_downloads_under_leaf(self, query):
+        assert query.downloads_descending_from("malware") == []
+
+    def test_multiple_instances_deduplicated(self, infection_graph):
+        # A second visit to the lure page, also upstream of the malware.
+        infection_graph.add_node(
+            visit("lure2", 9, "http://www.free-stuff.biz/deals")
+        )
+        infection_graph.add_edge(EdgeKind.LINK, "lure2", "hop",
+                                 timestamp_us=11)
+        query = LineageQuery(infection_graph)
+        steps = query.downloads_from_url("http://www.free-stuff.biz/deals")
+        assert len(steps) == 1
+
+
+class TestFileEntryPoint:
+    @pytest.fixture()
+    def graph_with_paths(self, infection_graph):
+        # Give the malware node a target path, plus an older duplicate.
+        infection_graph.add_node(ProvNode(
+            id="old_dl", kind=NodeKind.DOWNLOAD, timestamp_us=2,
+            label="f00123.exe", url="http://cdn.elsewhere.com/f00123.exe",
+            attrs={"target_path": "/home/user/Downloads/f00123.exe"},
+        ))
+        # Rebuild the malware node is immutable; add a fresh node with
+        # the path attr and an edge mirroring the original.
+        infection_graph.add_node(ProvNode(
+            id="malware2", kind=NodeKind.DOWNLOAD, timestamp_us=14,
+            label="f00123.exe",
+            url="http://cdn.free-stuff.biz/dl/f00123.exe?v=2",
+            attrs={"target_path": "/home/user/Downloads/f00123.exe"},
+        ))
+        infection_graph.add_edge(EdgeKind.DOWNLOADED, "host", "malware2",
+                                 timestamp_us=14)
+        return infection_graph
+
+    def test_most_recent_download_wins(self, graph_with_paths):
+        query = LineageQuery(graph_with_paths)
+        node_id = query.node_for_file("/home/user/Downloads/f00123.exe")
+        assert node_id == "malware2"
+
+    def test_file_lineage_resolves(self, graph_with_paths):
+        query = LineageQuery(graph_with_paths)
+        answer = query.file_lineage("/home/user/Downloads/f00123.exe")
+        assert answer.recognizable is not None
+        assert answer.recognizable.url == "http://www.music-site.com/"
+
+    def test_unknown_path_raises(self, infection_graph):
+        query = LineageQuery(infection_graph)
+        with pytest.raises(QueryError):
+            query.file_lineage("/nonexistent/file.exe")
+
+    def test_unknown_path_returns_none(self, infection_graph):
+        query = LineageQuery(infection_graph)
+        assert query.node_for_file("/nonexistent/file.exe") is None
+
+
+class TestAncestry:
+    def test_full_ancestry_nearest_first(self, query):
+        visits = query.ancestry("malware")
+        assert visits[0].node.id == "host"
+        assert visits[-1].depth == max(v.depth for v in visits)
+
+    def test_lineage_path_helper(self, query):
+        steps = query.lineage_path("malware")
+        assert steps[0].url == "http://www.music-site.com/"
+
+    def test_co_open_edges_never_traversed(self, infection_graph):
+        """CO_OPEN is not lineage: a page merely open at the same time
+        must not appear as an ancestor."""
+        infection_graph.add_node(visit("bystander", 5,
+                                       "http://www.bystander.com/"))
+        infection_graph.add_edge(EdgeKind.CO_OPEN, "bystander", "host",
+                                 timestamp_us=12)
+        query = LineageQuery(infection_graph)
+        ancestor_ids = {v.node.id for v in query.ancestry("malware")}
+        assert "bystander" not in ancestor_ids

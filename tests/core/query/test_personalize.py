@@ -1,0 +1,124 @@
+"""Tests for privacy-preserving query personalization (use case 2.2)."""
+
+import pytest
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.personalize import (
+    AugmentedQuery,
+    PersonalizerParams,
+    QueryPersonalizer,
+)
+from repro.core.taxonomy import EdgeKind, NodeKind
+
+
+def gardener_graph():
+    """A gardener's history: 'rosebud' search led to flower pages."""
+    graph = ProvenanceGraph()
+    graph.add_node(ProvNode(id="term", kind=NodeKind.SEARCH_TERM,
+                            timestamp_us=1, label="rosebud",
+                            attrs={"engine": "www.findit.com"}))
+    graph.add_node(ProvNode(
+        id="serp", kind=NodeKind.PAGE_VISIT, timestamp_us=2,
+        label="rosebud - findit search",
+        url="http://www.findit.com/search?q=rosebud",
+    ))
+    graph.add_edge(EdgeKind.SEARCHED, "term", "serp", timestamp_us=2)
+    for index in range(3):
+        node_id = f"garden{index}"
+        graph.add_node(ProvNode(
+            id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=3 + index,
+            label=f"flower garden pruning {index}",
+            url=f"http://www.gardening-site.com/flower-{index}.html",
+        ))
+        graph.add_edge(EdgeKind.LINK, "serp", node_id, timestamp_us=3 + index)
+    return graph
+
+
+class TestAugmentedQuery:
+    def test_sent_to_engine_joins_terms(self):
+        query = AugmentedQuery(original="rosebud", extra_terms=("flower",))
+        assert query.sent_to_engine == "rosebud flower"
+        assert query.was_personalized
+
+    def test_unaugmented_passthrough(self):
+        query = AugmentedQuery(original="rosebud", extra_terms=())
+        assert query.sent_to_engine == "rosebud"
+        assert not query.was_personalized
+
+
+class TestAugment:
+    def test_gardener_gets_flower_sense(self):
+        """The paper's scenario: rosebud -> 'rosebud flower' (or another
+        gardening term) without the engine seeing history."""
+        graph = gardener_graph()
+        personalizer = QueryPersonalizer(graph)
+        augmented = personalizer.augment("rosebud")
+        assert augmented.was_personalized
+        assert set(augmented.extra_terms) <= {"flower", "garden", "pruning",
+                                              "gardening", "site"}
+
+    def test_no_history_no_augmentation(self):
+        personalizer = QueryPersonalizer(ProvenanceGraph())
+        augmented = personalizer.augment("rosebud")
+        assert not augmented.was_personalized
+        assert augmented.sent_to_engine == "rosebud"
+
+    def test_original_terms_never_duplicated(self):
+        graph = gardener_graph()
+        personalizer = QueryPersonalizer(graph)
+        augmented = personalizer.augment("rosebud flower")
+        assert "rosebud" not in augmented.extra_terms
+        assert "flower" not in augmented.extra_terms
+
+    def test_max_extra_terms_zero_disables(self):
+        graph = gardener_graph()
+        personalizer = QueryPersonalizer(
+            graph, params=PersonalizerParams(max_extra_terms=0)
+        )
+        assert not personalizer.augment("rosebud").was_personalized
+
+    def test_max_extra_terms_respected(self):
+        graph = gardener_graph()
+        personalizer = QueryPersonalizer(
+            graph, params=PersonalizerParams(max_extra_terms=2)
+        )
+        augmented = personalizer.augment("rosebud")
+        assert len(augmented.extra_terms) <= 2
+
+    def test_banned_terms_never_suggested(self):
+        graph = gardener_graph()
+        params = PersonalizerParams(banned_terms=frozenset({"flower",
+                                                            "garden",
+                                                            "pruning",
+                                                            "gardening"}))
+        personalizer = QueryPersonalizer(graph, params=params)
+        augmented = personalizer.augment("rosebud")
+        assert not set(augmented.extra_terms) & params.banned_terms
+
+    def test_short_and_numeric_tokens_excluded(self):
+        graph = gardener_graph()
+        personalizer = QueryPersonalizer(graph)
+        augmented = personalizer.augment("rosebud")
+        for term in augmented.extra_terms:
+            assert len(term) >= 3
+            assert not term.isdigit()
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            PersonalizerParams(max_extra_terms=-1)
+        with pytest.raises(ValueError):
+            PersonalizerParams(evidence_hits=0)
+
+
+class TestPrivacyBoundary:
+    def test_only_query_text_crosses(self):
+        """The output object contains no history artifacts: only the
+        original text plus bare terms."""
+        graph = gardener_graph()
+        personalizer = QueryPersonalizer(graph)
+        augmented = personalizer.augment("rosebud")
+        # No URLs, no node ids in what is sent.
+        assert "http" not in augmented.sent_to_engine
+        assert "visit:" not in augmented.sent_to_engine
+        assert "garden0" not in augmented.sent_to_engine.split()

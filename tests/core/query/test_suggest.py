@@ -1,0 +1,93 @@
+"""Tests for provenance-aware location-bar suggestions."""
+
+import pytest
+
+from repro.browser.awesomebar import AwesomeBar
+from repro.browser.places import PlacesStore
+from repro.browser.transitions import TransitionType
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.suggest import ProvenanceSuggest
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.web.url import Url
+
+HOME = "http://www.film-fans.com/"
+FILM_GALLERY = "http://www.film-fans.com/gallery"
+GARDEN_GALLERY = "http://www.garden-pics.com/gallery"
+
+
+def visit(node_id, ts, url):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    url=url, label="")
+
+
+@pytest.fixture()
+def setup():
+    """Places knows two 'gallery' pages; provenance knows the user goes
+    from the film home page to the film gallery."""
+    places = PlacesStore()
+    for url, frecency in ((FILM_GALLERY, 100), (GARDEN_GALLERY, 500)):
+        row = places.add_visit(Url.parse(url), when_us=1,
+                               transition=TransitionType.LINK,
+                               title="gallery")
+        places.set_frecency(row.place_id, frecency)
+
+    graph = ProvenanceGraph()
+    graph.add_node(visit("home1", 1, HOME))
+    graph.add_node(visit("fg1", 2, FILM_GALLERY))
+    graph.add_node(visit("home2", 3, HOME))
+    graph.add_node(visit("fg2", 4, FILM_GALLERY))
+    graph.add_edge(EdgeKind.LINK, "home1", "fg1", timestamp_us=2)
+    graph.add_edge(EdgeKind.LINK, "home2", "fg2", timestamp_us=4)
+    return ProvenanceSuggest(graph, AwesomeBar(places)), places
+
+
+class TestSuggest:
+    def test_no_context_falls_back_to_frecency(self, setup):
+        suggest, _places = setup
+        hits = suggest.suggest("gallery")
+        assert hits[0].url == GARDEN_GALLERY  # higher frecency wins
+
+    def test_context_reorders(self, setup):
+        """On the film home page, the film gallery outranks the
+        globally-more-frecent garden gallery."""
+        suggest, _places = setup
+        hits = suggest.suggest("gallery", current_url=HOME)
+        assert hits[0].url == FILM_GALLERY
+        assert hits[0].context_hits == 2
+        assert hits[1].context_hits == 0
+
+    def test_unknown_context_is_neutral(self, setup):
+        suggest, _places = setup
+        hits = suggest.suggest("gallery",
+                               current_url="http://www.nowhere.com/")
+        assert hits[0].url == GARDEN_GALLERY
+
+    def test_no_matches(self, setup):
+        suggest, _places = setup
+        assert suggest.suggest("zzz", current_url=HOME) == []
+
+    def test_limit(self, setup):
+        suggest, places = setup
+        for index in range(10):
+            places.add_visit(
+                Url.parse(f"http://bulk.com/gallery{index}"),
+                when_us=10 + index, transition=TransitionType.LINK,
+                title="gallery extras",
+            )
+        assert len(suggest.suggest("gallery", limit=4)) == 4
+
+    def test_hops_validated(self, setup):
+        suggest, places = setup
+        with pytest.raises(ValueError):
+            ProvenanceSuggest(suggest.graph, suggest.awesomebar, hops=0)
+
+    def test_multi_hop_context(self, setup):
+        """Pages two hops downstream still count as context."""
+        suggest, _places = setup
+        graph = suggest.graph
+        deep = "http://www.film-fans.com/gallery/kane"
+        graph.add_node(visit("deep", 5, deep))
+        graph.add_edge(EdgeKind.LINK, "fg2", "deep", timestamp_us=5)
+        counts = suggest._descendant_url_counts(HOME)
+        assert counts[deep] == 1

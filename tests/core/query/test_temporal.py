@@ -1,0 +1,131 @@
+"""Tests for time-contextual search (use case 2.3)."""
+
+import pytest
+
+from repro.core.capture import NodeInterval
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.temporal import TemporalSearch
+from repro.core.taxonomy import EdgeKind, NodeKind
+
+
+def visit(node_id, ts, label, url):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    label=label, url=url)
+
+
+@pytest.fixture()
+def wine_graph():
+    """The paper's scenario: many wine pages; the target was open while
+    a plane-tickets page was open in another tab."""
+    graph = ProvenanceGraph()
+    for index in range(4):
+        graph.add_node(visit(
+            f"wine{index}", 10 + index, f"wine cellar notes {index}",
+            f"http://www.wine-site.com/page{index}",
+        ))
+    graph.add_node(visit(
+        "target", 20, "wine bottle special",
+        "http://www.wine-site.com/special",
+    ))
+    graph.add_node(visit(
+        "tickets", 21, "plane tickets booking",
+        "http://www.travel-site.com/book",
+    ))
+    # Co-open: target (opened first) points at tickets.
+    graph.add_edge(EdgeKind.CO_OPEN, "target", "tickets", timestamp_us=21)
+    intervals = [
+        NodeInterval(node_id="target", tab_id=1, opened_us=20, closed_us=30),
+        NodeInterval(node_id="tickets", tab_id=2, opened_us=21, closed_us=29),
+        NodeInterval(node_id="wine0", tab_id=1, opened_us=10, closed_us=12),
+    ]
+    return graph, intervals
+
+
+@pytest.fixture()
+def search(wine_graph):
+    graph, intervals = wine_graph
+    return TemporalSearch(graph, intervals)
+
+
+class TestCoOpenNeighbors:
+    def test_both_directions(self, search):
+        assert search.co_open_neighbors("target") == ["tickets"]
+        assert search.co_open_neighbors("tickets") == ["target"]
+
+    def test_isolated_node(self, search):
+        assert search.co_open_neighbors("wine0") == []
+
+
+class TestNodesOpenDuring:
+    def test_window_hits(self, search):
+        assert set(search.nodes_open_during(22, 25)) == {"target", "tickets"}
+
+    def test_window_misses(self, search):
+        assert search.nodes_open_during(100, 200) == []
+
+    def test_empty_window(self, search):
+        assert search.nodes_open_during(25, 25) == []
+
+    def test_boundary_exclusive(self, search):
+        # wine0 closed at 12; window starting at 12 must not include it.
+        assert "wine0" not in search.nodes_open_during(12, 15)
+
+
+class TestAssociatedSearch:
+    def test_the_papers_query(self, search):
+        """'wine associated with plane tickets' ranks the target first,
+        above wine pages with equal or better textual match."""
+        hits = search.search_associated("wine", "plane tickets")
+        assert hits[0].node_id == "target"
+        assert hits[0].associated_node_id == "tickets"
+
+    def test_plain_primary_match_still_returned(self, search):
+        hits = search.search_associated("wine", "plane tickets", limit=10)
+        ids = {hit.node_id for hit in hits}
+        assert "wine0" in ids  # not erased, just outranked
+
+    def test_no_primary_match(self, search):
+        assert search.search_associated("zzz", "plane") == []
+
+    def test_association_without_match_is_neutral(self, search):
+        hits = search.search_associated("wine", "zzzz")
+        # No association evidence: pure textual order, no boost.
+        for hit in hits:
+            assert hit.associated_node_id is None
+
+    def test_limit(self, search):
+        assert len(search.search_associated("wine", "plane", limit=2)) == 2
+
+
+class TestWindowSearch:
+    def test_restricts_to_window(self, search):
+        hits = search.search_in_window("wine", 19, 31)
+        ids = {hit.node_id for hit in hits}
+        assert "target" in ids
+        assert "wine0" not in ids  # closed before the window
+
+    def test_empty_window_no_hits(self, search):
+        assert search.search_in_window("wine", 100, 200) == []
+
+    def test_no_intervals_no_hits(self, wine_graph):
+        graph, _ = wine_graph
+        bare = TemporalSearch(graph, [])
+        assert bare.search_in_window("wine", 0, 100) == []
+
+
+class TestDedupe:
+    def test_same_url_instances_collapse(self, wine_graph):
+        graph, intervals = wine_graph
+        graph.add_node(visit(
+            "target2", 40, "wine bottle special",
+            "http://www.wine-site.com/special",
+        ))
+        intervals.append(
+            NodeInterval(node_id="target2", tab_id=1, opened_us=40,
+                         closed_us=50)
+        )
+        search = TemporalSearch(graph, intervals)
+        hits = search.search_associated("wine", "plane tickets", limit=10)
+        urls = [hit.url for hit in hits]
+        assert len(urls) == len(set(urls))

@@ -1,0 +1,81 @@
+"""Tests for the incremental node text index."""
+
+import pytest
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.textindex import NodeTextIndex
+from repro.core.taxonomy import NodeKind
+
+
+def visit(node_id, ts, label="", url=None, **attrs):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    label=label, url=url, attrs=attrs)
+
+
+class TestRefresh:
+    def test_indexes_label_and_url(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1, "wine cellar", "http://wine.com/red"))
+        index = NodeTextIndex(graph)
+        assert index.refresh() == 1
+        assert index.seed_scores("cellar")
+        assert index.seed_scores("wine")
+
+    def test_refresh_is_incremental(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1, "first page"))
+        index = NodeTextIndex(graph)
+        assert index.refresh() == 1
+        assert index.refresh() == 0
+        graph.add_node(visit("b", 2, "second page"))
+        assert index.refresh() == 1
+
+    def test_hidden_nodes_skipped(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("hop", 1, "redirect hop",
+                             "http://sho.ly/x", hidden=1))
+        index = NodeTextIndex(graph)
+        index.refresh()
+        assert not index.seed_scores("redirect")
+
+    def test_textless_nodes_not_indexed(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("bare", 1))
+        index = NodeTextIndex(graph)
+        index.refresh()
+        assert len(index) == 0
+
+
+class TestSeedScores:
+    def test_scores_ranked(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("heavy", 1, "wine wine wine"))
+        graph.add_node(visit("light", 2, "wine and other things entirely"))
+        index = NodeTextIndex(graph)
+        scores = index.seed_scores("wine")
+        assert scores["heavy"] > scores["light"]
+
+    def test_limit(self):
+        graph = ProvenanceGraph()
+        for index_ in range(30):
+            graph.add_node(visit(f"n{index_}", index_, "wine page"))
+        index = NodeTextIndex(graph)
+        assert len(index.seed_scores("wine", limit=10)) == 10
+
+    def test_empty_query(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1, "something"))
+        assert NodeTextIndex(graph).seed_scores("") == {}
+
+    def test_stopword_only_query(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1, "something"))
+        assert NodeTextIndex(graph).seed_scores("the of and") == {}
+
+    def test_search_term_nodes_indexed(self):
+        graph = ProvenanceGraph()
+        graph.add_node(ProvNode(id="t", kind=NodeKind.SEARCH_TERM,
+                                timestamp_us=1, label="rosebud"))
+        index = NodeTextIndex(graph)
+        assert "t" in index.seed_scores("rosebud")

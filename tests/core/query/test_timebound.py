@@ -1,0 +1,69 @@
+"""Tests for deadline-bounded execution (E5)."""
+
+import time
+
+import pytest
+
+from repro.core.query.timebound import BoundedResult, Deadline, run_bounded
+
+
+class TestDeadline:
+    def test_not_exceeded_initially(self):
+        assert not Deadline(1000).exceeded
+
+    def test_exceeded_after_budget(self):
+        deadline = Deadline(1)
+        time.sleep(0.005)
+        assert deadline.exceeded
+
+    def test_remaining_decreases(self):
+        deadline = Deadline(100)
+        first = deadline.remaining_ms
+        time.sleep(0.002)
+        assert deadline.remaining_ms < first
+
+    def test_remaining_never_negative(self):
+        deadline = Deadline(1)
+        time.sleep(0.005)
+        assert deadline.remaining_ms == 0.0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+    def test_unlimited_sentinel(self):
+        assert Deadline.unlimited() is None
+
+
+class TestRunBounded:
+    def test_fast_query_completes(self):
+        result = run_bounded(lambda deadline: 42, budget_ms=1000)
+        assert result.value == 42
+        assert result.completed
+        assert result.within_budget
+        assert result.elapsed_ms < 1000
+
+    def test_slow_query_marked_partial(self):
+        def slow(deadline):
+            collected = []
+            while not deadline.exceeded:
+                collected.append(1)
+            return collected
+
+        result = run_bounded(slow, budget_ms=5)
+        assert not result.completed
+        assert result.value  # partial results present
+
+    def test_deadline_passed_through(self):
+        seen = {}
+
+        def probe(deadline):
+            seen["deadline"] = deadline
+            return None
+
+        run_bounded(probe, budget_ms=123)
+        assert seen["deadline"].budget_ms == 123
+
+    def test_result_is_generic_container(self):
+        result = BoundedResult(value=[1, 2], elapsed_ms=1.0, completed=True)
+        assert result.value == [1, 2]

@@ -1,0 +1,116 @@
+"""Tests for bounded traversal helpers."""
+
+import pytest
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.traversal import (
+    descendants_of_kind,
+    first_matching_ancestor,
+    path_between,
+    walk_ancestors,
+    walk_descendants,
+)
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import UnknownNodeError
+
+
+def node(node_id, ts, kind=NodeKind.PAGE_VISIT):
+    return ProvNode(id=node_id, kind=kind, timestamp_us=ts,
+                    label=f"node {node_id}")
+
+
+@pytest.fixture()
+def diamond():
+    """a -> b -> d, a -> c -> d, d -> dl (download)."""
+    graph = ProvenanceGraph()
+    graph.add_node(node("a", 1))
+    graph.add_node(node("b", 2))
+    graph.add_node(node("c", 3))
+    graph.add_node(node("d", 4))
+    graph.add_node(node("dl", 5, NodeKind.DOWNLOAD))
+    graph.add_edge(EdgeKind.LINK, "a", "b", timestamp_us=2)
+    graph.add_edge(EdgeKind.LINK, "a", "c", timestamp_us=3)
+    graph.add_edge(EdgeKind.LINK, "b", "d", timestamp_us=4)
+    graph.add_edge(EdgeKind.LINK, "c", "d", timestamp_us=4)
+    graph.add_edge(EdgeKind.DOWNLOADED, "d", "dl", timestamp_us=5)
+    return graph
+
+
+class TestWalks:
+    def test_walk_ancestors_breadth_first(self, diamond):
+        visits = list(walk_ancestors(diamond, "dl"))
+        depths = {visit.node.id: visit.depth for visit in visits}
+        assert depths == {"d": 1, "b": 2, "c": 2, "a": 3}
+
+    def test_walk_descendants(self, diamond):
+        visits = list(walk_descendants(diamond, "a"))
+        assert {v.node.id for v in visits} == {"b", "c", "d", "dl"}
+
+    def test_each_node_yielded_once(self, diamond):
+        ids = [v.node.id for v in walk_ancestors(diamond, "dl")]
+        assert len(ids) == len(set(ids))
+
+    def test_max_depth(self, diamond):
+        visits = list(walk_ancestors(diamond, "dl", max_depth=1))
+        assert [v.node.id for v in visits] == ["d"]
+
+    def test_kind_filter(self, diamond):
+        visits = list(
+            walk_ancestors(diamond, "dl", kinds=frozenset({EdgeKind.LINK}))
+        )
+        assert visits == []  # the DOWNLOADED hop is filtered out
+
+    def test_unknown_start(self, diamond):
+        with pytest.raises(UnknownNodeError):
+            list(walk_ancestors(diamond, "missing"))
+
+
+class TestFirstMatchingAncestor:
+    def test_nearest_match_wins(self, diamond):
+        found = first_matching_ancestor(
+            diamond, "dl", lambda n: n.id in ("a", "d")
+        )
+        assert found.node.id == "d"
+        assert found.depth == 1
+
+    def test_no_match_returns_none(self, diamond):
+        assert first_matching_ancestor(diamond, "dl", lambda n: False) is None
+
+    def test_depth_bound_cuts_search(self, diamond):
+        found = first_matching_ancestor(
+            diamond, "dl", lambda n: n.id == "a", max_depth=2
+        )
+        assert found is None
+
+
+class TestDescendantsOfKind:
+    def test_finds_downloads(self, diamond):
+        hits = descendants_of_kind(diamond, "a", NodeKind.DOWNLOAD)
+        assert [v.node.id for v in hits] == ["dl"]
+
+    def test_empty_for_leaf(self, diamond):
+        assert descendants_of_kind(diamond, "dl", NodeKind.DOWNLOAD) == []
+
+
+class TestPathBetween:
+    def test_shortest_path(self, diamond):
+        path = path_between(diamond, "a", "dl")
+        assert path[0] == "a"
+        assert path[-1] == "dl"
+        assert len(path) == 4  # a -> (b or c) -> d -> dl
+
+    def test_path_edges_exist(self, diamond):
+        path = path_between(diamond, "a", "dl")
+        for src, dst in zip(path, path[1:]):
+            assert dst in diamond.children(src)
+
+    def test_same_node(self, diamond):
+        assert path_between(diamond, "a", "a") == ["a"]
+
+    def test_no_path(self, diamond):
+        assert path_between(diamond, "dl", "a") is None
+
+    def test_unknown_endpoint(self, diamond):
+        with pytest.raises(UnknownNodeError):
+            path_between(diamond, "missing", "dl")

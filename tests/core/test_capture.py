@@ -1,0 +1,215 @@
+"""Tests for the in-browser provenance capture layer."""
+
+import pytest
+
+from repro.core.capture import CaptureConfig, ProvenanceCapture
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.core.versioning import EdgeVersioningPolicy
+from tests.conftest import make_sim
+
+
+@pytest.fixture(scope="module")
+def sim():
+    """A simulation with a scripted interaction covering every event."""
+    sim = make_sim(seed=13)
+    browser, web = sim.browser, sim.web
+
+    tab = browser.open_tab()
+    start = next(u for u in web.content_pages() if web.page(u).links)
+    browser.navigate_typed(tab, start)
+    browser.click_link(tab, web.page(start).links[0])
+    browser.add_bookmark(tab)
+    browser.search_web(tab, "wine tasting")
+    browser.click_result(tab, 0)
+
+    # Second tab for co-open edges.
+    other = browser.open_tab()
+    browser.navigate_typed(other, web.content_pages()[3])
+
+    # Form submission.
+    from repro.web.url import Url
+
+    page = browser.current_page(tab)
+    action = Url.build(page.url.host, "/", scheme=page.url.scheme)
+    if web.get(action) is not None:
+        browser.submit_form(tab, action, {"q": "red"})
+
+    # A download.
+    hosting = next(u for u in web.all_urls() if web.page(u).downloads)
+    browser.navigate_typed(tab, hosting)
+    sim.download_id = browser.download_link(tab, web.page(hosting).downloads[0])
+
+    browser.close_tab(other)
+    browser.close_tab(tab)
+    return sim
+
+
+class TestGraphShape:
+    def test_acyclic(self, sim):
+        assert sim.capture.graph.is_acyclic()
+
+    def test_every_navigation_recorded(self, sim):
+        visits = sim.capture.graph.by_kind(NodeKind.PAGE_VISIT)
+        assert len(visits) >= sim.browser.places.visit_count() - 1
+
+    def test_search_term_node_with_edge(self, sim):
+        graph = sim.capture.graph
+        terms = graph.by_kind(NodeKind.SEARCH_TERM)
+        assert len(terms) == 1
+        term = graph.node(terms[0])
+        assert term.label == "wine tasting"
+        children = graph.children(terms[0], frozenset({EdgeKind.SEARCHED}))
+        assert len(children) == 1
+        serp = graph.node(children[0])
+        assert "findit" in serp.url
+
+    def test_typed_edge_captured(self, sim):
+        """The second-class relationship Places drops is present."""
+        graph = sim.capture.graph
+        typed_edges = [
+            edge for edge in graph.edges() if edge.kind is EdgeKind.TYPED_FROM
+        ]
+        assert typed_edges
+
+    def test_bookmark_node_and_edges(self, sim):
+        graph = sim.capture.graph
+        bookmarks = graph.by_kind(NodeKind.BOOKMARK)
+        assert len(bookmarks) == 1
+        parents = graph.parents(bookmarks[0], frozenset({EdgeKind.BOOKMARKED}))
+        assert len(parents) == 1
+        # The bookmarked page visit has the bookmark's URL.
+        assert graph.node(parents[0]).url == graph.node(bookmarks[0]).url
+
+    def test_download_node_with_lineage(self, sim):
+        graph = sim.capture.graph
+        node_id = sim.capture.node_for_download(sim.download_id)
+        assert node_id is not None
+        node = graph.node(node_id)
+        assert node.kind is NodeKind.DOWNLOAD
+        parents = graph.parents(node_id, frozenset({EdgeKind.DOWNLOADED}))
+        assert len(parents) == 1
+
+    def test_co_open_edges_between_tabs(self, sim):
+        graph = sim.capture.graph
+        co_open = [e for e in graph.edges() if e.kind is EdgeKind.CO_OPEN]
+        assert co_open
+        # Time-ordering rule: source opened before destination.
+        for edge in co_open:
+            assert (
+                graph.node(edge.src).timestamp_us
+                <= graph.node(edge.dst).timestamp_us
+            )
+
+    def test_intervals_recorded(self, sim):
+        assert sim.capture.intervals
+        for interval in sim.capture.intervals:
+            assert interval.closed_us >= interval.opened_us
+
+    def test_visit_lookup_by_places_id(self, sim):
+        graph = sim.capture.graph
+        # Every mapped visit node exists in the graph.
+        for visit_id in range(1, sim.browser.places.visit_count() + 1):
+            node_id = sim.capture.node_for_visit(visit_id)
+            if node_id is not None:
+                assert node_id in graph
+
+
+class TestLinkEdges:
+    def test_link_edge_connects_source_to_target(self):
+        sim = make_sim(seed=29)
+        browser, web = sim.browser, sim.web
+        tab = browser.open_tab()
+        start = next(u for u in web.content_pages() if web.page(u).links)
+        browser.navigate_typed(tab, start)
+        target = web.page(start).links[0]
+        browser.click_link(tab, target)
+        graph = sim.capture.graph
+        target_nodes = graph.nodes_for_url(str(target))
+        # Find the freshly created visit with a LINK parent.
+        parents = graph.parents(target_nodes[-1], frozenset({EdgeKind.LINK}))
+        assert [graph.node(p).url for p in parents] == [str(start)]
+        sim.close()
+
+
+class TestCaptureConfig:
+    def test_places_equivalent_drops_second_class(self):
+        sim = make_sim(
+            seed=13, capture_config=CaptureConfig.places_equivalent()
+        )
+        browser, web = sim.browser, sim.web
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, web.content_pages()[0])
+        browser.search_web(tab, "wine")
+        browser.click_result(tab, 0)
+        browser.add_bookmark(tab)
+        browser.close_tab(tab)
+        graph = sim.capture.graph
+        kinds = {edge.kind for edge in graph.edges()}
+        assert EdgeKind.TYPED_FROM not in kinds
+        assert EdgeKind.CO_OPEN not in kinds
+        assert not graph.by_kind(NodeKind.SEARCH_TERM)
+        assert not graph.by_kind(NodeKind.BOOKMARK)
+        assert not sim.capture.intervals
+        sim.close()
+
+    def test_edge_versioning_policy_integrates(self):
+        sim = make_sim(seed=13, policy=EdgeVersioningPolicy())
+        browser, web = sim.browser, sim.web
+        tab = browser.open_tab()
+        url = web.content_pages()[0]
+        browser.navigate_typed(tab, url)
+        browser.navigate_typed(tab, web.content_pages()[1])
+        browser.navigate_typed(tab, url)  # revisit
+        browser.close_tab(tab)
+        graph = sim.capture.graph
+        # Revisits collapse onto one PAGE node.
+        assert len(graph.nodes_for_url(str(url))) == 1
+        assert graph.by_kind(NodeKind.PAGE)
+        assert not graph.by_kind(NodeKind.PAGE_VISIT)
+        sim.close()
+
+    def test_detach_stops_capture(self):
+        sim = make_sim(seed=13)
+        browser, web = sim.browser, sim.web
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, web.content_pages()[0])
+        before = sim.capture.graph.node_count
+        sim.capture.detach(browser)
+        browser.navigate_typed(tab, web.content_pages()[1])
+        assert sim.capture.graph.node_count == before
+        sim.close()
+
+
+class TestRedirectCapture:
+    def test_hops_and_unified_edge(self):
+        from repro.web.page import PageKind
+
+        sim = make_sim(seed=13)
+        browser, web = sim.browser, sim.web
+        # Find a content page linking to a redirect.
+        source, redirect = None, None
+        for page in web.all_pages():
+            for target in page.links:
+                hit = web.get(target)
+                if hit is not None and hit.kind is PageKind.REDIRECT:
+                    source, redirect = page.url, target
+                    break
+            if source:
+                break
+        assert source is not None, "web has no redirect-routed links"
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, source)
+        result = browser.click_link(tab, redirect)
+        graph = sim.capture.graph
+        final_nodes = graph.nodes_for_url(str(result.final_url))
+        in_kinds = {
+            edge.kind for edge in graph.in_edges(final_nodes[-1])
+        }
+        assert EdgeKind.REDIRECT in in_kinds
+        assert EdgeKind.LINK in in_kinds  # the unified edge
+        unified = [
+            edge for edge in graph.in_edges(final_nodes[-1])
+            if edge.kind is EdgeKind.LINK
+        ]
+        assert unified[0].attrs.get("unified") == 1
+        sim.close()

@@ -1,0 +1,226 @@
+"""Tests for the in-memory provenance graph, including DAG properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import CycleError, DuplicateNodeError, UnknownNodeError
+
+
+def visit(node_id: str, ts: int, url: str | None = None) -> ProvNode:
+    return ProvNode(
+        id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+        label=f"page {node_id}", url=url,
+    )
+
+
+@pytest.fixture()
+def chain_graph():
+    """a -> b -> c (LINK), plus a CO_OPEN a -> c."""
+    graph = ProvenanceGraph()
+    graph.add_node(visit("a", 1, "http://a.com/"))
+    graph.add_node(visit("b", 2, "http://b.com/"))
+    graph.add_node(visit("c", 3, "http://c.com/"))
+    graph.add_edge(EdgeKind.LINK, "a", "b", timestamp_us=2)
+    graph.add_edge(EdgeKind.LINK, "b", "c", timestamp_us=3)
+    graph.add_edge(EdgeKind.CO_OPEN, "a", "c", timestamp_us=3)
+    return graph
+
+
+class TestNodes:
+    def test_add_and_lookup(self):
+        graph = ProvenanceGraph()
+        node = graph.add_node(visit("a", 1))
+        assert graph.node("a") is node
+        assert "a" in graph
+        assert len(graph) == 1
+
+    def test_identical_reinsert_is_noop(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1))
+        graph.add_node(visit("a", 1))
+        assert graph.node_count == 1
+
+    def test_conflicting_reinsert_raises(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1))
+        with pytest.raises(DuplicateNodeError):
+            graph.add_node(visit("a", 2))
+
+    def test_unknown_node_raises(self):
+        graph = ProvenanceGraph()
+        with pytest.raises(UnknownNodeError):
+            graph.node("missing")
+
+    def test_get_returns_none(self):
+        assert ProvenanceGraph().get("missing") is None
+
+    def test_by_kind_in_insertion_order(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1))
+        graph.add_node(visit("b", 2))
+        assert graph.by_kind(NodeKind.PAGE_VISIT) == ["a", "b"]
+        assert graph.by_kind(NodeKind.DOWNLOAD) == []
+
+    def test_nodes_for_url_groups_instances(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1, "http://same.com/"))
+        graph.add_node(visit("b", 2, "http://same.com/"))
+        graph.add_node(visit("c", 3, "http://other.com/"))
+        assert graph.nodes_for_url("http://same.com/") == ["a", "b"]
+
+
+class TestEdges:
+    def test_edge_endpoints_must_exist(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1))
+        with pytest.raises(UnknownNodeError):
+            graph.add_edge(EdgeKind.LINK, "a", "missing", timestamp_us=2)
+        with pytest.raises(UnknownNodeError):
+            graph.add_edge(EdgeKind.LINK, "missing", "a", timestamp_us=2)
+
+    def test_dag_enforcement_rejects_backward_edges(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("early", 1))
+        graph.add_node(visit("late", 9))
+        with pytest.raises(CycleError):
+            graph.add_edge(EdgeKind.LINK, "late", "early", timestamp_us=10)
+
+    def test_backward_edges_allowed_when_unenforced(self):
+        graph = ProvenanceGraph(enforce_dag=False)
+        graph.add_node(visit("early", 1))
+        graph.add_node(visit("late", 9))
+        # A single backward-in-time edge is fine structurally...
+        graph.add_edge(EdgeKind.LINK, "late", "early", timestamp_us=10)
+        assert graph.is_acyclic()
+        # ...and with the forward edge added, a true cycle exists.
+        graph.add_edge(EdgeKind.LINK, "early", "late", timestamp_us=11)
+        assert not graph.is_acyclic()
+
+    def test_edge_ids_sequential(self, chain_graph):
+        ids = sorted(edge.id for edge in chain_graph.edges())
+        assert ids == [0, 1, 2]
+
+    def test_adjacency_filters_by_kind(self, chain_graph):
+        links_only = frozenset({EdgeKind.LINK})
+        assert chain_graph.children("a", links_only) == ["b"]
+        assert chain_graph.children("a") == ["b", "c"]
+        assert chain_graph.parents("c", links_only) == ["b"]
+
+    def test_degree(self, chain_graph):
+        assert chain_graph.degree("a") == (0, 2)
+        assert chain_graph.degree("c") == (2, 0)
+
+    def test_multi_edges_allowed(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("a", 1))
+        graph.add_node(visit("b", 2))
+        graph.add_edge(EdgeKind.LINK, "a", "b", timestamp_us=2)
+        graph.add_edge(EdgeKind.LINK, "a", "b", timestamp_us=5)
+        assert graph.edge_count == 2
+        assert len(graph.out_edges("a")) == 2
+
+
+class TestTraversal:
+    def test_ancestors_with_depths(self, chain_graph):
+        assert chain_graph.ancestors("c") == {"b": 1, "a": 1}
+
+    def test_ancestors_links_only(self, chain_graph):
+        links_only = frozenset({EdgeKind.LINK})
+        assert chain_graph.ancestors("c", kinds=links_only) == {"b": 1, "a": 2}
+
+    def test_descendants(self, chain_graph):
+        links_only = frozenset({EdgeKind.LINK})
+        assert chain_graph.descendants("a", kinds=links_only) == {"b": 1, "c": 2}
+
+    def test_max_depth(self, chain_graph):
+        links_only = frozenset({EdgeKind.LINK})
+        assert chain_graph.descendants("a", kinds=links_only, max_depth=1) == {
+            "b": 1
+        }
+
+    def test_limit_returns_nearest(self, chain_graph):
+        links_only = frozenset({EdgeKind.LINK})
+        found = chain_graph.descendants("a", kinds=links_only, limit=1)
+        assert found == {"b": 1}
+
+    def test_traversal_from_unknown_raises(self, chain_graph):
+        with pytest.raises(UnknownNodeError):
+            chain_graph.ancestors("missing")
+
+
+class TestWholeGraph:
+    def test_is_acyclic_true(self, chain_graph):
+        assert chain_graph.is_acyclic()
+
+    def test_topological_order_respects_edges(self, chain_graph):
+        order = chain_graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_order_raises_on_cycle(self):
+        graph = ProvenanceGraph(enforce_dag=False)
+        graph.add_node(visit("a", 1))
+        graph.add_node(visit("b", 2))
+        graph.add_edge(EdgeKind.LINK, "a", "b", timestamp_us=2)
+        graph.add_edge(EdgeKind.LINK, "b", "a", timestamp_us=3)
+        with pytest.raises(CycleError):
+            graph.topological_order()
+
+    def test_kind_counts(self, chain_graph):
+        assert chain_graph.kind_counts() == {"page_visit": 3}
+
+    def test_edge_kind_counts(self, chain_graph):
+        assert chain_graph.edge_kind_counts() == {"co_open": 1, "link": 2}
+
+
+# -- property tests ---------------------------------------------------------
+
+_edge_list = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40
+)
+
+
+@given(edges=_edge_list)
+@settings(max_examples=60)
+def test_time_forward_edges_always_acyclic(edges):
+    """The cheap enforcement rule implies real acyclicity.
+
+    Nodes are timestamped by index; only forward-in-time edges are
+    accepted; the full Kahn check must then always pass.
+    """
+    graph = ProvenanceGraph()
+    for index in range(15):
+        graph.add_node(visit(f"n{index}", index))
+    for src, dst in edges:
+        if src == dst:
+            continue
+        if src <= dst:
+            graph.add_edge(EdgeKind.LINK, f"n{src}", f"n{dst}",
+                           timestamp_us=dst)
+        else:
+            with pytest.raises(CycleError):
+                graph.add_edge(EdgeKind.LINK, f"n{src}", f"n{dst}",
+                               timestamp_us=src)
+    assert graph.is_acyclic()
+    order = graph.topological_order()
+    assert len(order) == 15
+
+
+@given(edges=_edge_list)
+@settings(max_examples=60)
+def test_ancestors_descendants_duality(edges):
+    """x is an ancestor of y iff y is a descendant of x."""
+    graph = ProvenanceGraph()
+    for index in range(15):
+        graph.add_node(visit(f"n{index}", index))
+    for src, dst in edges:
+        if src < dst:
+            graph.add_edge(EdgeKind.LINK, f"n{src}", f"n{dst}",
+                           timestamp_us=dst)
+    for probe in ("n0", "n7", "n14"):
+        ancestors = set(graph.ancestors(probe))
+        for other in ancestors:
+            assert probe in graph.descendants(other)

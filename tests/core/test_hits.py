@@ -1,0 +1,86 @@
+"""Tests for HITS on history graphs."""
+
+import pytest
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.hits import HitsParams, expand_root_set, hits
+from repro.core.model import ProvNode
+from repro.core.query.timebound import Deadline
+from repro.core.taxonomy import EdgeKind, NodeKind
+
+
+def visit(node_id, ts):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts)
+
+
+@pytest.fixture()
+def hub_graph():
+    """hub -> {p1, p2, p3}; q -> p1.  hub should be the top hub, p1 the
+    top authority."""
+    graph = ProvenanceGraph()
+    for node_id, ts in (("hub", 1), ("q", 2), ("p1", 3), ("p2", 4), ("p3", 5)):
+        graph.add_node(visit(node_id, ts))
+    for target, ts in (("p1", 3), ("p2", 4), ("p3", 5)):
+        graph.add_edge(EdgeKind.LINK, "hub", target, timestamp_us=ts)
+    graph.add_edge(EdgeKind.LINK, "q", "p1", timestamp_us=3)
+    return graph
+
+
+class TestExpandRootSet:
+    def test_includes_roots_and_neighbors(self, hub_graph):
+        base = expand_root_set(hub_graph, ["hub"])
+        assert base == {"hub", "p1", "p2", "p3"}
+
+    def test_missing_roots_skipped(self, hub_graph):
+        assert expand_root_set(hub_graph, ["missing"]) == set()
+
+    def test_base_limit(self, hub_graph):
+        params = HitsParams(base_limit=1)
+        base = expand_root_set(hub_graph, ["hub", "q"], params)
+        assert len(base) <= 5  # one root's expansion then stop
+
+
+class TestHits:
+    def test_hub_and_authority_identified(self, hub_graph):
+        scores = hits(hub_graph, ["hub", "q", "p1"])
+        top_hub = scores.top_hubs(1)[0][0]
+        top_authority = scores.top_authorities(1)[0][0]
+        assert top_hub == "hub"
+        assert top_authority == "p1"
+
+    def test_empty_roots(self, hub_graph):
+        scores = hits(hub_graph, [])
+        assert scores.hubs == {}
+        assert scores.iterations_run == 0
+
+    def test_converges_early(self, hub_graph):
+        scores = hits(hub_graph, ["hub"], HitsParams(iterations=100))
+        assert scores.iterations_run < 100
+
+    def test_scores_normalized(self, hub_graph):
+        scores = hits(hub_graph, ["hub", "q"])
+        norm = sum(value ** 2 for value in scores.authorities.values())
+        assert norm == pytest.approx(1.0, abs=1e-6)
+
+    def test_deadline_stops_iteration(self, hub_graph):
+        deadline = Deadline(0.000001)
+        import time
+
+        time.sleep(0.001)
+        scores = hits(hub_graph, ["hub"], deadline=deadline)
+        assert scores.iterations_run == 0
+        # Initial uniform scores still returned.
+        assert scores.authorities
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            HitsParams(iterations=0)
+        with pytest.raises(ValueError):
+            HitsParams(base_limit=0)
+
+    def test_edge_kind_filter(self, hub_graph):
+        """CO_OPEN-only analysis sees no structure in a LINK graph."""
+        params = HitsParams(edge_kinds=frozenset({EdgeKind.CO_OPEN}))
+        scores = hits(hub_graph, ["hub"], params)
+        # Base set collapses to just the root.
+        assert set(scores.authorities) == {"hub"}

@@ -1,0 +1,91 @@
+"""Tests for provenance node and edge value types."""
+
+import pytest
+
+from repro.core.model import ProvEdge, ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+
+
+def make_node(**kwargs):
+    defaults = dict(
+        id="visit:000001",
+        kind=NodeKind.PAGE_VISIT,
+        timestamp_us=100,
+        label="a page",
+        url="http://a.com/",
+    )
+    defaults.update(kwargs)
+    return ProvNode(**defaults)
+
+
+class TestProvNode:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            make_node(id="")
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            make_node(timestamp_us=-1)
+
+    def test_attrs_frozen(self):
+        node = make_node(attrs={"hidden": 1})
+        with pytest.raises(TypeError):
+            node.attrs["hidden"] = 0
+
+    def test_attrs_copied_from_input(self):
+        source = {"k": "v"}
+        node = make_node(attrs=source)
+        source["k"] = "changed"
+        assert node.attr("k") == "v"
+
+    def test_attr_default(self):
+        node = make_node()
+        assert node.attr("missing") is None
+        assert node.attr("missing", 7) == 7
+
+    def test_search_text_includes_url(self):
+        node = make_node(label="wine page", url="http://wine.com/")
+        assert "wine page" in node.search_text
+        assert "http://wine.com/" in node.search_text
+
+    def test_search_text_without_url(self):
+        node = make_node(url=None, label="rosebud")
+        assert node.search_text == "rosebud"
+
+    def test_equality(self):
+        assert make_node() == make_node()
+        assert make_node() != make_node(label="other")
+
+
+class TestProvEdge:
+    def make_edge(self, **kwargs):
+        defaults = dict(
+            id=0,
+            kind=EdgeKind.LINK,
+            src="visit:000001",
+            dst="visit:000002",
+            timestamp_us=100,
+        )
+        defaults.update(kwargs)
+        return ProvEdge(**defaults)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_edge(dst="visit:000001")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_edge(timestamp_us=-5)
+
+    def test_user_action_delegates_to_kind(self):
+        assert self.make_edge(kind=EdgeKind.LINK).is_user_action
+        assert not self.make_edge(kind=EdgeKind.REDIRECT).is_user_action
+
+    def test_lineage_delegates_to_kind(self):
+        assert self.make_edge(kind=EdgeKind.REDIRECT).is_lineage
+        assert not self.make_edge(kind=EdgeKind.CO_OPEN).is_lineage
+
+    def test_attrs_frozen(self):
+        edge = self.make_edge(attrs={"unified": 1})
+        with pytest.raises(TypeError):
+            edge.attrs["unified"] = 0

@@ -1,0 +1,103 @@
+"""Tests for the proxy-vantage capture (mitmproxy substitution)."""
+
+import pytest
+
+from repro.core.taxonomy import EdgeKind, NodeKind
+from tests.conftest import make_sim
+
+
+@pytest.fixture()
+def sim():
+    sim = make_sim(seed=17, with_proxy=True)
+    yield sim
+    sim.close()
+
+
+class TestProxyCapture:
+    def test_pages_and_referrer_edges(self, sim):
+        browser, web = sim.browser, sim.web
+        tab = browser.open_tab()
+        start = next(u for u in web.content_pages() if web.page(u).links)
+        browser.navigate_typed(tab, start)
+        browser.click_link(tab, web.page(start).links[0])
+        graph = sim.proxy.graph
+        assert graph.node_count >= 2
+        links = [e for e in graph.edges() if e.kind is EdgeKind.LINK]
+        assert links
+
+    def test_no_typed_edges_ever(self, sim):
+        """Typed navigations send no referrer; the proxy cannot know."""
+        browser, web = sim.browser, sim.web
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, web.content_pages()[0])
+        browser.navigate_typed(tab, web.content_pages()[1])
+        kinds = {e.kind for e in sim.proxy.graph.edges()}
+        assert EdgeKind.TYPED_FROM not in kinds
+        assert EdgeKind.CO_OPEN not in kinds
+
+    def test_search_terms_recovered_from_urls(self, sim):
+        """The q= parameter travels in the SERP URL — proxy-visible."""
+        browser = sim.browser
+        tab = browser.open_tab()
+        browser.search_web(tab, "plane tickets")
+        graph = sim.proxy.graph
+        terms = graph.by_kind(NodeKind.SEARCH_TERM)
+        assert len(terms) == 1
+        assert graph.node(terms[0]).label == "plane tickets"
+        assert graph.children(terms[0], frozenset({EdgeKind.SEARCHED}))
+
+    def test_downloads_recognized_by_content_type(self, sim):
+        browser, web = sim.browser, sim.web
+        hosting = next(u for u in web.all_urls() if web.page(u).downloads)
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, hosting)
+        browser.download_link(tab, web.page(hosting).downloads[0])
+        graph = sim.proxy.graph
+        downloads = graph.by_kind(NodeKind.DOWNLOAD)
+        assert downloads
+        parents = graph.parents(downloads[0], frozenset({EdgeKind.DOWNLOADED}))
+        assert [graph.node(p).url for p in parents] == [str(hosting)]
+
+    def test_embeds_attributed_to_parent(self, sim):
+        browser, web = sim.browser, sim.web
+        with_embed = next(
+            (u for u in web.content_pages() if web.page(u).embeds), None
+        )
+        if with_embed is None:
+            pytest.skip("no embeds in this web")
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, with_embed)
+        embeds = [
+            e for e in sim.proxy.graph.edges() if e.kind is EdgeKind.EMBED
+        ]
+        assert len(embeds) == len(web.page(with_embed).embeds)
+
+    def test_redirect_chain_visible(self, sim):
+        from repro.web.page import PageKind
+
+        browser, web = sim.browser, sim.web
+        redirect = next(
+            p.url for p in web.all_pages() if p.kind is PageKind.REDIRECT
+        )
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, redirect)
+        kinds = {e.kind for e in sim.proxy.graph.edges()}
+        assert EdgeKind.REDIRECT in kinds
+
+    def test_proxy_sees_fewer_edges_than_browser(self, sim):
+        """The vantage-point gap the E12 ablation quantifies."""
+        browser, web = sim.browser, sim.web
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, web.content_pages()[0])
+        browser.navigate_typed(tab, web.content_pages()[1])
+        browser.search_web(tab, "wine")
+        browser.click_result(tab, 0)
+        browser.add_bookmark(tab)
+        browser.close_tab(tab)
+        assert sim.proxy.graph.edge_count < sim.capture.graph.edge_count
+
+    def test_flow_count(self, sim):
+        browser, web = sim.browser, sim.web
+        tab = browser.open_tab()
+        browser.navigate_typed(tab, web.content_pages()[0])
+        assert sim.proxy.flows_seen >= 1

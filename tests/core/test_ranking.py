@@ -1,0 +1,110 @@
+"""Tests for provenance score spreading."""
+
+import time
+
+import pytest
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.query.timebound import Deadline
+from repro.core.ranking import ExpansionParams, spread_scores
+from repro.core.taxonomy import EdgeKind, NodeKind
+
+
+def visit(node_id, ts):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts)
+
+
+@pytest.fixture()
+def search_graph():
+    """term -> serp -> clicked, mirroring the rosebud chain."""
+    graph = ProvenanceGraph()
+    graph.add_node(ProvNode(id="term", kind=NodeKind.SEARCH_TERM,
+                            timestamp_us=1, label="rosebud"))
+    graph.add_node(visit("serp", 2))
+    graph.add_node(visit("clicked", 3))
+    graph.add_node(visit("unrelated", 4))
+    graph.add_edge(EdgeKind.SEARCHED, "term", "serp", timestamp_us=2)
+    graph.add_edge(EdgeKind.LINK, "serp", "clicked", timestamp_us=3)
+    return graph
+
+
+class TestSpreadScores:
+    def test_descendant_inherits_relevance(self, search_graph):
+        scores = spread_scores(search_graph, {"serp": 10.0})
+        assert scores["clicked"] > 0
+        assert "unrelated" not in scores
+
+    def test_first_generation_gets_half(self, search_graph):
+        """damping=0.5, no degree division: child gets exactly half
+        (plus round-2 echo)."""
+        params = ExpansionParams(rounds=1, damping=0.5)
+        scores = spread_scores(search_graph, {"serp": 10.0}, params)
+        assert scores["clicked"] == pytest.approx(5.0)
+
+    def test_spread_is_bidirectional(self, search_graph):
+        scores = spread_scores(search_graph, {"clicked": 10.0})
+        assert scores["serp"] > 0
+
+    def test_zero_rounds_returns_seeds(self, search_graph):
+        params = ExpansionParams(rounds=0)
+        scores = spread_scores(search_graph, {"serp": 1.0}, params)
+        assert scores == {"serp": 1.0}
+
+    def test_two_rounds_reach_two_hops(self, search_graph):
+        params = ExpansionParams(rounds=2)
+        scores = spread_scores(search_graph, {"term": 8.0}, params)
+        assert scores["clicked"] > 0  # term -> serp -> clicked
+
+    def test_edge_kind_filter(self, search_graph):
+        params = ExpansionParams(
+            edge_kinds=frozenset({EdgeKind.LINK}), rounds=2
+        )
+        scores = spread_scores(search_graph, {"term": 8.0}, params)
+        assert "serp" not in scores  # SEARCHED edges not followed
+
+    def test_degree_normalization_dilutes(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("hub", 1))
+        for index in range(4):
+            graph.add_node(visit(f"child{index}", 2 + index))
+            graph.add_edge(EdgeKind.LINK, "hub", f"child{index}",
+                           timestamp_us=2 + index)
+        plain = spread_scores(
+            graph, {"hub": 8.0}, ExpansionParams(rounds=1)
+        )
+        normalized = spread_scores(
+            graph, {"hub": 8.0}, ExpansionParams(rounds=1,
+                                                 normalize_degree=True)
+        )
+        assert plain["child0"] == pytest.approx(4.0)
+        assert normalized["child0"] == pytest.approx(1.0)
+
+    def test_frontier_limit_bounds_growth(self):
+        graph = ProvenanceGraph()
+        graph.add_node(visit("root", 0))
+        for index in range(50):
+            graph.add_node(visit(f"n{index}", 1 + index))
+            graph.add_edge(EdgeKind.LINK, "root", f"n{index}",
+                           timestamp_us=1 + index)
+        params = ExpansionParams(rounds=1, frontier_limit=5)
+        scores = spread_scores(graph, {"root": 1.0}, params)
+        assert len(scores) <= 6  # root plus capped frontier
+
+    def test_deadline_between_rounds(self, search_graph):
+        deadline = Deadline(0.000001)
+        time.sleep(0.001)
+        scores = spread_scores(search_graph, {"term": 8.0}, deadline=deadline)
+        assert scores == {"term": 8.0}  # no rounds ran
+
+    def test_missing_seed_nodes_ignored(self, search_graph):
+        scores = spread_scores(search_graph, {"ghost": 5.0})
+        assert scores["ghost"] == 5.0  # kept, but spreads nowhere
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            ExpansionParams(rounds=-1)
+        with pytest.raises(ValueError):
+            ExpansionParams(damping=0.0)
+        with pytest.raises(ValueError):
+            ExpansionParams(frontier_limit=0)

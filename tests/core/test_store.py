@@ -1,0 +1,205 @@
+"""Tests for the SQLite homogeneous provenance store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.schema import SCHEMA_VERSION
+from repro.core.store import ProvenanceStore
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import SchemaVersionError, StoreClosedError, UnknownNodeError
+
+
+def visit(node_id, ts, url=None, label="", **attrs):
+    return ProvNode(
+        id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+        label=label, url=url, attrs=attrs,
+    )
+
+
+@pytest.fixture()
+def graph():
+    graph = ProvenanceGraph()
+    graph.add_node(visit("a", 1, "http://a.com/", "page a", transition="typed"))
+    graph.add_node(visit("b", 2, "http://b.com/", "page b"))
+    graph.add_node(visit("c", 3, "http://a.com/", "page a"))  # revisit
+    graph.add_node(
+        ProvNode(id="t", kind=NodeKind.SEARCH_TERM, timestamp_us=1,
+                 label="rosebud", attrs={"engine": "www.findit.com"})
+    )
+    graph.add_node(
+        ProvNode(id="h", kind=NodeKind.PAGE_VISIT, timestamp_us=2,
+                 url="http://sho.ly/x", attrs={"hidden": 1})
+    )
+    graph.add_edge(EdgeKind.LINK, "a", "b", timestamp_us=2)
+    graph.add_edge(EdgeKind.TYPED_FROM, "b", "c", timestamp_us=3,
+                   attrs={"unified": 1})
+    graph.add_edge(EdgeKind.SEARCHED, "t", "b", timestamp_us=2)
+    return graph
+
+
+@pytest.fixture()
+def store(graph):
+    with ProvenanceStore() as store:
+        store.save_graph(graph)
+        yield store
+
+
+class TestRoundTrip:
+    def test_nodes_and_edges_counted(self, store, graph):
+        assert store.node_count() == graph.node_count
+        assert store.edge_count() == graph.edge_count
+
+    def test_pages_normalized(self, store):
+        # Three URL-bearing visit rows but only three distinct URLs
+        # (a.com shared by two instances).
+        assert store.page_count() == 3
+
+    def test_graph_roundtrip_exact(self, store, graph):
+        loaded = store.load_graph()
+        original = {node.id: node for node in graph.nodes()}
+        restored = {node.id: node for node in loaded.nodes()}
+        assert original == restored
+        original_edges = sorted(
+            (e.id, e.kind, e.src, e.dst, e.timestamp_us, dict(e.attrs))
+            for e in graph.edges()
+        )
+        restored_edges = sorted(
+            (e.id, e.kind, e.src, e.dst, e.timestamp_us, dict(e.attrs))
+            for e in loaded.edges()
+        )
+        assert original_edges == restored_edges
+
+    def test_intervals_roundtrip(self, graph):
+        from repro.core.capture import NodeInterval
+
+        store = ProvenanceStore()
+        intervals = [
+            NodeInterval(node_id="a", tab_id=1, opened_us=1, closed_us=5),
+            NodeInterval(node_id="b", tab_id=2, opened_us=2, closed_us=9),
+        ]
+        store.save_graph(graph, intervals)
+        assert store.interval_count() == 2
+        assert store.load_intervals() == intervals
+        store.close()
+
+
+class TestSqlQueries:
+    def test_sql_ancestors(self, store):
+        assert store.sql_ancestors("c") == [("b", 1), ("a", 2), ("t", 2)]
+
+    def test_sql_ancestors_kind_filter(self, store):
+        links = store.sql_ancestors("c", kinds=[EdgeKind.TYPED_FROM,
+                                                EdgeKind.LINK])
+        assert links == [("b", 1), ("a", 2)]
+
+    def test_sql_ancestors_depth_bound(self, store):
+        assert store.sql_ancestors("c", max_depth=1) == [("b", 1)]
+
+    def test_sql_descendants(self, store):
+        assert store.sql_descendants("a") == [("b", 1), ("c", 2)]
+
+    def test_sql_unknown_node(self, store):
+        with pytest.raises(UnknownNodeError):
+            store.sql_ancestors("missing")
+
+    def test_sql_nodes_in_window(self, store):
+        assert store.sql_nodes_in_window(2, 3) == ["b", "h"]
+        assert store.sql_nodes_in_window(2, 3, kind=NodeKind.PAGE_VISIT) == [
+            "b", "h"
+        ]
+        assert store.sql_nodes_in_window(0, 2, kind=NodeKind.SEARCH_TERM) == [
+            "t"
+        ]
+
+    def test_sql_text_search_label(self, store):
+        assert "t" in store.sql_text_search("rosebud")
+
+    def test_sql_text_search_url(self, store):
+        hits = store.sql_text_search("a.com")
+        assert set(hits) >= {"a", "c"}
+
+    def test_sql_nodes_of_kind(self, store):
+        assert store.sql_nodes_of_kind(NodeKind.SEARCH_TERM) == ["t"]
+
+    def test_sql_visits_for_url(self, store):
+        assert store.sql_visits_for_url("http://a.com/") == ["a", "c"]
+
+
+class TestLifecycle:
+    def test_schema_version_check(self, tmp_path):
+        path = str(tmp_path / "prov.sqlite")
+        store = ProvenanceStore(path)
+        store.conn.execute(
+            "UPDATE prov_meta SET value = '99' WHERE key = 'schema_version'"
+        )
+        store.close()
+        with pytest.raises(SchemaVersionError):
+            ProvenanceStore(path)
+
+    def test_reopen_existing(self, tmp_path, graph):
+        path = str(tmp_path / "prov.sqlite")
+        store = ProvenanceStore(path)
+        store.save_graph(graph)
+        store.close()
+        reopened = ProvenanceStore(path)
+        assert reopened.node_count() == graph.node_count
+        assert reopened.sql_ancestors("c")
+        reopened.close()
+
+    def test_closed_raises(self):
+        store = ProvenanceStore()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.node_count()
+
+    def test_size_bytes(self, store):
+        assert store.size_bytes() > 0
+
+    def test_schema_version_constant(self):
+        assert SCHEMA_VERSION == 2
+
+    def test_incremental_append(self, graph):
+        """Write-through capture style: append as we go."""
+        store = ProvenanceStore()
+        for node in graph.nodes():
+            store.append_node(node)
+        for edge in graph.edges():
+            store.append_edge(edge)
+        assert store.node_count() == graph.node_count
+        loaded = store.load_graph()
+        assert loaded.node_count == graph.node_count
+        store.close()
+
+
+_node_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 30),                      # ordinal -> id & timestamp
+        st.sampled_from([None, "http://x.com/", "http://y.com/"]),
+        st.sampled_from(["", "title one", "title two"]),
+    ),
+    min_size=1,
+    max_size=20,
+    unique_by=lambda item: item[0],
+)
+
+
+@given(nodes=_node_strategy)
+@settings(max_examples=40)
+def test_roundtrip_property(nodes):
+    """Arbitrary node sets (shared URLs, shared titles, hidden flags)
+    survive a store round-trip exactly."""
+    graph = ProvenanceGraph()
+    created = []
+    for ordinal, url, title in nodes:
+        node = visit(f"n{ordinal:02d}", ordinal, url, title)
+        graph.add_node(node)
+        created.append(node)
+    created.sort(key=lambda node: node.id)
+    store = ProvenanceStore()
+    store.save_graph(graph)
+    loaded = sorted(store.load_graph().nodes(), key=lambda node: node.id)
+    assert loaded == created
+    store.close()

@@ -1,0 +1,68 @@
+"""Tests for the provenance taxonomy (section 3 of the paper)."""
+
+from repro.core.taxonomy import (
+    LINEAGE_EDGE_KINDS,
+    PERSONALIZATION_EDGE_KINDS,
+    SECOND_CLASS_EDGE_KINDS,
+    EdgeKind,
+    NodeKind,
+)
+
+
+class TestNodeKinds:
+    def test_heterogeneous_objects_covered(self):
+        """Section 3.3's node inventory: pages, visits, bookmarks,
+        downloads, search terms, forms."""
+        values = {kind.value for kind in NodeKind}
+        assert values == {
+            "page", "page_visit", "search_term", "form_submission",
+            "bookmark", "download",
+        }
+
+    def test_versioned_instances(self):
+        assert NodeKind.PAGE_VISIT.is_versioned_instance
+        assert NodeKind.FORM_SUBMISSION.is_versioned_instance
+        assert not NodeKind.PAGE.is_versioned_instance
+        assert not NodeKind.BOOKMARK.is_versioned_instance
+
+
+class TestEdgeKinds:
+    def test_user_action_classification(self):
+        """Section 3.2: redirects/embeds/co-open are not user actions."""
+        automatic = {kind for kind in EdgeKind if not kind.is_user_action}
+        assert automatic == {
+            EdgeKind.REDIRECT, EdgeKind.EMBED, EdgeKind.CO_OPEN,
+        }
+
+    def test_first_class_matches_2009_browsers(self):
+        first_class = {kind for kind in EdgeKind if kind.is_first_class}
+        assert first_class == {
+            EdgeKind.LINK, EdgeKind.REDIRECT, EdgeKind.EMBED,
+        }
+
+    def test_co_open_is_not_lineage(self):
+        assert not EdgeKind.CO_OPEN.is_lineage
+        assert all(
+            kind.is_lineage for kind in EdgeKind if kind is not EdgeKind.CO_OPEN
+        )
+
+
+class TestEdgeKindSets:
+    def test_personalization_follows_user_actions_only(self):
+        assert PERSONALIZATION_EDGE_KINDS == frozenset(
+            kind for kind in EdgeKind if kind.is_user_action
+        )
+        assert EdgeKind.REDIRECT not in PERSONALIZATION_EDGE_KINDS
+        assert EdgeKind.CO_OPEN not in PERSONALIZATION_EDGE_KINDS
+
+    def test_lineage_keeps_automatic_causal_edges(self):
+        assert EdgeKind.REDIRECT in LINEAGE_EDGE_KINDS
+        assert EdgeKind.EMBED in LINEAGE_EDGE_KINDS
+        assert EdgeKind.CO_OPEN not in LINEAGE_EDGE_KINDS
+
+    def test_second_class_complement(self):
+        assert SECOND_CLASS_EDGE_KINDS == frozenset(
+            kind for kind in EdgeKind if not kind.is_first_class
+        )
+        assert EdgeKind.TYPED_FROM in SECOND_CLASS_EDGE_KINDS
+        assert EdgeKind.SEARCHED in SECOND_CLASS_EDGE_KINDS

@@ -1,0 +1,118 @@
+"""Tests for the Ayers & Stasko tree view (section 3.1)."""
+
+import pytest
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.core.treeview import (
+    build_history_forest,
+    forest_stats,
+    render_tree,
+)
+
+
+def visit(node_id, ts, url=None, label=""):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    label=label, url=url)
+
+
+@pytest.fixture()
+def session_graph():
+    """Two sessions: typed root a with children b,c (c leads to d);
+    typed root e alone.  Plus a search-term node (excluded from trees).
+    """
+    graph = ProvenanceGraph()
+    for node_id, ts in (("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 10)):
+        graph.add_node(visit(node_id, ts, label=f"page {node_id}"))
+    graph.add_node(ProvNode(id="t", kind=NodeKind.SEARCH_TERM,
+                            timestamp_us=0, label="term"))
+    graph.add_edge(EdgeKind.LINK, "a", "b", timestamp_us=2)
+    graph.add_edge(EdgeKind.LINK, "a", "c", timestamp_us=3)
+    graph.add_edge(EdgeKind.LINK, "c", "d", timestamp_us=4)
+    graph.add_edge(EdgeKind.SEARCHED, "t", "a", timestamp_us=1)
+    return graph
+
+
+class TestBuildForest:
+    def test_roots_are_context_free_visits(self, session_graph):
+        roots = build_history_forest(session_graph)
+        assert sorted(root.node_id for root in roots) == ["a", "e"]
+
+    def test_tree_structure(self, session_graph):
+        roots = build_history_forest(session_graph)
+        tree_a = next(root for root in roots if root.node_id == "a")
+        children = sorted(child.node_id for child in tree_a.children)
+        assert children == ["b", "c"]
+        tree_c = next(c for c in tree_a.children if c.node_id == "c")
+        assert [child.node_id for child in tree_c.children] == ["d"]
+
+    def test_every_node_appears_exactly_once(self, session_graph):
+        roots = build_history_forest(session_graph)
+        seen = [node.node_id for root in roots for node, _ in root.walk()]
+        assert sorted(seen) == ["a", "b", "c", "d", "e"]
+
+    def test_earliest_in_edge_wins(self):
+        """A node reached twice keeps its first causal parent."""
+        graph = ProvenanceGraph()
+        graph.add_node(visit("p", 1))
+        graph.add_node(visit("q", 2))
+        graph.add_node(visit("r", 3))
+        graph.add_edge(EdgeKind.LINK, "p", "r", timestamp_us=3)
+        graph.add_edge(EdgeKind.LINK, "q", "r", timestamp_us=5)
+        roots = build_history_forest(graph)
+        tree_p = next(root for root in roots if root.node_id == "p")
+        assert [child.node_id for child in tree_p.children] == ["r"]
+
+    def test_non_page_kinds_excluded(self, session_graph):
+        roots = build_history_forest(session_graph)
+        ids = {node.node_id for root in roots for node, _ in root.walk()}
+        assert "t" not in ids
+
+
+class TestTreeNode:
+    def test_walk_depths(self, session_graph):
+        roots = build_history_forest(session_graph)
+        tree_a = next(root for root in roots if root.node_id == "a")
+        depths = dict(
+            (node.node_id, depth) for node, depth in tree_a.walk()
+        )
+        assert depths == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_size_and_height(self, session_graph):
+        roots = build_history_forest(session_graph)
+        tree_a = next(root for root in roots if root.node_id == "a")
+        assert tree_a.size() == 4
+        assert tree_a.height() == 3
+
+
+class TestForestStats:
+    def test_stats(self, session_graph):
+        roots = build_history_forest(session_graph)
+        stats = forest_stats(roots)
+        assert stats.trees == 2
+        assert stats.nodes == 5
+        assert stats.max_depth == 2
+        # Internal nodes: a (2 children), c (1 child) -> mean 1.5.
+        assert stats.mean_branching == pytest.approx(1.5)
+
+    def test_empty_forest(self):
+        stats = forest_stats([])
+        assert stats.trees == 0
+        assert stats.mean_branching == 0.0
+
+
+class TestRender:
+    def test_render_indents(self, session_graph):
+        roots = build_history_forest(session_graph)
+        tree_a = next(root for root in roots if root.node_id == "a")
+        text = render_tree(tree_a)
+        assert "- page a" in text
+        assert "  - page c" in text
+        assert "    - page d" in text
+
+    def test_render_truncates(self, session_graph):
+        roots = build_history_forest(session_graph)
+        tree_a = next(root for root in roots if root.node_id == "a")
+        text = render_tree(tree_a, max_nodes=2)
+        assert "truncated" in text

@@ -1,0 +1,155 @@
+"""Tests for versioning policies and temporal traversal (section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import ProvenanceGraph
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.core.versioning import (
+    EdgeVersioningPolicy,
+    NodeVersioningPolicy,
+    temporal_ancestors,
+    temporal_descendants,
+    version_chain,
+)
+
+URL = "http://a.com/"
+
+
+class TestNodeVersioningPolicy:
+    def test_each_visit_is_new_instance(self):
+        policy = NodeVersioningPolicy()
+        graph = ProvenanceGraph(enforce_dag=policy.enforce_dag)
+        first = policy.resolve_visit(graph, policy.visit_node(URL, "t", 1))
+        second = policy.resolve_visit(graph, policy.visit_node(URL, "t", 2))
+        assert first.id != second.id
+        assert graph.node_count == 2
+        assert first.kind is NodeKind.PAGE_VISIT
+
+    def test_enforces_dag(self):
+        assert NodeVersioningPolicy.enforce_dag is True
+
+    def test_version_chain_orders_instances(self):
+        policy = NodeVersioningPolicy()
+        graph = ProvenanceGraph()
+        policy.resolve_visit(graph, policy.visit_node(URL, "t", 5))
+        policy.resolve_visit(graph, policy.visit_node(URL, "t", 2))
+        chain = version_chain(graph, URL)
+        assert [node.timestamp_us for node in chain] == [2, 5]
+
+
+class TestEdgeVersioningPolicy:
+    def test_revisit_reuses_node(self):
+        policy = EdgeVersioningPolicy()
+        graph = ProvenanceGraph(enforce_dag=policy.enforce_dag)
+        first = policy.resolve_visit(graph, policy.visit_node(URL, "t", 1))
+        second = policy.resolve_visit(graph, policy.visit_node(URL, "t", 9))
+        assert first.id == second.id
+        assert graph.node_count == 1
+        assert first.kind is NodeKind.PAGE
+
+    def test_first_timestamp_kept(self):
+        policy = EdgeVersioningPolicy()
+        graph = ProvenanceGraph(enforce_dag=False)
+        policy.resolve_visit(graph, policy.visit_node(URL, "t", 3))
+        node = policy.resolve_visit(graph, policy.visit_node(URL, "t", 50))
+        assert node.timestamp_us == 3
+
+    def test_does_not_enforce_dag(self):
+        assert EdgeVersioningPolicy.enforce_dag is False
+
+
+def build_cyclic_page_graph():
+    """search <-> result cycle, as in section 3.1's example.
+
+    search --(t=2)--> result --(t=4)--> search (link back), then the
+    user continues from search at t=6 to 'next'.
+    """
+    graph = ProvenanceGraph(enforce_dag=False)
+    policy = EdgeVersioningPolicy()
+    search = policy.resolve_visit(graph, policy.visit_node("http://s.com/", "s", 1))
+    result = policy.resolve_visit(graph, policy.visit_node("http://r.com/", "r", 2))
+    nxt = policy.resolve_visit(graph, policy.visit_node("http://n.com/", "n", 6))
+    graph.add_edge(EdgeKind.LINK, search.id, result.id, timestamp_us=2)
+    graph.add_edge(EdgeKind.LINK, result.id, search.id, timestamp_us=4)
+    graph.add_edge(EdgeKind.LINK, search.id, nxt.id, timestamp_us=6)
+    return graph, search.id, result.id, nxt.id
+
+
+class TestTemporalTraversal:
+    def test_graph_is_cyclic_but_walk_terminates(self):
+        graph, search, result, nxt = build_cyclic_page_graph()
+        assert not graph.is_acyclic()
+        reached = temporal_ancestors(graph, nxt, at_us=10)
+        assert set(reached) == {search, result}
+
+    def test_time_bound_respected_backward(self):
+        graph, search, result, nxt = build_cyclic_page_graph()
+        # Standing at 'result' as of t=3: only the t=2 edge from search
+        # is crossable; the t=4 back-edge hasn't happened yet.
+        reached = temporal_ancestors(graph, result, at_us=3)
+        assert set(reached) == {search}
+
+    def test_ancestor_depth_reported(self):
+        graph, search, result, nxt = build_cyclic_page_graph()
+        reached = temporal_ancestors(graph, nxt, at_us=10)
+        assert reached[search].depth == 1
+
+    def test_max_depth(self):
+        graph, search, result, nxt = build_cyclic_page_graph()
+        reached = temporal_ancestors(graph, nxt, at_us=10, max_depth=1)
+        assert set(reached) == {search}
+
+    def test_descendants_forward_in_time(self):
+        graph, search, result, nxt = build_cyclic_page_graph()
+        reached = temporal_descendants(graph, search, from_us=0)
+        assert set(reached) == {result, nxt}
+
+    def test_descendants_bound(self):
+        graph, search, result, nxt = build_cyclic_page_graph()
+        # Starting from 'result' at t>=5: only the t=6 edge applies,
+        # reached via search (t=4 back-edge is before the bound... the
+        # walk from result can cross t=4 only if bound <= 4).
+        reached = temporal_descendants(graph, result, from_us=5)
+        assert set(reached) == set()
+
+    def test_descendants_through_cycle(self):
+        graph, search, result, nxt = build_cyclic_page_graph()
+        reached = temporal_descendants(graph, result, from_us=0)
+        # result -(t=4)-> search -(t=6)-> next respects time order.
+        assert set(reached) == {search, nxt}
+
+    def test_unknown_start_raises(self):
+        graph, *_ = build_cyclic_page_graph()
+        from repro.errors import UnknownNodeError
+
+        with pytest.raises(UnknownNodeError):
+            temporal_ancestors(graph, "missing", at_us=1)
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(1, 100)),
+        max_size=30,
+    )
+)
+@settings(max_examples=50)
+def test_temporal_walk_always_terminates_and_respects_time(edges):
+    """On arbitrary (cyclic) edge-versioned graphs, the temporal walk
+    terminates and every reached ancestor has a crossable path."""
+    policy = EdgeVersioningPolicy()
+    graph = ProvenanceGraph(enforce_dag=False)
+    nodes = []
+    for index in range(10):
+        node = policy.resolve_visit(
+            graph, policy.visit_node(f"http://p{index}.com/", "t", index)
+        )
+        nodes.append(node.id)
+    for src, dst, ts in edges:
+        if src != dst:
+            graph.add_edge(EdgeKind.LINK, nodes[src], nodes[dst], timestamp_us=ts)
+    reached = temporal_ancestors(graph, nodes[0], at_us=50)
+    for reach in reached.values():
+        assert reach.bound_us <= 50
+        assert reach.depth >= 1

@@ -1,0 +1,100 @@
+"""Integration tests for the design-choice ablations in DESIGN.md."""
+
+import pytest
+
+from repro.core.capture import CaptureConfig
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.core.versioning import EdgeVersioningPolicy, temporal_ancestors
+from repro.user.personas import default_profile, heavy_awesomebar_profile
+from repro.user.workload import WorkloadParams, run_workload
+from tests.conftest import make_sim
+
+SMALL = WorkloadParams(days=1, sessions_per_day=3, actions_per_session=10,
+                       seed=4)
+
+
+class TestE10VersioningPolicies:
+    """Node-versioning vs edge-versioning on the same workload."""
+
+    @pytest.fixture(scope="class")
+    def both(self):
+        node_sim = make_sim(seed=41)
+        run_workload(node_sim.browser, node_sim.web, default_profile(), SMALL)
+        edge_sim = make_sim(seed=41, policy=EdgeVersioningPolicy())
+        run_workload(edge_sim.browser, edge_sim.web, default_profile(), SMALL)
+        return node_sim, edge_sim
+
+    def test_same_workload_fewer_nodes_under_edge_versioning(self, both):
+        node_sim, edge_sim = both
+        assert edge_sim.capture.graph.node_count < (
+            node_sim.capture.graph.node_count
+        )
+
+    def test_node_versioned_graph_is_dag(self, both):
+        node_sim, _ = both
+        assert node_sim.capture.graph.is_acyclic()
+
+    def test_edge_versioned_temporal_queries_work(self, both):
+        _, edge_sim = both
+        graph = edge_sim.capture.graph
+        pages = graph.by_kind(NodeKind.PAGE)
+        assert pages
+        # Temporal ancestry terminates and respects bounds even if the
+        # page graph is cyclic.
+        reached = temporal_ancestors(
+            graph, pages[-1], at_us=edge_sim.clock.now_us
+        )
+        for reach in reached.values():
+            assert reach.bound_us <= edge_sim.clock.now_us
+
+
+class TestE12SecondClassCapture:
+    """Full capture vs Places-equivalent capture connectivity."""
+
+    @pytest.fixture(scope="class")
+    def both(self):
+        full = make_sim(seed=43)
+        run_workload(full.browser, full.web, heavy_awesomebar_profile(),
+                     SMALL)
+        sparse = make_sim(
+            seed=43, capture_config=CaptureConfig.places_equivalent()
+        )
+        run_workload(sparse.browser, sparse.web, heavy_awesomebar_profile(),
+                     SMALL)
+        return full, sparse
+
+    def test_identical_browsing_different_capture(self, both):
+        full, sparse = both
+        # Same behaviour stream: Places stores agree.
+        assert (
+            full.browser.places.visit_count()
+            == sparse.browser.places.visit_count()
+        )
+
+    def test_sparse_capture_misses_edges(self, both):
+        full, sparse = both
+        assert sparse.capture.graph.edge_count < full.capture.graph.edge_count
+
+    def test_power_user_history_nearly_disconnected(self, both):
+        """Section 3.2's irony, quantified: for a heavy location-bar
+        user the Places-equivalent graph loses most context edges."""
+        full, sparse = both
+        full_kinds = full.capture.graph.edge_kind_counts()
+        sparse_kinds = sparse.capture.graph.edge_kind_counts()
+        assert "typed_from" in full_kinds
+        assert "typed_from" not in sparse_kinds
+        assert "co_open" not in sparse_kinds
+
+
+class TestE13CloseEvents:
+    def test_no_close_capture_no_temporal_answers(self):
+        sim = make_sim(
+            seed=47,
+            capture_config=CaptureConfig(capture_co_open=False),
+        )
+        run_workload(sim.browser, sim.web, default_profile(), SMALL)
+        assert sim.capture.intervals == []
+        engine = sim.query_engine()
+        hits = engine.window_search("wine", 0, sim.clock.now_us)
+        assert hits == []  # "every page is always open" -> no windows
+        sim.close()

@@ -1,0 +1,164 @@
+"""Property-based state machine driving the browser + capture.
+
+Hypothesis generates arbitrary interleavings of user gestures (open
+tab, typed navigation, link click, search, bookmark, download, back,
+close tab) and after every step we check the invariants that hold the
+whole reproduction together:
+
+* the provenance graph stays acyclic;
+* every edge runs forward in time;
+* capture's visit census matches the Places store (modulo downloads);
+* intervals are well-formed and tabs consistent.
+
+This is the test that catches event-ordering bugs no scripted scenario
+thinks to write.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import settings
+
+from repro.core.taxonomy import NodeKind
+from repro.sim import Simulation
+from repro.web.page import PageKind
+
+
+class BrowserMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = None
+        self.tabs: list[int] = []
+
+    @initialize()
+    def setup(self):
+        self.sim = Simulation.build(seed=3)
+        self.browser = self.sim.browser
+        self.web = self.sim.web
+        self.content = self.web.content_pages()
+        self.tabs = [self.browser.open_tab()]
+
+    # -- gestures -------------------------------------------------------------
+
+    @rule(index=st.integers(0, 10_000))
+    def typed_navigation(self, index):
+        tab = self.tabs[index % len(self.tabs)]
+        url = self.content[index % len(self.content)]
+        self.browser.navigate_typed(tab, url)
+
+    @rule(index=st.integers(0, 10_000))
+    def click_a_link(self, index):
+        tab = self.tabs[index % len(self.tabs)]
+        page = self.browser.current_page(tab)
+        if page is None or not page.links:
+            return
+        self.browser.click_link(tab, page.links[index % len(page.links)])
+
+    @rule(index=st.integers(0, 10_000),
+          query=st.sampled_from(["wine", "rosebud", "plane tickets",
+                                 "garden", "movie"]))
+    def search(self, index, query):
+        tab = self.tabs[index % len(self.tabs)]
+        result = self.browser.search_web(tab, query)
+        if result.page.links:
+            self.browser.click_result(tab, index % len(result.page.links))
+
+    @rule(index=st.integers(0, 10_000))
+    def bookmark_current(self, index):
+        tab = self.tabs[index % len(self.tabs)]
+        if self.browser.current_page(tab) is not None:
+            self.browser.add_bookmark(tab)
+
+    @rule(index=st.integers(0, 10_000))
+    def download_if_possible(self, index):
+        tab = self.tabs[index % len(self.tabs)]
+        page = self.browser.current_page(tab)
+        if page is None or not page.downloads:
+            return
+        self.browser.download_link(
+            tab, page.downloads[index % len(page.downloads)]
+        )
+
+    @rule(index=st.integers(0, 10_000))
+    def go_back(self, index):
+        tab = self.tabs[index % len(self.tabs)]
+        if self.browser.can_go_back(tab):
+            self.browser.back(tab)
+
+    @precondition(lambda self: len(self.tabs) < 4)
+    @rule()
+    def open_tab(self):
+        self.tabs.append(self.browser.open_tab())
+
+    @precondition(lambda self: len(self.tabs) > 1)
+    @rule(index=st.integers(0, 10_000))
+    def close_tab(self, index):
+        tab = self.tabs.pop(index % len(self.tabs))
+        self.browser.close_tab(tab)
+
+    @rule(seconds=st.integers(1, 600))
+    def let_time_pass(self, seconds):
+        self.sim.clock.advance_seconds(seconds)
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def graph_is_acyclic(self):
+        if self.sim is None:
+            return
+        assert self.sim.capture.graph.is_acyclic()
+
+    @invariant()
+    def edges_run_forward_in_time(self):
+        if self.sim is None:
+            return
+        graph = self.sim.capture.graph
+        for edge in graph.edges():
+            assert (
+                graph.node(edge.src).timestamp_us
+                <= graph.node(edge.dst).timestamp_us
+            )
+
+    @invariant()
+    def capture_census_matches_places(self):
+        if self.sim is None:
+            return
+        graph = self.sim.capture.graph
+        visits = len(graph.by_kind(NodeKind.PAGE_VISIT))
+        downloads = self.sim.browser.downloads.count()
+        assert visits == self.sim.browser.places.visit_count() - downloads
+        assert len(graph.by_kind(NodeKind.DOWNLOAD)) == downloads
+        assert len(graph.by_kind(NodeKind.BOOKMARK)) == len(
+            self.sim.browser.places.bookmarks()
+        )
+
+    @invariant()
+    def intervals_well_formed(self):
+        if self.sim is None:
+            return
+        for interval in self.sim.capture.intervals:
+            assert interval.closed_us >= interval.opened_us
+
+    @invariant()
+    def current_pages_are_real(self):
+        if self.sim is None:
+            return
+        for tab in self.tabs:
+            page = self.browser.current_page(tab)
+            if page is not None and page.kind is not PageKind.SEARCH_RESULTS:
+                assert self.web.get(page.url) is not None
+
+    def teardown(self):
+        if self.sim is not None:
+            self.sim.close()
+
+
+TestBrowserStateMachine = BrowserMachine.TestCase
+TestBrowserStateMachine.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,128 @@
+"""End-to-end pipeline integration tests.
+
+These tests use the shared read-only ``browsed_sim`` fixture (3-day
+workload) and verify cross-component invariants: browser stores vs.
+provenance capture vs. persisted store all describe the same browsing.
+"""
+
+import pytest
+
+from repro.core.store import ProvenanceStore
+from repro.core.taxonomy import EdgeKind, NodeKind
+
+
+class TestCaptureMatchesBrowser:
+    def test_visit_counts_align(self, browsed_sim):
+        """Every non-download Places visit has a provenance node."""
+        graph = browsed_sim.capture.graph
+        visits = len(graph.by_kind(NodeKind.PAGE_VISIT))
+        places_visits = browsed_sim.browser.places.visit_count()
+        # Downloads add a Places visit but a DOWNLOAD node instead.
+        downloads = browsed_sim.browser.downloads.count()
+        assert visits == places_visits - downloads
+
+    def test_download_counts_align(self, browsed_sim):
+        graph = browsed_sim.capture.graph
+        assert len(graph.by_kind(NodeKind.DOWNLOAD)) == (
+            browsed_sim.browser.downloads.count()
+        )
+
+    def test_search_terms_align(self, browsed_sim):
+        graph = browsed_sim.capture.graph
+        distinct_queries = {
+            entry.value.lower()
+            for entry in browsed_sim.browser.forms.searches()
+        }
+        terms = {
+            graph.node(node_id).label.lower()
+            for node_id in graph.by_kind(NodeKind.SEARCH_TERM)
+        }
+        assert terms == distinct_queries
+
+    def test_bookmarks_align(self, browsed_sim):
+        graph = browsed_sim.capture.graph
+        assert len(graph.by_kind(NodeKind.BOOKMARK)) == len(
+            browsed_sim.browser.places.bookmarks()
+        )
+
+    def test_graph_is_acyclic(self, browsed_sim):
+        assert browsed_sim.capture.graph.is_acyclic()
+
+    def test_intervals_match_browser(self, browsed_sim):
+        assert len(browsed_sim.capture.intervals) == len(
+            browsed_sim.browser.closed_intervals()
+        )
+
+    def test_every_edge_timestamp_ordered(self, browsed_sim):
+        graph = browsed_sim.capture.graph
+        for edge in graph.edges():
+            assert (
+                graph.node(edge.src).timestamp_us
+                <= graph.node(edge.dst).timestamp_us
+            )
+
+
+class TestStoreRoundTripAtScale:
+    @pytest.fixture(scope="class")
+    def store(self, browsed_sim):
+        store = ProvenanceStore()
+        store.save_graph(
+            browsed_sim.capture.graph, browsed_sim.capture.intervals
+        )
+        yield store
+        store.close()
+
+    def test_counts(self, browsed_sim, store):
+        assert store.node_count() == browsed_sim.capture.graph.node_count
+        assert store.edge_count() == browsed_sim.capture.graph.edge_count
+        assert store.interval_count() == len(browsed_sim.capture.intervals)
+
+    def test_full_roundtrip(self, browsed_sim, store):
+        loaded = store.load_graph()
+        original = {n.id: n for n in browsed_sim.capture.graph.nodes()}
+        restored = {n.id: n for n in loaded.nodes()}
+        assert original == restored
+
+    def test_sql_and_memory_traversals_agree(self, browsed_sim, store):
+        """The paper's SQL path and our in-memory path give the same
+        ancestor sets."""
+        graph = browsed_sim.capture.graph
+        downloads = graph.by_kind(NodeKind.DOWNLOAD)
+        probes = downloads[:2] or graph.by_kind(NodeKind.PAGE_VISIT)[-3:]
+        for probe in probes:
+            memory = graph.ancestors(probe)
+            sql = dict(store.sql_ancestors(probe, max_depth=200))
+            assert set(memory) == set(sql)
+            for node_id, depth in memory.items():
+                assert sql[node_id] == depth
+
+    def test_window_queries_agree(self, browsed_sim, store):
+        graph = browsed_sim.capture.graph
+        start = browsed_sim.clock.start_us
+        mid = start + (browsed_sim.clock.now_us - start) // 2
+        sql_window = set(store.sql_nodes_in_window(start, mid))
+        memory_window = {
+            node.id for node in graph.nodes()
+            if start <= node.timestamp_us < mid
+        }
+        assert sql_window == memory_window
+
+
+class TestProxyVantage:
+    def test_proxy_sees_subset_of_nodes(self, browsed_sim):
+        """Proxy capture is a strict subset: fewer edge kinds, no
+        tab-derived relationships."""
+        proxy_kinds = {
+            edge.kind for edge in browsed_sim.proxy.graph.edges()
+        }
+        browser_kinds = {
+            edge.kind for edge in browsed_sim.capture.graph.edges()
+        }
+        assert EdgeKind.TYPED_FROM not in proxy_kinds
+        assert EdgeKind.CO_OPEN not in proxy_kinds
+        assert EdgeKind.TYPED_FROM in browser_kinds
+
+    def test_proxy_connectivity_is_sparser(self, browsed_sim):
+        proxy_edges = browsed_sim.proxy.graph.edge_count
+        browser_edges = browsed_sim.capture.graph.edge_count
+        assert proxy_edges < browser_edges

@@ -1,0 +1,167 @@
+"""The paper's four use cases, end to end against their baselines.
+
+Each test tells one of the section 2 stories on a live simulation and
+asserts the qualitative claim: provenance answers a question the
+baseline cannot.
+"""
+
+import pytest
+
+from repro.browser.forensics import ManualForensics
+from repro.browser.history import HistorySearch
+from repro.user.personas import (
+    default_profile,
+    gardener_profile,
+    run_malware_episode,
+    run_rosebud_episode,
+    run_wine_tickets_episode,
+)
+from repro.user.workload import WorkloadParams, run_workload
+from tests.conftest import make_sim
+
+
+@pytest.fixture()
+def sim():
+    sim = make_sim(seed=7)
+    yield sim
+    sim.close()
+
+
+class TestUseCase21ContextualHistorySearch:
+    def test_provenance_finds_what_text_cannot(self, sim):
+        outcome = run_rosebud_episode(sim.browser, sim.web)
+        assert not outcome.textually_findable, "scenario setup failed"
+
+        # Baseline: Places textual history search misses the page.
+        baseline = HistorySearch(sim.browser.places)
+        baseline_hits = baseline.ranked_search(outcome.query, limit=20)
+        assert str(outcome.clicked_url) not in [
+            hit.url for hit in baseline_hits
+        ]
+
+        # Provenance: contextual search returns it.
+        engine = sim.query_engine()
+        hits = engine.contextual_search(outcome.query, limit=10)
+        urls = [hit.url for hit in hits]
+        assert str(outcome.clicked_url) in urls
+
+    def test_provenance_result_marked_as_such(self, sim):
+        outcome = run_rosebud_episode(sim.browser, sim.web)
+        engine = sim.query_engine()
+        hits = engine.contextual_search(outcome.query, limit=10)
+        target = next(
+            hit for hit in hits if hit.url == str(outcome.clicked_url)
+        )
+        assert target.found_by_provenance_only
+
+
+class TestUseCase22PersonalizedWebSearch:
+    def test_gardener_and_film_buff_get_different_queries(self):
+        """The same ambiguous query personalizes differently per user."""
+        augmented = {}
+        for name, profile in (
+            ("gardener", gardener_profile()),
+            ("cinephile", None),
+        ):
+            sim = make_sim(seed=11)
+            if profile is None:
+                from repro.user.personas import film_buff_profile
+
+                profile = film_buff_profile()
+            run_workload(
+                sim.browser, sim.web, profile,
+                WorkloadParams(days=2, sessions_per_day=3,
+                               actions_per_session=12, seed=3),
+            )
+            run_rosebud_episode(
+                sim.browser, sim.web,
+                prefer_topic="gardening" if name == "gardener" else "film",
+            )
+            engine = sim.query_engine()
+            augmented[name] = engine.personalize_query("rosebud")
+            sim.close()
+        gardener_terms = set(augmented["gardener"].extra_terms)
+        cinephile_terms = set(augmented["cinephile"].extra_terms)
+        assert augmented["gardener"].was_personalized
+        assert augmented["cinephile"].was_personalized
+        assert gardener_terms != cinephile_terms
+
+    def test_privacy_engine_sees_only_query_text(self, sim):
+        """The search engine's log contains the augmented string and
+        nothing else about the user."""
+        run_workload(
+            sim.browser, sim.web, gardener_profile(),
+            WorkloadParams(days=1, sessions_per_day=2,
+                           actions_per_session=8, seed=3),
+        )
+        engine = sim.query_engine()
+        log_before = list(sim.engine.query_log)
+        augmented = engine.personalize_query("rosebud")
+        # Personalization itself contacted the engine zero times.
+        assert sim.engine.query_log == log_before
+        # Issuing the personalized query shows the engine exactly one
+        # new string: the augmented query.
+        sim.engine.search(augmented.sent_to_engine)
+        assert sim.engine.query_log[-1] == augmented.sent_to_engine
+        for element in sim.engine.query_log:
+            assert "http" not in element
+
+
+class TestUseCase23TimeContextualSearch:
+    def test_wine_associated_with_plane_tickets(self, sim):
+        # Background browsing buries the wine page among many others.
+        run_workload(
+            sim.browser, sim.web, default_profile(),
+            WorkloadParams(days=1, sessions_per_day=2,
+                           actions_per_session=10, seed=5),
+        )
+        outcome = run_wine_tickets_episode(sim.browser, sim.web)
+        engine = sim.query_engine()
+        hits = engine.temporal_search("wine", outcome.travel_query, limit=10)
+        urls = [hit.url for hit in hits]
+        assert str(outcome.wine_url) in urls
+        # The association partner was a travel page.
+        target = next(h for h in hits if h.url == str(outcome.wine_url))
+        assert target.associated_node_id is not None
+
+
+class TestUseCase24DownloadLineage:
+    def test_lineage_names_a_recognizable_page(self, sim):
+        outcome = run_malware_episode(sim.browser, sim.web)
+        engine = sim.query_engine()
+        node_id = sim.capture.node_for_download(outcome.download_id)
+        answer = engine.download_lineage(node_id)
+        assert answer.recognizable is not None
+        # The named ancestor genuinely clears the recognizability bar.
+        graph = sim.capture.graph
+        score = engine.lineage.recognizer.score(
+            graph, graph.node(answer.path[0].node_id)
+        )
+        assert score >= engine.lineage.recognizer.min_visits
+
+    def test_known_start_is_in_ancestry(self, sim):
+        outcome = run_malware_episode(sim.browser, sim.web)
+        engine = sim.query_engine()
+        node_id = sim.capture.node_for_download(outcome.download_id)
+        ancestry_urls = {
+            visit.node.url for visit in engine.lineage.ancestry(node_id)
+        }
+        assert str(outcome.known_url) in ancestry_urls
+
+    def test_untrusted_page_sweep_finds_the_malware(self, sim):
+        outcome = run_malware_episode(sim.browser, sim.web)
+        engine = sim.query_engine()
+        steps = engine.downloads_from(str(outcome.untrusted_url))
+        assert str(outcome.download_url) in [step.url for step in steps]
+
+    def test_manual_forensics_is_weaker_or_equal(self, sim):
+        """The heterogeneous-store walk can at best match provenance,
+        and its descendant sweep cannot see past one level."""
+        outcome = run_malware_episode(sim.browser, sim.web)
+        forensics = ManualForensics(
+            sim.browser.places, sim.browser.downloads
+        )
+        engine = sim.query_engine()
+        provenance_steps = engine.downloads_from(str(outcome.untrusted_url))
+        manual_ids = forensics.downloads_under_page(outcome.untrusted_url)
+        assert len(manual_ids) <= len(provenance_steps)

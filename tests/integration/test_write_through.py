@@ -1,0 +1,64 @@
+"""Write-through persistence: live store equals bulk save."""
+
+from repro.core.store import ProvenanceStore
+from repro.user.personas import default_profile
+from repro.user.workload import WorkloadParams, run_workload
+from tests.conftest import make_sim
+
+SMALL = WorkloadParams(days=1, sessions_per_day=2, actions_per_session=10,
+                       seed=6)
+
+
+class TestWriteThrough:
+    def test_live_store_matches_bulk_save(self):
+        sim = make_sim(seed=53)
+        live = ProvenanceStore()
+        sim.capture.attach_store(live)
+        run_workload(sim.browser, sim.web, default_profile(), SMALL)
+        live.commit()
+
+        bulk = ProvenanceStore()
+        bulk.save_graph(sim.capture.graph, sim.capture.intervals)
+
+        assert live.node_count() == bulk.node_count()
+        assert live.edge_count() == bulk.edge_count()
+        assert live.interval_count() == bulk.interval_count()
+
+        live_graph = {n.id: n for n in live.load_graph().nodes()}
+        bulk_graph = {n.id: n for n in bulk.load_graph().nodes()}
+        assert live_graph == bulk_graph
+        # The write-through store must outlive the browser: closing
+        # tabs at shutdown still emits capturable events.
+        sim.close()
+        live.close()
+        bulk.close()
+
+    def test_attach_mid_session_flushes_backlog(self):
+        sim = make_sim(seed=53)
+        # Browse first, attach afterwards.
+        tab = sim.browser.open_tab()
+        sim.browser.navigate_typed(tab, sim.web.content_pages()[0])
+        store = ProvenanceStore()
+        sim.capture.attach_store(store)
+        assert store.node_count() == sim.capture.graph.node_count
+        # Continue browsing: new events persist too.
+        sim.browser.navigate_typed(tab, sim.web.content_pages()[1])
+        assert store.node_count() == sim.capture.graph.node_count
+        sim.close()
+        store.close()
+
+    def test_sql_queries_work_on_live_store(self):
+        sim = make_sim(seed=53)
+        store = ProvenanceStore()
+        sim.capture.attach_store(store)
+        tab = sim.browser.open_tab()
+        start = next(
+            u for u in sim.web.content_pages() if sim.web.page(u).links
+        )
+        sim.browser.navigate_typed(tab, start)
+        sim.browser.click_link(tab, sim.web.page(start).links[0])
+        current = sim.capture.current_node(tab)
+        ancestors = store.sql_ancestors(current)
+        assert len(ancestors) >= 1
+        sim.close()
+        store.close()

@@ -1,0 +1,120 @@
+"""Tests for the inverted index."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.index import InvertedIndex
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    idx.add("d1", ["wine", "red", "wine"])
+    idx.add("d2", ["wine", "white"])
+    idx.add("d3", ["travel", "plane"])
+    return idx
+
+
+class TestAddRemove:
+    def test_len_counts_documents(self, index):
+        assert len(index) == 3
+
+    def test_contains(self, index):
+        assert "d1" in index
+        assert "missing" not in index
+
+    def test_postings_have_term_frequency(self, index):
+        postings = {p.doc_id: p.term_frequency for p in index.postings("wine")}
+        assert postings == {"d1": 2, "d2": 1}
+
+    def test_unknown_term_empty(self, index):
+        assert index.postings("zzz") == []
+
+    def test_readd_replaces(self, index):
+        index.add("d1", ["cheese"])
+        assert [p.doc_id for p in index.postings("cheese")] == ["d1"]
+        assert "d1" not in {p.doc_id for p in index.postings("wine")}
+        assert len(index) == 3
+
+    def test_remove(self, index):
+        index.remove("d2")
+        assert "d2" not in index
+        assert {p.doc_id for p in index.postings("wine")} == {"d1"}
+
+    def test_remove_missing_is_noop(self, index):
+        index.remove("missing")
+        assert len(index) == 3
+
+    def test_remove_cleans_empty_terms(self, index):
+        index.remove("d3")
+        assert index.postings("travel") == []
+        assert index.document_frequency("travel") == 0
+
+
+class TestStatistics:
+    def test_doc_length(self, index):
+        assert index.doc_length("d1") == 3
+        assert index.doc_length("missing") == 0
+
+    def test_average_doc_length(self, index):
+        assert index.average_doc_length == pytest.approx((3 + 2 + 2) / 3)
+
+    def test_average_empty_index(self):
+        assert InvertedIndex().average_doc_length == 0.0
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("wine") == 2
+        assert index.document_frequency("plane") == 1
+
+    def test_idf_decreases_with_frequency(self, index):
+        assert index.idf("plane") > index.idf("wine")
+
+    def test_idf_never_negative(self, index):
+        for term in ("wine", "red", "white", "travel", "plane"):
+            assert index.idf(term) >= 0.0
+
+    def test_vocabulary_size(self, index):
+        assert index.vocabulary_size == 5
+
+    def test_doc_ids(self, index):
+        assert set(index.doc_ids()) == {"d1", "d2", "d3"}
+
+    def test_terms_for(self, index):
+        assert index.terms_for("d1") == {"wine": 2, "red": 1}
+
+
+@given(
+    st.dictionaries(
+        st.text(alphabet="ab", min_size=2, max_size=4),
+        st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=6),
+        max_size=8,
+    )
+)
+def test_total_length_invariant(docs):
+    """Sum of doc lengths equals average * count after any adds."""
+    index = InvertedIndex()
+    for doc_id, tokens in docs.items():
+        index.add(doc_id, tokens)
+    total = sum(index.doc_length(doc_id) for doc_id in index.doc_ids())
+    assert total == pytest.approx(index.average_doc_length * len(index))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["d1", "d2", "d3"]),
+            st.lists(st.sampled_from(["x", "y"]), min_size=1, max_size=3),
+        ),
+        max_size=10,
+    )
+)
+def test_readd_then_remove_leaves_empty(operations):
+    index = InvertedIndex()
+    for doc_id, tokens in operations:
+        index.add(doc_id, tokens)
+    for doc_id in list(index.doc_ids()):
+        index.remove(doc_id)
+    assert len(index) == 0
+    assert index.vocabulary_size == 0
+    assert index.average_doc_length == 0.0

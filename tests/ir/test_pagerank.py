@@ -1,0 +1,68 @@
+"""Tests for PageRank."""
+
+import pytest
+
+from repro.ir.pagerank import normalize_scores, pagerank
+
+
+class TestPagerank:
+    def test_empty_graph(self):
+        assert pagerank({}) == {}
+
+    def test_single_node(self):
+        ranks = pagerank({"a": []})
+        assert ranks["a"] == pytest.approx(1.0)
+
+    def test_scores_sum_to_one(self):
+        links = {"a": ["b", "c"], "b": ["c"], "c": ["a"]}
+        ranks = pagerank(links)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_sink_handled(self):
+        # 'b' has no out-links: its rank must be redistributed, not lost.
+        links = {"a": ["b"]}
+        ranks = pagerank(links)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_authority_concentrates(self):
+        # Everyone links to 'hub'; it must rank highest.
+        links = {"a": ["hub"], "b": ["hub"], "c": ["hub"], "hub": ["a"]}
+        ranks = pagerank(links)
+        assert ranks["hub"] == max(ranks.values())
+
+    def test_symmetric_cycle_uniform(self):
+        links = {"a": ["b"], "b": ["c"], "c": ["a"]}
+        ranks = pagerank(links)
+        values = list(ranks.values())
+        assert max(values) - min(values) < 1e-6
+
+    def test_targets_without_keys_included(self):
+        ranks = pagerank({"a": ["b"]})
+        assert "b" in ranks
+
+    def test_damping_validated(self):
+        with pytest.raises(ValueError):
+            pagerank({"a": []}, damping=0.0)
+        with pytest.raises(ValueError):
+            pagerank({"a": []}, damping=1.0)
+
+    def test_convergence_stable(self):
+        links = {"a": ["b", "c"], "b": ["a"], "c": ["b"]}
+        short = pagerank(links, iterations=40)
+        long = pagerank(links, iterations=200)
+        for node in short:
+            assert short[node] == pytest.approx(long[node], abs=1e-6)
+
+
+class TestNormalizeScores:
+    def test_empty(self):
+        assert normalize_scores({}) == {}
+
+    def test_max_becomes_one(self):
+        scores = normalize_scores({"a": 2.0, "b": 1.0})
+        assert scores["a"] == pytest.approx(1.0)
+        assert scores["b"] == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        scores = normalize_scores({"a": 0.0, "b": 0.0})
+        assert scores == {"a": 0.0, "b": 0.0}

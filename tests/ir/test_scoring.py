@@ -1,0 +1,90 @@
+"""Tests for tf-idf and BM25 scoring."""
+
+import pytest
+
+from repro.ir.index import InvertedIndex
+from repro.ir.scoring import Bm25Params, bm25_scores, coverage, tfidf_scores
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    idx.add("wine-page", ["wine", "wine", "wine", "bottle"])
+    idx.add("mixed-page", ["wine", "travel"])
+    idx.add("travel-page", ["travel", "plane", "tickets"])
+    idx.add("long-page", ["wine"] + ["filler"] * 60)
+    return idx
+
+
+class TestBm25Params:
+    def test_defaults(self):
+        params = Bm25Params()
+        assert params.k1 == 1.2
+        assert params.b == 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bm25Params(k1=-1)
+        with pytest.raises(ValueError):
+            Bm25Params(b=2.0)
+
+
+class TestTfidf:
+    def test_matches_only_query_terms(self, index):
+        hits = tfidf_scores(index, ["plane"])
+        assert [h.doc_id for h in hits] == ["travel-page"]
+
+    def test_higher_tf_scores_higher(self, index):
+        hits = {h.doc_id: h.score for h in tfidf_scores(index, ["wine"])}
+        assert hits["wine-page"] > hits["mixed-page"]
+
+    def test_multi_term_accumulates(self, index):
+        single = {h.doc_id: h.score for h in tfidf_scores(index, ["travel"])}
+        double = {h.doc_id: h.score for h in tfidf_scores(index, ["travel", "plane"])}
+        assert double["travel-page"] > single["travel-page"]
+
+    def test_empty_query(self, index):
+        assert tfidf_scores(index, []) == []
+
+    def test_deterministic_tiebreak(self, index):
+        first = tfidf_scores(index, ["wine", "travel"])
+        second = tfidf_scores(index, ["wine", "travel"])
+        assert [h.doc_id for h in first] == [h.doc_id for h in second]
+
+
+class TestBm25:
+    def test_length_normalization_beats_tfidf(self, index):
+        """BM25 must penalize the long diluted page; tf-idf does not."""
+        bm25 = {h.doc_id: h.score for h in bm25_scores(index, ["wine"])}
+        assert bm25["wine-page"] > bm25["long-page"]
+
+    def test_tf_saturation(self):
+        idx = InvertedIndex()
+        idx.add("few", ["wine"] * 2 + ["pad"] * 8)
+        idx.add("many", ["wine"] * 50 + ["pad"] * 8)
+        scores = {h.doc_id: h.score for h in bm25_scores(idx, ["wine"])}
+        # More occurrences help, but far less than linearly (k1 saturation).
+        assert scores["many"] < scores["few"] * 3
+
+    def test_scores_sorted(self, index):
+        hits = bm25_scores(index, ["wine", "travel"])
+        values = [h.score for h in hits]
+        assert values == sorted(values, reverse=True)
+
+    def test_custom_params_change_scores(self, index):
+        strict = bm25_scores(index, ["wine"], Bm25Params(b=1.0))
+        loose = bm25_scores(index, ["wine"], Bm25Params(b=0.0))
+        strict_scores = {h.doc_id: h.score for h in strict}
+        loose_scores = {h.doc_id: h.score for h in loose}
+        assert strict_scores["long-page"] < loose_scores["long-page"]
+
+
+class TestCoverage:
+    def test_full_coverage(self, index):
+        assert coverage(index, "travel-page", ["travel", "plane"]) == 1.0
+
+    def test_partial_coverage(self, index):
+        assert coverage(index, "mixed-page", ["wine", "plane"]) == 0.5
+
+    def test_no_terms(self, index):
+        assert coverage(index, "wine-page", []) == 0.0

@@ -1,0 +1,91 @@
+"""Tests for tokenization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.tokenize import (
+    STOPWORDS,
+    iter_tokens,
+    jaccard,
+    tokenize,
+    tokenize_filtered,
+    url_tokens,
+)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Wine TASTING") == ["wine", "tasting"]
+
+    def test_splits_punctuation(self):
+        assert tokenize("citizen-kane (1941)") == ["citizen", "kane", "1941"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("  ...  ") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("top 10") == ["top", "10"]
+
+
+class TestTokenizeFiltered:
+    def test_stopwords_removed(self):
+        assert tokenize_filtered("the wine of spain") == ["wine", "spain"]
+
+    def test_url_noise_words_removed(self):
+        assert "http" not in tokenize_filtered("http://www.a.com")
+        assert "com" not in tokenize_filtered("http://www.a.com")
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(word == word.lower() for word in STOPWORDS)
+
+
+class TestUrlTokens:
+    def test_path_segments_split(self):
+        tokens = url_tokens("http://www.wine-site0.com/cellar/red.html")
+        assert "wine" in tokens
+        assert "cellar" in tokens
+        assert "red" in tokens
+
+    def test_hyphens_split(self):
+        assert "site0" in url_tokens("http://wine-site0.com/")
+
+
+class TestIterTokens:
+    def test_streams_multiple_texts(self):
+        tokens = list(iter_tokens(["red wine", "white wine"]))
+        assert tokens == ["red", "wine", "white", "wine"]
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_partial(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == 1 / 3
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 0.0
+
+
+@given(st.text(max_size=200))
+def test_tokenize_always_lowercase_alnum(text):
+    for token in tokenize(text):
+        assert token == token.lower()
+        assert token.isalnum()
+
+
+@given(st.text(max_size=200))
+def test_filtered_is_subset_of_tokenized(text):
+    assert set(tokenize_filtered(text)) <= set(tokenize(text))
+
+
+@given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4), max_size=10),
+       st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4), max_size=10))
+def test_jaccard_symmetric_and_bounded(first, second):
+    value = jaccard(first, second)
+    assert 0.0 <= value <= 1.0
+    assert value == jaccard(second, first)

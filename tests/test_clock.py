@@ -1,0 +1,90 @@
+"""Tests for the simulated clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clock import (
+    DEFAULT_EPOCH_US,
+    MICROSECONDS_PER_DAY,
+    MICROSECONDS_PER_SECOND,
+    SimulatedClock,
+    format_us,
+)
+
+
+class TestSimulatedClock:
+    def test_starts_at_epoch(self):
+        clock = SimulatedClock()
+        assert clock.now_us == DEFAULT_EPOCH_US
+
+    def test_custom_epoch(self):
+        clock = SimulatedClock(start_us=123)
+        assert clock.now_us == 123
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start_us=-1)
+
+    def test_advance(self):
+        clock = SimulatedClock(start_us=0)
+        assert clock.advance(10) == 10
+        assert clock.now_us == 10
+
+    def test_advance_rejects_negative(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_seconds(self):
+        clock = SimulatedClock(start_us=0)
+        clock.advance_seconds(1.5)
+        assert clock.now_us == 1_500_000
+
+    def test_advance_minutes(self):
+        clock = SimulatedClock(start_us=0)
+        clock.advance_minutes(2)
+        assert clock.now_us == 120 * MICROSECONDS_PER_SECOND
+
+    def test_advance_to(self):
+        clock = SimulatedClock(start_us=0)
+        clock.advance_to(500)
+        assert clock.now_us == 500
+
+    def test_advance_to_rejects_past(self):
+        clock = SimulatedClock(start_us=100)
+        with pytest.raises(ValueError):
+            clock.advance_to(50)
+
+    def test_tick_is_one_microsecond(self):
+        clock = SimulatedClock(start_us=0)
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_elapsed_days(self):
+        clock = SimulatedClock(start_us=0)
+        clock.advance(3 * MICROSECONDS_PER_DAY)
+        assert clock.elapsed_days == pytest.approx(3.0)
+
+    def test_elapsed_us(self):
+        clock = SimulatedClock(start_us=1000)
+        clock.advance(42)
+        assert clock.elapsed_us == 42
+
+
+class TestFormatUs:
+    def test_epoch_format(self):
+        assert format_us(0) == "1970-01-01 00:00:00"
+
+    def test_default_epoch_is_tapp09(self):
+        assert format_us(DEFAULT_EPOCH_US).startswith("2009-02-2")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=20))
+def test_clock_is_monotone(deltas):
+    clock = SimulatedClock(start_us=0)
+    previous = clock.now_us
+    for delta in deltas:
+        clock.advance(delta)
+        assert clock.now_us >= previous
+        previous = clock.now_us

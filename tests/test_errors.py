@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_key_errors_are_also_keyerrors():
+    # Callers using dict-style access patterns can catch KeyError.
+    assert issubclass(errors.UnknownNodeError, KeyError)
+    assert issubclass(errors.PageNotFoundError, KeyError)
+    assert issubclass(errors.NoSuchTabError, KeyError)
+
+
+def test_invalid_url_is_value_error():
+    assert issubclass(errors.InvalidUrlError, ValueError)
+
+
+def test_cycle_error_carries_endpoints():
+    error = errors.CycleError("a", "b")
+    assert error.source == "a"
+    assert error.target == "b"
+    assert "a" in str(error) and "b" in str(error)
+
+
+def test_unknown_node_error_carries_id():
+    error = errors.UnknownNodeError("visit:000001")
+    assert error.node_id == "visit:000001"
+
+
+def test_schema_version_error_fields():
+    error = errors.SchemaVersionError(found=9, expected=2)
+    assert error.found == 9
+    assert error.expected == 2
+
+
+def test_query_timeout_error_fields():
+    error = errors.QueryTimeoutError(200.0)
+    assert error.deadline_ms == 200.0
+    assert "200" in str(error)
+
+
+@pytest.mark.parametrize(
+    "subclass,parent",
+    [
+        (errors.CycleError, errors.ProvenanceError),
+        (errors.StoreClosedError, errors.StoreError),
+        (errors.QueryTimeoutError, errors.QueryError),
+        (errors.NavigationError, errors.BrowserError),
+        (errors.RedirectLoopError, errors.WebError),
+    ],
+)
+def test_hierarchy_parentage(subclass, parent):
+    assert issubclass(subclass, parent)

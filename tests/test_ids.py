@@ -1,0 +1,102 @@
+"""Tests for deterministic id generation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ids import IdAllocator, all_prefixes, content_id, ordinal_of, prefix_of
+
+
+class TestIdAllocator:
+    def test_sequential_within_prefix(self):
+        alloc = IdAllocator()
+        assert alloc.next("visit") == "visit:000000"
+        assert alloc.next("visit") == "visit:000001"
+        assert alloc.next("visit") == "visit:000002"
+
+    def test_prefixes_have_independent_counters(self):
+        alloc = IdAllocator()
+        alloc.next("visit")
+        alloc.next("visit")
+        assert alloc.next("edge") == "edge:000000"
+
+    def test_peek_counts_allocations(self):
+        alloc = IdAllocator()
+        assert alloc.peek("visit") == 0
+        alloc.next("visit")
+        alloc.next("visit")
+        assert alloc.peek("visit") == 2
+
+    def test_reset_restarts_counters(self):
+        alloc = IdAllocator()
+        alloc.next("visit")
+        alloc.reset()
+        assert alloc.next("visit") == "visit:000000"
+
+    def test_two_allocators_are_independent(self):
+        first = IdAllocator()
+        second = IdAllocator()
+        first.next("visit")
+        assert second.next("visit") == "visit:000000"
+
+
+class TestContentId:
+    def test_deterministic(self):
+        assert content_id("page", "http://a.com/") == content_id(
+            "page", "http://a.com/"
+        )
+
+    def test_distinct_content_distinct_id(self):
+        assert content_id("page", "http://a.com/") != content_id(
+            "page", "http://b.com/"
+        )
+
+    def test_part_boundaries_matter(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert content_id("x", "ab", "c") != content_id("x", "a", "bc")
+
+    def test_prefix_included(self):
+        assert content_id("page", "x").startswith("page:")
+
+    def test_different_prefix_same_content(self):
+        assert content_id("page", "x") != content_id("term", "x")
+
+
+class TestIdParsing:
+    def test_ordinal_of(self):
+        assert ordinal_of("visit:000041") == 41
+
+    def test_ordinal_of_rejects_missing_prefix(self):
+        with pytest.raises(ValueError):
+            ordinal_of("000041")
+
+    def test_ordinal_of_rejects_hash_ids(self):
+        with pytest.raises(ValueError):
+            ordinal_of(content_id("page", "http://a.com/"))
+
+    def test_prefix_of(self):
+        assert prefix_of("visit:000041") == "visit"
+        assert prefix_of(content_id("term", "rosebud")) == "term"
+
+    def test_prefix_of_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            prefix_of("no-colon-here")
+
+    def test_all_prefixes(self):
+        ids = ["visit:000001", "visit:000002", "dl:000000"]
+        assert all_prefixes(ids) == {"visit", "dl"}
+
+
+@given(st.lists(st.text(alphabet="abc", min_size=1, max_size=5), min_size=1,
+                max_size=4))
+def test_content_id_stable_under_repetition(parts):
+    assert content_id("k", *parts) == content_id("k", *parts)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_allocator_ordinal_roundtrip(count):
+    alloc = IdAllocator()
+    last = None
+    for _ in range(count % 50 + 1):
+        last = alloc.next("n")
+    assert ordinal_of(last) == count % 50

@@ -1,0 +1,68 @@
+"""Tests for the one-call simulation builder."""
+
+from repro.core.capture import CaptureConfig
+from repro.core.versioning import EdgeVersioningPolicy
+from repro.sim import Simulation
+from repro.user.personas import default_profile
+from repro.user.workload import WorkloadParams
+
+
+class TestBuild:
+    def test_components_wired(self):
+        sim = Simulation.build(seed=1)
+        assert sim.browser.search_engine is sim.engine
+        assert len(sim.web) > 0
+        assert sim.proxy is None
+        sim.close()
+
+    def test_with_proxy(self):
+        sim = Simulation.build(seed=1, with_proxy=True)
+        assert sim.proxy is not None
+        tab = sim.browser.open_tab()
+        sim.browser.navigate_typed(tab, sim.web.content_pages()[0])
+        assert sim.proxy.flows_seen > 0
+        sim.close()
+
+    def test_capture_config_forwarded(self):
+        sim = Simulation.build(
+            seed=1, capture_config=CaptureConfig.places_equivalent()
+        )
+        assert not sim.capture.config.capture_co_open
+        sim.close()
+
+    def test_policy_forwarded(self):
+        sim = Simulation.build(seed=1, policy=EdgeVersioningPolicy())
+        assert not sim.capture.graph.enforce_dag
+        sim.close()
+
+    def test_deterministic_for_seed(self):
+        counts = []
+        for _ in range(2):
+            sim = Simulation.build(seed=5)
+            sim.run_workload(
+                default_profile(),
+                WorkloadParams(days=1, sessions_per_day=2,
+                               actions_per_session=6, seed=9),
+            )
+            counts.append(sim.capture.graph.node_count)
+            sim.close()
+        assert counts[0] == counts[1]
+
+
+class TestConveniences:
+    def test_query_engine(self):
+        sim = Simulation.build(seed=1)
+        sim.run_workload(
+            default_profile(),
+            WorkloadParams(days=1, sessions_per_day=1,
+                           actions_per_session=6, seed=2),
+        )
+        engine = sim.query_engine()
+        assert engine.graph is sim.capture.graph
+        sim.close()
+
+    def test_history_search(self):
+        sim = Simulation.build(seed=1)
+        search = sim.history_search()
+        assert search.store is sim.browser.places
+        sim.close()

@@ -1,0 +1,115 @@
+"""Tests for the behaviour model."""
+
+import random
+
+import pytest
+
+from repro.user.behavior import BehaviorModel, SessionStats
+from repro.user.profile import Habits, UserProfile
+from tests.conftest import make_sim
+
+
+class TestSessionStats:
+    def test_merge_sums_fields(self):
+        first = SessionStats(navigations=2, searches=1)
+        second = SessionStats(navigations=3, downloads=1)
+        first.merge(second)
+        assert first.navigations == 5
+        assert first.searches == 1
+        assert first.downloads == 1
+
+
+@pytest.fixture()
+def sim():
+    sim = make_sim(seed=23)
+    yield sim
+    sim.close()
+
+
+def run_session(sim, profile, *, actions=20, seed=5):
+    model = BehaviorModel(sim.browser, sim.web, profile,
+                          rng=random.Random(seed))
+    return model.browse_session(actions=actions), model
+
+
+class TestBrowseSession:
+    def test_produces_navigations(self, sim):
+        profile = UserProfile(name="u", interests={"wine": 1.0, "film": 1.0})
+        stats, _ = run_session(sim, profile)
+        assert stats.navigations > 0
+        assert sim.browser.places.visit_count() > 0
+
+    def test_closes_all_tabs(self, sim):
+        profile = UserProfile(name="u", interests={"wine": 1.0})
+        run_session(sim, profile)
+        assert sim.browser.open_tabs() == []
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            sim = make_sim(seed=31)
+            profile = UserProfile(name="u", interests={"wine": 1.0,
+                                                       "travel": 1.0})
+            stats, _ = run_session(sim, profile, seed=9)
+            results.append(
+                (stats.navigations, sim.browser.places.visit_count())
+            )
+            sim.close()
+        assert results[0] == results[1]
+
+    def test_searcher_profile_searches(self, sim):
+        profile = UserProfile(
+            name="u", interests={"wine": 1.0},
+            habits=Habits(search_rate=0.9, typed_rate=0.05),
+        )
+        stats, _ = run_session(sim, profile, actions=30)
+        assert stats.searches > 0
+        total_uses = sum(
+            entry.times_used for entry in sim.browser.forms.searches()
+        )
+        assert total_uses == stats.searches
+
+    def test_typed_heavy_profile(self, sim):
+        profile = UserProfile(
+            name="u", interests={"wine": 1.0},
+            habits=Habits(search_rate=0.0, bookmark_use_rate=0.0),
+        )
+        stats, _ = run_session(sim, profile, actions=30)
+        assert stats.typed > 0
+
+    def test_interest_bias_in_link_choice(self, sim):
+        """A wine-only user's visited content skews to wine pages."""
+        profile = UserProfile(name="u", interests={"wine": 10.0})
+        run_session(sim, profile, actions=40)
+        topics = []
+        for place in sim.browser.places.all_places():
+            from repro.web.url import Url
+
+            page = sim.web.get(Url.parse(place.url))
+            if page is not None and page.topic:
+                topics.append(page.topic)
+        assert topics.count("wine") / len(topics) > 0.5
+
+    def test_visit_memory_grows(self, sim):
+        profile = UserProfile(name="u", interests={"wine": 1.0})
+        _, model = run_session(sim, profile, actions=15)
+        assert model._visit_memory
+        total_notes = sum(model._visit_memory.values())
+        assert total_notes > 0
+
+    def test_downloader_profile_downloads(self):
+        from repro.web.graph import WebParams
+
+        sim = make_sim(
+            seed=23,
+            web_params=WebParams(download_rate=0.5, sites_per_topic=1,
+                                 pages_per_site=30),
+        )
+        profile = UserProfile(
+            name="u", interests={"technology": 5.0},
+            habits=Habits(download_rate=0.6),
+        )
+        stats, _ = run_session(sim, profile, actions=60, seed=3)
+        assert stats.downloads > 0
+        assert sim.browser.downloads.count() == stats.downloads
+        sim.close()

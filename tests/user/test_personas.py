@@ -1,0 +1,121 @@
+"""Tests for scenario personas and scripted episodes."""
+
+import pytest
+
+from repro.ir.tokenize import tokenize
+from repro.user.personas import (
+    default_profile,
+    film_buff_profile,
+    gardener_profile,
+    heavy_awesomebar_profile,
+    run_malware_episode,
+    run_rosebud_episode,
+    run_wine_tickets_episode,
+    wine_enthusiast_profile,
+)
+from tests.conftest import make_sim
+
+
+class TestProfiles:
+    def test_all_profiles_valid(self):
+        for factory in (default_profile, gardener_profile, film_buff_profile,
+                        wine_enthusiast_profile, heavy_awesomebar_profile):
+            profile = factory()
+            assert profile.interests
+
+    def test_gardener_top_topic(self):
+        assert gardener_profile().top_topics(1) == ["gardening"]
+
+    def test_film_buff_top_topic(self):
+        assert film_buff_profile().top_topics(1) == ["film"]
+
+    def test_power_user_heavy_typed(self):
+        assert heavy_awesomebar_profile().habits.typed_rate > 0.5
+
+
+@pytest.fixture()
+def sim():
+    sim = make_sim(seed=7)
+    yield sim
+    sim.close()
+
+
+class TestRosebudEpisode:
+    def test_outcome_fields(self, sim):
+        outcome = run_rosebud_episode(sim.browser, sim.web)
+        assert outcome.query == "rosebud"
+        assert outcome.results_url.path == "/search"
+        assert outcome.clicked_url != outcome.results_url
+
+    def test_prefers_textually_hidden_target(self, sim):
+        """When the web offers one, the clicked page's text must not
+        contain the query (the Citizen Kane setup)."""
+        outcome = run_rosebud_episode(sim.browser, sim.web)
+        if not outcome.textually_findable:
+            tokens = set(tokenize(outcome.query))
+            page_text = set(
+                tokenize(f"{outcome.clicked_url} {outcome.clicked_title}")
+            )
+            assert not tokens & page_text
+
+    def test_tab_closed_after(self, sim):
+        run_rosebud_episode(sim.browser, sim.web)
+        assert sim.browser.open_tabs() == []
+
+    def test_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            sim = make_sim(seed=7)
+            outcomes.append(run_rosebud_episode(sim.browser, sim.web, seed=4))
+            sim.close()
+        assert outcomes[0].clicked_url == outcomes[1].clicked_url
+
+
+class TestWineEpisode:
+    def test_outcome_shape(self, sim):
+        outcome = run_wine_tickets_episode(sim.browser, sim.web)
+        assert "wine" in str(outcome.wine_url) or "wine" in outcome.wine_title
+        assert outcome.window_start_us < outcome.window_end_us
+        assert len(outcome.travel_urls) >= 1
+
+    def test_co_open_recorded(self, sim):
+        """The wine page and travel pages overlap in display time."""
+        outcome = run_wine_tickets_episode(sim.browser, sim.web)
+        intervals = sim.browser.closed_intervals()
+        wine_intervals = [
+            iv for iv in intervals if iv.url == outcome.wine_url
+        ]
+        travel_intervals = [
+            iv for iv in intervals if iv.url in outcome.travel_urls
+        ]
+        assert wine_intervals and travel_intervals
+        assert any(
+            w.overlaps(t) for w in wine_intervals for t in travel_intervals
+        )
+
+
+class TestMalwareEpisode:
+    def test_outcome_shape(self, sim):
+        outcome = run_malware_episode(sim.browser, sim.web)
+        assert str(outcome.download_url).endswith(".exe")
+        assert outcome.chain
+        assert outcome.untrusted_url == outcome.chain[-1]
+
+    def test_download_recorded(self, sim):
+        outcome = run_malware_episode(sim.browser, sim.web)
+        row = sim.browser.downloads.get(outcome.download_id)
+        assert row.source == str(outcome.download_url)
+
+    def test_known_page_is_familiar(self, sim):
+        outcome = run_malware_episode(sim.browser, sim.web, familiar_visits=5)
+        place = sim.browser.places.place_by_url(outcome.known_url)
+        assert place.visit_count >= 5
+
+    def test_capture_has_full_chain(self, sim):
+        """The provenance graph connects download back to the known page."""
+        outcome = run_malware_episode(sim.browser, sim.web)
+        graph = sim.capture.graph
+        download_node = sim.capture.node_for_download(outcome.download_id)
+        ancestors = graph.ancestors(download_node)
+        ancestor_urls = {graph.node(n).url for n in ancestors}
+        assert str(outcome.known_url) in ancestor_urls

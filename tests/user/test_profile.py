@@ -1,0 +1,59 @@
+"""Tests for user profiles and habits."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.user.profile import Habits, UserProfile
+
+
+class TestHabits:
+    def test_defaults_valid(self):
+        Habits()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("search_rate", -0.1), ("typed_rate", 1.5), ("download_rate", 2.0)],
+    )
+    def test_rates_validated(self, field, value):
+        with pytest.raises(ConfigurationError):
+            Habits(**{field: value})
+
+    def test_walk_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            Habits(walk_length=0)
+
+
+class TestUserProfile:
+    def test_requires_interests(self):
+        with pytest.raises(ConfigurationError):
+            UserProfile(name="u", interests={})
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ConfigurationError):
+            UserProfile(name="u", interests={"wine": 0.0})
+
+    def test_sample_topic_respects_weights(self):
+        profile = UserProfile(name="u", interests={"wine": 99.0, "film": 0.01})
+        rng = random.Random(1)
+        draws = [profile.sample_topic(rng) for _ in range(100)]
+        assert draws.count("wine") > 90
+
+    def test_interest_in(self):
+        profile = UserProfile(name="u", interests={"wine": 2.0})
+        assert profile.interest_in("wine") == 2.0
+        assert profile.interest_in("film") == 0.0
+        assert profile.interest_in(None) == 0.0
+
+    def test_top_topics_ordered(self):
+        profile = UserProfile(
+            name="u", interests={"a": 1.0, "b": 3.0, "c": 2.0}
+        )
+        assert profile.top_topics(2) == ["b", "c"]
+
+    def test_sample_deterministic(self):
+        profile = UserProfile(name="u", interests={"a": 1.0, "b": 1.0})
+        first = [profile.sample_topic(random.Random(7)) for _ in range(10)]
+        second = [profile.sample_topic(random.Random(7)) for _ in range(10)]
+        assert first == second

@@ -1,0 +1,85 @@
+"""Tests for the recall model."""
+
+import pytest
+
+from repro.user.recall import RecallModel
+from repro.user.workload import WorkloadParams, run_workload
+from repro.user.personas import default_profile
+from tests.conftest import make_sim
+
+
+@pytest.fixture(scope="module")
+def browsed():
+    sim = make_sim(seed=37)
+    run_workload(
+        sim.browser, sim.web, default_profile(),
+        WorkloadParams(days=2, sessions_per_day=3, actions_per_session=12,
+                       seed=2),
+    )
+    return sim
+
+
+class TestSample:
+    def test_sample_from_history(self, browsed):
+        model = RecallModel(
+            browsed.browser.places, browsed.web,
+            browsed.browser.closed_intervals(), seed=1,
+        )
+        query = model.sample(now_us=browsed.clock.now_us)
+        assert query is not None
+        assert query.terms
+        assert query.window_start_us < query.window_end_us
+
+    def test_target_was_actually_displayed(self, browsed):
+        model = RecallModel(
+            browsed.browser.places, browsed.web,
+            browsed.browser.closed_intervals(), seed=2,
+        )
+        query = model.sample(now_us=browsed.clock.now_us)
+        displayed = {iv.url for iv in browsed.browser.closed_intervals()}
+        assert query.target_url in displayed
+
+    def test_terms_come_from_target_content(self, browsed):
+        model = RecallModel(
+            browsed.browser.places, browsed.web,
+            browsed.browser.closed_intervals(), seed=3,
+        )
+        query = model.sample(now_us=browsed.clock.now_us)
+        page = browsed.web.get(query.target_url)
+        page_tokens = set(page.terms) | set(page.title.lower().split())
+        assert set(query.terms) <= page_tokens
+
+    def test_empty_history_returns_none(self, browsed):
+        model = RecallModel(browsed.browser.places, browsed.web, [], seed=1)
+        assert model.sample(now_us=0) is None
+
+    def test_window_blur_grows_with_age(self, browsed):
+        model = RecallModel(
+            browsed.browser.places, browsed.web,
+            browsed.browser.closed_intervals(), seed=4,
+        )
+        from repro.clock import MICROSECONDS_PER_DAY
+
+        now = browsed.clock.now_us
+        recent = model.sample(now_us=now)
+        old = model.sample(now_us=now + 90 * MICROSECONDS_PER_DAY)
+        recent_width = recent.window_end_us - recent.window_start_us
+        old_width = old.window_end_us - old.window_start_us
+        assert old_width >= recent_width
+
+    def test_sample_many_distinct_targets(self, browsed):
+        model = RecallModel(
+            browsed.browser.places, browsed.web,
+            browsed.browser.closed_intervals(), seed=5,
+        )
+        queries = model.sample_many(5, now_us=browsed.clock.now_us)
+        targets = [str(q.target_url) for q in queries]
+        assert len(targets) == len(set(targets))
+
+    def test_deterministic_for_seed(self, browsed):
+        intervals = browsed.browser.closed_intervals()
+        first = RecallModel(browsed.browser.places, browsed.web, intervals,
+                            seed=6).sample(now_us=browsed.clock.now_us)
+        second = RecallModel(browsed.browser.places, browsed.web, intervals,
+                             seed=6).sample(now_us=browsed.clock.now_us)
+        assert first == second

@@ -1,0 +1,86 @@
+"""Tests for synthetic content generation."""
+
+import pytest
+
+from repro.web.content import ContentGenerator, ContentParams
+from repro.web.topics import build_vocabulary
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return build_vocabulary(seed=0)
+
+
+class TestContentParams:
+    def test_defaults_valid(self):
+        ContentParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"body_terms": 0},
+            {"title_terms": 0},
+            {"common_term_rate": -0.1},
+            {"common_term_rate": 1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ContentParams(**kwargs)
+
+
+class TestContentGenerator:
+    def test_title_contains_ordinal(self, vocab):
+        gen = ContentGenerator(vocab, seed=1)
+        title = gen.title_for(vocab["wine"], ordinal=17)
+        assert title.endswith(" 17")
+
+    def test_title_terms_topical(self, vocab):
+        gen = ContentGenerator(vocab, seed=1)
+        title = gen.title_for(vocab["wine"], ordinal=1)
+        words = title.split()[:-1]
+        assert all(word in vocab["wine"].terms for word in words)
+
+    def test_body_length_within_bounds(self, vocab):
+        params = ContentParams(body_terms=40)
+        gen = ContentGenerator(vocab, params, seed=2)
+        for _ in range(20):
+            body = gen.body_for(vocab["film"])
+            assert 20 <= len(body) <= 60
+
+    def test_body_mostly_topical(self, vocab):
+        params = ContentParams(common_term_rate=0.1)
+        gen = ContentGenerator(vocab, params, seed=3)
+        body = gen.body_for(vocab["wine"])
+        topical = sum(1 for term in body if term in vocab["wine"].terms)
+        assert topical / len(body) > 0.6
+
+    def test_deterministic_for_seed(self, vocab):
+        first = ContentGenerator(vocab, seed=5).body_for(vocab["wine"])
+        second = ContentGenerator(vocab, seed=5).body_for(vocab["wine"])
+        assert first == second
+
+    def test_mixed_body_draws_from_all_topics(self, vocab):
+        gen = ContentGenerator(vocab, ContentParams(body_terms=200), seed=4)
+        mixture = [(vocab["wine"], 1.0), (vocab["travel"], 1.0)]
+        body = gen.mixed_body_for(mixture)
+        wine_hits = sum(1 for t in body if t in vocab["wine"].terms)
+        travel_hits = sum(1 for t in body if t in vocab["travel"].terms)
+        assert wine_hits > 0 and travel_hits > 0
+
+    def test_mixed_body_requires_topics(self, vocab):
+        gen = ContentGenerator(vocab, seed=1)
+        with pytest.raises(ValueError):
+            gen.mixed_body_for([])
+
+    def test_mixed_body_rejects_zero_weights(self, vocab):
+        gen = ContentGenerator(vocab, seed=1)
+        with pytest.raises(ValueError):
+            gen.mixed_body_for([(vocab["wine"], 0.0)])
+
+    def test_slug_shape(self, vocab):
+        gen = ContentGenerator(vocab, seed=1)
+        slug = gen.slug_for(vocab["travel"], ordinal=9)
+        parts = slug.split("-")
+        assert parts[-1] == "9"
+        assert len(parts) == 3

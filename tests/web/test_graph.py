@@ -1,0 +1,145 @@
+"""Tests for the synthetic web graph builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PageNotFoundError
+from repro.web.graph import WebParams, build_web
+from repro.web.page import PageKind
+from repro.web.sites import SiteRole
+
+
+@pytest.fixture(scope="module")
+def web():
+    return build_web(WebParams(sites_per_topic=1, pages_per_site=24), seed=42)
+
+
+class TestWebParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sites_per_topic": 0},
+            {"pages_per_site": 2},
+            {"links_per_page": 0},
+            {"cross_site_link_rate": 1.5},
+            {"redirect_rate": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WebParams(**kwargs)
+
+
+class TestStructure:
+    def test_deterministic(self):
+        first = build_web(WebParams(sites_per_topic=1, pages_per_site=12), seed=9)
+        second = build_web(WebParams(sites_per_topic=1, pages_per_site=12), seed=9)
+        assert set(map(str, first.all_urls())) == set(map(str, second.all_urls()))
+
+    def test_different_seeds_differ(self):
+        first = build_web(WebParams(sites_per_topic=1, pages_per_site=12), seed=1)
+        second = build_web(WebParams(sites_per_topic=1, pages_per_site=12), seed=2)
+        assert set(map(str, first.all_urls())) != set(map(str, second.all_urls()))
+
+    def test_every_site_role_present(self, web):
+        roles = {site.role for site in web.sites}
+        assert {
+            SiteRole.CONTENT, SiteRole.PORTAL, SiteRole.SHORTENER,
+            SiteRole.FILEHOST, SiteRole.MALICIOUS,
+        } <= roles
+
+    def test_every_kind_present(self, web):
+        kinds = {page.kind for page in web.all_pages()}
+        assert {
+            PageKind.CONTENT, PageKind.REDIRECT, PageKind.EMBED,
+            PageKind.DOWNLOAD,
+        } <= kinds
+
+    def test_site_homes_exist(self, web):
+        for site in web.sites:
+            if site.role in (SiteRole.CONTENT, SiteRole.PORTAL, SiteRole.MALICIOUS):
+                assert web.get(site.home) is not None, site.domain
+
+    def test_internal_links_resolve(self, web):
+        """Every link target on every page exists in the graph."""
+        dangling = []
+        for page in web.all_pages():
+            for target in page.out_urls():
+                if web.get(target) is None:
+                    dangling.append((str(page.url), str(target)))
+        assert not dangling
+
+    def test_redirects_resolve(self, web):
+        for page in web.all_pages():
+            if page.kind is PageKind.REDIRECT:
+                assert web.get(page.redirect_to) is not None
+
+    def test_malicious_pages_on_malicious_sites(self, web):
+        for url in web.malicious_urls():
+            assert "biz" in url.host
+
+    def test_malicious_site_has_exe_download(self, web):
+        exes = [
+            url for url in web.malicious_urls()
+            if web.page(url).kind is PageKind.DOWNLOAD
+        ]
+        assert exes
+        assert all(str(url).endswith(".exe") for url in exes)
+
+
+class TestLookup:
+    def test_page_raises_for_unknown(self, web):
+        from repro.web.url import Url
+
+        with pytest.raises(PageNotFoundError):
+            web.page(Url.parse("http://nonexistent.example/"))
+
+    def test_contains(self, web):
+        url = web.all_urls()[0]
+        assert url in web
+
+    def test_content_pages_by_topic(self, web):
+        wine_pages = web.content_pages("wine")
+        assert wine_pages
+        assert all(web.page(url).topic == "wine" for url in wine_pages)
+
+    def test_content_pages_all(self, web):
+        every = web.content_pages()
+        assert len(every) == sum(
+            1 for page in web.all_pages() if page.kind is PageKind.CONTENT
+        )
+
+    def test_download_urls(self, web):
+        downloads = web.download_urls()
+        assert downloads
+        assert all(web.page(url).kind is PageKind.DOWNLOAD for url in downloads)
+
+    def test_site_for(self, web):
+        site = next(s for s in web.sites if s.role is SiteRole.CONTENT)
+        assert web.site_for(site.home) is site
+
+    def test_stats(self, web):
+        stats = web.stats()
+        assert stats.pages == len(web)
+        assert stats.redirects > 0
+        assert stats.malicious > 0
+
+
+class TestCrossLinks:
+    def test_some_cross_site_links_exist(self, web):
+        crossings = 0
+        for page in web.all_pages():
+            if page.kind is not PageKind.CONTENT:
+                continue
+            for target in page.links:
+                if target.site != page.url.site:
+                    crossings += 1
+        assert crossings > 0
+
+    def test_some_links_route_through_shortener(self, web):
+        through = 0
+        for page in web.all_pages():
+            for target in page.links:
+                hit = web.get(target)
+                if hit is not None and hit.kind is PageKind.REDIRECT:
+                    through += 1
+        assert through > 0

@@ -1,0 +1,97 @@
+"""Tests for page and fetch-result models."""
+
+import pytest
+
+from repro.web.page import FetchResult, Page, PageKind, PageStats
+from repro.web.url import Url
+
+
+def make_page(**kwargs):
+    defaults = dict(
+        url=Url.parse("http://a.com/x"),
+        kind=PageKind.CONTENT,
+        title="a title",
+        terms=("wine", "bottle"),
+    )
+    defaults.update(kwargs)
+    return Page(**defaults)
+
+
+class TestPageValidation:
+    def test_redirect_requires_target(self):
+        with pytest.raises(ValueError):
+            make_page(kind=PageKind.REDIRECT)
+
+    def test_content_must_not_have_redirect_target(self):
+        with pytest.raises(ValueError):
+            make_page(redirect_to=Url.parse("http://b.com/"))
+
+    def test_valid_redirect(self):
+        page = make_page(
+            kind=PageKind.REDIRECT,
+            redirect_to=Url.parse("http://b.com/"),
+            terms=(),
+            title="",
+        )
+        assert page.redirect_to.host == "b.com"
+
+
+class TestPageViews:
+    def test_text_includes_title_and_body(self):
+        page = make_page()
+        assert "a title" in page.text
+        assert "wine" in page.text
+
+    def test_term_counts_lowercases_title(self):
+        page = make_page(title="Wine Guide", terms=("wine",))
+        counts = page.term_counts()
+        assert counts["wine"] == 2
+        assert counts["guide"] == 1
+
+    def test_out_urls_combines_all(self):
+        link = Url.parse("http://a.com/l")
+        embed = Url.parse("http://static.a.com/e.png")
+        download = Url.parse("http://cdn.a.com/f.zip")
+        page = make_page(links=(link,), embeds=(embed,), downloads=(download,))
+        assert set(page.out_urls()) == {link, embed, download}
+
+
+class TestFetchResult:
+    def test_final_url(self):
+        page = make_page()
+        result = FetchResult(requested=page.url, page=page)
+        assert result.final_url == page.url
+        assert not result.was_redirected
+
+    def test_redirect_chain(self):
+        page = make_page()
+        hop = Url.parse("http://sho.ly/1")
+        result = FetchResult(requested=hop, page=page, redirect_chain=(hop,))
+        assert result.was_redirected
+
+
+class TestPageStats:
+    def test_observe_accumulates(self):
+        stats = PageStats()
+        stats.observe(make_page(links=(Url.parse("http://a.com/1"),)))
+        stats.observe(
+            make_page(
+                url=Url.parse("http://sho.ly/x"),
+                kind=PageKind.REDIRECT,
+                redirect_to=Url.parse("http://a.com/"),
+                title="",
+                terms=(),
+            )
+        )
+        stats.observe(make_page(url=Url.parse("http://m.biz/x"), malicious=True))
+        assert stats.pages == 3
+        assert stats.links == 1
+        assert stats.redirects == 1
+        assert stats.malicious == 1
+        assert stats.by_kind["content"] == 2
+
+    def test_mean_out_degree(self):
+        stats = PageStats()
+        assert stats.mean_out_degree == 0.0
+        stats.observe(make_page(links=(Url.parse("http://a.com/1"),)))
+        assert stats.mean_out_degree == 1.0

@@ -1,0 +1,143 @@
+"""Tests for the simulated web search engine."""
+
+import pytest
+
+from repro.web.graph import WebParams, build_web
+from repro.web.page import PageKind
+from repro.web.search_engine import SearchEngine, parse_query
+from repro.web.url import Url
+
+
+@pytest.fixture(scope="module")
+def web():
+    return build_web(WebParams(sites_per_topic=2, pages_per_site=24), seed=5)
+
+
+@pytest.fixture(scope="module")
+def engine(web):
+    engine = SearchEngine(web)
+    engine.crawl()
+    return engine
+
+
+class TestQueryParsing:
+    def test_plain_terms(self):
+        parsed = parse_query("wine tasting")
+        assert parsed.terms == ("wine", "tasting")
+        assert parsed.site is None
+
+    def test_site_operator(self):
+        parsed = parse_query("wine site:wine-site0.com")
+        assert parsed.site == "wine-site0.com"
+        assert parsed.terms == ("wine",)
+
+    def test_phrase_operator(self):
+        parsed = parse_query('"citizen kane" review')
+        assert parsed.phrases == (("citizen", "kane"),)
+        assert parsed.terms == ("review",)
+
+    def test_exclusion_operator(self):
+        parsed = parse_query("rosebud -kane")
+        assert parsed.excluded == ("kane",)
+        assert parsed.terms == ("rosebud",)
+
+    def test_all_terms_flattens_phrases(self):
+        parsed = parse_query('"citizen kane" rosebud')
+        assert set(parsed.all_terms) == {"citizen", "kane", "rosebud"}
+
+    def test_stopwords_dropped(self):
+        parsed = parse_query("the wine of the year")
+        assert "the" not in parsed.terms
+        assert "of" not in parsed.terms
+
+
+class TestCrawl:
+    def test_indexes_only_content(self, engine, web):
+        expected = sum(
+            1 for page in web.all_pages() if page.kind is PageKind.CONTENT
+        )
+        assert len(engine.index) == expected
+
+    def test_search_before_crawl_raises(self, web):
+        fresh = SearchEngine(web)
+        with pytest.raises(RuntimeError):
+            fresh.search("wine")
+
+    def test_authority_normalized(self, engine):
+        assert engine.authority
+        assert max(engine.authority.values()) == pytest.approx(1.0)
+
+
+class TestSearch:
+    def test_topical_query_returns_topical_pages(self, engine, web):
+        hits = engine.search("wine vineyard")
+        assert hits
+        top = web.page(hits[0].url)
+        assert top.topic == "wine"
+
+    def test_results_ranked_descending(self, engine):
+        hits = engine.search("wine")
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit_respected(self, engine):
+        assert len(engine.search("wine", limit=3)) <= 3
+
+    def test_empty_query_no_hits(self, engine):
+        assert engine.search("") == []
+
+    def test_site_restriction(self, engine):
+        hits = engine.search("wine site:wine-site0.com")
+        assert hits
+        assert all(hit.url.site == "wine-site0.com" for hit in hits)
+
+    def test_exclusion_filters(self, engine):
+        baseline = {str(h.url) for h in engine.search("rosebud", limit=10)}
+        filtered = engine.search("rosebud -kane", limit=10)
+        for hit in filtered:
+            doc_id = str(hit.url)
+            assert not engine._contains_any(doc_id, ("kane",)), doc_id
+        assert baseline  # sanity: the unfiltered query matched something
+
+    def test_query_log_records_everything(self, web):
+        engine = SearchEngine(web)
+        engine.crawl()
+        engine.search("wine")
+        engine.search("rosebud flower")
+        assert engine.query_log == ["wine", "rosebud flower"]
+
+    def test_snippet_mentions_matched_terms(self, engine):
+        hits = engine.search("wine")
+        assert any("wine" in hit.snippet for hit in hits)
+
+
+class TestResultsPages:
+    def test_results_url_shape(self, engine):
+        url = engine.results_url("plane tickets")
+        assert url.host == engine.host
+        assert url.path == "/search"
+        assert ("q", "plane tickets") in url.query_params()
+
+    def test_handler_generates_serp(self, engine):
+        serp = engine.handler(engine.results_url("wine"))
+        assert serp is not None
+        assert serp.kind is PageKind.SEARCH_RESULTS
+        assert serp.links
+        assert "wine" in serp.title
+
+    def test_handler_home_page(self, engine):
+        home = engine.handler(Url.build(engine.host, "/"))
+        assert home is not None
+        assert home.kind is PageKind.CONTENT
+
+    def test_handler_ignores_other_hosts(self, engine):
+        assert engine.handler(Url.parse("http://other.com/search?q=x")) is None
+
+    def test_handler_ignores_other_paths(self, engine):
+        assert engine.handler(Url.build(engine.host, "/about")) is None
+
+    def test_serp_links_match_search(self, engine):
+        query = "vineyard tasting"
+        serp = engine.handler(engine.results_url(query))
+        direct = engine.search(query, limit=10)
+        assert list(serp.links) == [hit.url for hit in direct]

@@ -1,0 +1,135 @@
+"""Tests for fetch semantics (redirects, dynamic pages, observers)."""
+
+import pytest
+
+from repro.errors import PageNotFoundError, RedirectLoopError
+from repro.web.graph import WebParams, build_web
+from repro.web.page import Page, PageKind
+from repro.web.serving import MAX_REDIRECTS, WebServer
+from repro.web.url import Url
+
+
+@pytest.fixture(scope="module")
+def web():
+    return build_web(WebParams(sites_per_topic=1, pages_per_site=16), seed=11)
+
+
+@pytest.fixture()
+def server(web):
+    return WebServer(web)
+
+
+class TestFetch:
+    def test_direct_fetch(self, server, web):
+        url = web.content_pages()[0]
+        result = server.fetch(url)
+        assert result.final_url == url
+        assert result.status == 200
+        assert not result.was_redirected
+
+    def test_unknown_url_raises(self, server):
+        with pytest.raises(PageNotFoundError):
+            server.fetch(Url.parse("http://nowhere.example/"))
+
+    def test_redirect_followed(self, server, web):
+        redirect = next(
+            page for page in web.all_pages() if page.kind is PageKind.REDIRECT
+        )
+        result = server.fetch(redirect.url)
+        assert result.was_redirected
+        assert result.redirect_chain[0] == redirect.url
+        assert result.final_url == redirect.redirect_to
+
+    def test_fetch_count_increments(self, server, web):
+        url = web.content_pages()[0]
+        before = server.fetch_count
+        server.fetch(url)
+        assert server.fetch_count == before + 1
+
+    def test_exists(self, server, web):
+        assert server.exists(web.content_pages()[0])
+        assert not server.exists(Url.parse("http://nowhere.example/"))
+
+    def test_redirect_loop_detected(self, web):
+        # Construct a two-node redirect loop via dynamic handlers.
+        server = WebServer(web)
+        first = Url.parse("http://loop.test/a")
+        second = Url.parse("http://loop.test/b")
+
+        def loop_handler(url):
+            if url.path == "/a":
+                return Page(url=first, kind=PageKind.REDIRECT, title="",
+                            terms=(), redirect_to=second)
+            if url.path == "/b":
+                return Page(url=second, kind=PageKind.REDIRECT, title="",
+                            terms=(), redirect_to=first)
+            return None
+
+        server.register_handler("loop.test", loop_handler)
+        with pytest.raises(RedirectLoopError):
+            server.fetch(first)
+
+    def test_max_redirects_constant(self):
+        assert MAX_REDIRECTS == 20
+
+
+class TestDynamicHandlers:
+    def test_handler_takes_precedence(self, web):
+        server = WebServer(web)
+        target = Url.parse("http://dyn.test/hello")
+        page = Page(url=target, kind=PageKind.CONTENT, title="dynamic",
+                    terms=("hi",))
+        server.register_handler("dyn.test", lambda url: page)
+        assert server.fetch(target).page.title == "dynamic"
+
+    def test_handler_fallthrough_on_none(self, web):
+        server = WebServer(web)
+        real = web.content_pages()[0]
+        server.register_handler(real.host, lambda url: None)
+        assert server.fetch(real).page is web.page(real)
+
+
+class TestObservers:
+    def test_observer_sees_flow(self, web):
+        server = WebServer(web)
+        flows = []
+
+        class Collector:
+            def observe(self, flow):
+                flows.append(flow)
+
+        server.add_observer(Collector())
+        url = web.content_pages()[0]
+        server.fetch(url, timestamp_us=123)
+        assert len(flows) == 1
+        assert flows[0].final == url
+        assert flows[0].timestamp_us == 123
+        assert flows[0].content_type == "text/html"
+
+    def test_observer_sees_redirect_chain(self, web):
+        server = WebServer(web)
+        flows = []
+
+        class Collector:
+            def observe(self, flow):
+                flows.append(flow)
+
+        server.add_observer(Collector())
+        redirect = next(
+            page for page in web.all_pages() if page.kind is PageKind.REDIRECT
+        )
+        server.fetch(redirect.url)
+        assert flows[0].redirect_chain == (redirect.url,)
+
+    def test_content_types(self, web):
+        server = WebServer(web)
+        flows = []
+
+        class Collector:
+            def observe(self, flow):
+                flows.append(flow)
+
+        server.add_observer(Collector())
+        download = web.download_urls()[0]
+        server.fetch(download)
+        assert flows[-1].content_type == "application/octet-stream"

@@ -1,0 +1,129 @@
+"""Tests for the topic vocabulary model."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.web.topics import (
+    Topic,
+    build_vocabulary,
+    topic_similarity,
+)
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return build_vocabulary(seed=0)
+
+
+class TestTopic:
+    def test_requires_terms(self):
+        with pytest.raises(ValueError):
+            Topic(name="empty", terms=())
+
+    def test_sample_returns_member_terms(self):
+        topic = Topic(name="t", terms=("a", "b", "c"))
+        rng = random.Random(1)
+        for _ in range(50):
+            assert topic.sample(rng) in ("a", "b", "c")
+
+    def test_zipf_head_dominates(self):
+        topic = Topic(name="t", terms=tuple("abcdefghij"))
+        rng = random.Random(2)
+        draws = topic.sample_many(rng, 2000)
+        head = draws.count("a")
+        tail = draws.count("j")
+        assert head > tail * 3
+
+    def test_probabilities_sum_to_one(self):
+        topic = Topic(name="t", terms=tuple("abcde"))
+        total = sum(topic.probability(term) for term in topic.terms)
+        assert total == pytest.approx(1.0)
+
+    def test_probability_of_absent_term_is_zero(self):
+        topic = Topic(name="t", terms=("a",))
+        assert topic.probability("zzz") == 0.0
+
+    def test_head_terms(self):
+        topic = Topic(name="t", terms=("a", "b", "c"))
+        assert topic.head_terms(2) == ("a", "b")
+
+    def test_sample_deterministic_for_seed(self):
+        topic = Topic(name="t", terms=tuple("abcdef"))
+        first = topic.sample_many(random.Random(9), 20)
+        second = topic.sample_many(random.Random(9), 20)
+        assert first == second
+
+
+class TestVocabulary:
+    def test_curated_topics_present(self, vocab):
+        for name in ("film", "gardening", "wine", "travel", "technology"):
+            assert name in vocab
+
+    def test_rosebud_is_ambiguous(self, vocab):
+        """The paper's running example must exist in the vocabulary."""
+        assert "rosebud" in vocab.ambiguous_terms
+        owners = set(vocab.ambiguous_terms["rosebud"])
+        assert {"film", "gardening"} <= owners
+
+    def test_getitem(self, vocab):
+        assert vocab["wine"].name == "wine"
+
+    def test_getitem_missing(self, vocab):
+        with pytest.raises(KeyError):
+            vocab["nonexistent"]
+
+    def test_len_and_iter(self, vocab):
+        assert len(vocab) == len(list(vocab))
+
+    def test_topics_for_term(self, vocab):
+        assert set(vocab.topics_for_term("rosebud")) == set(
+            vocab.ambiguous_terms["rosebud"]
+        )
+
+    def test_extra_topics(self):
+        vocab = build_vocabulary(extra_topics=5, seed=3)
+        assert "synth00" in vocab
+        assert "synth04" in vocab
+
+    def test_extra_topics_deterministic(self):
+        first = build_vocabulary(extra_topics=3, seed=3)
+        second = build_vocabulary(extra_topics=3, seed=3)
+        assert first["synth01"].terms == second["synth01"].terms
+
+    def test_terms_per_topic_validated(self):
+        with pytest.raises(ValueError):
+            build_vocabulary(terms_per_topic=1)
+
+    def test_terms_per_topic_respected(self):
+        vocab = build_vocabulary(terms_per_topic=5)
+        assert all(len(topic.terms) <= 5 for topic in vocab)
+
+
+class TestTopicSimilarity:
+    def test_self_similarity_is_one(self, vocab):
+        wine = vocab["wine"]
+        assert topic_similarity(wine, wine) == pytest.approx(1.0)
+
+    def test_disjoint_topics_zero(self):
+        first = Topic(name="a", terms=("x", "y"))
+        second = Topic(name="b", terms=("p", "q"))
+        assert topic_similarity(first, second) == 0.0
+
+    def test_sharing_topics_positive(self, vocab):
+        assert topic_similarity(vocab["film"], vocab["gardening"]) > 0.0
+
+    def test_symmetric(self, vocab):
+        ab = topic_similarity(vocab["film"], vocab["gardening"])
+        ba = topic_similarity(vocab["gardening"], vocab["film"])
+        assert ab == pytest.approx(ba)
+
+
+@given(st.integers(min_value=2, max_value=20))
+def test_topic_cdf_monotone(count):
+    topic = Topic(name="t", terms=tuple(f"w{i}" for i in range(count)))
+    # Earlier ranks must have probability >= later ranks (Zipf shape).
+    probabilities = [topic.probability(term) for term in topic.terms]
+    assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))

@@ -1,0 +1,160 @@
+"""Tests for URL parsing and normalization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidUrlError
+from repro.web.url import Url
+
+
+class TestParsing:
+    def test_basic(self):
+        url = Url.parse("http://www.example.com/path")
+        assert url.scheme == "http"
+        assert url.host == "www.example.com"
+        assert url.path == "/path"
+        assert url.port is None
+        assert url.query == ""
+
+    def test_scheme_case_folded(self):
+        assert Url.parse("HTTP://example.com/").scheme == "http"
+
+    def test_host_case_folded(self):
+        assert Url.parse("http://EXAMPLE.com/").host == "example.com"
+
+    def test_path_case_preserved(self):
+        assert Url.parse("http://a.com/PaTh").path == "/PaTh"
+
+    def test_default_port_dropped(self):
+        assert Url.parse("http://a.com:80/").port is None
+        assert Url.parse("https://a.com:443/").port is None
+
+    def test_nondefault_port_kept(self):
+        assert Url.parse("http://a.com:8080/").port == 8080
+
+    def test_empty_path_becomes_root(self):
+        assert Url.parse("http://a.com").path == "/"
+
+    def test_dot_segments_resolved(self):
+        assert Url.parse("http://a.com/x/../y/./z").path == "/y/z"
+
+    def test_double_slashes_collapsed(self):
+        assert Url.parse("http://a.com/x//y").path == "/x/y"
+
+    def test_trailing_slash_preserved(self):
+        assert Url.parse("http://a.com/dir/").path == "/dir/"
+
+    def test_fragment_stripped(self):
+        url = Url.parse("http://a.com/page#section")
+        assert str(url) == "http://a.com/page"
+
+    def test_query_sorted(self):
+        url = Url.parse("http://a.com/p?b=2&a=1")
+        assert url.query == "a=1&b=2"
+
+    def test_equivalent_urls_equal(self):
+        assert Url.parse("HTTP://A.com:80/x?b=2&a=1#f") == Url.parse(
+            "http://a.com/x?a=1&b=2"
+        )
+
+    def test_hashable(self):
+        urls = {Url.parse("http://a.com/"), Url.parse("http://a.com/")}
+        assert len(urls) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "not-a-url", "/relative/path", "http://", "http:///path",
+         "http://bad port.com/", "http://a.com:notaport/"],
+    )
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(InvalidUrlError):
+            Url.parse(bad)
+
+
+class TestBuild:
+    def test_build_basic(self):
+        url = Url.build("a.com", "/x")
+        assert str(url) == "http://a.com/x"
+
+    def test_build_with_query(self):
+        url = Url.build("a.com", "/s", query="q=wine")
+        assert url.query == "q=wine"
+
+    def test_build_with_port(self):
+        assert Url.build("a.com", "/", port=8080).port == 8080
+
+
+class TestDerivedViews:
+    def test_str_roundtrip(self):
+        text = "http://www.a.com/x/y?k=v"
+        assert str(Url.parse(text)) == text
+
+    def test_origin(self):
+        assert Url.parse("https://a.com:444/x").origin == "https://a.com:444"
+
+    def test_site_two_labels(self):
+        assert Url.parse("http://a.com/").site == "a.com"
+
+    def test_site_subdomain_stripped(self):
+        assert Url.parse("http://www.news.a.com/").site == "a.com"
+
+    def test_same_site(self):
+        first = Url.parse("http://www.a.com/x")
+        second = Url.parse("http://cdn.a.com/y")
+        assert first.same_site(second)
+        assert not first.same_site(Url.parse("http://b.com/"))
+
+    def test_filename(self):
+        assert Url.parse("http://a.com/d/file.zip").filename == "file.zip"
+        assert Url.parse("http://a.com/d/").filename == ""
+
+    def test_is_download_like(self):
+        assert Url.parse("http://a.com/f.zip").is_download_like
+        assert not Url.parse("http://a.com/f.html").is_download_like
+        assert not Url.parse("http://a.com/dir/").is_download_like
+
+    def test_query_params(self):
+        url = Url.parse("http://a.com/?b=2&a=1")
+        assert url.query_params() == [("a", "1"), ("b", "2")]
+
+    def test_child(self):
+        base = Url.parse("http://a.com/dir/")
+        assert str(base.child("leaf.html")) == "http://a.com/dir/leaf.html"
+
+    def test_child_of_non_slash_path(self):
+        base = Url.parse("http://a.com/dir")
+        assert base.child("x").path == "/dir/x"
+
+    def test_with_query(self):
+        url = Url.parse("http://a.com/search")
+        assert str(url.with_query(q="wine")) == "http://a.com/search?q=wine"
+
+
+_host_label = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+_path_segment = st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=8)
+
+
+@given(
+    host=st.lists(_host_label, min_size=2, max_size=3).map(".".join),
+    segments=st.lists(_path_segment, max_size=4),
+)
+def test_parse_str_roundtrip_is_stable(host, segments):
+    """Normalization is idempotent: parse(str(u)) == u."""
+    url = Url.build(host, "/" + "/".join(segments))
+    assert Url.parse(str(url)) == url
+
+
+@given(
+    host=st.lists(_host_label, min_size=2, max_size=3).map(".".join),
+    params=st.dictionaries(_path_segment, _path_segment, max_size=4),
+)
+def test_query_order_never_matters(host, params):
+    items = list(params.items())
+    forward = "&".join(f"{k}={v}" for k, v in items)
+    backward = "&".join(f"{k}={v}" for k, v in reversed(items))
+    first = Url.parse(f"http://{host}/p?{forward}" if forward else f"http://{host}/p")
+    second = Url.parse(
+        f"http://{host}/p?{backward}" if backward else f"http://{host}/p"
+    )
+    assert first == second
