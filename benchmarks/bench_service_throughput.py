@@ -1,0 +1,146 @@
+"""Service layer — multi-tenant ingest throughput and query latency.
+
+The ROADMAP's north star is serving many users at once; this bench
+measures the two service-level hot paths as tenancy and sharding scale:
+
+* **Ingest throughput** — events/second through the journaled, batched
+  pipeline, replaying 8 synthetic users round-robin (interleaved, as
+  concurrent traffic would arrive) across 1, 4, and 8 shards.
+* **Query latency, cached vs. uncached** — per-user ancestor walks and
+  text searches against the sharded stores, first touch (SQL) versus
+  repeat touch (LRU query cache).
+
+Run with::
+
+    PYTHONPATH=src pytest benchmarks/bench_service_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.service import (
+    MultiUserParams,
+    ProvenanceService,
+    replay_streams,
+    synthesize_streams,
+)
+
+#: Concurrent synthetic users (acceptance floor: >= 8).
+USERS = 8
+#: Shard counts swept for the throughput table (acceptance floor: >= 4).
+SHARD_SWEEP = (1, 4, 8)
+BATCH_SIZE = 256
+
+WORKLOAD = MultiUserParams(
+    users=USERS, days=2, sessions_per_day=2, actions_per_session=12, seed=23
+)
+
+
+@pytest.fixture(scope="module")
+def user_streams():
+    """Event streams for all users, synthesized once and replayed often."""
+    return synthesize_streams(WORKLOAD)
+
+
+def _ingest(root: str, shards: int, streams) -> tuple[ProvenanceService, float, int]:
+    service = ProvenanceService(
+        str(root), shards=shards, batch_size=BATCH_SIZE
+    )
+    started = time.perf_counter()
+    events = replay_streams(service, streams)
+    service.flush()
+    elapsed = time.perf_counter() - started
+    return service, elapsed, events
+
+
+def test_ingest_throughput_scales_shards(benchmark, user_streams,
+                                         tmp_path_factory):
+    """Events/sec for 8 interleaved users across the shard sweep."""
+    rows = []
+    for shards in SHARD_SWEEP:
+        root = tmp_path_factory.mktemp(f"svc_shards{shards}")
+        service, elapsed, events = _ingest(root, shards, user_streams)
+        stats = service.service_stats()
+        rows.append([
+            str(shards),
+            str(stats.users),
+            str(events),
+            f"{events / elapsed:,.0f}",
+            str(stats.flushes),
+            str(stats.pool.open_now),
+        ])
+        assert stats.events_applied == events  # nothing stuck in buffers
+        assert events / elapsed > 0
+        service.close()
+    emit_table(
+        "service_ingest_throughput",
+        f"Service ingest - {USERS} interleaved users, batched journaled"
+        f" writes (batch={BATCH_SIZE})",
+        ["shards", "users", "events", "events/sec", "flushes", "open stores"],
+        rows,
+    )
+
+    # pytest-benchmark's own number: steady-state ingest at 4 shards.
+    def run():
+        service, _elapsed, _events = _ingest(
+            tmp_path_factory.mktemp("svc_bench_round"), 4, user_streams
+        )
+        service.close()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_query_latency_cached_vs_uncached(user_streams, tmp_path_factory):
+    """Cold (SQL) vs. warm (cache) latency for the per-user read paths."""
+    root = tmp_path_factory.mktemp("svc_query")
+    service, _elapsed, _events = _ingest(root, 4, user_streams)
+
+    probes = {}
+    for user in sorted(user_streams):
+        hits = service.search(user, "www", limit=5)
+        probes[user] = hits[0] if hits else None
+    service.cache.clear()
+
+    def timed(fn) -> float:
+        started = time.perf_counter()
+        fn()
+        return (time.perf_counter() - started) * 1000
+
+    cold_walk, warm_walk, cold_search, warm_search = [], [], [], []
+    for user, probe in probes.items():
+        if probe is None:
+            continue
+        cold_walk.append(
+            timed(lambda: service.ancestors(user, probe, max_depth=25))
+        )
+        warm_walk.append(
+            timed(lambda: service.ancestors(user, probe, max_depth=25))
+        )
+        cold_search.append(timed(lambda: service.search(user, "search")))
+        warm_search.append(timed(lambda: service.search(user, "search")))
+
+    assert cold_walk, "no probe nodes found for any user"
+    cache = service.cache.stats()
+    assert cache.hits >= len(warm_walk) + len(warm_search)
+
+    def med(samples):
+        return f"{statistics.median(samples):.3f}"
+
+    emit_table(
+        "service_query_latency",
+        f"Service query latency - {len(cold_walk)} users on 4 shards"
+        f" (median ms, cold=SQL, warm=cache)",
+        ["query", "cold ms", "warm ms", "speedup"],
+        [
+            ["ancestors", med(cold_walk), med(warm_walk),
+             f"{statistics.median(cold_walk) / max(statistics.median(warm_walk), 1e-6):,.0f}x"],
+            ["search", med(cold_search), med(warm_search),
+             f"{statistics.median(cold_search) / max(statistics.median(warm_search), 1e-6):,.0f}x"],
+        ],
+    )
+    service.close()

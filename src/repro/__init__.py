@@ -16,7 +16,9 @@ This package reproduces the whole system on simulated substrates:
   versioning policies, the homogeneous SQLite store, and the four
   use-case query algorithms;
 * :mod:`repro.analysis` — metrics, storage and latency accounting;
-* :mod:`repro.sim` — one-call assembly of the full stack.
+* :mod:`repro.sim` — one-call assembly of the full stack;
+* :mod:`repro.service` — the multi-tenant serving layer: sharded
+  store pool, journaled batched ingest, per-user query cache.
 
 Quickstart::
 
@@ -39,6 +41,7 @@ from repro.core import (
     ProvenanceQueryEngine,
     ProvenanceStore,
 )
+from repro.service import ProvenanceService
 from repro.sim import Simulation
 from repro.user import (
     UserProfile,
@@ -58,6 +61,7 @@ __all__ = [
     "ProvenanceCapture",
     "ProvenanceGraph",
     "ProvenanceQueryEngine",
+    "ProvenanceService",
     "ProvenanceStore",
     "SimulatedClock",
     "Simulation",

@@ -43,6 +43,42 @@ from repro.errors import SchemaVersionError, StoreClosedError, UnknownNodeError
 _TRANSITION_NAMES = {t.name.lower(): t.value for t in TransitionType}
 _TRANSITION_BY_VALUE = {t.value: t.name.lower() for t in TransitionType}
 
+#: Keep ``IN (...)`` parameter lists under SQLite's default 999 limit.
+_SQL_CHUNK = 400
+
+
+def _chunked(items: list, size: int = _SQL_CHUNK):
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def _like_prefix(prefix: str) -> str:
+    """A LIKE pattern matching ids starting with *prefix* literally."""
+    escaped = (
+        prefix.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+    )
+    return escaped + "%"
+
+
+#: ``RETURNING`` needs SQLite >= 3.35 (2021-03); older builds take the
+#: select-back path in :meth:`ProvenanceStore.append_node`.
+_HAS_RETURNING = sqlite3.sqlite_version_info >= (3, 35, 0)
+
+#: Node upsert that KEEPS the existing rowid on id collisions.  ``INSERT
+#: OR REPLACE`` would delete + re-insert under a fresh nid, silently
+#: severing every committed edge and interval referencing the old one —
+#: re-recording a node (idempotent capture, service replay) must never
+#: do that.
+_NODE_UPSERT = (
+    "INSERT INTO prov_nodes"
+    " (id, kind, timestamp_us, page_id, label, hidden, transition)"
+    " VALUES (?, ?, ?, ?, ?, ?, ?)"
+    " ON CONFLICT(id) DO UPDATE SET"
+    " kind=excluded.kind, timestamp_us=excluded.timestamp_us,"
+    " page_id=excluded.page_id, label=excluded.label,"
+    " hidden=excluded.hidden, transition=excluded.transition"
+)
+
 
 class ProvenanceStore:
     """SQLite persistence and SQL query layer for provenance graphs."""
@@ -52,6 +88,14 @@ class ProvenanceStore:
         self._conn: sqlite3.Connection | None = sqlite3.connect(path)
         self._nids: dict[str, int] = {}
         self._node_ts: dict[str, int] = {}
+        self._pages: dict[str, tuple[int, str]] = {}  # url -> (page_id, title)
+        if path != ":memory:":
+            # Pragmatic durability/throughput trade for on-disk stores:
+            # WAL lets readers overlap the writer, NORMAL fsyncs only at
+            # checkpoints.  :memory: databases ignore both, so they are
+            # set only for real files to keep test behavior identical.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
         existing = self._conn.execute(
             "SELECT name FROM sqlite_master WHERE type='table' AND name='prov_meta'"
         ).fetchone()
@@ -90,6 +134,18 @@ class ProvenanceStore:
     def commit(self) -> None:
         self.conn.commit()
 
+    def rollback(self) -> None:
+        """Abandon the open transaction and drop in-memory caches.
+
+        The page/rowid/timestamp caches may reference rows the rollback
+        just erased; clearing them (they repopulate lazily) keeps a
+        retried batch from writing dangling foreign keys.
+        """
+        self.conn.rollback()
+        self._nids.clear()
+        self._node_ts.clear()
+        self._pages.clear()
+
     def __enter__(self) -> "ProvenanceStore":
         return self
 
@@ -99,14 +155,25 @@ class ProvenanceStore:
     # -- writing ------------------------------------------------------------------
 
     def append_node(self, node: ProvNode) -> None:
-        """Insert one node (id collisions replace, for idempotence)."""
+        """Insert one node (id collisions replace, for idempotence).
+
+        The write-through capture path: one probe for unseen ids, then
+        the upsert (with ``RETURNING nid`` where SQLite supports it).
+        """
+        if node.id not in self._nids:
+            # Could be a cold-cache re-record; learn its nid/timestamp
+            # so an edge-timestamp fix-up below can see the old value.
+            self._prefetch_nids([node.id])
+        old_ts = self._node_ts.get(node.id)
+        if node.id in self._nids and old_ts != node.timestamp_us:
+            self._materialize_inherited_ts([(old_ts, self._nids[node.id])])
+
         page_id = None
         stored_label: str | None = node.label
         if node.url is not None:
-            page_id = self._intern_page(node.url, node.label)
-            page_title = self.conn.execute(
-                "SELECT title FROM prov_pages WHERE id = ?", (page_id,)
-            ).fetchone()[0]
+            page_id, page_title = self._intern_pages(
+                {node.url: node.label}
+            )[node.url]
             if node.label == page_title:
                 stored_label = None  # inherit from the page row
 
@@ -119,76 +186,220 @@ class ProvenanceStore:
         elif transition is not None:
             attrs["transition"] = transition  # unknown value: keep generic
 
-        cursor = self.conn.execute(
-            "INSERT OR REPLACE INTO prov_nodes"
-            " (id, kind, timestamp_us, page_id, label, hidden, transition)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?)",
-            (
-                node.id,
-                NODE_KIND_IDS[node.kind],
-                node.timestamp_us,
-                page_id,
-                stored_label,
-                hidden,
-                transition_id,
-            ),
+        row = (
+            node.id,
+            NODE_KIND_IDS[node.kind],
+            node.timestamp_us,
+            page_id,
+            stored_label,
+            hidden,
+            transition_id,
         )
-        self._nids[node.id] = cursor.lastrowid
+        if _HAS_RETURNING:
+            cursor = self.conn.execute(_NODE_UPSERT + " RETURNING nid", row)
+            nid = cursor.fetchone()[0]
+            self._nids[node.id] = nid
+        else:
+            self.conn.execute(_NODE_UPSERT, row)
+            nid = self._nids.get(node.id)  # upsert keeps existing rowids
+            if nid is None:
+                self._prefetch_nids([node.id])
+                nid = self._nids[node.id]
         self._node_ts[node.id] = node.timestamp_us
+        # Last write owns the row outright: clear any previous attrs.
+        self.conn.execute("DELETE FROM prov_node_attrs WHERE nid = ?", (nid,))
         if attrs:
-            nid = self._nids[node.id]
             self.conn.executemany(
                 "INSERT OR REPLACE INTO prov_node_attrs (nid, name, value)"
                 " VALUES (?, ?, ?)",
                 [(nid, name, value) for name, value in attrs.items()],
             )
 
+    def append_nodes(self, nodes: Iterable[ProvNode]) -> int:
+        """Bulk-insert nodes with ``executemany``; returns rows written.
+
+        Semantics match repeated :meth:`append_node` (page interning,
+        label inheritance, hidden/transition promotion, id collisions
+        replace) but pages are interned in one batch and node plus attr
+        rows land via two ``executemany`` calls instead of per-row
+        round-trips — the bulk path :meth:`save_graph` and the service
+        ingest pipeline ride on.
+        """
+        nodes = list(nodes)
+        if not nodes:
+            return 0
+        first_titles: dict[str, str] = {}
+        for node in nodes:
+            if node.url is not None and node.url not in first_titles:
+                first_titles[node.url] = node.label
+        pages = self._intern_pages(first_titles)
+        # Sequential append_node gives the last write for an id the
+        # whole row, attrs included; dedupe last-wins so a batch does
+        # not merge a superseded node's attrs into its replacement.
+        # (Pages were interned first-sight above, as sequence order
+        # would have.)
+        if len({node.id for node in nodes}) != len(nodes):
+            nodes = list({node.id: node for node in nodes}.values())
+        # Warm the caches for rows that already exist, then pin down
+        # edges that inherit (NULL-store) a timestamp we are about to
+        # change — otherwise re-recording a node with a corrected
+        # timestamp would retroactively shift its inbound edges' times.
+        self._prefetch_nids(
+            [node.id for node in nodes if node.id not in self._nids]
+        )
+        self._materialize_inherited_ts(
+            [
+                (self._node_ts[node.id], self._nids[node.id])
+                for node in nodes
+                if node.id in self._nids
+                and self._node_ts[node.id] != node.timestamp_us
+            ]
+        )
+
+        rows: list[tuple] = []
+        pending_attrs: list[tuple[str, dict[str, AttrValue]]] = []
+        for node in nodes:
+            page_id = None
+            stored_label: str | None = node.label
+            if node.url is not None:
+                page_id, page_title = pages[node.url]
+                if node.label == page_title:
+                    stored_label = None  # inherit from the page row
+
+            attrs = dict(node.attrs)
+            hidden = 1 if attrs.pop("hidden", 0) == 1 else 0
+            transition = attrs.pop("transition", None)
+            transition_id = None
+            if isinstance(transition, str) and transition in _TRANSITION_NAMES:
+                transition_id = _TRANSITION_NAMES[transition]
+            elif transition is not None:
+                attrs["transition"] = transition  # unknown value: keep generic
+
+            rows.append(
+                (
+                    node.id,
+                    NODE_KIND_IDS[node.kind],
+                    node.timestamp_us,
+                    page_id,
+                    stored_label,
+                    hidden,
+                    transition_id,
+                )
+            )
+            self._node_ts[node.id] = node.timestamp_us
+            if attrs:
+                pending_attrs.append((node.id, attrs))
+
+        self.conn.executemany(_NODE_UPSERT, rows)
+        self._prefetch_nids(
+            [node.id for node in nodes if node.id not in self._nids]
+        )  # only genuinely-new rows left to fetch
+        # Last write owns each row outright: clear any previous attrs
+        # (no-op for fresh nodes) before inserting the new set.
+        self.conn.executemany(
+            "DELETE FROM prov_node_attrs WHERE nid = ?",
+            [(self._nids[node.id],) for node in nodes],
+        )
+        if pending_attrs:
+            self.conn.executemany(
+                "INSERT OR REPLACE INTO prov_node_attrs (nid, name, value)"
+                " VALUES (?, ?, ?)",
+                [
+                    (self._nids[node_id], name, value)
+                    for node_id, attrs in pending_attrs
+                    for name, value in attrs.items()
+                ],
+            )
+        return len(rows)
+
     def append_edge(self, edge: ProvEdge) -> None:
-        stored_ts: int | None = edge.timestamp_us
-        if self._dst_timestamp(edge.dst) == edge.timestamp_us:
-            stored_ts = None  # inherit from the destination node
-        self.conn.execute(
+        self.append_edges((edge,))
+
+    def append_edges(self, edges: Iterable[ProvEdge]) -> int:
+        """Bulk-insert edges with ``executemany``; returns rows written."""
+        edges = list(edges)
+        if not edges:
+            return 0
+        # Same re-insert discipline as nodes: the last write for an
+        # edge id owns the row and its attrs outright.
+        if len({edge.id for edge in edges}) != len(edges):
+            edges = list({edge.id: edge for edge in edges}.values())
+        endpoints = {edge.src for edge in edges} | {edge.dst for edge in edges}
+        self._prefetch_nids([i for i in endpoints if i not in self._nids])
+
+        rows: list[tuple] = []
+        attr_rows: list[tuple] = []
+        for edge in edges:
+            stored_ts: int | None = edge.timestamp_us
+            if self._dst_timestamp(edge.dst) == edge.timestamp_us:
+                stored_ts = None  # inherit from the destination node
+            rows.append(
+                (
+                    edge.id,
+                    EDGE_KIND_IDS[edge.kind],
+                    self._nid(edge.src),
+                    self._nid(edge.dst),
+                    stored_ts,
+                )
+            )
+            attr_rows.extend(
+                (edge.id, name, value) for name, value in edge.attrs.items()
+            )
+        self.conn.executemany(
             "INSERT OR REPLACE INTO prov_edges (id, kind, src, dst, timestamp_us)"
             " VALUES (?, ?, ?, ?, ?)",
-            (
-                edge.id,
-                EDGE_KIND_IDS[edge.kind],
-                self._nid(edge.src),
-                self._nid(edge.dst),
-                stored_ts,
-            ),
+            rows,
         )
-        if edge.attrs:
+        self.conn.executemany(
+            "DELETE FROM prov_edge_attrs WHERE edge_id = ?",
+            [(edge.id,) for edge in edges],
+        )
+        if attr_rows:
             self.conn.executemany(
                 "INSERT OR REPLACE INTO prov_edge_attrs (edge_id, name, value)"
                 " VALUES (?, ?, ?)",
-                [(edge.id, name, value) for name, value in edge.attrs.items()],
+                attr_rows,
             )
+        return len(rows)
 
     def append_interval(self, interval: NodeInterval) -> None:
-        self.conn.execute(
+        self.append_intervals((interval,))
+
+    def append_intervals(self, intervals: Iterable[NodeInterval]) -> int:
+        """Bulk-insert display intervals; returns rows written."""
+        intervals = list(intervals)
+        if not intervals:
+            return 0
+        self._prefetch_nids(
+            [i.node_id for i in intervals if i.node_id not in self._nids]
+        )
+        self.conn.executemany(
             "INSERT INTO prov_intervals (nid, tab_id, opened_us, closed_us)"
             " VALUES (?, ?, ?, ?)",
-            (
-                self._nid(interval.node_id),
-                interval.tab_id,
-                interval.opened_us,
-                interval.closed_us,
-            ),
+            [
+                (
+                    self._nid(interval.node_id),
+                    interval.tab_id,
+                    interval.opened_us,
+                    interval.closed_us,
+                )
+                for interval in intervals
+            ],
         )
+        return len(intervals)
 
     def save_graph(
         self,
         graph: ProvenanceGraph,
         intervals: Iterable[NodeInterval] = (),
     ) -> None:
-        """Bulk-persist *graph* (and optional intervals), then commit."""
-        for node in graph.nodes():
-            self.append_node(node)
-        for edge in graph.edges():
-            self.append_edge(edge)
-        for interval in intervals:
-            self.append_interval(interval)
+        """Bulk-persist *graph* (and optional intervals), then commit.
+
+        All rows land in one transaction via the batched append paths.
+        """
+        self.append_nodes(graph.nodes())
+        self.append_edges(graph.edges())
+        self.append_intervals(intervals)
         self.commit()
 
     # -- loading --------------------------------------------------------------------
@@ -313,16 +524,31 @@ class ProvenanceStore:
             )
         return [row[0] for row in rows]
 
-    def sql_text_search(self, term: str, *, limit: int = 50) -> list[str]:
-        """Substring search over labels, page titles, and URLs."""
+    def sql_text_search(
+        self, term: str, *, limit: int = 50, id_prefix: str | None = None
+    ) -> list[str]:
+        """Substring search over labels, page titles, and URLs.
+
+        ``id_prefix`` restricts hits to nodes whose string id starts
+        with the prefix — the multi-tenant service namespaces each
+        user's nodes with an id prefix and uses this to keep one user's
+        search from surfacing another's history.
+        """
         pattern = f"%{term.lower()}%"
+        scope = ""
+        params: list = [pattern, pattern]
+        if id_prefix is not None:
+            scope = " AND n.id LIKE ? ESCAPE '\\'"
+            params.append(_like_prefix(id_prefix))
+        params.append(limit)
         rows = self.conn.execute(
             "SELECT n.id FROM prov_nodes AS n"
             " LEFT JOIN prov_pages AS p ON p.id = n.page_id"
-            " WHERE lower(coalesce(n.label, p.title, '')) LIKE ?"
-            "    OR lower(coalesce(p.url, '')) LIKE ?"
-            " ORDER BY n.timestamp_us DESC, n.id LIMIT ?",
-            (pattern, pattern, limit),
+            " WHERE (lower(coalesce(n.label, p.title, '')) LIKE ?"
+            "    OR lower(coalesce(p.url, '')) LIKE ?)"
+            + scope
+            + " ORDER BY n.timestamp_us DESC, n.id LIMIT ?",
+            params,
         )
         return [row[0] for row in rows]
 
@@ -357,6 +583,32 @@ class ProvenanceStore:
     def interval_count(self) -> int:
         return self.conn.execute("SELECT COUNT(*) FROM prov_intervals").fetchone()[0]
 
+    def counts_for_id_prefix(self, id_prefix: str) -> tuple[int, int, int]:
+        """(nodes, edges, intervals) whose node ids start with *id_prefix*.
+
+        Edges and intervals are attributed through their source /
+        subject node; in the multi-tenant layout every edge stays within
+        one user's namespace, so this is an exact per-tenant count.
+        """
+        pattern = _like_prefix(id_prefix)
+        nodes = self.conn.execute(
+            "SELECT COUNT(*) FROM prov_nodes WHERE id LIKE ? ESCAPE '\\'",
+            (pattern,),
+        ).fetchone()[0]
+        edges = self.conn.execute(
+            "SELECT COUNT(*) FROM prov_edges AS e"
+            " JOIN prov_nodes AS n ON n.nid = e.src"
+            " WHERE n.id LIKE ? ESCAPE '\\'",
+            (pattern,),
+        ).fetchone()[0]
+        intervals = self.conn.execute(
+            "SELECT COUNT(*) FROM prov_intervals AS i"
+            " JOIN prov_nodes AS n ON n.nid = i.nid"
+            " WHERE n.id LIKE ? ESCAPE '\\'",
+            (pattern,),
+        ).fetchone()[0]
+        return nodes, edges, intervals
+
     def size_bytes(self) -> int:
         page_count = self.conn.execute("PRAGMA page_count").fetchone()[0]
         page_size = self.conn.execute("PRAGMA page_size").fetchone()[0]
@@ -372,15 +624,69 @@ class ProvenanceStore:
         title updates would silently rewrite those nodes' labels.
         Later nodes with a different title store it explicitly.
         """
-        row = self.conn.execute(
-            "SELECT id FROM prov_pages WHERE url = ?", (url,)
-        ).fetchone()
-        if row is not None:
-            return row[0]
-        cursor = self.conn.execute(
-            "INSERT INTO prov_pages (url, title) VALUES (?, ?)", (url, title)
-        )
-        return cursor.lastrowid
+        return self._intern_pages({url: title})[url][0]
+
+    def _intern_pages(
+        self, first_titles: dict[str, str]
+    ) -> dict[str, tuple[int, str]]:
+        """Intern URLs in bulk; returns {url: (page_id, stored_title)}.
+
+        The stored title is whatever the page row already carried (first
+        sight wins), which callers need for label inheritance.
+        """
+        out: dict[str, tuple[int, str]] = {}
+        missing: list[tuple[str, str]] = []
+        for url, title in first_titles.items():
+            cached = self._pages.get(url)
+            if cached is not None:
+                out[url] = cached
+            else:
+                missing.append((url, title))
+        if missing:
+            self.conn.executemany(
+                "INSERT OR IGNORE INTO prov_pages (url, title) VALUES (?, ?)",
+                missing,
+            )
+            for chunk in _chunked([url for url, _ in missing]):
+                placeholders = ",".join("?" * len(chunk))
+                for pid, url, title in self.conn.execute(
+                    f"SELECT id, url, title FROM prov_pages"
+                    f" WHERE url IN ({placeholders})",
+                    chunk,
+                ):
+                    self._pages[url] = out[url] = (pid, title)
+        return out
+
+    def _materialize_inherited_ts(
+        self, stale: list[tuple[int, int]]
+    ) -> None:
+        """Write inherited edge timestamps out before they change.
+
+        *stale* holds ``(old_timestamp_us, nid)`` for nodes about to be
+        re-recorded with a different timestamp.  Edges storing NULL
+        inherit the destination node's time; pinning the old value
+        keeps recorded provenance times from mutating retroactively.
+        """
+        if stale:
+            self.conn.executemany(
+                "UPDATE prov_edges SET timestamp_us = ?"
+                " WHERE dst = ? AND timestamp_us IS NULL",
+                stale,
+            )
+
+    def _prefetch_nids(self, node_ids: list[str]) -> None:
+        """Warm the rowid/timestamp caches for *node_ids* in bulk."""
+        if not node_ids:
+            return
+        for chunk in _chunked(node_ids):
+            placeholders = ",".join("?" * len(chunk))
+            for node_id, nid, when in self.conn.execute(
+                f"SELECT id, nid, timestamp_us FROM prov_nodes"
+                f" WHERE id IN ({placeholders})",
+                chunk,
+            ):
+                self._nids[node_id] = nid
+                self._node_ts[node_id] = when
 
     def _dst_timestamp(self, node_id: str) -> int | None:
         cached = self._node_ts.get(node_id)

@@ -1,0 +1,71 @@
+"""Multi-tenant provenance service.
+
+The serving layer above capture/store/query: a sharded store pool
+(:mod:`~repro.service.pool`), a journaled batched ingest pipeline with
+crash replay (:mod:`~repro.service.ingest`), an invalidating per-user
+query cache (:mod:`~repro.service.cache`), the façade tying them
+together (:mod:`~repro.service.service`), and a multi-user synthetic
+workload driver (:mod:`~repro.service.workload`).
+
+Quickstart::
+
+    from repro.service import ProvenanceService, run_multiuser_workload
+
+    with ProvenanceService("/tmp/prov", shards=4) as service:
+        report = run_multiuser_workload(service)
+        for user in report.users:
+            print(user, service.stats(user))
+"""
+
+from repro.service.cache import CacheStats, QueryCache
+from repro.service.events import (
+    EdgeEvent,
+    IntervalEvent,
+    NodeEvent,
+    ProvEvent,
+    decode_event,
+    encode_event,
+    qualify,
+    unqualify,
+    validate_user_id,
+)
+from repro.service.ingest import IngestJournal, IngestPipeline, IngestStats
+from repro.service.pool import PoolStats, StorePool, shard_for
+from repro.service.service import ProvenanceService, ServiceStats, UserStats
+from repro.service.workload import (
+    MultiUserParams,
+    MultiUserReport,
+    replay_streams,
+    run_multiuser_workload,
+    synthesize_streams,
+    synthesize_user_events,
+)
+
+__all__ = [
+    "CacheStats",
+    "EdgeEvent",
+    "IngestJournal",
+    "IngestPipeline",
+    "IngestStats",
+    "IntervalEvent",
+    "MultiUserParams",
+    "MultiUserReport",
+    "NodeEvent",
+    "PoolStats",
+    "ProvEvent",
+    "ProvenanceService",
+    "QueryCache",
+    "ServiceStats",
+    "StorePool",
+    "UserStats",
+    "decode_event",
+    "encode_event",
+    "qualify",
+    "replay_streams",
+    "run_multiuser_workload",
+    "shard_for",
+    "synthesize_streams",
+    "synthesize_user_events",
+    "unqualify",
+    "validate_user_id",
+]

@@ -1,0 +1,123 @@
+"""Invalidating LRU cache for per-user query results.
+
+Keys are ``(user_id, query_name, params)``; any write for a user
+invalidates every cached result belonging to *that user only* (other
+tenants' entries survive — their data cannot have changed).  A per-user
+key index makes invalidation proportional to the user's cached entries,
+not the cache size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.errors import ConfigurationError
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/invalidation accounting."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryCache:
+    """LRU of query results with per-user invalidation."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._by_user: dict[str, set[tuple]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def lookup(
+        self, user_id: str, query: str, params: Hashable
+    ) -> tuple[bool, Any]:
+        """(hit, value); value is None on a miss."""
+        key = (user_id, query, params)
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            self._misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return True, value
+
+    def put(self, user_id: str, query: str, params: Hashable, value: Any) -> None:
+        key = (user_id, query, params)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        while len(self._entries) >= self.capacity:
+            evicted_key, _value = self._entries.popitem(last=False)
+            bucket = self._by_user.get(evicted_key[0])
+            if bucket is not None:
+                bucket.discard(evicted_key)
+                if not bucket:
+                    # Never keep empty per-user buckets: with millions
+                    # of tenants they would accumulate without bound.
+                    del self._by_user[evicted_key[0]]
+            self._evictions += 1
+        self._entries[key] = value
+        self._by_user.setdefault(user_id, set()).add(key)
+
+    def get_or_compute(
+        self,
+        user_id: str,
+        query: str,
+        params: Hashable,
+        compute: Callable[[], Any],
+    ) -> Any:
+        hit, value = self.lookup(user_id, query, params)
+        if hit:
+            return value
+        value = compute()
+        self.put(user_id, query, params, value)
+        return value
+
+    def invalidate_user(self, user_id: str) -> int:
+        """Drop every cached result for *user_id*; returns entries dropped."""
+        keys = self._by_user.pop(user_id, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._entries.pop(key, None)
+        self._invalidations += len(keys)
+        return len(keys)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_user.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            capacity=self.capacity,
+            size=len(self._entries),
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+        )

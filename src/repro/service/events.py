@@ -1,0 +1,159 @@
+"""Service-level provenance events and their journal codec.
+
+The multi-tenant service speaks in per-user *events*: a node, edge, or
+display-interval record (reusing :mod:`repro.core.model` /
+:mod:`repro.core.capture` value types) tagged with the owning user.
+Events are what the ingest journal persists, so every event round-trips
+through a JSON-safe dict losslessly.
+
+Tenant namespacing lives here too: inside a shard's SQLite store every
+node id is prefixed with its owner (``alice::visit:000123``).  Edges
+are only ever created between one user's nodes, so ancestor and
+descendant walks can never escape a tenant; text search and counting
+scope by id prefix (:meth:`repro.core.store.ProvenanceStore.sql_text_search`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.capture import NodeInterval
+from repro.core.model import ProvEdge, ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import ConfigurationError
+
+#: Separator between the user id and the user-local node id.
+USER_SEP = "::"
+
+#: User ids are path/id-safe tokens; the separator is reserved.
+_USER_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.@-]*$")
+
+
+def validate_user_id(user_id: str) -> str:
+    """Return *user_id* or raise :class:`ConfigurationError`."""
+    if not isinstance(user_id, str) or not _USER_ID_RE.match(user_id):
+        raise ConfigurationError(
+            f"invalid user id {user_id!r}: expected [A-Za-z0-9][A-Za-z0-9_.@-]*"
+        )
+    return user_id
+
+
+def qualify(user_id: str, raw_id: str) -> str:
+    """The store-level node id for *raw_id* owned by *user_id*."""
+    return f"{user_id}{USER_SEP}{raw_id}"
+
+
+def unqualify(user_id: str, stored_id: str) -> str:
+    """Strip the tenant prefix from a store-level node id."""
+    prefix = user_id + USER_SEP
+    if not stored_id.startswith(prefix):
+        raise ValueError(f"{stored_id!r} is not owned by {user_id!r}")
+    return stored_id[len(prefix):]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeEvent:
+    """One node recorded for one user."""
+
+    user_id: str
+    node: ProvNode
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeEvent:
+    """One edge between *user_id*'s own nodes (raw, unqualified ids)."""
+
+    user_id: str
+    edge: ProvEdge
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalEvent:
+    """One display interval for one of *user_id*'s nodes."""
+
+    user_id: str
+    interval: NodeInterval
+
+
+ProvEvent = NodeEvent | EdgeEvent | IntervalEvent
+
+
+def encode_event(event: ProvEvent) -> dict[str, Any]:
+    """A JSON-safe dict for the journal; inverse of :func:`decode_event`."""
+    if isinstance(event, NodeEvent):
+        node = event.node
+        return {
+            "t": "node",
+            "u": event.user_id,
+            "id": node.id,
+            "k": node.kind.name,
+            "ts": node.timestamp_us,
+            "label": node.label,
+            "url": node.url,
+            "attrs": dict(node.attrs),
+        }
+    if isinstance(event, EdgeEvent):
+        edge = event.edge
+        return {
+            "t": "edge",
+            "u": event.user_id,
+            "id": edge.id,
+            "k": edge.kind.name,
+            "src": edge.src,
+            "dst": edge.dst,
+            "ts": edge.timestamp_us,
+            "attrs": dict(edge.attrs),
+        }
+    if isinstance(event, IntervalEvent):
+        interval = event.interval
+        return {
+            "t": "interval",
+            "u": event.user_id,
+            "id": interval.node_id,
+            "tab": interval.tab_id,
+            "open": interval.opened_us,
+            "close": interval.closed_us,
+        }
+    raise TypeError(f"not a provenance event: {event!r}")
+
+
+def decode_event(payload: dict[str, Any]) -> ProvEvent:
+    """Rebuild an event from its journal dict."""
+    tag = payload.get("t")
+    if tag == "node":
+        return NodeEvent(
+            user_id=payload["u"],
+            node=ProvNode(
+                id=payload["id"],
+                kind=NodeKind[payload["k"]],
+                timestamp_us=payload["ts"],
+                label=payload["label"],
+                url=payload["url"],
+                attrs=payload["attrs"],
+            ),
+        )
+    if tag == "edge":
+        return EdgeEvent(
+            user_id=payload["u"],
+            edge=ProvEdge(
+                id=payload["id"],
+                kind=EdgeKind[payload["k"]],
+                src=payload["src"],
+                dst=payload["dst"],
+                timestamp_us=payload["ts"],
+                attrs=payload["attrs"],
+            ),
+        )
+    if tag == "interval":
+        return IntervalEvent(
+            user_id=payload["u"],
+            interval=NodeInterval(
+                node_id=payload["id"],
+                tab_id=payload["tab"],
+                opened_us=payload["open"],
+                closed_us=payload["close"],
+            ),
+        )
+    raise ValueError(f"unknown journal event type: {tag!r}")

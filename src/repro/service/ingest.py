@@ -1,0 +1,379 @@
+"""Journaled, batched ingest for the multi-tenant service.
+
+Writes take two hops:
+
+1. **Journal** — every accepted event is appended to a replayable
+   JSON-lines journal *before* it is acknowledged.  The journal is the
+   durability boundary: once :meth:`IngestJournal.append` returns, a
+   *process* crash cannot lose the event.  The default ``fsync=False``
+   leaves the bytes in the OS page cache, so machine crashes and power
+   loss can still eat acknowledged-but-unsynced events; construct the
+   journal (or :class:`~repro.service.service.ProvenanceService`) with
+   ``fsync=True`` to extend the guarantee to power loss at the cost of
+   one fsync per event.
+2. **Flush** — buffered events drain into the sharded SQLite stores in
+   batched transactions (``executemany`` via the store's bulk append
+   paths), either when ``batch_size`` events have accumulated or on an
+   explicit :meth:`IngestPipeline.flush`.  After a successful flush the
+   journal checkpoint advances and fully-flushed journals are
+   compacted.
+
+Crash recovery is :meth:`IngestPipeline.replay`: entries past the
+checkpoint are re-applied.  Node and edge rows are idempotent
+(``INSERT OR REPLACE`` on their ids), so delivery is effectively
+exactly-once for them; interval rows are at-least-once in the narrow
+window between a store commit and the checkpoint write.
+
+Tenant namespacing (id prefixes) happens at flush time, so the journal
+holds the user's own raw ids and the codec stays symmetric with the
+public API.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.core.capture import NodeInterval
+from repro.core.model import AttrValue, ProvEdge, ProvNode
+from repro.core.taxonomy import EdgeKind
+from repro.errors import ConfigurationError
+from repro.service.cache import QueryCache
+from repro.service.events import (
+    EdgeEvent,
+    IntervalEvent,
+    NodeEvent,
+    ProvEvent,
+    decode_event,
+    encode_event,
+    qualify,
+)
+from repro.service.pool import StorePool
+
+
+class IngestJournal:
+    """Append-only JSON-lines journal with a checkpoint sidecar.
+
+    Each line is ``{"seq": n, "ev": {...}}``.  The sidecar file records
+    the highest sequence number known to be flushed to the stores;
+    everything after it is replayed on recovery.  A torn final line
+    (crash mid-write) is tolerated: replay stops at the first
+    undecodable line.
+    """
+
+    def __init__(self, path: str, *, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._ckpt_path = path + ".ckpt"
+        self._flushed = self._read_checkpoint()
+        last_on_disk = self._recover_tail()
+        self._next_seq = max(last_on_disk, self._flushed) + 1
+        self._handle = open(path, "a", encoding="utf-8")
+
+    # -- writing ----------------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next :meth:`append` will assign."""
+        return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        return self._next_seq - 1
+
+    @property
+    def flushed_seq(self) -> int:
+        return self._flushed
+
+    def append(self, event: ProvEvent) -> int:
+        seq = self._next_seq
+        line = json.dumps(
+            {"seq": seq, "ev": encode_event(event)}, separators=(",", ":")
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._next_seq = seq + 1
+        return seq
+
+    def checkpoint(self, seq: int) -> None:
+        """Durably record that every entry with seq <= *seq* is flushed."""
+        if seq <= self._flushed:
+            return
+        tmp = self._ckpt_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(str(seq))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._ckpt_path)
+        self._flushed = seq
+
+    def compact(self) -> None:
+        """Truncate the journal once everything in it is checkpointed."""
+        if self._flushed < self.last_seq:
+            return
+        self._handle.close()
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    # -- recovery ---------------------------------------------------------------
+
+    def unflushed(self) -> list[tuple[int, ProvEvent]]:
+        """Journal entries past the checkpoint, in append order."""
+        entries: list[tuple[int, ProvEvent]] = []
+        for seq, payload in self._iter_lines():
+            if seq > self._flushed:
+                entries.append((seq, decode_event(payload)))
+        return entries
+
+    def _iter_lines(self):
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break  # torn tail from a crash mid-append
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                yield record["seq"], record["ev"]
+
+    def _read_checkpoint(self) -> int:
+        try:
+            with open(self._ckpt_path, "r", encoding="utf-8") as handle:
+                return int(handle.read().strip() or 0)
+        except (FileNotFoundError, ValueError):
+            return 0
+
+    def _recover_tail(self) -> int:
+        """Drop any torn final line; returns the last valid sequence.
+
+        Appending after a crash mid-write would otherwise concatenate
+        the new record onto the fragment, making *both* undecodable and
+        silently ending replay early — a durability hole for every
+        acknowledged event after the tear.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        last = 0
+        valid_bytes = 0
+        with open(self.path, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                last = record["seq"]
+                valid_bytes += len(line)
+        if valid_bytes < os.path.getsize(self.path):
+            with open(self.path, "rb+") as handle:
+                handle.truncate(valid_bytes)
+        return last
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+@dataclass
+class IngestStats:
+    """Pipeline accounting."""
+
+    submitted: int = 0
+    applied: int = 0
+    flushes: int = 0
+    replayed: int = 0
+
+    @property
+    def pending(self) -> int:
+        return self.submitted + self.replayed - self.applied
+
+
+class IngestPipeline:
+    """Journal-then-batch ingest across the sharded store pool."""
+
+    def __init__(
+        self,
+        pool: StorePool,
+        journal: IngestJournal,
+        *,
+        batch_size: int = 256,
+        cache: QueryCache | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        self.pool = pool
+        self.journal = journal
+        self.batch_size = batch_size
+        self.cache = cache
+        self.stats = IngestStats()
+        self._buffers: dict[int, list[tuple[int, ProvEvent]]] = {}
+        self._pending = 0
+
+    # -- accepting events -------------------------------------------------------
+
+    def submit(self, event: ProvEvent) -> int:
+        """Journal one event, buffer it, flush if the batch is full."""
+        seq = self.journal.append(event)
+        self.stats.submitted += 1
+        self._enqueue(seq, event)
+        if self._pending >= self.batch_size:
+            self.flush()
+        return seq
+
+    def submit_edge(
+        self,
+        user_id: str,
+        kind: EdgeKind,
+        src: str,
+        dst: str,
+        *,
+        timestamp_us: int,
+        attrs: dict[str, AttrValue] | None = None,
+    ) -> ProvEdge:
+        """Build and submit an edge whose id is its journal sequence.
+
+        Sequence numbers are unique across users and shards, which is
+        what keeps tenants sharing a shard from colliding in the
+        ``prov_edges`` primary key; replay reuses the journaled id, so
+        recovery is idempotent.
+        """
+        edge = ProvEdge(
+            id=self.journal.next_seq,
+            kind=kind,
+            src=src,
+            dst=dst,
+            timestamp_us=timestamp_us,
+            attrs=attrs or {},
+        )
+        self.submit(EdgeEvent(user_id=user_id, edge=edge))
+        return edge
+
+    def _enqueue(self, seq: int, event: ProvEvent) -> None:
+        shard = self.pool.shard_of(event.user_id)
+        self._buffers.setdefault(shard, []).append((seq, event))
+        self._pending += 1
+        if self.cache is not None:
+            self.cache.invalidate_user(event.user_id)
+
+    def pending(self, shard: int | None = None) -> int:
+        if shard is None:
+            return self._pending
+        return len(self._buffers.get(shard, ()))
+
+    # -- draining ---------------------------------------------------------------
+
+    def flush(self, shard: int | None = None) -> int:
+        """Drain buffered events (one shard, or all) into the stores.
+
+        Each shard's batch applies nodes, then edges, then intervals —
+        events were enqueued in submission order per user, so an edge's
+        endpoints are always in this batch or an earlier one.  The
+        checkpoint advances to the highest contiguous flushed sequence;
+        note that a steady diet of single-shard flushes lets another
+        shard's oldest buffered event pin the checkpoint (and block
+        journal compaction), so prefer full flushes.
+        """
+        shards = [shard] if shard is not None else sorted(self._buffers)
+        applied = 0
+        try:
+            for target in shards:
+                batch = self._buffers.pop(target, None)
+                if not batch:
+                    continue
+                try:
+                    self._apply(target, batch)
+                except Exception:
+                    # Requeue so the events stay pending in-process; the
+                    # journal still holds them for replay either way.
+                    self._buffers[target] = batch
+                    raise
+                applied += len(batch)
+                self._pending -= len(batch)
+        finally:
+            # Shards committed before a later shard failed still count
+            # (and still move the checkpoint forward).
+            if applied:
+                self.stats.applied += applied
+                self.stats.flushes += 1
+                self._advance_checkpoint()
+        return applied
+
+    def _apply(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
+        store = self.pool.store(shard)
+        nodes: list[ProvNode] = []
+        edges: list[ProvEdge] = []
+        intervals: list[NodeInterval] = []
+        for _seq, event in batch:
+            user = event.user_id
+            if isinstance(event, NodeEvent):
+                node = event.node
+                nodes.append(
+                    ProvNode(
+                        id=qualify(user, node.id),
+                        kind=node.kind,
+                        timestamp_us=node.timestamp_us,
+                        label=node.label,
+                        url=node.url,
+                        attrs=node.attrs,
+                    )
+                )
+            elif isinstance(event, EdgeEvent):
+                edge = event.edge
+                edges.append(
+                    ProvEdge(
+                        id=edge.id,
+                        kind=edge.kind,
+                        src=qualify(user, edge.src),
+                        dst=qualify(user, edge.dst),
+                        timestamp_us=edge.timestamp_us,
+                        attrs=edge.attrs,
+                    )
+                )
+            elif isinstance(event, IntervalEvent):
+                interval = event.interval
+                intervals.append(
+                    NodeInterval(
+                        node_id=qualify(user, interval.node_id),
+                        tab_id=interval.tab_id,
+                        opened_us=interval.opened_us,
+                        closed_us=interval.closed_us,
+                    )
+                )
+        try:
+            store.append_nodes(nodes)
+            store.append_edges(edges)
+            store.append_intervals(intervals)
+        except Exception:
+            # Keep the shard transactionally clean; rollback() also
+            # drops the store's row-id caches, which may point at rows
+            # the rollback erased.
+            store.rollback()
+            raise
+        store.commit()
+
+    def _advance_checkpoint(self) -> None:
+        if self._buffers:
+            oldest_pending = min(batch[0][0] for batch in self._buffers.values())
+            self.journal.checkpoint(oldest_pending - 1)
+        else:
+            self.journal.checkpoint(self.journal.last_seq)
+            self.journal.compact()
+
+    # -- recovery ---------------------------------------------------------------
+
+    def replay(self) -> int:
+        """Re-apply journal entries past the checkpoint (crash recovery)."""
+        entries = self.journal.unflushed()
+        for seq, event in entries:
+            self._enqueue(seq, event)
+        if entries:
+            self.stats.replayed += len(entries)
+            self.flush()
+        return len(entries)
+
+    def close(self) -> None:
+        self.journal.close()

@@ -1,0 +1,130 @@
+"""The sharded store pool.
+
+Hash-shards user ids across N :class:`~repro.core.store.ProvenanceStore`
+backends.  Shard assignment uses a *stable* hash (SHA-1 of the user id)
+so a user's data lands in the same shard file across processes and
+Python invocations — the builtin ``hash`` is salted per process and
+would scatter tenants on every restart.
+
+Shard stores open lazily on first touch and sit in an LRU of open
+connections: a deployment with hundreds of shard files keeps only
+``max_open`` SQLite handles live, evicting (commit + close) the
+least-recently-used.  In-memory pools (``root=None``) never evict,
+because closing a ``:memory:`` database discards it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.store import ProvenanceStore
+from repro.errors import ConfigurationError
+
+
+def shard_for(user_id: str, shards: int) -> int:
+    """Stable shard index for *user_id* (SHA-1 based, process-independent)."""
+    digest = hashlib.sha1(user_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Connection-pool accounting."""
+
+    shards: int
+    opens: int
+    hits: int
+    evictions: int
+    open_now: int
+
+
+class StorePool:
+    """Lazily opened, LRU-bounded pool of sharded provenance stores."""
+
+    def __init__(
+        self,
+        root: str | None,
+        *,
+        shards: int = 4,
+        max_open: int = 8,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if max_open < 1:
+            raise ConfigurationError("max_open must be >= 1")
+        self.root = root
+        self.shards = shards
+        self.max_open = max_open
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+        self._open: OrderedDict[int, ProvenanceStore] = OrderedDict()
+        self._opens = 0
+        self._hits = 0
+        self._evictions = 0
+
+    # -- routing ----------------------------------------------------------------
+
+    def shard_of(self, user_id: str) -> int:
+        return shard_for(user_id, self.shards)
+
+    def shard_path(self, shard: int) -> str:
+        if self.root is None:
+            return ":memory:"
+        return os.path.join(self.root, f"shard-{shard:04d}.sqlite")
+
+    # -- access -----------------------------------------------------------------
+
+    def store(self, shard: int) -> ProvenanceStore:
+        """The open store for *shard*, opening or reviving it as needed."""
+        if not 0 <= shard < self.shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range for {self.shards} shards"
+            )
+        cached = self._open.get(shard)
+        if cached is not None:
+            self._open.move_to_end(shard)
+            self._hits += 1
+            return cached
+        # In-memory shards must never be evicted (close == data loss),
+        # so the LRU bound applies only to disk-backed pools.
+        if self.root is not None:
+            while len(self._open) >= self.max_open:
+                _evicted_shard, evicted = self._open.popitem(last=False)
+                evicted.close()
+                self._evictions += 1
+        store = ProvenanceStore(self.shard_path(shard))
+        self._open[shard] = store
+        self._opens += 1
+        return store
+
+    def store_for(self, user_id: str) -> ProvenanceStore:
+        return self.store(self.shard_of(user_id))
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def stats(self) -> PoolStats:
+        return PoolStats(
+            shards=self.shards,
+            opens=self._opens,
+            hits=self._hits,
+            evictions=self._evictions,
+            open_now=len(self._open),
+        )
+
+    def close(self) -> None:
+        for store in self._open.values():
+            store.close()
+        self._open.clear()
+
+    def __enter__(self) -> "StorePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,418 @@
+"""The multi-tenant provenance service facade.
+
+One object owns the whole serving stack the ROADMAP's "millions of
+users" north star needs above a single browser's capture layer:
+
+* a :class:`~repro.service.pool.StorePool` hash-sharding users across
+  N SQLite stores (lazily opened, LRU-bounded connections);
+* a :class:`~repro.service.ingest.IngestPipeline` journaling every
+  event before batching it into shard transactions, with crash-replay
+  on startup;
+* a :class:`~repro.service.cache.QueryCache` memoizing per-user query
+  results, invalidated by that user's writes.
+
+Reads are read-your-writes: a query first drains any buffered events
+for the user's shard, so a caller never sees the cache or store lag its
+own acknowledged writes.  All ids in and out of the facade are the
+user's own raw node ids; tenant prefixes never escape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+
+from repro.core.capture import NodeInterval
+from repro.core.graph import ProvenanceGraph
+from repro.core.model import AttrValue, ProvNode
+from repro.core.taxonomy import EdgeKind
+from repro.errors import ConfigurationError, UnknownNodeError
+from repro.service.cache import CacheStats, QueryCache
+from repro.service.events import (
+    EdgeEvent,
+    IntervalEvent,
+    NodeEvent,
+    ProvEvent,
+    qualify,
+    unqualify,
+    validate_user_id,
+)
+from repro.service.ingest import IngestJournal, IngestPipeline
+from repro.service.pool import PoolStats, StorePool
+
+
+@dataclass(frozen=True)
+class UserStats:
+    """Per-tenant footprint inside the service."""
+
+    user_id: str
+    shard: int
+    nodes: int
+    edges: int
+    intervals: int
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Whole-service accounting snapshot."""
+
+    users: int
+    events_submitted: int
+    events_applied: int
+    flushes: int
+    replayed: int
+    cache: CacheStats
+    pool: PoolStats
+
+
+class ProvenanceService:
+    """Record and query provenance for many users concurrently."""
+
+    def __init__(
+        self,
+        root: str | None = None,
+        *,
+        shards: int = 4,
+        max_open_stores: int | None = None,
+        batch_size: int = 256,
+        cache_capacity: int = 512,
+        fsync: bool = False,
+    ) -> None:
+        self._tmp: tempfile.TemporaryDirectory | None = None
+        if root is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="prov-service-")
+            root = self._tmp.name
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._lock_path: str | None = None
+        self._acquire_lock()
+        try:
+            self._check_layout(shards)
+            self.pool = StorePool(
+                root,
+                shards=shards,
+                max_open=(
+                    max_open_stores if max_open_stores is not None else shards
+                ),
+            )
+            self.cache = QueryCache(cache_capacity)
+            self.journal = IngestJournal(
+                os.path.join(root, "ingest.journal"), fsync=fsync
+            )
+            self.ingest = IngestPipeline(
+                self.pool, self.journal, batch_size=batch_size,
+                cache=self.cache
+            )
+            self._users: set[str] = set()
+            #: Events recovered from the journal at startup (crash replay).
+            self.replayed = self.ingest.replay()
+        except BaseException:
+            self._release_lock()
+            raise
+
+    # -- writes -----------------------------------------------------------------
+
+    def record_event(self, event: ProvEvent) -> int:
+        """Accept one pre-built event; returns its journal sequence.
+
+        Edge events have their id remapped to the journal sequence —
+        caller-supplied edge ids (e.g. capture-local counters) collide
+        across tenants sharing a shard, and ``INSERT OR REPLACE`` would
+        let one user overwrite another's edges.
+        """
+        validate_user_id(event.user_id)
+        self._users.add(event.user_id)
+        if isinstance(event, EdgeEvent):
+            edge = event.edge
+            return self.ingest.submit_edge(
+                event.user_id,
+                edge.kind,
+                edge.src,
+                edge.dst,
+                timestamp_us=edge.timestamp_us,
+                attrs=dict(edge.attrs) or None,
+            ).id
+        return self.ingest.submit(event)
+
+    def record_node(self, user_id: str, node: ProvNode) -> int:
+        return self.record_event(NodeEvent(user_id=user_id, node=node))
+
+    def record_edge(
+        self,
+        user_id: str,
+        kind: EdgeKind,
+        src: str,
+        dst: str,
+        *,
+        timestamp_us: int,
+        attrs: dict[str, AttrValue] | None = None,
+    ) -> int:
+        """Record an edge between *user_id*'s nodes; returns the edge id.
+
+        Edge ids are allocated from the journal sequence, so they are
+        unique across every tenant sharing a shard.
+        """
+        validate_user_id(user_id)
+        self._users.add(user_id)
+        edge = self.ingest.submit_edge(
+            user_id, kind, src, dst, timestamp_us=timestamp_us, attrs=attrs
+        )
+        return edge.id
+
+    def record_interval(self, user_id: str, interval: NodeInterval) -> int:
+        return self.record_event(
+            IntervalEvent(user_id=user_id, interval=interval)
+        )
+
+    def ingest_graph(
+        self,
+        user_id: str,
+        graph: ProvenanceGraph,
+        intervals: tuple[NodeInterval, ...] | list[NodeInterval] = (),
+    ) -> int:
+        """Stream a captured provenance graph through the pipeline.
+
+        The bridge from the single-user capture layer: nodes land first,
+        then edges (ids remapped to journal sequences), then intervals.
+        Returns the number of events submitted.
+        """
+        validate_user_id(user_id)
+        events = 0
+        for node in graph.nodes():
+            self.record_node(user_id, node)
+            events += 1
+        for edge in graph.edges():
+            self.record_edge(
+                user_id,
+                edge.kind,
+                edge.src,
+                edge.dst,
+                timestamp_us=edge.timestamp_us,
+                attrs=dict(edge.attrs) or None,
+            )
+            events += 1
+        for interval in intervals:
+            self.record_interval(user_id, interval)
+            events += 1
+        return events
+
+    def flush(self) -> int:
+        """Drain all buffered events to the shard stores."""
+        return self.ingest.flush()
+
+    # -- reads ------------------------------------------------------------------
+
+    def ancestors(
+        self, user_id: str, node_id: str, *, max_depth: int = 100
+    ) -> list[tuple[str, int]]:
+        """[(node_id, depth)] of *node_id*'s ancestors, nearest first."""
+        return self._walk(user_id, "ancestors", node_id, max_depth)
+
+    def descendants(
+        self, user_id: str, node_id: str, *, max_depth: int = 100
+    ) -> list[tuple[str, int]]:
+        """[(node_id, depth)] of *node_id*'s descendants, nearest first."""
+        return self._walk(user_id, "descendants", node_id, max_depth)
+
+    def search(
+        self, user_id: str, term: str, *, limit: int = 50
+    ) -> list[str]:
+        """*user_id*'s node ids matching *term*, newest first."""
+        store = self._read_store(user_id)
+
+        def compute() -> list[str]:
+            hits = store.sql_text_search(
+                term, limit=limit, id_prefix=qualify(user_id, "")
+            )
+            return [unqualify(user_id, hit) for hit in hits]
+
+        # Copy out: cached lists must not be mutable by callers.
+        return list(
+            self.cache.get_or_compute(user_id, "search", (term, limit), compute)
+        )
+
+    def stats(self, user_id: str) -> UserStats:
+        """Per-user node/edge/interval counts."""
+        store = self._read_store(user_id)
+
+        def compute() -> UserStats:
+            nodes, edges, intervals = store.counts_for_id_prefix(
+                qualify(user_id, "")
+            )
+            return UserStats(
+                user_id=user_id,
+                shard=self.pool.shard_of(user_id),
+                nodes=nodes,
+                edges=edges,
+                intervals=intervals,
+            )
+
+        return self.cache.get_or_compute(user_id, "stats", (), compute)
+
+    def users(self) -> list[str]:
+        """User ids seen by this service instance, sorted."""
+        return sorted(self._users)
+
+    def service_stats(self) -> ServiceStats:
+        return ServiceStats(
+            users=len(self._users),
+            events_submitted=self.ingest.stats.submitted,
+            events_applied=self.ingest.stats.applied,
+            flushes=self.ingest.stats.flushes,
+            replayed=self.ingest.stats.replayed,
+            cache=self.cache.stats(),
+            pool=self.pool.stats(),
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self, *, flush: bool = True) -> None:
+        """Shut down; ``flush=False`` abandons buffers (crash simulation —
+        the journal still holds everything unflushed for replay).
+
+        Handles are released even when the final flush raises; the
+        journal keeps the unflushed events for the next open's replay.
+        """
+        try:
+            if flush:
+                self.ingest.flush()
+        finally:
+            self.ingest.close()
+            self.pool.close()
+            self._release_lock()
+            if self._tmp is not None:
+                self._tmp.cleanup()
+                self._tmp = None
+
+    def __enter__(self) -> "ProvenanceService":
+        return self
+
+    def __exit__(self, exc_type, *exc_info: object) -> None:
+        # Don't let a failing final flush mask the in-block exception;
+        # the journal preserves whatever the skipped flush would have
+        # written.
+        self.close(flush=exc_type is None)
+
+    # -- internals --------------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        """Exclusive per-root lock (pid file).
+
+        Two live services on one root would allocate the same journal
+        sequences and overwrite each other's edges across tenants, so
+        the second open must fail loudly.  A lock left by a dead
+        process (crash) is stolen.
+        """
+        lock_path = os.path.join(self.root, "service.lock")
+        for _attempt in range(10):
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                holder = self._lock_holder(lock_path)
+                if holder is not None:
+                    raise ConfigurationError(
+                        f"service root {self.root!r} is already open in"
+                        f" process {holder}; concurrent services on one"
+                        f" root would corrupt shared shards"
+                    )
+                try:
+                    os.unlink(lock_path)  # stale lock from a dead process
+                except FileNotFoundError:
+                    pass
+                continue
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.close(fd)
+            self._lock_path = lock_path
+            return
+        raise ConfigurationError(
+            f"could not acquire the service lock at {lock_path!r}"
+        )
+
+    @staticmethod
+    def _lock_holder(lock_path: str) -> int | None:
+        """The live pid holding *lock_path*, or None if stale/unreadable."""
+        try:
+            with open(lock_path, "r", encoding="ascii") as handle:
+                pid = int(handle.read().strip() or 0)
+        except (FileNotFoundError, ValueError):
+            return None
+        if pid <= 0:
+            return None
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return None
+        except PermissionError:
+            return pid  # alive, owned by someone else
+        return pid
+
+    def _release_lock(self) -> None:
+        if self._lock_path is not None:
+            try:
+                os.unlink(self._lock_path)
+            except FileNotFoundError:
+                pass
+            self._lock_path = None
+
+    def _check_layout(self, shards: int) -> None:
+        """Pin the shard count to the service root.
+
+        Hash routing is a function of the shard count; reopening an
+        existing root with a different count would silently strand any
+        tenant whose shard moved.  Refuse instead.
+        """
+        layout_path = os.path.join(self.root, "service.json")
+        if os.path.exists(layout_path):
+            with open(layout_path, "r", encoding="utf-8") as handle:
+                layout = json.load(handle)
+            if layout.get("shards") != shards:
+                raise ConfigurationError(
+                    f"service root {self.root!r} was created with"
+                    f" {layout.get('shards')} shards; reopening with"
+                    f" {shards} would orphan re-routed tenants"
+                )
+        else:
+            with open(layout_path, "w", encoding="utf-8") as handle:
+                json.dump({"shards": shards}, handle)
+
+    def _read_store(self, user_id: str):
+        """The user's shard store, with read-your-writes freshness.
+
+        Drains *all* buffered events, not just the queried shard's:
+        repeated single-shard flushes would let another shard's oldest
+        buffered event pin the journal checkpoint indefinitely, which
+        both re-applies committed intervals on crash replay and keeps
+        the journal from compacting.
+        """
+        validate_user_id(user_id)
+        if self.ingest.pending():
+            self.ingest.flush()
+        return self.pool.store(self.pool.shard_of(user_id))
+
+    def _walk(
+        self, user_id: str, direction: str, node_id: str, max_depth: int
+    ) -> list[tuple[str, int]]:
+        store = self._read_store(user_id)
+        walk = (
+            store.sql_ancestors
+            if direction == "ancestors"
+            else store.sql_descendants
+        )
+
+        def compute() -> list[tuple[str, int]]:
+            try:
+                found = walk(qualify(user_id, node_id), max_depth=max_depth)
+            except UnknownNodeError:
+                raise UnknownNodeError(node_id) from None
+            return [
+                (unqualify(user_id, found_id), depth)
+                for found_id, depth in found
+            ]
+
+        return list(
+            self.cache.get_or_compute(
+                user_id, direction, (node_id, max_depth), compute
+            )
+        )

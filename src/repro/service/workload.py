@@ -1,0 +1,165 @@
+"""Multi-user workload driver for the provenance service.
+
+Reuses the single-user substrates — :class:`~repro.sim.Simulation`,
+the persona profiles of :mod:`repro.user.personas`, and the day-by-day
+generator of :mod:`repro.user.workload` — to synthesize K users' event
+streams, then replays them through a
+:class:`~repro.service.service.ProvenanceService` *interleaved
+round-robin*, the deterministic stand-in for K users hitting the
+service concurrently: batches mix tenants, cache invalidations land
+mid-stream, and every shard ingests in parallel with the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import zip_longest
+
+from repro.errors import ConfigurationError
+from repro.service.events import EdgeEvent, IntervalEvent, NodeEvent, ProvEvent
+from repro.service.service import ProvenanceService, UserStats
+from repro.sim import Simulation
+from repro.user.personas import (
+    default_profile,
+    film_buff_profile,
+    gardener_profile,
+    heavy_awesomebar_profile,
+    wine_enthusiast_profile,
+)
+from repro.user.workload import WorkloadParams
+from repro.web.graph import WebParams
+
+#: Personas rotate across synthetic users so tenant histories differ.
+PROFILE_ROTATION = (
+    default_profile,
+    gardener_profile,
+    film_buff_profile,
+    wine_enthusiast_profile,
+    heavy_awesomebar_profile,
+)
+
+
+@dataclass(frozen=True)
+class MultiUserParams:
+    """Shape of a multi-tenant synthetic workload."""
+
+    users: int = 8
+    days: int = 2
+    sessions_per_day: int = 2
+    actions_per_session: int = 10
+    seed: int = 0
+    #: Web scale per user; the default is compact for driver speed.
+    web_params: WebParams | None = None
+
+    def __post_init__(self) -> None:
+        if self.users < 1:
+            raise ConfigurationError("users must be >= 1")
+
+    def workload_params(self, index: int) -> WorkloadParams:
+        return WorkloadParams(
+            days=self.days,
+            sessions_per_day=self.sessions_per_day,
+            actions_per_session=self.actions_per_session,
+            seed=self.seed + 1000 + index,
+        )
+
+
+@dataclass
+class MultiUserReport:
+    """What a multi-user replay produced."""
+
+    users: list[str] = field(default_factory=list)
+    events: int = 0
+    nodes: int = 0
+    edges: int = 0
+    intervals: int = 0
+    per_user: dict[str, UserStats] = field(default_factory=dict)
+
+
+def _small_web() -> WebParams:
+    return WebParams(sites_per_topic=1, pages_per_site=15)
+
+
+def synthesize_user_events(
+    user_id: str,
+    *,
+    index: int = 0,
+    params: MultiUserParams | None = None,
+) -> list[ProvEvent]:
+    """One user's full event stream, in capture (causal) order.
+
+    Builds a private simulation, browses it with the user's persona,
+    and flattens the captured graph to service events: nodes first,
+    then edges, then intervals — any edge's endpoints precede it.
+    """
+    params = params or MultiUserParams()
+    sim = Simulation.build(
+        seed=params.seed + index,
+        web_params=params.web_params or _small_web(),
+    )
+    profile_factory = PROFILE_ROTATION[index % len(PROFILE_ROTATION)]
+    sim.run_workload(profile_factory(name=user_id), params.workload_params(index))
+    graph = sim.capture.graph
+    events: list[ProvEvent] = [
+        NodeEvent(user_id=user_id, node=node) for node in graph.nodes()
+    ]
+    events.extend(EdgeEvent(user_id=user_id, edge=edge) for edge in graph.edges())
+    events.extend(
+        IntervalEvent(user_id=user_id, interval=interval)
+        for interval in sim.capture.intervals
+    )
+    sim.close()
+    return events
+
+
+def synthesize_streams(
+    params: MultiUserParams | None = None,
+) -> dict[str, list[ProvEvent]]:
+    """Event streams for every synthetic user, keyed by user id."""
+    params = params or MultiUserParams()
+    return {
+        f"user{index:03d}": synthesize_user_events(
+            f"user{index:03d}", index=index, params=params
+        )
+        for index in range(params.users)
+    }
+
+
+def replay_streams(
+    service: ProvenanceService,
+    streams: dict[str, list[ProvEvent]],
+) -> int:
+    """Interleave the streams round-robin through the service.
+
+    The deterministic stand-in for concurrency: batches mix tenants
+    and cache invalidations land mid-stream.  The facade remaps edge
+    ids to journal sequences (capture-local edge ids collide across
+    tenants).  Returns events submitted.
+    """
+    submitted = 0
+    for wave in zip_longest(*streams.values()):
+        for event in wave:
+            if event is None:
+                continue
+            service.record_event(event)
+            submitted += 1
+    return submitted
+
+
+def run_multiuser_workload(
+    service: ProvenanceService,
+    params: MultiUserParams | None = None,
+) -> MultiUserReport:
+    """Synthesize K users, replay them through *service*, report totals."""
+    params = params or MultiUserParams()
+    streams = synthesize_streams(params)
+    report = MultiUserReport(users=sorted(streams))
+    report.events = replay_streams(service, streams)
+    service.flush()
+    for user_id in report.users:
+        stats = service.stats(user_id)
+        report.per_user[user_id] = stats
+        report.nodes += stats.nodes
+        report.edges += stats.edges
+        report.intervals += stats.intervals
+    return report

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.graph import ProvenanceGraph
-from repro.core.model import ProvNode
+from repro.core.model import ProvEdge, ProvNode
 from repro.core.schema import SCHEMA_VERSION
 from repro.core.store import ProvenanceStore
 from repro.core.taxonomy import EdgeKind, NodeKind
@@ -172,6 +172,223 @@ class TestLifecycle:
         loaded = store.load_graph()
         assert loaded.node_count == graph.node_count
         store.close()
+
+
+class TestBulkAppend:
+    def test_bulk_matches_incremental(self, graph):
+        """append_nodes/append_edges write exactly what row-at-a-time did."""
+        bulk = ProvenanceStore()
+        bulk.append_nodes(graph.nodes())
+        bulk.append_edges(graph.edges())
+        loaded = bulk.load_graph()
+        assert {n.id: n for n in loaded.nodes()} == {
+            n.id: n for n in graph.nodes()
+        }
+        assert sorted(
+            (e.id, e.kind, e.src, e.dst, e.timestamp_us, dict(e.attrs))
+            for e in loaded.edges()
+        ) == sorted(
+            (e.id, e.kind, e.src, e.dst, e.timestamp_us, dict(e.attrs))
+            for e in graph.edges()
+        )
+        bulk.close()
+
+    def test_bulk_empty_iterables(self):
+        store = ProvenanceStore()
+        assert store.append_nodes([]) == 0
+        assert store.append_edges([]) == 0
+        assert store.append_intervals([]) == 0
+        store.close()
+
+    def test_bulk_replaces_on_id_collision(self):
+        store = ProvenanceStore()
+        store.append_nodes([visit("a", 1, label="old")])
+        store.append_nodes([visit("a", 2, label="new")])
+        assert store.node_count() == 1
+        assert store.load_graph().node("a").label == "new"
+        store.close()
+
+    def test_bulk_duplicate_id_in_one_batch_last_wins(self):
+        """Same semantics as two sequential append_node calls: the last
+        write owns the row outright — attrs from the superseded version
+        must not leak into the survivor."""
+        store = ProvenanceStore()
+        store.append_nodes([
+            visit("a", 1, label="old", extra=1),
+            visit("a", 2, label="new"),
+        ])
+        sequential = ProvenanceStore()
+        sequential.append_node(visit("a", 1, label="old", extra=1))
+        sequential.append_node(visit("a", 2, label="new"))
+        assert store.node_count() == 1
+        loaded = store.load_graph().node("a")
+        assert loaded == sequential.load_graph().node("a")
+        assert dict(loaded.attrs) == {}
+        store.close()
+        sequential.close()
+
+    def test_reinsert_preserves_edges_and_intervals(self):
+        """Re-recording a node must keep its rowid: committed edges and
+        intervals reference the nid, and a REPLACE-style fresh rowid
+        would silently sever them."""
+        from repro.core.capture import NodeInterval
+
+        store = ProvenanceStore()
+        store.append_nodes([visit("x", 1), visit("y", 2)])
+        store.append_edges([
+            ProvEdge(id=0, kind=EdgeKind.LINK, src="x", dst="y", timestamp_us=2)
+        ])
+        store.append_intervals(
+            [NodeInterval(node_id="x", tab_id=1, opened_us=1, closed_us=5)]
+        )
+        store.commit()
+        # Re-record both nodes (idempotent ingest / journal replay).
+        store.append_nodes([visit("x", 1), visit("y", 2)])
+        store.append_node(visit("x", 1))
+        store.commit()
+        assert store.sql_ancestors("y") == [("x", 1)]
+        assert store.edge_count() == 1
+        assert store.load_intervals() == [
+            NodeInterval(node_id="x", tab_id=1, opened_us=1, closed_us=5)
+        ]
+
+    def test_reinsert_drops_previous_attrs(self):
+        """Single-row path: the last write owns the attrs outright."""
+        store = ProvenanceStore()
+        store.append_node(visit("a", 1, extra=1))
+        store.append_node(visit("a", 2))
+        assert dict(store.load_graph().node("a").attrs) == {}
+        store.close()
+
+    def test_edge_reinsert_drops_previous_attrs(self):
+        """Edges get the same last-wins attr semantics as nodes."""
+        store = ProvenanceStore()
+        store.append_nodes([visit("a", 1), visit("b", 2)])
+        store.append_edges([
+            ProvEdge(id=1, kind=EdgeKind.LINK, src="a", dst="b",
+                     timestamp_us=2, attrs={"old": 1})
+        ])
+        store.append_edges([
+            ProvEdge(id=1, kind=EdgeKind.LINK, src="a", dst="b",
+                     timestamp_us=2)
+        ])
+        (edge,) = store.load_graph().edges()
+        assert dict(edge.attrs) == {}
+        store.close()
+
+    def test_append_node_without_returning_support(self, monkeypatch):
+        """The pre-3.35 SQLite path (no RETURNING) behaves identically."""
+        from repro.core import store as store_module
+
+        monkeypatch.setattr(store_module, "_HAS_RETURNING", False)
+        store = ProvenanceStore()
+        store.append_node(visit("a", 1, "http://x.com/", "t", extra=1))
+        store.append_node(visit("a", 2, "http://x.com/", "t"))
+        store.append_node(visit("b", 3))
+        store.append_edge(
+            ProvEdge(id=0, kind=EdgeKind.LINK, src="a", dst="b",
+                     timestamp_us=3)
+        )
+        assert store.sql_ancestors("b") == [("a", 1)]
+        loaded = store.load_graph().node("a")
+        assert loaded.timestamp_us == 2 and dict(loaded.attrs) == {}
+        store.close()
+
+    def test_ts_change_does_not_shift_inherited_edge_times(self):
+        """Edges storing NULL inherit the dst node's timestamp; a node
+        re-recorded with a corrected time must not retroactively move
+        the time its inbound edges were recorded at."""
+        for rerecord in ("bulk", "single", "cold"):
+            store = ProvenanceStore()
+            store.append_nodes([visit("a", 1), visit("b", 5)])
+            store.append_edges([
+                ProvEdge(id=0, kind=EdgeKind.LINK, src="a", dst="b",
+                         timestamp_us=5)  # == dst ts -> stored NULL
+            ])
+            if rerecord == "cold":
+                store._nids.clear()
+                store._node_ts.clear()
+            if rerecord == "bulk":
+                store.append_nodes([visit("b", 9)])
+            else:
+                store.append_node(visit("b", 9))
+            (edge,) = store.load_graph(enforce_dag=False).edges()
+            assert edge.timestamp_us == 5, rerecord
+            store.close()
+
+    def test_rollback_clears_caches(self):
+        """After rollback, retried writes must re-intern pages rather
+        than reference rolled-back rows (dangling page_id)."""
+        store = ProvenanceStore()
+        store.append_nodes([visit("a", 1, "http://x.com/", "t")])
+        store.rollback()
+        store.append_nodes([visit("a", 1, "http://x.com/", "t")])
+        store.commit()
+        assert store.page_count() == 1
+        assert store.load_graph().node("a").url == "http://x.com/"
+        store.close()
+
+    def test_bulk_edge_unknown_endpoint(self):
+        from repro.core.model import ProvEdge
+
+        store = ProvenanceStore()
+        store.append_nodes([visit("a", 1)])
+        with pytest.raises(UnknownNodeError):
+            store.append_edges(
+                [ProvEdge(id=0, kind=EdgeKind.LINK, src="a", dst="ghost",
+                          timestamp_us=1)]
+            )
+        store.close()
+
+
+class TestPragmas:
+    def test_disk_store_uses_wal(self, tmp_path):
+        store = ProvenanceStore(str(tmp_path / "prov.sqlite"))
+        assert store.conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert store.conn.execute("PRAGMA synchronous").fetchone()[0] == 1
+        store.close()
+
+    def test_memory_store_unchanged(self):
+        store = ProvenanceStore()
+        assert store.conn.execute("PRAGMA journal_mode").fetchone()[0] == "memory"
+        store.close()
+
+
+class TestPrefixScoping:
+    @pytest.fixture()
+    def tenant_store(self):
+        store = ProvenanceStore()
+        store.append_nodes([
+            visit("alice::a", 1, "http://x.com/", "wine list"),
+            visit("alice::b", 2, label="wine cellar"),
+            visit("bob::a", 3, label="wine shop"),
+            visit("al%::a", 4, label="wine wildcard"),
+        ])
+        store.append_edges([])
+        store.commit()
+        yield store
+        store.close()
+
+    def test_search_scoped_by_prefix(self, tenant_store):
+        assert tenant_store.sql_text_search("wine", id_prefix="alice::") == [
+            "alice::b", "alice::a"
+        ]
+        assert tenant_store.sql_text_search("wine", id_prefix="bob::") == [
+            "bob::a"
+        ]
+
+    def test_search_unscoped_sees_all(self, tenant_store):
+        assert len(tenant_store.sql_text_search("wine")) == 4
+
+    def test_prefix_wildcards_are_literal(self, tenant_store):
+        # 'al%::' must not LIKE-match 'alice::' rows.
+        assert tenant_store.sql_text_search("wine", id_prefix="al%::") == [
+            "al%::a"
+        ]
+
+    def test_counts_for_prefix(self, tenant_store):
+        assert tenant_store.counts_for_id_prefix("alice::") == (2, 0, 0)
+        assert tenant_store.counts_for_id_prefix("carol::") == (0, 0, 0)
 
 
 _node_strategy = st.lists(

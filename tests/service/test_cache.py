@@ -1,0 +1,102 @@
+"""Tests for the invalidating per-user LRU query cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cache import QueryCache
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = QueryCache(capacity=4)
+        hit, value = cache.lookup("alice", "search", ("wine", 10))
+        assert not hit and value is None
+        cache.put("alice", "search", ("wine", 10), ["n1", "n2"])
+        hit, value = cache.lookup("alice", "search", ("wine", 10))
+        assert hit and value == ["n1", "n2"]
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_params_distinguish_entries(self):
+        cache = QueryCache(capacity=8)
+        cache.put("alice", "search", ("wine", 10), ["a"])
+        cache.put("alice", "search", ("wine", 20), ["a", "b"])
+        assert cache.lookup("alice", "search", ("wine", 10))[1] == ["a"]
+        assert cache.lookup("alice", "search", ("wine", 20))[1] == ["a", "b"]
+
+    def test_users_distinguish_entries(self):
+        cache = QueryCache(capacity=8)
+        cache.put("alice", "stats", (), "A")
+        cache.put("bob", "stats", (), "B")
+        assert cache.lookup("alice", "stats", ())[1] == "A"
+        assert cache.lookup("bob", "stats", ())[1] == "B"
+
+    def test_get_or_compute_computes_once(self):
+        cache = QueryCache(capacity=4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute("u", "q", (), compute) == 42
+        assert cache.get_or_compute("u", "q", (), compute) == 42
+        assert len(calls) == 1
+
+
+class TestEviction:
+    def test_capacity_evicts_lru(self):
+        cache = QueryCache(capacity=2)
+        cache.put("u", "q", (1,), "one")
+        cache.put("u", "q", (2,), "two")
+        cache.lookup("u", "q", (1,))  # (1,) is now most recent
+        cache.put("u", "q", (3,), "three")  # evicts (2,)
+        assert cache.lookup("u", "q", (1,))[0]
+        assert not cache.lookup("u", "q", (2,))[0]
+        assert cache.lookup("u", "q", (3,))[0]
+        assert cache.stats().evictions == 1
+
+    def test_eviction_cleans_user_index(self):
+        cache = QueryCache(capacity=1)
+        cache.put("alice", "q", (), "a")
+        cache.put("bob", "q", (), "b")  # evicts alice's entry
+        assert cache.invalidate_user("alice") == 0
+        assert len(cache) == 1
+
+    def test_eviction_drops_empty_user_buckets(self):
+        """The per-user index must not grow one empty set per tenant
+        ever seen — that is an unbounded leak at service scale."""
+        cache = QueryCache(capacity=1)
+        for i in range(100):
+            cache.put(f"user{i}", "q", (), i)
+        assert len(cache._by_user) == 1
+
+
+class TestInvalidation:
+    def test_invalidation_is_per_user(self):
+        cache = QueryCache(capacity=8)
+        cache.put("alice", "search", ("x",), ["a1"])
+        cache.put("alice", "stats", (), "as")
+        cache.put("bob", "search", ("x",), ["b1"])
+        assert cache.invalidate_user("alice") == 2
+        assert not cache.lookup("alice", "search", ("x",))[0]
+        assert not cache.lookup("alice", "stats", ())[0]
+        assert cache.lookup("bob", "search", ("x",))[0]
+        assert cache.stats().invalidations == 2
+
+    def test_invalidate_unknown_user_is_noop(self):
+        cache = QueryCache()
+        assert cache.invalidate_user("ghost") == 0
+
+    def test_clear(self):
+        cache = QueryCache()
+        cache.put("u", "q", (), 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.lookup("u", "q", ())[0]
+
+
+def test_bad_capacity():
+    with pytest.raises(ConfigurationError):
+        QueryCache(capacity=0)

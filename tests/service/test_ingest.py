@@ -1,0 +1,340 @@
+"""Tests for the journal and the batched ingest pipeline.
+
+The crash tests are the acceptance story: events journaled but never
+flushed (the process "dies" before the batch drains) must be fully
+recovered by replay on the next startup, with no events lost.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.capture import NodeInterval
+from repro.core.model import ProvEdge, ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import ConfigurationError
+from repro.service.events import (
+    EdgeEvent,
+    IntervalEvent,
+    NodeEvent,
+    decode_event,
+    encode_event,
+)
+from repro.service.ingest import IngestJournal, IngestPipeline
+from repro.service.pool import StorePool
+
+
+def visit(node_id, ts=1, **kwargs):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    **kwargs)
+
+
+def node_event(user, node_id, ts=1, **kwargs):
+    return NodeEvent(user_id=user, node=visit(node_id, ts, **kwargs))
+
+
+class TestEventCodec:
+    def test_node_roundtrip(self):
+        event = node_event("alice", "v1", 7, label="page", url="http://x.com/",
+                           attrs={"transition": "typed", "hidden": 1})
+        assert decode_event(encode_event(event)) == event
+
+    def test_edge_roundtrip(self):
+        event = EdgeEvent(
+            user_id="bob",
+            edge=ProvEdge(id=9, kind=EdgeKind.LINK, src="a", dst="b",
+                          timestamp_us=3, attrs={"unified": 1}),
+        )
+        assert decode_event(encode_event(event)) == event
+
+    def test_interval_roundtrip(self):
+        event = IntervalEvent(
+            user_id="carol",
+            interval=NodeInterval(node_id="v1", tab_id=2, opened_us=1,
+                                  closed_us=9),
+        )
+        assert decode_event(encode_event(event)) == event
+
+    def test_codec_is_json_safe(self):
+        event = node_event("alice", "v1")
+        assert decode_event(json.loads(json.dumps(encode_event(event)))) == event
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_event({"t": "blob"})
+
+
+class TestJournal:
+    def test_sequences_are_monotonic(self, tmp_path):
+        journal = IngestJournal(str(tmp_path / "j.log"))
+        seqs = [journal.append(node_event("u", f"n{i}")) for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        journal.close()
+
+    def test_sequences_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        journal = IngestJournal(path)
+        journal.append(node_event("u", "n1"))
+        journal.append(node_event("u", "n2"))
+        journal.close()
+        reopened = IngestJournal(path)
+        assert reopened.append(node_event("u", "n3")) == 3
+        reopened.close()
+
+    def test_unflushed_respects_checkpoint(self, tmp_path):
+        journal = IngestJournal(str(tmp_path / "j.log"))
+        for i in range(4):
+            journal.append(node_event("u", f"n{i}"))
+        journal.checkpoint(2)
+        assert [seq for seq, _ in journal.unflushed()] == [3, 4]
+        journal.close()
+
+    def test_checkpoint_is_monotonic(self, tmp_path):
+        journal = IngestJournal(str(tmp_path / "j.log"))
+        journal.append(node_event("u", "n"))
+        journal.checkpoint(1)
+        journal.checkpoint(0)  # ignored
+        assert journal.flushed_seq == 1
+        journal.close()
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        journal = IngestJournal(path)
+        journal.append(node_event("u", "n1"))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "ev": {"t": "nod')  # crash mid-write
+        reopened = IngestJournal(path)
+        assert [seq for seq, _ in reopened.unflushed()] == [1]
+        assert reopened.next_seq == 2
+        reopened.close()
+
+    def test_torn_tail_truncated_so_appends_stay_durable(self, tmp_path):
+        """A fragment must not swallow the record appended after it."""
+        path = str(tmp_path / "j.log")
+        journal = IngestJournal(path)
+        journal.append(node_event("u", "n1"))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "ev": {"t": "nod')  # crash mid-write
+        reopened = IngestJournal(path)
+        seq = reopened.append(node_event("u", "n2"))  # reuses torn seq 2
+        reopened.close()
+        final = IngestJournal(path)
+        assert [s for s, _ in final.unflushed()] == [1, seq]
+        final.close()
+
+    def test_unterminated_but_parseable_tail_is_torn(self, tmp_path):
+        """A line missing its newline is torn even if it parses."""
+        path = str(tmp_path / "j.log")
+        journal = IngestJournal(path)
+        journal.append(node_event("u", "n1"))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "ev": {"t": "bad"}}')  # no newline
+        reopened = IngestJournal(path)
+        assert reopened.next_seq == 2
+        assert [s for s, _ in reopened.unflushed()] == [1]
+        reopened.close()
+
+    def test_compact_truncates_but_keeps_sequence(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        journal = IngestJournal(path)
+        for i in range(3):
+            journal.append(node_event("u", f"n{i}"))
+        journal.checkpoint(3)
+        journal.compact()
+        assert os.path.getsize(path) == 0
+        journal.close()
+        reopened = IngestJournal(path)
+        assert reopened.next_seq == 4
+        reopened.close()
+
+
+@pytest.fixture()
+def rig(tmp_path):
+    """A disk-backed pool + journal + pipeline, with a rebuild helper."""
+
+    class Rig:
+        def __init__(self):
+            self.root = str(tmp_path)
+            self.build(batch_size=1000)
+
+        def build(self, *, batch_size):
+            self.pool = StorePool(os.path.join(self.root, "shards"), shards=2)
+            self.journal = IngestJournal(os.path.join(self.root, "j.log"))
+            self.pipeline = IngestPipeline(
+                self.pool, self.journal, batch_size=batch_size
+            )
+
+        def crash(self):
+            """Abandon buffers: close stores and journal without flushing."""
+            self.pool.close()
+            self.journal.close()
+
+    return Rig()
+
+
+class TestPipeline:
+    def test_batch_size_triggers_flush(self, rig):
+        rig.build(batch_size=3)
+        rig.pipeline.submit(node_event("alice", "n1", 1))
+        rig.pipeline.submit(node_event("alice", "n2", 2))
+        assert rig.pool.store_for("alice").node_count() == 0
+        rig.pipeline.submit(node_event("alice", "n3", 3))  # batch full
+        assert rig.pool.store_for("alice").node_count() == 3
+        assert rig.pipeline.pending() == 0
+
+    def test_flush_applies_nodes_before_edges(self, rig):
+        rig.pipeline.submit(node_event("alice", "a", 1))
+        rig.pipeline.submit(node_event("alice", "b", 2))
+        rig.pipeline.submit_edge("alice", EdgeKind.LINK, "a", "b",
+                                 timestamp_us=2)
+        rig.pipeline.flush()
+        store = rig.pool.store_for("alice")
+        assert store.node_count() == 2
+        assert store.edge_count() == 1
+        assert store.sql_ancestors("alice::b") == [("alice::a", 1)]
+
+    def test_edge_ids_unique_across_users(self, rig):
+        for user in ("alice", "bob", "carol"):
+            rig.pipeline.submit(node_event(user, "a", 1))
+            rig.pipeline.submit(node_event(user, "b", 2))
+        edges = [
+            rig.pipeline.submit_edge(user, EdgeKind.LINK, "a", "b",
+                                     timestamp_us=2)
+            for user in ("alice", "bob", "carol")
+        ]
+        assert len({edge.id for edge in edges}) == 3
+        rig.pipeline.flush()
+        total = sum(
+            rig.pool.store(shard).edge_count() for shard in range(2)
+        )
+        assert total == 3
+
+    def test_flush_checkpoints_and_compacts(self, rig):
+        rig.pipeline.submit(node_event("alice", "n1"))
+        rig.pipeline.flush()
+        assert rig.journal.flushed_seq == 1
+        assert os.path.getsize(rig.journal.path) == 0  # compacted
+
+    def test_partial_shard_flush_holds_checkpoint_back(self, rig):
+        alice_shard = rig.pool.shard_of("alice")
+        other = next(
+            user for user in (f"u{i}" for i in range(100))
+            if rig.pool.shard_of(user) != alice_shard
+        )
+        rig.pipeline.submit(node_event(other, "n1"))   # seq 1, other shard
+        rig.pipeline.submit(node_event("alice", "n2"))  # seq 2
+        rig.pipeline.flush(alice_shard)
+        # seq 1 is still pending, so nothing may be checkpointed yet.
+        assert rig.journal.flushed_seq == 0
+        rig.pipeline.flush()
+        assert rig.journal.flushed_seq == 2
+
+    def test_stats_survive_partial_flush_failure(self, rig):
+        """Shards committed before a later shard fails still count in
+        IngestStats (and still advance the checkpoint)."""
+        from repro.errors import UnknownNodeError
+
+        by_shard = {}
+        for user in (f"u{i}" for i in range(100)):
+            by_shard.setdefault(rig.pool.shard_of(user), user)
+            if len(by_shard) == 2:
+                break
+        good, bad = by_shard[0], by_shard[1]
+        rig.pipeline.submit(node_event(good, "a", 1))       # seq 1
+        rig.pipeline.submit(node_event(bad, "x", 1))        # seq 2
+        rig.pipeline.submit_edge(bad, EdgeKind.LINK, "x", "ghost",
+                                 timestamp_us=1)            # seq 3
+        with pytest.raises(UnknownNodeError):
+            rig.pipeline.flush()  # shard 0 commits, shard 1 raises
+        assert rig.pipeline.stats.applied == 1
+        assert rig.pipeline.pending() == 2
+        assert rig.pipeline.stats.pending == 2
+        assert rig.journal.flushed_seq == 1
+
+    def test_cache_invalidated_on_submit(self, rig, tmp_path):
+        from repro.service.cache import QueryCache
+
+        cache = QueryCache()
+        rig.pipeline.cache = cache
+        cache.put("alice", "search", ("x",), ["stale"])
+        cache.put("bob", "search", ("x",), ["fresh"])
+        rig.pipeline.submit(node_event("alice", "n1"))
+        assert not cache.lookup("alice", "search", ("x",))[0]
+        assert cache.lookup("bob", "search", ("x",))[0]
+
+    def test_bad_batch_size(self, rig):
+        with pytest.raises(ConfigurationError):
+            IngestPipeline(rig.pool, rig.journal, batch_size=0)
+
+    def test_failed_flush_requeues_and_rolls_back(self, rig):
+        from repro.errors import UnknownNodeError
+
+        rig.pipeline.submit(
+            node_event("alice", "a", 1, url="http://x.com/", label="t")
+        )
+        rig.pipeline.submit_edge("alice", EdgeKind.LINK, "a", "ghost",
+                                 timestamp_us=1)
+        with pytest.raises(UnknownNodeError):
+            rig.pipeline.flush()
+        # The batch stays pending and the shard saw a clean rollback.
+        assert rig.pipeline.pending() == 2
+        assert rig.pool.store_for("alice").node_count() == 0
+        # Repairing the stream lets the same events drain — including
+        # re-interning the page row the rollback erased.
+        rig.pipeline.submit(node_event("alice", "ghost", 1))
+        rig.pipeline.flush()
+        store = rig.pool.store_for("alice")
+        assert rig.pipeline.pending() == 0
+        assert store.node_count() == 2
+        assert store.edge_count() == 1
+        assert store.page_count() == 1
+        assert store.load_graph().node("alice::a").url == "http://x.com/"
+
+
+class TestCrashReplay:
+    def test_replay_recovers_unflushed_events(self, rig):
+        """Kill before flush; reopen; replay; verify counts."""
+        rig.pipeline.submit(node_event("alice", "a", 1))
+        rig.pipeline.submit(node_event("alice", "b", 2))
+        rig.pipeline.submit_edge("alice", EdgeKind.LINK, "a", "b",
+                                 timestamp_us=2)
+        rig.pipeline.submit(
+            IntervalEvent(
+                user_id="alice",
+                interval=NodeInterval(node_id="a", tab_id=1, opened_us=1,
+                                      closed_us=4),
+            )
+        )
+        assert rig.pool.store_for("alice").node_count() == 0  # nothing flushed
+        rig.crash()
+
+        rig.build(batch_size=1000)
+        assert rig.pipeline.replay() == 4
+        store = rig.pool.store_for("alice")
+        assert store.node_count() == 2
+        assert store.edge_count() == 1
+        assert store.interval_count() == 1
+        assert rig.pipeline.stats.replayed == 4
+
+    def test_replay_is_idempotent_after_full_flush(self, rig):
+        rig.pipeline.submit(node_event("alice", "a", 1))
+        rig.pipeline.flush()
+        rig.crash()
+        rig.build(batch_size=1000)
+        assert rig.pipeline.replay() == 0
+        assert rig.pool.store_for("alice").node_count() == 1
+
+    def test_replay_preserves_multiuser_partitioning(self, rig):
+        for user in ("alice", "bob"):
+            for i in range(3):
+                rig.pipeline.submit(node_event(user, f"n{i}", i + 1))
+        rig.crash()
+        rig.build(batch_size=1000)
+        assert rig.pipeline.replay() == 6
+        alice_store = rig.pool.store_for("alice")
+        assert alice_store.counts_for_id_prefix("alice::")[0] == 3
+        assert rig.pool.store_for("bob").counts_for_id_prefix("bob::")[0] == 3

@@ -1,0 +1,118 @@
+"""Tests for the sharded store pool: routing stability, lazy open, LRU."""
+
+import pytest
+
+from repro.core.model import ProvNode
+from repro.core.taxonomy import NodeKind
+from repro.errors import ConfigurationError
+from repro.service.pool import StorePool, shard_for
+
+
+def visit(node_id, ts=1):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts)
+
+
+class TestRouting:
+    def test_routing_is_stable_across_pools(self, tmp_path):
+        users = [f"user{i}" for i in range(32)]
+        pool_a = StorePool(str(tmp_path / "a"), shards=4)
+        pool_b = StorePool(str(tmp_path / "b"), shards=4)
+        assert [pool_a.shard_of(u) for u in users] == [
+            pool_b.shard_of(u) for u in users
+        ]
+        pool_a.close()
+        pool_b.close()
+
+    def test_routing_matches_module_hash(self):
+        pool = StorePool(None, shards=8)
+        for user in ("alice", "bob", "carol", "यूज़र"):
+            assert pool.shard_of(user) == shard_for(user, 8)
+        pool.close()
+
+    def test_routing_spreads_users(self):
+        """With plenty of users, every shard gets some (hash quality)."""
+        hit = {shard_for(f"user{i:04d}", 4) for i in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_routing_in_range(self):
+        for shards in (1, 2, 4, 7):
+            for i in range(50):
+                assert 0 <= shard_for(f"u{i}", shards) < shards
+
+
+class TestLifecycle:
+    def test_lazy_open(self, tmp_path):
+        pool = StorePool(str(tmp_path), shards=4)
+        assert pool.open_count == 0
+        pool.store(0)
+        assert pool.open_count == 1
+        assert pool.stats().opens == 1
+        pool.close()
+
+    def test_lru_eviction_bounds_connections(self, tmp_path):
+        pool = StorePool(str(tmp_path), shards=4, max_open=2)
+        for shard in (0, 1, 2):
+            pool.store(shard)
+        stats = pool.stats()
+        assert stats.open_now == 2
+        assert stats.opens == 3
+        assert stats.evictions == 1
+        pool.close()
+
+    def test_eviction_persists_data(self, tmp_path):
+        pool = StorePool(str(tmp_path), shards=3, max_open=1)
+        pool.store(0).append_node(visit("n1"))
+        pool.store(1)  # evicts (and commits) shard 0
+        assert pool.store(0).node_count() == 1
+        pool.close()
+
+    def test_lru_keeps_recently_used(self, tmp_path):
+        pool = StorePool(str(tmp_path), shards=3, max_open=2)
+        pool.store(0)
+        pool.store(1)
+        pool.store(0)  # 0 is now most recent
+        pool.store(2)  # should evict 1, not 0
+        assert set(pool._open) == {0, 2}
+        pool.close()
+
+    def test_memory_pool_never_evicts(self):
+        pool = StorePool(None, shards=6, max_open=2)
+        for shard in range(6):
+            pool.store(shard).append_node(visit(f"n{shard}"))
+        assert pool.open_count == 6
+        for shard in range(6):
+            assert pool.store(shard).node_count() == 1
+        pool.close()
+
+    def test_store_for_routes_to_user_shard(self, tmp_path):
+        pool = StorePool(str(tmp_path), shards=4)
+        store = pool.store_for("alice")
+        assert store is pool.store(pool.shard_of("alice"))
+        pool.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        with StorePool(str(tmp_path), shards=2) as pool:
+            pool.store(0)
+        assert pool.open_count == 0
+
+
+class TestValidation:
+    def test_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            StorePool(None, shards=0)
+
+    def test_bad_max_open(self):
+        with pytest.raises(ConfigurationError):
+            StorePool(None, shards=2, max_open=0)
+
+    def test_service_rejects_zero_max_open_stores(self, tmp_path):
+        from repro.service import ProvenanceService
+
+        with pytest.raises(ConfigurationError):
+            ProvenanceService(str(tmp_path), shards=2, max_open_stores=0)
+
+    def test_shard_out_of_range(self):
+        pool = StorePool(None, shards=2)
+        with pytest.raises(ConfigurationError):
+            pool.store(2)
+        pool.close()

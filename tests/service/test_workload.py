@@ -1,0 +1,75 @@
+"""Tests for the multi-user workload driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import (
+    MultiUserParams,
+    ProvenanceService,
+    run_multiuser_workload,
+    synthesize_user_events,
+)
+from repro.service.events import EdgeEvent, NodeEvent
+
+TINY = MultiUserParams(
+    users=3, days=1, sessions_per_day=2, actions_per_session=6, seed=11
+)
+
+
+@pytest.fixture(scope="module")
+def report_and_service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("svc")
+    service = ProvenanceService(str(root), shards=4, batch_size=64)
+    report = run_multiuser_workload(service, TINY)
+    yield report, service
+    service.close()
+
+
+class TestDriver:
+    def test_all_users_ingested(self, report_and_service):
+        report, _service = report_and_service
+        assert report.users == ["user000", "user001", "user002"]
+        assert set(report.per_user) == set(report.users)
+        for stats in report.per_user.values():
+            assert stats.nodes > 0
+            assert stats.edges > 0
+
+    def test_totals_match_per_user(self, report_and_service):
+        report, _service = report_and_service
+        assert report.nodes == sum(s.nodes for s in report.per_user.values())
+        assert report.edges == sum(s.edges for s in report.per_user.values())
+        assert report.events >= report.nodes + report.edges
+
+    def test_event_totals_fully_applied(self, report_and_service):
+        report, service = report_and_service
+        stats = service.service_stats()
+        assert stats.events_submitted == report.events
+        assert stats.events_applied == report.events
+
+    def test_queries_work_per_user(self, report_and_service):
+        report, service = report_and_service
+        for user in report.users:
+            hits = service.search(user, "www", limit=10)
+            assert isinstance(hits, list)
+            # Walks from any searched node stay inside the user's graph.
+            if hits:
+                for found, _depth in service.ancestors(user, hits[0]):
+                    assert "::" not in found
+
+    def test_streams_are_deterministic(self):
+        first = synthesize_user_events("user000", index=0, params=TINY)
+        second = synthesize_user_events("user000", index=0, params=TINY)
+        assert first == second
+
+    def test_stream_shape(self):
+        events = synthesize_user_events("user001", index=1, params=TINY)
+        kinds = [type(event) for event in events]
+        # Nodes precede edges, so causality holds under replay.
+        first_edge = kinds.index(EdgeEvent)
+        assert all(k is NodeEvent for k in kinds[:first_edge])
+        assert any(k is EdgeEvent for k in kinds)
+
+
+def test_bad_user_count():
+    with pytest.raises(ConfigurationError):
+        MultiUserParams(users=0)
