@@ -1,43 +1,87 @@
-"""Service layer — multi-tenant ingest throughput and query latency.
+"""Service layer — parallel vs. serial ingest, and query latency.
 
 The ROADMAP's north star is serving many users at once; this bench
-measures the two service-level hot paths as tenancy and sharding scale:
+measures the service's two hot paths and writes the machine-readable
+acceptance artifact ``BENCH_service.json`` at the repo root:
 
-* **Ingest throughput** — events/second through the journaled, batched
-  pipeline, replaying 8 synthetic users round-robin (interleaved, as
-  concurrent traffic would arrive) across 1, 4, and 8 shards.
+* **Ingest throughput, parallel vs. serial** — events/second through
+  the journaled pipeline across a shard sweep, in two configurations:
+
+  - *serial baseline*: one client thread, ``workers=0`` (the PR-1
+    architecture: every shard flushed inline on the submitting
+    thread, every append paying its own journal write).
+  - *parallel*: per-shard flush workers plus concurrent client
+    threads, whose appends group-commit into shared journal writes.
+
+  The headline comparison runs with ``fsync=True`` — full durability
+  is the configuration the group-commit journal exists for, and the
+  one a service acknowledging writes should run.  The page-cache
+  configuration (``fsync=False``) is reported alongside for
+  transparency; it is GIL-bound and gains far less from threading.
+
 * **Query latency, cached vs. uncached** — per-user ancestor walks and
-  text searches against the sharded stores, first touch (SQL) versus
-  repeat touch (LRU query cache).
+  text searches (first touch = SQL, repeat = LRU cache), plus the
+  cross-shard scatter-gather paths (``global_search``,
+  ``aggregate_stats``).
+
+Acceptance (checked when not in smoke mode): parallel ingest at
+``shards=8`` sustains >= 2x the serial baseline.
 
 Run with::
 
     PYTHONPATH=src pytest benchmarks/bench_service_throughput.py -q -s
+
+Set ``REPRO_BENCH_FAST=1`` for the CI smoke configuration (tiny
+workload, same code paths, no throughput assertion — wall-clock on
+shared CI runners is not a measurement).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import statistics
+import threading
 import time
+from itertools import zip_longest
 
 import pytest
 
-from benchmarks.conftest import emit_table
+from benchmarks.conftest import FAST, emit_table
 from repro.service import (
     MultiUserParams,
     ProvenanceService,
-    replay_streams,
     synthesize_streams,
 )
 
 #: Concurrent synthetic users (acceptance floor: >= 8).
-USERS = 8
+USERS = 4 if FAST else 32
 #: Shard counts swept for the throughput table (acceptance floor: >= 4).
-SHARD_SWEEP = (1, 4, 8)
+SHARD_SWEEP = (1, 4) if FAST else (1, 4, 8)
+#: Client threads driving the parallel configuration (one per user:
+#: deeper concurrency means deeper fsync amortization in the journal).
+SUBMITTERS = 4 if FAST else 32
+#: Flush workers for the parallel configuration: one per shard up to
+#: the core count, floored at 2 — even a single-core host profits from
+#: two workers overlapping shard I/O, while a worker per shard on too
+#: few cores just thrashes the scheduler.
+def _parallel_workers(shards: int) -> int:
+    return min(shards, max(2, os.cpu_count() or 1))
+
+
 BATCH_SIZE = 256
+#: Best-of-N timing to shave scheduler noise off short runs.
+ROUNDS = 1 if FAST else 5
+
+ACCEPT_SHARDS = SHARD_SWEEP[-1]
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_service.json",
+)
 
 WORKLOAD = MultiUserParams(
-    users=USERS, days=2, sessions_per_day=2, actions_per_session=12, seed=23
+    users=USERS, days=1 if FAST else 2, sessions_per_day=2,
+    actions_per_session=12, seed=23,
 )
 
 
@@ -47,58 +91,181 @@ def user_streams():
     return synthesize_streams(WORKLOAD)
 
 
-def _ingest(root: str, shards: int, streams) -> tuple[ProvenanceService, float, int]:
+def _replay_serial(service: ProvenanceService, streams) -> int:
+    """One client thread, interleaved round-robin (the PR-1 driver)."""
+    submitted = 0
+    for wave in zip_longest(*streams.values()):
+        for event in wave:
+            if event is not None:
+                service.record_event(event)
+                submitted += 1
+    return submitted
+
+
+def _replay_concurrent(service: ProvenanceService, streams, clients) -> int:
+    """*clients* threads, each driving its share of the user streams."""
+    users = sorted(streams)
+    shares = [users[index::clients] for index in range(clients)]
+    counts = [0] * clients
+
+    def run(index: int) -> None:
+        for user in shares[index]:
+            for event in streams[user]:
+                service.record_event(event)
+                counts[index] += 1
+
+    threads = [
+        threading.Thread(target=run, args=(index,)) for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return sum(counts)
+
+
+def _ingest_run(root, streams, *, shards, workers, clients, fsync):
+    """(events, seconds) for one full drain of every stream."""
     service = ProvenanceService(
-        str(root), shards=shards, batch_size=BATCH_SIZE
+        str(root), shards=shards, batch_size=BATCH_SIZE,
+        workers=workers, fsync=fsync,
     )
     started = time.perf_counter()
-    events = replay_streams(service, streams)
+    if clients <= 1:
+        events = _replay_serial(service, streams)
+    else:
+        events = _replay_concurrent(service, streams, clients)
     service.flush()
     elapsed = time.perf_counter() - started
-    return service, elapsed, events
+    stats = service.service_stats()
+    assert stats.events_applied == events  # nothing stuck in buffers
+    service.close()
+    return events, elapsed
 
 
-def test_ingest_throughput_scales_shards(benchmark, user_streams,
-                                         tmp_path_factory):
-    """Events/sec for 8 interleaved users across the shard sweep."""
+def _paired_rates(tmp_path_factory, streams, tag, *, shards, fsync):
+    """Serial vs. parallel measured in back-to-back pairs.
+
+    This single-vCPU-class host drifts by ~1.5x minute to minute
+    (noisy neighbors), so the two configurations are interleaved —
+    each pair sees the same machine weather — and the speedup is the
+    *median* of per-round ratios, with best-observed absolute rates
+    reported for the table.
+    """
+    workers = _parallel_workers(shards)
+    serial_best, parallel_best, ratios = 0.0, 0.0, []
+    events = 0
+    for round_no in range(ROUNDS):
+        root = tmp_path_factory.mktemp(f"svc_{tag}_s{round_no}")
+        events, elapsed = _ingest_run(
+            root, streams, shards=shards, workers=0, clients=1, fsync=fsync,
+        )
+        serial_rate = events / elapsed
+        root = tmp_path_factory.mktemp(f"svc_{tag}_p{round_no}")
+        events, elapsed = _ingest_run(
+            root, streams, shards=shards, workers=workers,
+            clients=SUBMITTERS, fsync=fsync,
+        )
+        parallel_rate = events / elapsed
+        serial_best = max(serial_best, serial_rate)
+        parallel_best = max(parallel_best, parallel_rate)
+        ratios.append(parallel_rate / serial_rate)
+    return {
+        "events": events,
+        "workers": workers,
+        "serial": serial_best,
+        "parallel": parallel_best,
+        "speedup": statistics.median(ratios),
+        "ratios": ratios,
+    }
+
+
+def test_ingest_parallel_vs_serial(benchmark, user_streams, tmp_path_factory):
+    """The tentpole number: shard-parallel ingest vs. the serial baseline."""
     rows = []
-    for shards in SHARD_SWEEP:
-        root = tmp_path_factory.mktemp(f"svc_shards{shards}")
-        service, elapsed, events = _ingest(root, shards, user_streams)
-        stats = service.service_stats()
+    results = []
+    accept_speedup = 0.0
+    sweep = [(shards, True) for shards in SHARD_SWEEP]
+    # Page-cache durability at the widest sweep point, for transparency:
+    # without fsync the pipeline is GIL-bound and threading buys little.
+    sweep.append((ACCEPT_SHARDS, False))
+    for shards, fsync in sweep:
+        measured = _paired_rates(
+            tmp_path_factory, user_streams, f"sh{shards}_{fsync}",
+            shards=shards, fsync=fsync,
+        )
+        if fsync and shards == ACCEPT_SHARDS:
+            accept_speedup = measured["speedup"]
+        label = str(shards) if fsync else f"{shards} (no fsync)"
         rows.append([
-            str(shards),
-            str(stats.users),
-            str(events),
-            f"{events / elapsed:,.0f}",
-            str(stats.flushes),
-            str(stats.pool.open_now),
+            label, str(measured["workers"]), str(SUBMITTERS),
+            str(measured["events"]), f"{measured['serial']:,.0f}",
+            f"{measured['parallel']:,.0f}", f"{measured['speedup']:.2f}x",
         ])
-        assert stats.events_applied == events  # nothing stuck in buffers
-        assert events / elapsed > 0
-        service.close()
+        results.append({
+            "shards": shards, "fsync": fsync,
+            "workers": measured["workers"], "clients": SUBMITTERS,
+            "events": measured["events"],
+            "serial_events_per_sec": round(measured["serial"], 1),
+            "parallel_events_per_sec": round(measured["parallel"], 1),
+            "speedup_median_of_pairs": round(measured["speedup"], 3),
+            "speedup_per_pair": [round(r, 3) for r in measured["ratios"]],
+        })
     emit_table(
         "service_ingest_throughput",
-        f"Service ingest - {USERS} interleaved users, batched journaled"
-        f" writes (batch={BATCH_SIZE})",
-        ["shards", "users", "events", "events/sec", "flushes", "open stores"],
+        f"Service ingest - {USERS} users, group-commit journal (fsync)"
+        f" + per-shard flush workers (batch={BATCH_SIZE}, median of"
+        f" {ROUNDS} paired rounds)",
+        ["shards", "workers", "clients", "events", "serial ev/s",
+         "parallel ev/s", "speedup"],
         rows,
     )
-
-    # pytest-benchmark's own number: steady-state ingest at 4 shards.
-    def run():
-        service, _elapsed, _events = _ingest(
-            tmp_path_factory.mktemp("svc_bench_round"), 4, user_streams
+    payload = {
+        "bench": "service_ingest_throughput",
+        "workload": {
+            "users": USERS, "days": WORKLOAD.days,
+            "sessions_per_day": WORKLOAD.sessions_per_day,
+            "actions_per_session": WORKLOAD.actions_per_session,
+            "seed": WORKLOAD.seed, "batch_size": BATCH_SIZE,
+            "submitters": SUBMITTERS, "rounds": ROUNDS, "fast_mode": FAST,
+        },
+        "results": results,
+        "acceptance": {
+            "criterion": f"parallel >= 2x serial at shards={ACCEPT_SHARDS}"
+                         f" (fsync=True)",
+            "shards": ACCEPT_SHARDS,
+            "speedup": round(accept_speedup, 3),
+            "passed": bool(accept_speedup >= 2.0),
+        },
+    }
+    if not FAST:  # smoke numbers are not a measurement; keep them out
+        with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        assert accept_speedup >= 2.0, (
+            f"parallel ingest at shards={ACCEPT_SHARDS} reached only"
+            f" {accept_speedup:.2f}x the serial baseline"
         )
-        service.close()
 
-    benchmark.pedantic(run, rounds=3, iterations=1)
+    # pytest-benchmark's own number: steady-state parallel ingest.
+    def run():
+        _ingest_run(
+            tmp_path_factory.mktemp("svc_bench_round"), user_streams,
+            shards=ACCEPT_SHARDS, workers=_parallel_workers(ACCEPT_SHARDS),
+            clients=SUBMITTERS, fsync=True,
+        )
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
 
 
 def test_query_latency_cached_vs_uncached(user_streams, tmp_path_factory):
-    """Cold (SQL) vs. warm (cache) latency for the per-user read paths."""
+    """Cold (SQL) vs. warm (cache) latency, per-user and cross-shard."""
     root = tmp_path_factory.mktemp("svc_query")
-    service, _elapsed, _events = _ingest(root, 4, user_streams)
+    service = ProvenanceService(
+        str(root), shards=4, batch_size=BATCH_SIZE, workers=4,
+    )
+    _replay_serial(service, user_streams)
+    service.flush()
 
     probes = {}
     for user in sorted(user_streams):
@@ -125,11 +292,21 @@ def test_query_latency_cached_vs_uncached(user_streams, tmp_path_factory):
         warm_search.append(timed(lambda: service.search(user, "search")))
 
     assert cold_walk, "no probe nodes found for any user"
+
+    # Cross-shard scatter-gather: cold fan-out vs. service-scoped cache.
+    cold_global = timed(lambda: service.global_search("search", limit=50))
+    warm_global = timed(lambda: service.global_search("search", limit=50))
+    cold_aggregate = timed(service.aggregate_stats)
+    warm_aggregate = timed(service.aggregate_stats)
+
     cache = service.cache.stats()
-    assert cache.hits >= len(warm_walk) + len(warm_search)
+    assert cache.hits >= len(warm_walk) + len(warm_search) + 2
 
     def med(samples):
         return f"{statistics.median(samples):.3f}"
+
+    def ratio(cold, warm):
+        return f"{cold / max(warm, 1e-6):,.0f}x"
 
     emit_table(
         "service_query_latency",
@@ -138,9 +315,15 @@ def test_query_latency_cached_vs_uncached(user_streams, tmp_path_factory):
         ["query", "cold ms", "warm ms", "speedup"],
         [
             ["ancestors", med(cold_walk), med(warm_walk),
-             f"{statistics.median(cold_walk) / max(statistics.median(warm_walk), 1e-6):,.0f}x"],
+             ratio(statistics.median(cold_walk),
+                   statistics.median(warm_walk))],
             ["search", med(cold_search), med(warm_search),
-             f"{statistics.median(cold_search) / max(statistics.median(warm_search), 1e-6):,.0f}x"],
+             ratio(statistics.median(cold_search),
+                   statistics.median(warm_search))],
+            ["global_search", f"{cold_global:.3f}", f"{warm_global:.3f}",
+             ratio(cold_global, warm_global)],
+            ["aggregate_stats", f"{cold_aggregate:.3f}",
+             f"{warm_aggregate:.3f}", ratio(cold_aggregate, warm_aggregate)],
         ],
     )
     service.close()

@@ -2,8 +2,9 @@
 
 Synthesizes a handful of personas with the single-user simulator,
 replays their capture streams through the multi-tenant service
-(sharded stores + journaled ingest + query cache), then queries each
-tenant in isolation.
+(sharded stores + group-commit journaled ingest on per-shard flush
+workers + query cache), queries each tenant in isolation, then runs
+the cross-shard scatter-gather reads.
 
 Usage::
 
@@ -51,6 +52,17 @@ def main() -> None:
             if hits:
                 lineage = service.ancestors(user, hits[0], max_depth=5)
                 print(f"    ancestors of {hits[0]}: {lineage[:3]}")
+
+        print("\nCross-shard reads (scatter-gather over every shard):")
+        top = service.global_search("www", limit=5)
+        for owner, node_id in top:
+            print(f"  global 'www' hit: {owner} :: {node_id}")
+        totals = service.aggregate_stats()
+        print(
+            f"  corpus: {totals.nodes} nodes / {totals.edges} edges /"
+            f" {totals.pages} pages across"
+            f" {totals.populated_shards}/{totals.shards} shards"
+        )
 
         # Run one query twice to show the cache working.
         user = report.users[0]

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from repro.core.taxonomy import EdgeKind, NodeKind
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Stable integer codes for node kinds (never reorder — on-disk data).
 NODE_KIND_IDS: dict[NodeKind, int] = {
@@ -122,6 +122,11 @@ CREATE TABLE prov_intervals (
     closed_us INTEGER NOT NULL
 );
 CREATE INDEX prov_intervals_open ON prov_intervals (opened_us, closed_us);
+-- A display interval is identified by what was shown and when it was
+-- opened; capture emits each at most once, so a duplicate key can only
+-- be a re-delivery (journal crash replay in the commit-vs-checkpoint
+-- window).  The unique index turns those into upserts — exactly-once.
+CREATE UNIQUE INDEX prov_intervals_identity ON prov_intervals (nid, opened_us);
 """
 
 #: Recursive-CTE ancestor walk over integer nids; depth-bounded so

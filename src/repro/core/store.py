@@ -21,7 +21,9 @@ Supports bulk persistence (:meth:`save_graph`), write-through capture
 from __future__ import annotations
 
 import sqlite3
+import threading
 from collections.abc import Iterable
+from contextlib import contextmanager
 
 from repro.browser.transitions import TransitionType
 from repro.core.capture import NodeInterval
@@ -38,7 +40,12 @@ from repro.core.schema import (
     SCHEMA_VERSION,
 )
 from repro.core.taxonomy import EdgeKind, NodeKind
-from repro.errors import SchemaVersionError, StoreClosedError, UnknownNodeError
+from repro.errors import (
+    SchemaVersionError,
+    StoreAffinityError,
+    StoreClosedError,
+    UnknownNodeError,
+)
 
 _TRANSITION_NAMES = {t.name.lower(): t.value for t in TransitionType}
 _TRANSITION_BY_VALUE = {t.value: t.name.lower() for t in TransitionType}
@@ -52,12 +59,23 @@ def _chunked(items: list, size: int = _SQL_CHUNK):
         yield items[start:start + size]
 
 
+def _like_escape(text: str) -> str:
+    r"""Escape LIKE metacharacters so *text* matches itself literally.
+
+    Pairs with ``ESCAPE '\'`` in the query; without it a ``%`` or ``_``
+    in a user-supplied value acts as a wildcard.
+    """
+    return text.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+
+
 def _like_prefix(prefix: str) -> str:
     """A LIKE pattern matching ids starting with *prefix* literally."""
-    escaped = (
-        prefix.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
-    )
-    return escaped + "%"
+    return _like_escape(prefix) + "%"
+
+
+def _like_substring(term: str) -> str:
+    """A LIKE pattern matching *term* as a literal substring."""
+    return "%" + _like_escape(term) + "%"
 
 
 #: ``RETURNING`` needs SQLite >= 3.35 (2021-03); older builds take the
@@ -85,7 +103,22 @@ class ProvenanceStore:
 
     def __init__(self, path: str = ":memory:") -> None:
         self.path = path
-        self._conn: sqlite3.Connection | None = sqlite3.connect(path)
+        # check_same_thread=False: a store may be opened by one thread
+        # (lazily, via the service's StorePool) and then owned by a
+        # per-shard flush worker.  Cross-thread discipline is enforced
+        # by this class instead — see :meth:`exclusive` and ``conn``.
+        self._conn: sqlite3.Connection | None = sqlite3.connect(
+            path, check_same_thread=False
+        )
+        self._lock = threading.RLock()
+        #: Thread ident currently holding the store via :meth:`exclusive`.
+        self._owner: int | None = None
+        #: Per-thread read-only connections for disk stores (WAL reads).
+        #: Guarded by its own lock: readers must be able to register
+        #: while a writer holds the main lock via :meth:`exclusive` —
+        #: not blocking on the writer is their entire point.
+        self._read_conns: dict[int, sqlite3.Connection] = {}
+        self._read_lock = threading.Lock()
         self._nids: dict[str, int] = {}
         self._node_ts: dict[str, int] = {}
         self._pages: dict[str, tuple[int, str]] = {}  # url -> (page_id, title)
@@ -112,10 +145,38 @@ class ProvenanceStore:
                     "SELECT value FROM prov_meta WHERE key = 'schema_version'"
                 ).fetchone()[0]
             )
+            if found == 2:
+                self._migrate_v2_to_v3()
+                found = SCHEMA_VERSION
             if found != SCHEMA_VERSION:
                 self._conn.close()
                 self._conn = None
                 raise SchemaVersionError(found, SCHEMA_VERSION)
+
+    def _migrate_v2_to_v3(self) -> None:
+        """In-place v2 -> v3 upgrade: the interval identity index.
+
+        v3's only delta is ``UNIQUE (nid, opened_us)`` on
+        ``prov_intervals``.  Rows a pre-v3 crash replay already
+        duplicated are collapsed first (they are exact re-deliveries,
+        so keeping the first of each group loses nothing), then the
+        index lands and the version advances — existing stores keep
+        opening instead of raising :class:`SchemaVersionError`.
+        """
+        self._conn.execute(
+            "DELETE FROM prov_intervals WHERE rowid NOT IN"
+            " (SELECT MIN(rowid) FROM prov_intervals"
+            "  GROUP BY nid, opened_us)"
+        )
+        self._conn.execute(
+            "CREATE UNIQUE INDEX IF NOT EXISTS prov_intervals_identity"
+            " ON prov_intervals (nid, opened_us)"
+        )
+        self._conn.execute(
+            "UPDATE prov_meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION),),
+        )
+        self._conn.commit()
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -123,13 +184,88 @@ class ProvenanceStore:
     def conn(self) -> sqlite3.Connection:
         if self._conn is None:
             raise StoreClosedError("provenance store is closed")
+        owner = self._owner
+        if owner is not None and owner != threading.get_ident():
+            raise StoreAffinityError(
+                f"store {self.path!r} is exclusively owned by thread"
+                f" {owner}; statements from other threads would"
+                f" interleave into its open transaction"
+            )
         return self._conn
 
+    @contextmanager
+    def exclusive(self):
+        """Hold the store for the calling thread (flush-worker affinity).
+
+        While held, every other thread's access through ``conn`` raises
+        :class:`~repro.errors.StoreAffinityError` instead of silently
+        racing the owner's transaction; read-only query paths sidestep
+        the guard through per-thread WAL connections
+        (:meth:`read_connection`).  Reentrant within a thread.
+        """
+        with self._lock:
+            previous = self._owner
+            self._owner = threading.get_ident()
+            try:
+                yield self
+            finally:
+                self._owner = previous
+
+    def read_connection(self) -> sqlite3.Connection:
+        """A per-thread connection for read-only SQL on disk stores.
+
+        WAL mode lets these readers run concurrently with the writer
+        connection (they see the last committed snapshot).  ``:memory:``
+        databases are private to their connection, so they fall back to
+        the main connection — callers serialize via :meth:`exclusive`.
+        """
+        if self._conn is None:
+            raise StoreClosedError("provenance store is closed")
+        if self.path == ":memory:":
+            return self.conn
+        ident = threading.get_ident()
+        with self._read_lock:
+            cached = self._read_conns.get(ident)
+        if cached is None:
+            cached = sqlite3.connect(self.path, check_same_thread=False)
+            cached.execute("PRAGMA query_only=ON")
+            with self._read_lock:
+                if self._conn is None:  # closed while we were connecting
+                    cached.close()
+                    raise StoreClosedError("provenance store is closed")
+                self._read_conns[ident] = cached
+        return cached
+
+    @contextmanager
+    def _read_context(self):
+        """Yield a connection suitable for read-only SQL from any thread.
+
+        Unowned (or owner-thread) access reads the main connection under
+        the store lock; access from a non-owner thread while a writer
+        holds the store takes a per-thread WAL read connection instead
+        of blocking on (or racing) the writer.
+        """
+        owner = self._owner
+        if (
+            self.path != ":memory:"
+            and owner is not None
+            and owner != threading.get_ident()
+        ):
+            yield self.read_connection()
+            return
+        with self.exclusive():  # takes the store lock
+            yield self.conn
+
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.commit()
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.commit()
+                self._conn.close()
+                self._conn = None
+        with self._read_lock:
+            for reader in self._read_conns.values():
+                reader.close()
+            self._read_conns.clear()
 
     def commit(self) -> None:
         self.conn.commit()
@@ -366,7 +502,14 @@ class ProvenanceStore:
         self.append_intervals((interval,))
 
     def append_intervals(self, intervals: Iterable[NodeInterval]) -> int:
-        """Bulk-insert display intervals; returns rows written."""
+        """Bulk-insert display intervals; returns rows written.
+
+        Upserts on ``(nid, opened_us)``: capture emits each interval at
+        most once, so a duplicate key is a re-delivery (journal crash
+        replay between a shard commit and the checkpoint write) and
+        must update the existing row instead of duplicating it —
+        exactly-once interval replay.
+        """
         intervals = list(intervals)
         if not intervals:
             return 0
@@ -375,7 +518,9 @@ class ProvenanceStore:
         )
         self.conn.executemany(
             "INSERT INTO prov_intervals (nid, tab_id, opened_us, closed_us)"
-            " VALUES (?, ?, ?, ?)",
+            " VALUES (?, ?, ?, ?)"
+            " ON CONFLICT(nid, opened_us) DO UPDATE SET"
+            " tab_id=excluded.tab_id, closed_us=excluded.closed_us",
             [
                 (
                     self._nid(interval.node_id),
@@ -490,8 +635,9 @@ class ProvenanceStore:
         kinds: Iterable[EdgeKind] | None = None,
     ) -> list[tuple[str, int]]:
         """Ancestors via recursive CTE; [(node_id, depth)] nearest-first."""
-        self._require_node(node_id)
-        return self._walk(ANCESTOR_QUERY, node_id, max_depth, kinds)
+        with self._read_context() as conn:
+            self._require_node(node_id, conn)
+            return self._walk(conn, ANCESTOR_QUERY, node_id, max_depth, kinds)
 
     def sql_descendants(
         self,
@@ -501,28 +647,31 @@ class ProvenanceStore:
         kinds: Iterable[EdgeKind] | None = None,
     ) -> list[tuple[str, int]]:
         """Descendants via recursive CTE; [(node_id, depth)] nearest-first."""
-        self._require_node(node_id)
-        return self._walk(DESCENDANT_QUERY, node_id, max_depth, kinds)
+        with self._read_context() as conn:
+            self._require_node(node_id, conn)
+            return self._walk(conn, DESCENDANT_QUERY, node_id, max_depth,
+                              kinds)
 
     def sql_nodes_in_window(
         self, start_us: int, end_us: int, *, kind: NodeKind | None = None
     ) -> list[str]:
         """Node ids with timestamps in [start_us, end_us)."""
-        if kind is None:
-            rows = self.conn.execute(
-                "SELECT id FROM prov_nodes"
-                " WHERE timestamp_us >= ? AND timestamp_us < ?"
-                " ORDER BY timestamp_us, id",
-                (start_us, end_us),
-            )
-        else:
-            rows = self.conn.execute(
-                "SELECT id FROM prov_nodes"
-                " WHERE timestamp_us >= ? AND timestamp_us < ? AND kind = ?"
-                " ORDER BY timestamp_us, id",
-                (start_us, end_us, NODE_KIND_IDS[kind]),
-            )
-        return [row[0] for row in rows]
+        with self._read_context() as conn:
+            if kind is None:
+                rows = conn.execute(
+                    "SELECT id FROM prov_nodes"
+                    " WHERE timestamp_us >= ? AND timestamp_us < ?"
+                    " ORDER BY timestamp_us, id",
+                    (start_us, end_us),
+                )
+            else:
+                rows = conn.execute(
+                    "SELECT id FROM prov_nodes"
+                    " WHERE timestamp_us >= ? AND timestamp_us < ? AND kind = ?"
+                    " ORDER BY timestamp_us, id",
+                    (start_us, end_us, NODE_KIND_IDS[kind]),
+                )
+            return [row[0] for row in rows]
 
     def sql_text_search(
         self, term: str, *, limit: int = 50, id_prefix: str | None = None
@@ -534,54 +683,89 @@ class ProvenanceStore:
         user's nodes with an id prefix and uses this to keep one user's
         search from surfacing another's history.
         """
-        pattern = f"%{term.lower()}%"
+        return [
+            node_id
+            for node_id, _ts in self.sql_text_search_scored(
+                term, limit=limit, id_prefix=id_prefix
+            )
+        ]
+
+    def sql_text_search_scored(
+        self, term: str, *, limit: int = 50, id_prefix: str | None = None
+    ) -> list[tuple[str, int]]:
+        """:meth:`sql_text_search` with timestamps: [(id, timestamp_us)].
+
+        The timestamp is the merge key for cross-shard scatter-gather —
+        per-shard result lists are each newest-first, so a global
+        search can heap-merge them without re-sorting.  The search term
+        is matched literally: ``%`` and ``_`` are escaped, so a user
+        searching for ``100%_done`` cannot wildcard into unrelated (or,
+        through a future scoping bug, other tenants') history.
+        """
+        pattern = _like_substring(term.lower())
         scope = ""
         params: list = [pattern, pattern]
         if id_prefix is not None:
             scope = " AND n.id LIKE ? ESCAPE '\\'"
             params.append(_like_prefix(id_prefix))
         params.append(limit)
-        rows = self.conn.execute(
-            "SELECT n.id FROM prov_nodes AS n"
-            " LEFT JOIN prov_pages AS p ON p.id = n.page_id"
-            " WHERE (lower(coalesce(n.label, p.title, '')) LIKE ?"
-            "    OR lower(coalesce(p.url, '')) LIKE ?)"
-            + scope
-            + " ORDER BY n.timestamp_us DESC, n.id LIMIT ?",
-            params,
-        )
-        return [row[0] for row in rows]
+        with self._read_context() as conn:
+            rows = conn.execute(
+                "SELECT n.id, n.timestamp_us FROM prov_nodes AS n"
+                " LEFT JOIN prov_pages AS p ON p.id = n.page_id"
+                " WHERE (lower(coalesce(n.label, p.title, '')) LIKE ? ESCAPE '\\'"
+                "    OR lower(coalesce(p.url, '')) LIKE ? ESCAPE '\\')"
+                + scope
+                + " ORDER BY n.timestamp_us DESC, n.id LIMIT ?",
+                params,
+            )
+            return [(row[0], row[1]) for row in rows]
 
     def sql_nodes_of_kind(self, kind: NodeKind) -> list[str]:
-        rows = self.conn.execute(
-            "SELECT id FROM prov_nodes WHERE kind = ? ORDER BY timestamp_us, id",
-            (NODE_KIND_IDS[kind],),
-        )
-        return [row[0] for row in rows]
+        with self._read_context() as conn:
+            rows = conn.execute(
+                "SELECT id FROM prov_nodes WHERE kind = ?"
+                " ORDER BY timestamp_us, id",
+                (NODE_KIND_IDS[kind],),
+            )
+            return [row[0] for row in rows]
 
     def sql_visits_for_url(self, url: str) -> list[str]:
         """All node ids recorded for *url* (the version-chain query)."""
-        rows = self.conn.execute(
-            "SELECT n.id FROM prov_nodes AS n"
-            " JOIN prov_pages AS p ON p.id = n.page_id"
-            " WHERE p.url = ? ORDER BY n.timestamp_us, n.id",
-            (url,),
-        )
-        return [row[0] for row in rows]
+        with self._read_context() as conn:
+            rows = conn.execute(
+                "SELECT n.id FROM prov_nodes AS n"
+                " JOIN prov_pages AS p ON p.id = n.page_id"
+                " WHERE p.url = ? ORDER BY n.timestamp_us, n.id",
+                (url,),
+            )
+            return [row[0] for row in rows]
 
     # -- accounting -----------------------------------------------------------------------
 
     def node_count(self) -> int:
-        return self.conn.execute("SELECT COUNT(*) FROM prov_nodes").fetchone()[0]
+        with self._read_context() as conn:
+            return conn.execute(
+                "SELECT COUNT(*) FROM prov_nodes"
+            ).fetchone()[0]
 
     def edge_count(self) -> int:
-        return self.conn.execute("SELECT COUNT(*) FROM prov_edges").fetchone()[0]
+        with self._read_context() as conn:
+            return conn.execute(
+                "SELECT COUNT(*) FROM prov_edges"
+            ).fetchone()[0]
 
     def page_count(self) -> int:
-        return self.conn.execute("SELECT COUNT(*) FROM prov_pages").fetchone()[0]
+        with self._read_context() as conn:
+            return conn.execute(
+                "SELECT COUNT(*) FROM prov_pages"
+            ).fetchone()[0]
 
     def interval_count(self) -> int:
-        return self.conn.execute("SELECT COUNT(*) FROM prov_intervals").fetchone()[0]
+        with self._read_context() as conn:
+            return conn.execute(
+                "SELECT COUNT(*) FROM prov_intervals"
+            ).fetchone()[0]
 
     def counts_for_id_prefix(self, id_prefix: str) -> tuple[int, int, int]:
         """(nodes, edges, intervals) whose node ids start with *id_prefix*.
@@ -591,23 +775,41 @@ class ProvenanceStore:
         one user's namespace, so this is an exact per-tenant count.
         """
         pattern = _like_prefix(id_prefix)
-        nodes = self.conn.execute(
-            "SELECT COUNT(*) FROM prov_nodes WHERE id LIKE ? ESCAPE '\\'",
-            (pattern,),
-        ).fetchone()[0]
-        edges = self.conn.execute(
-            "SELECT COUNT(*) FROM prov_edges AS e"
-            " JOIN prov_nodes AS n ON n.nid = e.src"
-            " WHERE n.id LIKE ? ESCAPE '\\'",
-            (pattern,),
-        ).fetchone()[0]
-        intervals = self.conn.execute(
-            "SELECT COUNT(*) FROM prov_intervals AS i"
-            " JOIN prov_nodes AS n ON n.nid = i.nid"
-            " WHERE n.id LIKE ? ESCAPE '\\'",
-            (pattern,),
-        ).fetchone()[0]
+        with self._read_context() as conn:
+            nodes = conn.execute(
+                "SELECT COUNT(*) FROM prov_nodes WHERE id LIKE ? ESCAPE '\\'",
+                (pattern,),
+            ).fetchone()[0]
+            edges = conn.execute(
+                "SELECT COUNT(*) FROM prov_edges AS e"
+                " JOIN prov_nodes AS n ON n.nid = e.src"
+                " WHERE n.id LIKE ? ESCAPE '\\'",
+                (pattern,),
+            ).fetchone()[0]
+            intervals = conn.execute(
+                "SELECT COUNT(*) FROM prov_intervals AS i"
+                " JOIN prov_nodes AS n ON n.nid = i.nid"
+                " WHERE n.id LIKE ? ESCAPE '\\'",
+                (pattern,),
+            ).fetchone()[0]
         return nodes, edges, intervals
+
+    def sql_counts(self) -> tuple[int, int, int, int]:
+        """(nodes, edges, intervals, pages) in one read snapshot.
+
+        The scatter-gather aggregate-stats path calls this once per
+        shard from fan-out threads; bundling the four counts keeps each
+        shard's contribution a single consistent snapshot.
+        """
+        with self._read_context() as conn:
+            return (
+                conn.execute("SELECT COUNT(*) FROM prov_nodes").fetchone()[0],
+                conn.execute("SELECT COUNT(*) FROM prov_edges").fetchone()[0],
+                conn.execute(
+                    "SELECT COUNT(*) FROM prov_intervals"
+                ).fetchone()[0],
+                conn.execute("SELECT COUNT(*) FROM prov_pages").fetchone()[0],
+            )
 
     def size_bytes(self) -> int:
         page_count = self.conn.execute("PRAGMA page_count").fetchone()[0]
@@ -700,11 +902,13 @@ class ProvenanceStore:
         self._node_ts[node_id] = row[0]
         return row[0]
 
-    def _nid(self, node_id: str) -> int:
+    def _nid(
+        self, node_id: str, conn: sqlite3.Connection | None = None
+    ) -> int:
         nid = self._nids.get(node_id)
         if nid is not None:
             return nid
-        row = self.conn.execute(
+        row = (conn or self.conn).execute(
             "SELECT nid FROM prov_nodes WHERE id = ?", (node_id,)
         ).fetchone()
         if row is None:
@@ -712,11 +916,14 @@ class ProvenanceStore:
         self._nids[node_id] = row[0]
         return row[0]
 
-    def _require_node(self, node_id: str) -> None:
-        self._nid(node_id)
+    def _require_node(
+        self, node_id: str, conn: sqlite3.Connection | None = None
+    ) -> None:
+        self._nid(node_id, conn)
 
     def _walk(
         self,
+        conn: sqlite3.Connection,
         template: str,
         node_id: str,
         max_depth: int,
@@ -727,7 +934,7 @@ class ProvenanceStore:
             kinds_csv = (
                 "," + ",".join(str(EDGE_KIND_IDS[kind]) for kind in kinds) + ","
             )
-        rows = self.conn.execute(
+        rows = conn.execute(
             template,
             {"start": node_id, "max_depth": max_depth, "kinds_csv": kinds_csv},
         )

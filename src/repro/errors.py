@@ -121,6 +121,16 @@ class StoreClosedError(StoreError):
     """An operation was attempted on a store that has been closed."""
 
 
+class StoreAffinityError(StoreError):
+    """A store bound to one thread was touched from another.
+
+    While a flush worker holds a store exclusively (see
+    :meth:`repro.core.store.ProvenanceStore.exclusive`), writes from any
+    other thread must fail loudly instead of interleaving statements
+    into the worker's open transaction.
+    """
+
+
 class SchemaVersionError(StoreError):
     """An on-disk store has a schema version this library cannot read."""
 

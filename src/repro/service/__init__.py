@@ -1,11 +1,13 @@
 """Multi-tenant provenance service.
 
 The serving layer above capture/store/query: a sharded store pool
-(:mod:`~repro.service.pool`), a journaled batched ingest pipeline with
-crash replay (:mod:`~repro.service.ingest`), an invalidating per-user
-query cache (:mod:`~repro.service.cache`), the façade tying them
-together (:mod:`~repro.service.service`), and a multi-user synthetic
-workload driver (:mod:`~repro.service.workload`).
+(:mod:`~repro.service.pool`), a group-commit journaled ingest pipeline
+with per-shard flush workers and crash replay
+(:mod:`~repro.service.ingest`), the concurrency primitives under both
+hot paths (:mod:`~repro.service.parallel`), an invalidating per-user
+and service-scoped query cache (:mod:`~repro.service.cache`), the
+façade tying them together (:mod:`~repro.service.service`), and a
+multi-user synthetic workload driver (:mod:`~repro.service.workload`).
 
 Quickstart::
 
@@ -17,7 +19,7 @@ Quickstart::
             print(user, service.stats(user))
 """
 
-from repro.service.cache import CacheStats, QueryCache
+from repro.service.cache import GLOBAL_SCOPE, CacheStats, QueryCache
 from repro.service.events import (
     EdgeEvent,
     IntervalEvent,
@@ -30,8 +32,14 @@ from repro.service.events import (
     validate_user_id,
 )
 from repro.service.ingest import IngestJournal, IngestPipeline, IngestStats
+from repro.service.parallel import ShardFailure, ShardWorkerPool, scatter_gather
 from repro.service.pool import PoolStats, StorePool, shard_for
-from repro.service.service import ProvenanceService, ServiceStats, UserStats
+from repro.service.service import (
+    AggregateStats,
+    ProvenanceService,
+    ServiceStats,
+    UserStats,
+)
 from repro.service.workload import (
     MultiUserParams,
     MultiUserReport,
@@ -42,8 +50,10 @@ from repro.service.workload import (
 )
 
 __all__ = [
+    "AggregateStats",
     "CacheStats",
     "EdgeEvent",
+    "GLOBAL_SCOPE",
     "IngestJournal",
     "IngestPipeline",
     "IngestStats",
@@ -56,6 +66,8 @@ __all__ = [
     "ProvenanceService",
     "QueryCache",
     "ServiceStats",
+    "ShardFailure",
+    "ShardWorkerPool",
     "StorePool",
     "UserStats",
     "decode_event",
@@ -63,6 +75,7 @@ __all__ = [
     "qualify",
     "replay_streams",
     "run_multiuser_workload",
+    "scatter_gather",
     "shard_for",
     "synthesize_streams",
     "synthesize_user_events",

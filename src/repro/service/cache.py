@@ -1,14 +1,28 @@
-"""Invalidating LRU cache for per-user query results.
+"""Invalidating LRU cache for per-user and service-wide query results.
 
-Keys are ``(user_id, query_name, params)``; any write for a user
-invalidates every cached result belonging to *that user only* (other
-tenants' entries survive — their data cannot have changed).  A per-user
-key index makes invalidation proportional to the user's cached entries,
-not the cache size.
+Keys are ``(scope, query_name, params)``.  Two entry classes share the
+LRU:
+
+* **Per-user entries** — scope is the user id; any write for that user
+  invalidates every cached result belonging to *that user only* (other
+  tenants' entries survive — their data cannot have changed).
+* **Service-scoped entries** (:data:`GLOBAL_SCOPE`) — results computed
+  across *every* tenant (cross-shard ``global_search``, aggregate
+  stats).  Correct cross-user invalidation means *any* user's write
+  drops them: a global result is stale the moment anyone's data
+  changes.
+
+A per-scope key index makes invalidation proportional to the scope's
+cached entries, not the cache size.  The cache is thread-safe;
+:meth:`QueryCache.get_or_compute` runs the compute callback outside the
+lock (queries may take milliseconds of SQL) and uses a per-scope
+generation counter so a result computed concurrently with an
+invalidating write is discarded rather than cached stale.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
@@ -16,6 +30,11 @@ from typing import Any, Callable, Hashable
 from repro.errors import ConfigurationError
 
 _MISS = object()
+
+#: Reserved scope for service-wide (cross-user) entries.  User ids are
+#: validated to start with an alphanumeric, so this can never collide
+#: with a real tenant.
+GLOBAL_SCOPE = "*service*"
 
 
 @dataclass(frozen=True)
@@ -36,14 +55,27 @@ class CacheStats:
 
 
 class QueryCache:
-    """LRU of query results with per-user invalidation."""
+    """LRU of query results with per-user and service-wide invalidation."""
+
+    GLOBAL_SCOPE = GLOBAL_SCOPE
 
     def __init__(self, capacity: int = 512) -> None:
         if capacity < 1:
             raise ConfigurationError("cache capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, Any] = OrderedDict()
         self._by_user: dict[str, set[tuple]] = {}
+        #: Bumped on invalidation; guards compute-outside-lock races.
+        #: Bounded: when the map grows past the cap it is cleared and
+        #: the epoch bumps, which conservatively discards whatever
+        #: computes were in flight instead of tracking millions of
+        #: tenants forever.
+        self._generations: dict[str, int] = {}
+        self._generation_epoch = 0
+        #: Computes currently running outside the lock; invalidation may
+        #: only take its empty-cache fast path when none are in flight.
+        self._computing = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -54,16 +86,21 @@ class QueryCache:
     ) -> tuple[bool, Any]:
         """(hit, value); value is None on a miss."""
         key = (user_id, query, params)
-        value = self._entries.get(key, _MISS)
-        if value is _MISS:
-            self._misses += 1
-            return False, None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return True, value
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self._misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return True, value
 
     def put(self, user_id: str, query: str, params: Hashable, value: Any) -> None:
         key = (user_id, query, params)
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key: tuple, value: Any) -> None:
         if key in self._entries:
             self._entries.move_to_end(key)
             self._entries[key] = value
@@ -79,7 +116,7 @@ class QueryCache:
                     del self._by_user[evicted_key[0]]
             self._evictions += 1
         self._entries[key] = value
-        self._by_user.setdefault(user_id, set()).add(key)
+        self._by_user.setdefault(key[0], set()).add(key)
 
     def get_or_compute(
         self,
@@ -88,16 +125,84 @@ class QueryCache:
         params: Hashable,
         compute: Callable[[], Any],
     ) -> Any:
-        hit, value = self.lookup(user_id, query, params)
-        if hit:
-            return value
-        value = compute()
-        self.put(user_id, query, params, value)
+        """Cached value, or *compute* and cache it.
+
+        *compute* runs without the cache lock.  If the scope is
+        invalidated while it runs (a write landing mid-query), the
+        freshly computed value is returned but **not** cached — caching
+        it would resurrect a result the write just declared stale.
+        """
+        key = (user_id, query, params)
+        with self._lock:
+            # Miss detection, generation snapshot, and compute
+            # registration must be one atomic step: a write landing
+            # between any two of them could take invalidation's
+            # empty-cache fast path without bumping the generation,
+            # and the stale compute would then cache.
+            value = self._entries.get(key, _MISS)
+            if value is not _MISS:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value
+            self._misses += 1
+            generation = self._generation_locked(user_id)
+            self._computing += 1
+        try:
+            value = compute()
+            with self._lock:
+                if self._generation_locked(user_id) == generation:
+                    self._put_locked(key, value)
+        finally:
+            with self._lock:
+                self._computing -= 1
         return value
 
+    def _generation_locked(self, scope: str) -> tuple[int, int]:
+        return self._generation_epoch, self._generations.get(scope, 0)
+
+    # -- service-scoped entries -------------------------------------------------
+
+    def lookup_global(self, query: str, params: Hashable) -> tuple[bool, Any]:
+        return self.lookup(GLOBAL_SCOPE, query, params)
+
+    def put_global(self, query: str, params: Hashable, value: Any) -> None:
+        self.put(GLOBAL_SCOPE, query, params, value)
+
+    def get_or_compute_global(
+        self, query: str, params: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Service-wide entry: invalidated by *any* user's write."""
+        return self.get_or_compute(GLOBAL_SCOPE, query, params, compute)
+
+    # -- invalidation -----------------------------------------------------------
+
     def invalidate_user(self, user_id: str) -> int:
-        """Drop every cached result for *user_id*; returns entries dropped."""
-        keys = self._by_user.pop(user_id, None)
+        """Drop every cached result for *user_id*; returns entries dropped.
+
+        Also drops every service-scoped entry: a global result spans
+        all tenants, so one tenant's write stales it.
+        """
+        with self._lock:
+            # Ingest-heavy phases invalidate on every event against an
+            # empty cache; skip the generation bumps unless an entry
+            # exists or a compute in flight could cache one.  The check
+            # itself needs the lock: get_or_compute registers a miss
+            # and its compute in one locked step, and an unlocked read
+            # here could slip between that step's statements and skip a
+            # bump the in-flight compute depends on.
+            if not self._entries and not self._computing:
+                return 0
+            dropped = self._invalidate_scope_locked(user_id)
+            if user_id != GLOBAL_SCOPE:
+                dropped += self._invalidate_scope_locked(GLOBAL_SCOPE)
+            return dropped
+
+    def _invalidate_scope_locked(self, scope: str) -> int:
+        if len(self._generations) >= 65536:
+            self._generations.clear()
+            self._generation_epoch += 1
+        self._generations[scope] = self._generations.get(scope, 0) + 1
+        keys = self._by_user.pop(scope, None)
         if not keys:
             return 0
         for key in keys:
@@ -106,18 +211,21 @@ class QueryCache:
         return len(keys)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._by_user.clear()
+        with self._lock:
+            self._entries.clear()
+            self._by_user.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            capacity=self.capacity,
-            size=len(self._entries),
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            invalidations=self._invalidations,
-        )
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+            )

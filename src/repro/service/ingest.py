@@ -1,28 +1,42 @@
-"""Journaled, batched ingest for the multi-tenant service.
+"""Journaled, batched, shard-parallel ingest for the multi-tenant service.
 
 Writes take two hops:
 
 1. **Journal** — every accepted event is appended to a replayable
    JSON-lines journal *before* it is acknowledged.  The journal is the
    durability boundary: once :meth:`IngestJournal.append` returns, a
-   *process* crash cannot lose the event.  The default ``fsync=False``
-   leaves the bytes in the OS page cache, so machine crashes and power
-   loss can still eat acknowledged-but-unsynced events; construct the
-   journal (or :class:`~repro.service.service.ProvenanceService`) with
-   ``fsync=True`` to extend the guarantee to power loss at the cost of
-   one fsync per event.
+   *process* crash cannot lose the event.  Appends group-commit:
+   concurrent submitters stage lines under a tiny sequence lock, and
+   whichever thread reaches the writer lock first drains every staged
+   line in one ``write`` (+ optional ``fsync``), so N concurrent
+   submitters share one durability round-trip instead of paying one
+   each.  The default ``fsync=False`` leaves the bytes in the OS page
+   cache; construct with ``fsync=True`` to extend the guarantee to
+   power loss — group commit is what makes that affordable.
 2. **Flush** — buffered events drain into the sharded SQLite stores in
-   batched transactions (``executemany`` via the store's bulk append
-   paths), either when ``batch_size`` events have accumulated or on an
-   explicit :meth:`IngestPipeline.flush`.  After a successful flush the
-   journal checkpoint advances and fully-flushed journals are
-   compacted.
+   batched transactions.  With ``workers=N`` the pipeline dispatches
+   each shard's batches to a :class:`~repro.service.parallel.ShardWorkerPool`:
+   every shard maps to one worker, so SQLite's one-writer limit applies
+   per shard file and the shards commit concurrently.  ``workers=None``
+   keeps the original serial drain (the benchmark baseline).
+   :meth:`IngestPipeline.flush` is a barrier — it joins the workers —
+   and :meth:`IngestPipeline.drain_for_read` gives queries
+   read-your-own-writes by draining the caller's shard synchronously
+   while other shards keep flushing in the background.
+
+The journal is segmented: when the active file exceeds
+``rotate_bytes`` it is rotated to a ``<path>.seg-<lastseq>`` sidecar,
+and compaction deletes any segment whose entries are all checkpointed —
+so a long-lived service reclaims journal space even while new events
+are always in flight (previously the whole single file could only be
+truncated when *everything* was flushed).
 
 Crash recovery is :meth:`IngestPipeline.replay`: entries past the
-checkpoint are re-applied.  Node and edge rows are idempotent
-(``INSERT OR REPLACE`` on their ids), so delivery is effectively
-exactly-once for them; interval rows are at-least-once in the narrow
-window between a store commit and the checkpoint write.
+checkpoint are re-applied.  Node and edge rows are idempotent and
+interval rows upsert on ``(nid, opened_us)``, so delivery is
+exactly-once for all three.  An entry that can never apply (e.g. an
+edge with a never-recorded endpoint) is quarantined to the journal's
+``.deadletter`` sidecar instead of failing replay on every reopen.
 
 Tenant namespacing (id prefixes) happens at flush time, so the journal
 holds the user's own raw ids and the codec stays symmetric with the
@@ -33,12 +47,14 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.capture import NodeInterval
 from repro.core.model import AttrValue, ProvEdge, ProvNode
 from repro.core.taxonomy import EdgeKind
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.service.cache import QueryCache
 from repro.service.events import (
     EdgeEvent,
@@ -46,29 +62,62 @@ from repro.service.events import (
     NodeEvent,
     ProvEvent,
     decode_event,
+    encode_edge_json_parts,
     encode_event,
+    encode_event_json,
     qualify,
 )
+from repro.service.parallel import ShardWorkerPool
 from repro.service.pool import StorePool
 
 
 class IngestJournal:
-    """Append-only JSON-lines journal with a checkpoint sidecar.
+    """Segmented, group-committing JSON-lines journal with a checkpoint.
 
-    Each line is ``{"seq": n, "ev": {...}}``.  The sidecar file records
-    the highest sequence number known to be flushed to the stores;
-    everything after it is replayed on recovery.  A torn final line
-    (crash mid-write) is tolerated: replay stops at the first
-    undecodable line.
+    Each line is ``{"seq": n, "ev": {...}}``.  The checkpoint sidecar
+    records the highest sequence number known to be flushed to the
+    stores; everything after it is replayed on recovery.  A torn final
+    line in the active file (crash mid-write) is tolerated: replay
+    stops at the first undecodable line.  Rotated segments are always
+    complete — rotation happens on record boundaries.
     """
 
-    def __init__(self, path: str, *, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: bool = False,
+        rotate_bytes: int | None = None,
+    ) -> None:
+        if rotate_bytes is not None and rotate_bytes < 1:
+            raise ConfigurationError("rotate_bytes must be >= 1 (or None)")
         self.path = path
         self.fsync = fsync
+        self.rotate_bytes = rotate_bytes
         self._ckpt_path = path + ".ckpt"
+        self._deadletter_path = path + ".deadletter"
+        #: Guards sequence allocation and the staged-lines buffer.
+        self._seq_lock = threading.Lock()
+        #: Serializes file writes; the group-commit leader holds it.
+        self._io_lock = threading.Lock()
+        #: Broadcast after every durable advance: followers wait here
+        #: (with a bounded timeout) instead of queueing on the writer
+        #: lock, so a group's worth of them wakes concurrently rather
+        #: than in a serialized lock handoff.
+        self._sync_cond = threading.Condition(threading.Lock())
+        #: Followers currently parked on the condition; leaders skip
+        #: the notify entirely when nobody waits (the single-submitter
+        #: hot path must not pay a lock round-trip per append).
+        self._sync_waiters = 0
+        self._staged: list[str] = []
         self._flushed = self._read_checkpoint()
-        last_on_disk = self._recover_tail()
-        self._next_seq = max(last_on_disk, self._flushed) + 1
+        last_segment = max(
+            (last for _path, last in self._segments()), default=0
+        )
+        last_active = self._recover_tail()
+        #: Highest sequence whose line has reached the file.
+        self._durable = max(last_segment, last_active)
+        self._next_seq = max(self._durable, self._flushed) + 1
         self._handle = open(path, "a", encoding="utf-8")
 
     # -- writing ----------------------------------------------------------------
@@ -86,17 +135,103 @@ class IngestJournal:
     def flushed_seq(self) -> int:
         return self._flushed
 
+    @property
+    def deadletter_path(self) -> str:
+        return self._deadletter_path
+
     def append(self, event: ProvEvent) -> int:
-        seq = self._next_seq
-        line = json.dumps(
-            {"seq": seq, "ev": encode_event(event)}, separators=(",", ":")
-        )
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
-        self._next_seq = seq + 1
+        """Durably journal one event; returns its sequence number."""
+        return self.sync(self.stage(event))
+
+    def stage(self, event: ProvEvent, payload: str | None = None) -> int:
+        """Assign a sequence and stage the line, without touching disk.
+
+        The ingest pipeline stages under its own lock so an allocated
+        sequence is never invisible to checkpoint accounting, then
+        calls :meth:`sync` outside that lock to pay the I/O.  Callers
+        holding a contended lock can pass *payload* (a precomputed
+        :func:`encode_event_json`) so the encode happens outside it.
+        """
+        if payload is None:
+            payload = encode_event_json(event)
+        with self._seq_lock:
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            self._staged.append(f'{{"seq":{seq},"ev":{payload}}}\n')
         return seq
+
+    def sync(self, seq: int) -> int:
+        """Ensure the staged line for *seq* has reached the file.
+
+        The group commit: whichever thread wins the writer lock is the
+        leader and writes (+fsyncs) every staged line in one shot;
+        concurrent submitters' lines ride along.  Followers never queue
+        on the writer lock — a serialized lock handoff would cost one
+        context switch *per follower per round* — they wait on a
+        broadcast condition (bounded, so no wakeup can be lost) and
+        return as soon as ``_durable`` covers them.  ``_durable`` only
+        ever grows, so the lock-free pre-check is safe: a stale read
+        just takes the slow path.
+        """
+        if self._durable >= seq:
+            return seq
+        while True:
+            if self._io_lock.acquire(blocking=False):
+                try:
+                    if self._durable < seq:
+                        self._write_staged_locked()
+                finally:
+                    self._io_lock.release()
+                if self._sync_waiters:
+                    with self._sync_cond:
+                        self._sync_cond.notify_all()
+                if self._durable >= seq:
+                    return seq
+            else:
+                with self._sync_cond:
+                    if self._durable >= seq:
+                        return seq
+                    # Timeout bounds the lost-wakeup race (durable
+                    # advancing between the check and the wait).
+                    self._sync_waiters += 1
+                    self._sync_cond.wait(0.002)
+                    self._sync_waiters -= 1
+                if self._durable >= seq:
+                    return seq
+
+    def _write_staged_locked(self) -> None:
+        """Drain the staged lines into the active file (io lock held)."""
+        with self._seq_lock:
+            batch = self._staged
+            self._staged = []
+            top = self._next_seq - 1
+        if not batch:
+            return
+        try:
+            self._handle.write("".join(batch))
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except BaseException:
+            # The lines were only acknowledged once durable; put them
+            # back so a retrying (or follower) leader writes them —
+            # dropping them here would break the journal's core
+            # promise for every follower riding this group.
+            with self._seq_lock:
+                self._staged = batch + self._staged
+            raise
+        self._durable = top
+        self._maybe_rotate_locked()
+
+    def _maybe_rotate_locked(self) -> None:
+        """Rotate the active file to a segment once it is big enough."""
+        if self.rotate_bytes is None:
+            return
+        if self._handle.tell() < self.rotate_bytes:
+            return
+        self._handle.close()
+        os.replace(self.path, f"{self.path}.seg-{self._durable:012d}")
+        self._handle = open(self.path, "a", encoding="utf-8")
 
     def checkpoint(self, seq: int) -> None:
         """Durably record that every entry with seq <= *seq* is flushed."""
@@ -110,27 +245,99 @@ class IngestJournal:
         os.replace(tmp, self._ckpt_path)
         self._flushed = seq
 
-    def compact(self) -> None:
-        """Truncate the journal once everything in it is checkpointed."""
-        if self._flushed < self.last_seq:
-            return
-        self._handle.close()
-        self._handle = open(self.path, "w", encoding="utf-8")
+    def compact(self) -> int:
+        """Reclaim fully-checkpointed journal space; returns bytes freed.
+
+        Deletes every segment whose last entry is checkpointed — safe at
+        any time, even mid-ingest — and additionally truncates the
+        active file when *everything* (staged lines included) is
+        checkpointed.
+        """
+        freed = 0
+        with self._io_lock:
+            for seg_path, seg_last in self._segments():
+                if seg_last <= self._flushed:
+                    freed += os.path.getsize(seg_path)
+                    os.unlink(seg_path)
+            with self._seq_lock:
+                fully = not self._staged and self._flushed >= self._next_seq - 1
+            if fully and self._handle.tell() > 0:
+                freed += self._handle.tell()
+                self._handle.close()
+                self._handle = open(self.path, "w", encoding="utf-8")
+        return freed
+
+    # -- quarantine -------------------------------------------------------------
+
+    def deadletter(self, seq: int, event: ProvEvent, error: BaseException) -> None:
+        """Divert a permanently unapplyable entry to the dead-letter file.
+
+        Quarantined entries are out of the replay path for good: the
+        checkpoint advances past them, so a poison event costs one
+        failed apply ever, not one per reopen.
+        """
+        line = json.dumps(
+            {"seq": seq, "error": str(error), "ev": encode_event(event)},
+            separators=(",", ":"),
+        )
+        with self._io_lock:
+            with open(self._deadletter_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+
+    def deadlettered(self) -> list[dict]:
+        """Quarantined entries (``{"seq", "error", "ev"}``), oldest first."""
+        entries: list[dict] = []
+        if not os.path.exists(self._deadletter_path):
+            return entries
+        with open(self._deadletter_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break
+        return entries
 
     # -- recovery ---------------------------------------------------------------
 
     def unflushed(self) -> list[tuple[int, ProvEvent]]:
         """Journal entries past the checkpoint, in append order."""
         entries: list[tuple[int, ProvEvent]] = []
-        for seq, payload in self._iter_lines():
+        for seg_path, _last in self._segments():
+            for seq, payload in self._iter_file(seg_path):
+                if seq > self._flushed:
+                    entries.append((seq, decode_event(payload)))
+        for seq, payload in self._iter_file(self.path):
             if seq > self._flushed:
                 entries.append((seq, decode_event(payload)))
         return entries
 
-    def _iter_lines(self):
-        if not os.path.exists(self.path):
+    def _segments(self) -> list[tuple[str, int]]:
+        """Rotated segment files as (path, last_seq), oldest first."""
+        directory = os.path.dirname(self.path) or "."
+        prefix = os.path.basename(self.path) + ".seg-"
+        found: list[tuple[str, int]] = []
+        if not os.path.isdir(directory):
+            return found
+        for name in os.listdir(directory):
+            if not name.startswith(prefix):
+                continue
+            try:
+                last = int(name[len(prefix):])
+            except ValueError:
+                continue
+            found.append((os.path.join(directory, name), last))
+        found.sort(key=lambda pair: pair[1])
+        return found
+
+    def _iter_file(self, path: str):
+        if not os.path.exists(path):
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 if not line.endswith("\n"):
                     break  # torn tail from a crash mid-append
@@ -167,7 +374,7 @@ class IngestJournal:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     break
-                last = record["seq"]
+                last = max(last, record["seq"])
                 valid_bytes += len(line)
         if valid_bytes < os.path.getsize(self.path):
             with open(self.path, "rb+") as handle:
@@ -175,7 +382,10 @@ class IngestJournal:
         return last
 
     def close(self) -> None:
-        self._handle.close()
+        with self._io_lock:
+            if not self._handle.closed:
+                self._write_staged_locked()
+                self._handle.close()
 
 
 @dataclass
@@ -186,14 +396,23 @@ class IngestStats:
     applied: int = 0
     flushes: int = 0
     replayed: int = 0
+    quarantined: int = 0
 
     @property
     def pending(self) -> int:
-        return self.submitted + self.replayed - self.applied
+        return self.submitted + self.replayed - self.applied - self.quarantined
 
 
 class IngestPipeline:
-    """Journal-then-batch ingest across the sharded store pool."""
+    """Journal-then-batch ingest across the sharded store pool.
+
+    ``workers=N`` enables the parallel write path: shard batches are
+    dispatched to N flush workers (shard → worker ``shard % N``, so
+    per-shard order is preserved) and :meth:`flush` becomes a barrier.
+    ``workers=None`` (or 0) drains serially in the calling thread —
+    byte-for-byte the same per-shard store state, measured against the
+    parallel mode by ``benchmarks/bench_service_throughput.py``.
+    """
 
     def __init__(
         self,
@@ -202,26 +421,45 @@ class IngestPipeline:
         *,
         batch_size: int = 256,
         cache: QueryCache | None = None,
+        workers: int | None = None,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if workers is not None and workers < 0:
+            raise ConfigurationError("workers must be >= 0 (or None)")
         self.pool = pool
         self.journal = journal
         self.batch_size = batch_size
         self.cache = cache
         self.stats = IngestStats()
+        self.workers = workers or 0
+        self._lock = threading.RLock()
         self._buffers: dict[int, list[tuple[int, ProvEvent]]] = {}
+        #: Dispatched-but-unsettled batches per shard, in dispatch order
+        #: (checkpoint accounting: their events are not yet applied).
+        self._inflight: dict[int, deque] = {}
         self._pending = 0
+        self._pool_workers: ShardWorkerPool | None = None
+        #: Batches settled since the checkpoint last advanced; lets a
+        #: write-only workload (no reads, no explicit flushes) still
+        #: move the checkpoint and compact the journal periodically.
+        self._settled_since_checkpoint = 0
 
     # -- accepting events -------------------------------------------------------
 
     def submit(self, event: ProvEvent) -> int:
-        """Journal one event, buffer it, flush if the batch is full."""
-        seq = self.journal.append(event)
-        self.stats.submitted += 1
-        self._enqueue(seq, event)
-        if self._pending >= self.batch_size:
-            self.flush()
+        """Journal one event, buffer it, flush/dispatch when batch fills.
+
+        Thread-safe: sequence allocation and buffering happen under the
+        pipeline lock (so checkpoint accounting can never skip an
+        allocated sequence), while journal durability is paid outside
+        it via the group commit.
+        """
+        payload = encode_event_json(event)  # off the contended lock
+        with self._lock:
+            seq = self.journal.stage(event, payload)
+            dispatch_shard, serial_flush = self._accept_locked(seq, event)
+        self._settle_submit(seq, dispatch_shard, serial_flush)
         return seq
 
     def submit_edge(
@@ -239,141 +477,386 @@ class IngestPipeline:
         Sequence numbers are unique across users and shards, which is
         what keeps tenants sharing a shard from colliding in the
         ``prov_edges`` primary key; replay reuses the journaled id, so
-        recovery is idempotent.
+        recovery is idempotent.  The id is the sequence :meth:`submit`
+        will assign — both happen under the pipeline lock, so
+        concurrent submitters cannot interleave between the two.
         """
-        edge = ProvEdge(
-            id=self.journal.next_seq,
-            kind=kind,
-            src=src,
-            dst=dst,
-            timestamp_us=timestamp_us,
-            attrs=attrs or {},
+        # Everything but the id encodes off the contended lock; the id
+        # is the journal sequence, spliced in once it is known.
+        head, tail = encode_edge_json_parts(
+            user_id, kind, src, dst, timestamp_us, attrs
         )
-        self.submit(EdgeEvent(user_id=user_id, edge=edge))
+        with self._lock:
+            edge = ProvEdge(
+                id=self.journal.next_seq,
+                kind=kind,
+                src=src,
+                dst=dst,
+                timestamp_us=timestamp_us,
+                attrs=attrs or {},
+            )
+            event = EdgeEvent(user_id=user_id, edge=edge)
+            seq = self.journal.stage(event, f"{head}{edge.id}{tail}")
+            dispatch_shard, serial_flush = self._accept_locked(seq, event)
+        self._settle_submit(seq, dispatch_shard, serial_flush)
         return edge
 
-    def _enqueue(self, seq: int, event: ProvEvent) -> None:
+    def _accept_locked(
+        self, seq: int, event: ProvEvent
+    ) -> tuple[int | None, bool]:
+        """Account and buffer a staged event; decide how it drains.
+
+        Returns ``(dispatch_shard, serial_flush)`` for
+        :meth:`_settle_submit` — decided under the lock, acted on
+        outside it.
+        """
+        self.stats.submitted += 1
+        shard = self._enqueue(seq, event)
+        if self.workers:
+            if len(self._buffers.get(shard, ())) >= self.batch_size:
+                return shard, False
+        elif self._pending >= self.batch_size:
+            return None, True
+        return None, False
+
+    def _settle_submit(
+        self, seq: int, dispatch_shard: int | None, serial_flush: bool
+    ) -> None:
+        """Pay the journal I/O and trigger the decided drain."""
+        self.journal.sync(seq)
+        if dispatch_shard is not None:
+            with self._lock:
+                self._dispatch_locked(dispatch_shard)
+        if serial_flush:
+            self.flush()
+
+    def _enqueue(self, seq: int, event: ProvEvent) -> int:
         shard = self.pool.shard_of(event.user_id)
         self._buffers.setdefault(shard, []).append((seq, event))
         self._pending += 1
         if self.cache is not None:
             self.cache.invalidate_user(event.user_id)
+        return shard
 
     def pending(self, shard: int | None = None) -> int:
-        if shard is None:
-            return self._pending
-        return len(self._buffers.get(shard, ()))
+        """Events accepted but not yet applied (buffered or in flight)."""
+        with self._lock:
+            if shard is None:
+                return self._pending
+            buffered = len(self._buffers.get(shard, ()))
+            inflight = sum(
+                len(batch) for batch in self._inflight.get(shard, ())
+            )
+            return buffered + inflight
 
     # -- draining ---------------------------------------------------------------
+
+    def _ensure_workers_locked(self) -> ShardWorkerPool:
+        if self._pool_workers is None:
+            self._pool_workers = ShardWorkerPool(
+                self._apply_job, workers=self.workers
+            )
+        return self._pool_workers
+
+    def _dispatch_locked(self, shard: int) -> None:
+        workers = self._ensure_workers_locked()
+        if workers.poisoned(shard):
+            # Batches sent to a poisoned shard would only be diverted
+            # into its failure list unapplied; leaving them buffered
+            # costs the same memory and keeps them visible.  The next
+            # barrier on this shard drains the failure, requeues, and
+            # surfaces the error; flush() then force-dispatches.
+            return
+        batch = self._buffers.pop(shard, None)
+        if not batch:
+            return
+        self._inflight.setdefault(shard, deque()).append(batch)
+        workers.dispatch(shard, batch)
+
+    def _apply_job(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
+        """Worker-side apply: on success, settle the batch's accounting.
+
+        On failure the batch stays in ``_inflight`` (its events are
+        still pending) until the barrier requeues it into the buffers.
+        """
+        self._apply(shard, batch)
+        with self._lock:
+            self._settle_inflight_locked(shard, batch)
+            self._pending -= len(batch)
+            self.stats.applied += len(batch)
+            self.stats.flushes += 1
+            # Amortized checkpoint upkeep: without it a pure-write
+            # workload would apply millions of events while the
+            # checkpoint (and journal compaction) waited for a read or
+            # an explicit flush that never comes.
+            self._settled_since_checkpoint += 1
+            if self._settled_since_checkpoint >= 16:
+                self._advance_checkpoint_locked()
+
+    def _settle_inflight_locked(self, shard: int, batch) -> None:
+        """Remove exactly *batch* from the shard's in-flight tracking.
+
+        Removal is by value, not position: while a failed shard's
+        batches sit parked in the deque, a batch dispatched after the
+        barrier unpoisoned the shard can settle first, and popping the
+        head would charge the wrong entry — skewing the checkpoint's
+        oldest-pending computation in both directions.
+        """
+        queue = self._inflight.get(shard)
+        if queue is None:
+            return
+        try:
+            queue.remove(batch)
+        except ValueError:
+            pass
+        if not queue:
+            del self._inflight[shard]
 
     def flush(self, shard: int | None = None) -> int:
         """Drain buffered events (one shard, or all) into the stores.
 
-        Each shard's batch applies nodes, then edges, then intervals —
-        events were enqueued in submission order per user, so an edge's
-        endpoints are always in this batch or an earlier one.  The
-        checkpoint advances to the highest contiguous flushed sequence;
-        note that a steady diet of single-shard flushes lets another
-        shard's oldest buffered event pin the checkpoint (and block
-        journal compaction), so prefer full flushes.
+        A barrier in parallel mode: dispatches the targeted buffers and
+        joins the workers before returning.  Failed batches are
+        requeued into the buffers (the journal still holds them for
+        replay either way) and the first failure re-raises.  The
+        checkpoint advances to the highest contiguous flushed sequence.
         """
-        shards = [shard] if shard is not None else sorted(self._buffers)
-        applied = 0
-        try:
-            for target in shards:
-                batch = self._buffers.pop(target, None)
-                if not batch:
-                    continue
-                try:
-                    self._apply(target, batch)
-                except Exception:
-                    # Requeue so the events stay pending in-process; the
-                    # journal still holds them for replay either way.
-                    self._buffers[target] = batch
-                    raise
-                applied += len(batch)
-                self._pending -= len(batch)
-        finally:
-            # Shards committed before a later shard failed still count
-            # (and still move the checkpoint forward).
-            if applied:
-                self.stats.applied += applied
-                self.stats.flushes += 1
-                self._advance_checkpoint()
+        if not self.workers:
+            return self._flush_serial(shard)
+        with self._lock:
+            applied_before = self.stats.applied
+            targets = [shard] if shard is not None else sorted(self._buffers)
+            for target in targets:
+                self._dispatch_locked(target)
+            workers = self._pool_workers
+        if workers is None:
+            with self._lock:
+                self._advance_checkpoint_locked()
+            return 0
+        workers.barrier(shard)
+        failures = workers.drain_failures(shard)
+        with self._lock:
+            self._requeue_locked(failures)
+            self._advance_checkpoint_locked()
+            applied = self.stats.applied - applied_before
+        if failures:
+            raise failures[0].error
         return applied
 
-    def _apply(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
-        store = self.pool.store(shard)
-        nodes: list[ProvNode] = []
-        edges: list[ProvEdge] = []
-        intervals: list[NodeInterval] = []
-        for _seq, event in batch:
-            user = event.user_id
-            if isinstance(event, NodeEvent):
-                node = event.node
-                nodes.append(
-                    ProvNode(
-                        id=qualify(user, node.id),
-                        kind=node.kind,
-                        timestamp_us=node.timestamp_us,
-                        label=node.label,
-                        url=node.url,
-                        attrs=node.attrs,
-                    )
-                )
-            elif isinstance(event, EdgeEvent):
-                edge = event.edge
-                edges.append(
-                    ProvEdge(
-                        id=edge.id,
-                        kind=edge.kind,
-                        src=qualify(user, edge.src),
-                        dst=qualify(user, edge.dst),
-                        timestamp_us=edge.timestamp_us,
-                        attrs=edge.attrs,
-                    )
-                )
-            elif isinstance(event, IntervalEvent):
-                interval = event.interval
-                intervals.append(
-                    NodeInterval(
-                        node_id=qualify(user, interval.node_id),
-                        tab_id=interval.tab_id,
-                        opened_us=interval.opened_us,
-                        closed_us=interval.closed_us,
-                    )
-                )
-        try:
-            store.append_nodes(nodes)
-            store.append_edges(edges)
-            store.append_intervals(intervals)
-        except Exception:
-            # Keep the shard transactionally clean; rollback() also
-            # drops the store's row-id caches, which may point at rows
-            # the rollback erased.
-            store.rollback()
-            raise
-        store.commit()
+    def drain_for_read(self, shard: int) -> None:
+        """Read-your-own-writes barrier for one shard.
 
-    def _advance_checkpoint(self) -> None:
-        if self._buffers:
-            oldest_pending = min(batch[0][0] for batch in self._buffers.values())
-            self.journal.checkpoint(oldest_pending - 1)
+        Drains the caller's shard synchronously; other shards' buffers
+        are dispatched to the background workers (so their work — and
+        the journal checkpoint — keeps moving) but not waited on.
+        """
+        if not self.workers:
+            if self._pending:
+                self.flush()
+            return
+        with self._lock:
+            for target in sorted(self._buffers):
+                self._dispatch_locked(target)
+            workers = self._pool_workers
+        if workers is None:
+            return
+        workers.barrier(shard)
+        failures = workers.drain_failures(shard)
+        with self._lock:
+            self._requeue_locked(failures)
+            self._advance_checkpoint_locked()
+        if failures:
+            raise failures[0].error
+
+    def _requeue_locked(self, failures) -> None:
+        """Return failed/diverted batches to the buffers, oldest first.
+
+        Only the failure's own batches leave the in-flight tracking: a
+        batch dispatched to this shard after the barrier (and now being
+        applied by a worker) must stay tracked, or the checkpoint could
+        advance past its still-unapplied sequences.
+        """
+        for failure in failures:
+            requeued: list[tuple[int, ProvEvent]] = []
+            for batch in failure.batches:
+                self._settle_inflight_locked(failure.shard, batch)
+                requeued.extend(batch)
+            requeued.extend(self._buffers.get(failure.shard, ()))
+            self._buffers[failure.shard] = requeued
+
+    def _flush_serial(self, shard: int | None = None) -> int:
+        """The single-threaded drain (workers disabled)."""
+        with self._lock:
+            shards = [shard] if shard is not None else sorted(self._buffers)
+            applied = 0
+            try:
+                for target in shards:
+                    batch = self._buffers.pop(target, None)
+                    if not batch:
+                        continue
+                    try:
+                        self._apply(target, batch)
+                    except Exception:
+                        # Requeue so the events stay pending in-process;
+                        # the journal still holds them for replay.
+                        self._buffers[target] = batch
+                        raise
+                    applied += len(batch)
+                    self._pending -= len(batch)
+            finally:
+                # Shards committed before a later shard failed still
+                # count (and still move the checkpoint forward).
+                if applied:
+                    self.stats.applied += applied
+                    self.stats.flushes += 1
+                self._advance_checkpoint_locked()
+            return applied
+
+    def _apply(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
+        with self.pool.checkout(shard) as store, store.exclusive():
+            nodes: list[ProvNode] = []
+            edges: list[ProvEdge] = []
+            intervals: list[NodeInterval] = []
+            for _seq, event in batch:
+                user = event.user_id
+                if isinstance(event, NodeEvent):
+                    node = event.node
+                    nodes.append(
+                        ProvNode(
+                            id=qualify(user, node.id),
+                            kind=node.kind,
+                            timestamp_us=node.timestamp_us,
+                            label=node.label,
+                            url=node.url,
+                            attrs=node.attrs,
+                        )
+                    )
+                elif isinstance(event, EdgeEvent):
+                    edge = event.edge
+                    edges.append(
+                        ProvEdge(
+                            id=edge.id,
+                            kind=edge.kind,
+                            src=qualify(user, edge.src),
+                            dst=qualify(user, edge.dst),
+                            timestamp_us=edge.timestamp_us,
+                            attrs=edge.attrs,
+                        )
+                    )
+                elif isinstance(event, IntervalEvent):
+                    interval = event.interval
+                    intervals.append(
+                        NodeInterval(
+                            node_id=qualify(user, interval.node_id),
+                            tab_id=interval.tab_id,
+                            opened_us=interval.opened_us,
+                            closed_us=interval.closed_us,
+                        )
+                    )
+            try:
+                store.append_nodes(nodes)
+                store.append_edges(edges)
+                store.append_intervals(intervals)
+            except Exception:
+                # Keep the shard transactionally clean; rollback() also
+                # drops the store's row-id caches, which may point at
+                # rows the rollback erased.
+                store.rollback()
+                raise
+            store.commit()
+
+    def _advance_checkpoint_locked(self) -> None:
+        """Checkpoint up to the oldest still-pending sequence (lock held).
+
+        Pending means buffered *or* dispatched-but-unsettled; because
+        sequence allocation happens under the same lock (see
+        :meth:`submit`), no allocated-but-unbuffered sequence can be
+        skipped over.
+        """
+        self._settled_since_checkpoint = 0
+        candidates = [batch[0][0] for batch in self._buffers.values() if batch]
+        candidates.extend(
+            queue[0][0][0] for queue in self._inflight.values() if queue
+        )
+        if candidates:
+            self.journal.checkpoint(min(candidates) - 1)
         else:
             self.journal.checkpoint(self.journal.last_seq)
-            self.journal.compact()
+        self.journal.compact()
 
     # -- recovery ---------------------------------------------------------------
 
     def replay(self) -> int:
-        """Re-apply journal entries past the checkpoint (crash recovery)."""
+        """Re-apply journal entries past the checkpoint (crash recovery).
+
+        An entry the stores can never accept — a poison event — is
+        quarantined to the journal's dead-letter file and replay
+        continues, so one bad entry cannot wedge every subsequent
+        startup.  Infrastructure failures (anything that is not a
+        :class:`~repro.errors.ReproError`) still raise: those are
+        retryable, and quarantining them would throw good events away.
+        """
         entries = self.journal.unflushed()
-        for seq, event in entries:
-            self._enqueue(seq, event)
-        if entries:
+        if not entries:
+            return 0
+        with self._lock:
+            for seq, event in entries:
+                self._enqueue(seq, event)
             self.stats.replayed += len(entries)
+        try:
             self.flush()
+        except ReproError:
+            self._quarantine_pending()
         return len(entries)
 
+    def _quarantine_pending(self) -> None:
+        """Apply buffered events one at a time, dead-lettering the bad.
+
+        The salvage path behind :meth:`replay`: after a batched flush
+        fails, per-event application in journal order isolates exactly
+        which entries are poison.  Events are applied in their original
+        submission order, which is causal per user, so a healthy event
+        can never fail here because of a quarantined *earlier* one —
+        unless it genuinely depended on it, in which case it is poison
+        too and joins it in the dead-letter file.
+        """
+        with self._lock:
+            buffers, self._buffers = self._buffers, {}
+        shards = sorted(buffers)
+        for position, shard in enumerate(shards):
+            for index, (seq, event) in enumerate(buffers[shard]):
+                try:
+                    self._apply(shard, [(seq, event)])
+                except ReproError as exc:
+                    self.journal.deadletter(seq, event, exc)
+                    with self._lock:
+                        self.stats.quarantined += 1
+                        self._pending -= 1
+                except Exception:
+                    # Not a data problem: re-buffer this event, the
+                    # rest of this shard, AND every shard not yet
+                    # salvaged — all of them left the buffers in the
+                    # swap above, and any one forgotten here would be
+                    # invisible to checkpoint accounting (the journal
+                    # would compact it away).  Then surface the error.
+                    with self._lock:
+                        rest = buffers[shard][index:]
+                        rest.extend(self._buffers.get(shard, ()))
+                        self._buffers[shard] = rest
+                        for later in shards[position + 1:]:
+                            remaining = list(buffers[later])
+                            remaining.extend(self._buffers.get(later, ()))
+                            self._buffers[later] = remaining
+                    raise
+                else:
+                    with self._lock:
+                        self.stats.applied += 1
+                        self.stats.flushes += 1
+                        self._pending -= 1
+        with self._lock:
+            self._advance_checkpoint_locked()
+
     def close(self) -> None:
+        if self._pool_workers is not None:
+            self._pool_workers.close()
         self.journal.close()

@@ -6,23 +6,32 @@ users" north star needs above a single browser's capture layer:
 * a :class:`~repro.service.pool.StorePool` hash-sharding users across
   N SQLite stores (lazily opened, LRU-bounded connections);
 * a :class:`~repro.service.ingest.IngestPipeline` journaling every
-  event before batching it into shard transactions, with crash-replay
-  on startup;
+  event (group-commit) before batching it into shard transactions —
+  in parallel across per-shard flush workers — with crash-replay on
+  startup;
 * a :class:`~repro.service.cache.QueryCache` memoizing per-user query
-  results, invalidated by that user's writes.
+  results (invalidated by that user's writes) and service-scoped
+  cross-shard results (invalidated by *any* write).
 
 Reads are read-your-writes: a query first drains any buffered events
 for the user's shard, so a caller never sees the cache or store lag its
-own acknowledged writes.  All ids in and out of the facade are the
-user's own raw node ids; tenant prefixes never escape.
+own acknowledged writes.  Cross-shard reads (:meth:`global_search`,
+:meth:`aggregate_stats`) barrier the whole pipeline, then scatter-gather
+across every populated shard on a query thread pool.  All ids in and
+out of the facade are the user's own raw node ids; tenant prefixes
+never escape (global results carry ``(user_id, node_id)`` pairs).
 """
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from itertools import islice
 
 from repro.core.capture import NodeInterval
 from repro.core.graph import ProvenanceGraph
@@ -31,6 +40,7 @@ from repro.core.taxonomy import EdgeKind
 from repro.errors import ConfigurationError, UnknownNodeError
 from repro.service.cache import CacheStats, QueryCache
 from repro.service.events import (
+    USER_SEP,
     EdgeEvent,
     IntervalEvent,
     NodeEvent,
@@ -40,6 +50,7 @@ from repro.service.events import (
     validate_user_id,
 )
 from repro.service.ingest import IngestJournal, IngestPipeline
+from repro.service.parallel import scatter_gather
 from repro.service.pool import PoolStats, StorePool
 
 
@@ -55,6 +66,18 @@ class UserStats:
 
 
 @dataclass(frozen=True)
+class AggregateStats:
+    """Cross-shard totals, gathered by the scatter-gather read path."""
+
+    shards: int
+    populated_shards: int
+    nodes: int
+    edges: int
+    intervals: int
+    pages: int
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Whole-service accounting snapshot."""
 
@@ -63,6 +86,7 @@ class ServiceStats:
     events_applied: int
     flushes: int
     replayed: int
+    quarantined: int
     cache: CacheStats
     pool: PoolStats
 
@@ -79,7 +103,15 @@ class ProvenanceService:
         batch_size: int = 256,
         cache_capacity: int = 512,
         fsync: bool = False,
+        workers: int | str | None = "auto",
+        journal_rotate_bytes: int | None = 32 * 1024 * 1024,
     ) -> None:
+        if workers == "auto":
+            workers = min(shards, os.cpu_count() or 1)
+        elif workers is not None and not isinstance(workers, int):
+            raise ConfigurationError(
+                f"workers must be an int, None, or 'auto', not {workers!r}"
+            )
         self._tmp: tempfile.TemporaryDirectory | None = None
         if root is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="prov-service-")
@@ -87,6 +119,8 @@ class ProvenanceService:
         self.root = root
         os.makedirs(root, exist_ok=True)
         self._lock_path: str | None = None
+        self._fanout: ThreadPoolExecutor | None = None
+        self._fanout_lock = threading.Lock()
         self._acquire_lock()
         try:
             self._check_layout(shards)
@@ -99,11 +133,13 @@ class ProvenanceService:
             )
             self.cache = QueryCache(cache_capacity)
             self.journal = IngestJournal(
-                os.path.join(root, "ingest.journal"), fsync=fsync
+                os.path.join(root, "ingest.journal"),
+                fsync=fsync,
+                rotate_bytes=journal_rotate_bytes,
             )
             self.ingest = IngestPipeline(
                 self.pool, self.journal, batch_size=batch_size,
-                cache=self.cache
+                cache=self.cache, workers=workers
             )
             self._users: set[str] = set()
             #: Events recovered from the journal at startup (crash replay).
@@ -122,8 +158,9 @@ class ProvenanceService:
         across tenants sharing a shard, and ``INSERT OR REPLACE`` would
         let one user overwrite another's edges.
         """
-        validate_user_id(event.user_id)
-        self._users.add(event.user_id)
+        if event.user_id not in self._users:  # regex only on first sight
+            validate_user_id(event.user_id)
+            self._users.add(event.user_id)
         if isinstance(event, EdgeEvent):
             edge = event.edge
             return self.ingest.submit_edge(
@@ -154,8 +191,9 @@ class ProvenanceService:
         Edge ids are allocated from the journal sequence, so they are
         unique across every tenant sharing a shard.
         """
-        validate_user_id(user_id)
-        self._users.add(user_id)
+        if user_id not in self._users:  # regex only on first sight
+            validate_user_id(user_id)
+            self._users.add(user_id)
         edge = self.ingest.submit_edge(
             user_id, kind, src, dst, timestamp_us=timestamp_us, attrs=attrs
         )
@@ -220,12 +258,13 @@ class ProvenanceService:
         self, user_id: str, term: str, *, limit: int = 50
     ) -> list[str]:
         """*user_id*'s node ids matching *term*, newest first."""
-        store = self._read_store(user_id)
+        shard = self._drained_shard(user_id)
 
         def compute() -> list[str]:
-            hits = store.sql_text_search(
-                term, limit=limit, id_prefix=qualify(user_id, "")
-            )
+            with self.pool.checkout(shard) as store:
+                hits = store.sql_text_search(
+                    term, limit=limit, id_prefix=qualify(user_id, "")
+                )
             return [unqualify(user_id, hit) for hit in hits]
 
         # Copy out: cached lists must not be mutable by callers.
@@ -235,21 +274,101 @@ class ProvenanceService:
 
     def stats(self, user_id: str) -> UserStats:
         """Per-user node/edge/interval counts."""
-        store = self._read_store(user_id)
+        shard = self._drained_shard(user_id)
 
         def compute() -> UserStats:
-            nodes, edges, intervals = store.counts_for_id_prefix(
-                qualify(user_id, "")
-            )
+            with self.pool.checkout(shard) as store:
+                nodes, edges, intervals = store.counts_for_id_prefix(
+                    qualify(user_id, "")
+                )
             return UserStats(
                 user_id=user_id,
-                shard=self.pool.shard_of(user_id),
+                shard=shard,
                 nodes=nodes,
                 edges=edges,
                 intervals=intervals,
             )
 
         return self.cache.get_or_compute(user_id, "stats", (), compute)
+
+    # -- cross-shard reads ------------------------------------------------------
+
+    def global_search(
+        self, term: str, *, limit: int = 50
+    ) -> list[tuple[str, str]]:
+        """``[(user_id, node_id)]`` matching *term* across every tenant.
+
+        Scatter-gather: after a full pipeline barrier (global
+        read-your-writes), every populated shard is searched
+        concurrently on the query pool and the per-shard newest-first
+        result lists are heap-merged by recency.  Results are cached
+        service-scoped — any tenant's write invalidates them, which is
+        also why the barrier lives inside the compute: a cache hit is
+        fresh by construction and must not pay a pipeline join.
+        """
+
+        def compute() -> list[tuple[str, str]]:
+            self.ingest.flush()
+            def search(shard: int):
+                def task():
+                    with self.pool.checkout(shard) as store:
+                        return store.sql_text_search_scored(term, limit=limit)
+
+                return task
+
+            per_shard = scatter_gather(
+                [search(shard) for shard in self.pool.populated_shards()],
+                executor=self._query_pool(),
+            )
+            # Shard lists are each (ts DESC, id ASC); merging on the
+            # same key gives a deterministic global recency order.
+            merged = heapq.merge(
+                *per_shard, key=lambda row: (-row[1], row[0])
+            )
+            results: list[tuple[str, str]] = []
+            for stored_id, _ts in islice(merged, limit):
+                user_id, _sep, raw_id = stored_id.partition(USER_SEP)
+                results.append((user_id, raw_id))
+            return results
+
+        return list(
+            self.cache.get_or_compute_global(
+                "global_search", (term, limit), compute
+            )
+        )
+
+    def aggregate_stats(self) -> AggregateStats:
+        """Whole-corpus totals, one concurrent counting pass per shard.
+
+        The pipeline barrier runs inside the compute: a cache hit is
+        fresh by construction (any write would have invalidated the
+        service scope) and skips the flush entirely.
+        """
+
+        def compute() -> AggregateStats:
+            self.ingest.flush()
+            def count(shard: int):
+                def task():
+                    with self.pool.checkout(shard) as store:
+                        return store.sql_counts()
+
+                return task
+
+            populated = self.pool.populated_shards()
+            counts = scatter_gather(
+                [count(shard) for shard in populated],
+                executor=self._query_pool(),
+            )
+            return AggregateStats(
+                shards=self.pool.shards,
+                populated_shards=len(populated),
+                nodes=sum(row[0] for row in counts),
+                edges=sum(row[1] for row in counts),
+                intervals=sum(row[2] for row in counts),
+                pages=sum(row[3] for row in counts),
+            )
+
+        return self.cache.get_or_compute_global("aggregate_stats", (), compute)
 
     def users(self) -> list[str]:
         """User ids seen by this service instance, sorted."""
@@ -262,6 +381,7 @@ class ProvenanceService:
             events_applied=self.ingest.stats.applied,
             flushes=self.ingest.stats.flushes,
             replayed=self.ingest.stats.replayed,
+            quarantined=self.ingest.stats.quarantined,
             cache=self.cache.stats(),
             pool=self.pool.stats(),
         )
@@ -279,6 +399,9 @@ class ProvenanceService:
             if flush:
                 self.ingest.flush()
         finally:
+            if self._fanout is not None:
+                self._fanout.shutdown(wait=True)
+                self._fanout = None
             self.ingest.close()
             self.pool.close()
             self._release_lock()
@@ -377,35 +500,55 @@ class ProvenanceService:
             with open(layout_path, "w", encoding="utf-8") as handle:
                 json.dump({"shards": shards}, handle)
 
-    def _read_store(self, user_id: str):
-        """The user's shard store, with read-your-writes freshness.
+    def _query_pool(self) -> ThreadPoolExecutor:
+        """The lazily started scatter-gather executor for cross-shard reads."""
+        with self._fanout_lock:
+            if self._fanout is None:
+                self._fanout = ThreadPoolExecutor(
+                    max_workers=min(self.pool.shards, 16),
+                    thread_name_prefix="prov-query",
+                )
+            return self._fanout
 
-        Drains *all* buffered events, not just the queried shard's:
-        repeated single-shard flushes would let another shard's oldest
-        buffered event pin the journal checkpoint indefinitely, which
-        both re-applies committed intervals on crash replay and keeps
-        the journal from compacting.
+    def _drained_shard(self, user_id: str) -> int:
+        """The user's shard, with read-your-writes freshness.
+
+        Drains the caller's shard synchronously (the query must see the
+        caller's own acknowledged writes); other shards' buffers are
+        handed to the background flush workers without waiting, which
+        keeps the journal checkpoint moving — a shard whose buffer
+        never drained would otherwise pin the checkpoint and block
+        journal compaction indefinitely.  In serial mode (no workers)
+        this degrades to a full drain, as before.
+
+        Returns the shard index, not a store: readers must take the
+        store through :meth:`StorePool.checkout` for the duration of
+        their SQL so LRU eviction cannot close it under them.
         """
         validate_user_id(user_id)
+        shard = self.pool.shard_of(user_id)
         if self.ingest.pending():
-            self.ingest.flush()
-        return self.pool.store(self.pool.shard_of(user_id))
+            self.ingest.drain_for_read(shard)
+        return shard
 
     def _walk(
         self, user_id: str, direction: str, node_id: str, max_depth: int
     ) -> list[tuple[str, int]]:
-        store = self._read_store(user_id)
-        walk = (
-            store.sql_ancestors
-            if direction == "ancestors"
-            else store.sql_descendants
-        )
+        shard = self._drained_shard(user_id)
 
         def compute() -> list[tuple[str, int]]:
-            try:
-                found = walk(qualify(user_id, node_id), max_depth=max_depth)
-            except UnknownNodeError:
-                raise UnknownNodeError(node_id) from None
+            with self.pool.checkout(shard) as store:
+                walk = (
+                    store.sql_ancestors
+                    if direction == "ancestors"
+                    else store.sql_descendants
+                )
+                try:
+                    found = walk(
+                        qualify(user_id, node_id), max_depth=max_depth
+                    )
+                except UnknownNodeError:
+                    raise UnknownNodeError(node_id) from None
             return [
                 (unqualify(user_id, found_id), depth)
                 for found_id, depth in found

@@ -121,6 +121,70 @@ class TestSqlQueries:
         hits = store.sql_text_search("a.com")
         assert set(hits) >= {"a", "c"}
 
+    def test_sql_text_search_escapes_like_wildcards(self):
+        """``%`` / ``_`` in a search term must match literally, not act
+        as LIKE wildcards that over-match unrelated history."""
+        store = ProvenanceStore()
+        store.append_node(visit("plain", 1, label="fully done"))
+        store.append_node(visit("pct", 2, label="100% done"))
+        store.append_node(visit("under", 3, label="is_done"))
+        store.commit()
+        # A bare "%" used to match every row; literally it matches one.
+        assert store.sql_text_search("%") == ["pct"]
+        assert store.sql_text_search("100%") == ["pct"]
+        # "_" used to match any single character ("is_done"≈"isXdone").
+        assert store.sql_text_search("s_d") == ["under"]
+        assert store.sql_text_search("100%_done") == []
+        store.close()
+
+    def test_sql_text_search_scored_orders_by_recency(self, store):
+        scored = store.sql_text_search_scored("a.com")
+        assert scored == [("c", 3), ("a", 1)]
+
+
+class TestSchemaMigration:
+    def test_v2_store_upgrades_in_place_and_dedupes_intervals(self, tmp_path):
+        """A v2 store (no interval identity index, possibly carrying
+        crash-replay duplicates) must open, collapse the duplicates,
+        and come out as v3 — not raise SchemaVersionError."""
+        from repro.core.capture import NodeInterval
+
+        path = str(tmp_path / "old.sqlite")
+        store = ProvenanceStore(path)
+        store.append_node(visit("a", 1))
+        store.append_interval(
+            NodeInterval(node_id="a", tab_id=1, opened_us=5, closed_us=9)
+        )
+        store.commit()
+        # Downgrade to the v2 on-disk shape: drop the identity index,
+        # restore the version, and re-create a replay duplicate.
+        store.conn.execute("DROP INDEX prov_intervals_identity")
+        store.conn.execute(
+            "INSERT INTO prov_intervals (nid, tab_id, opened_us, closed_us)"
+            " SELECT nid, tab_id, opened_us, closed_us FROM prov_intervals"
+        )
+        store.conn.execute(
+            "UPDATE prov_meta SET value = '2' WHERE key = 'schema_version'"
+        )
+        store.commit()
+        assert store.interval_count() == 2  # the v2 duplicate bug
+        store.close()
+
+        upgraded = ProvenanceStore(path)
+        assert upgraded.interval_count() == 1  # deduped by migration
+        version = upgraded.conn.execute(
+            "SELECT value FROM prov_meta WHERE key = 'schema_version'"
+        ).fetchone()[0]
+        assert version == str(SCHEMA_VERSION)
+        # The identity index is live: re-appending upserts.
+        upgraded._prefetch_nids(["a"])
+        upgraded.append_interval(
+            NodeInterval(node_id="a", tab_id=2, opened_us=5, closed_us=11)
+        )
+        upgraded.commit()
+        assert upgraded.interval_count() == 1
+        upgraded.close()
+
     def test_sql_nodes_of_kind(self, store):
         assert store.sql_nodes_of_kind(NodeKind.SEARCH_TERM) == ["t"]
 
@@ -159,7 +223,7 @@ class TestLifecycle:
         assert store.size_bytes() > 0
 
     def test_schema_version_constant(self):
-        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION == 3
 
     def test_incremental_append(self, graph):
         """Write-through capture style: append as we go."""

@@ -64,6 +64,50 @@ class TestEventCodec:
         with pytest.raises(ValueError):
             decode_event({"t": "blob"})
 
+    def test_fast_json_encoder_matches_dict_codec(self):
+        """The hot-path encoder must produce JSON the dict codec would."""
+        from repro.service.events import encode_event_json
+
+        events = [
+            node_event("alice", "v1", 7, label='page "quoted" 100%',
+                       url="http://x.com/a%b_c",
+                       attrs={"transition": "typed", "hidden": 1}),
+            node_event("bob", "v2", 1, label="", url=None),
+            EdgeEvent(
+                user_id="carol",
+                edge=ProvEdge(id=9, kind=EdgeKind.LINK, src='a"{}%',
+                              dst="b", timestamp_us=3, attrs={"w": 2}),
+            ),
+            IntervalEvent(
+                user_id="dave",
+                interval=NodeInterval(node_id="v1", tab_id=2, opened_us=1,
+                                      closed_us=9),
+            ),
+            # The pipeline is public API: an unvalidated user id with a
+            # quote must not corrupt the journal line (a bad line
+            # truncates replay at it, dropping every later event).
+            node_event('evil"user\\', "v3", 2),
+        ]
+        for event in events:
+            assert json.loads(encode_event_json(event)) == encode_event(event)
+
+    def test_edge_json_parts_splice_matches_full_encoder(self):
+        """head + id + tail must equal the one-shot edge encoding, even
+        when src/dst/attrs contain %, braces, or quotes."""
+        from repro.service.events import (
+            encode_edge_json_parts,
+            encode_event_json,
+        )
+
+        edge = ProvEdge(id=42, kind=EdgeKind.REDIRECT, src='s%"{}_',
+                        dst="d%s", timestamp_us=5, attrs={"p": "100%"})
+        event = EdgeEvent(user_id="erin", edge=edge)
+        head, tail = encode_edge_json_parts(
+            "erin", edge.kind, edge.src, edge.dst, edge.timestamp_us,
+            dict(edge.attrs),
+        )
+        assert f"{head}{edge.id}{tail}" == encode_event_json(event)
+
 
 class TestJournal:
     def test_sequences_are_monotonic(self, tmp_path):

@@ -104,17 +104,22 @@ class TestReadYourWrites:
         assert service.ancestors("alice", "c") == [("b", 1), ("a", 2)]
         service.close()
 
-    def test_reads_drain_all_shards(self, tmp_path):
-        """A read flushes every shard's buffer, not just the queried
-        one — otherwise another shard's oldest buffered event pins the
-        journal checkpoint and blocks compaction indefinitely."""
+    def test_reads_dispatch_all_shards_and_drain_the_callers(self, tmp_path):
+        """A read drains the *caller's* shard synchronously (its answer
+        must include the caller's acknowledged writes) and hands every
+        other shard's buffer to the background workers — so another
+        shard's oldest buffered event cannot pin the journal checkpoint
+        indefinitely.  A full flush barrier then compacts the journal."""
         import os
 
         service = ProvenanceService(str(tmp_path), shards=4,
                                     batch_size=10_000)
         service.record_node("alice", visit("a", 1))  # shard 1
         service.record_node("bob", visit("a", 1))    # shard 2
+        alice_shard = service.pool.shard_of("alice")
         service.stats("alice")
+        assert service.ingest.pending(alice_shard) == 0
+        service.flush()  # barrier: every shard drained
         assert service.ingest.pending() == 0
         assert service.journal.flushed_seq == service.journal.last_seq
         assert os.path.getsize(service.journal.path) == 0  # compacted
