@@ -19,13 +19,23 @@ acceptance artifact ``BENCH_service.json`` at the repo root:
   configuration (``fsync=False``) is reported alongside for
   transparency; it is GIL-bound and gains far less from threading.
 
+* **Ingest throughput, process vs. thread workers** — the CPU-bound
+  configuration (``fsync=False``, page-cache durability) where the
+  thread pool is GIL-capped, measured thread-pool vs. shard worker
+  *processes* in paired rounds; full-durability (``fsync=True``) rates
+  are recorded alongside for transparency.
+
 * **Query latency, cached vs. uncached** — per-user ancestor walks and
   text searches (first touch = SQL, repeat = LRU cache), plus the
   cross-shard scatter-gather paths (``global_search``,
   ``aggregate_stats``).
 
 Acceptance (checked when not in smoke mode): parallel ingest at
-``shards=8`` sustains >= 2x the serial baseline.
+``shards=8`` sustains >= 2x the serial baseline, and — on hosts with
+>= 4 CPUs, where CPU parallelism is physically measurable — process
+workers sustain >= 2x the thread pool in the CPU-bound configuration.
+Both are recorded in the artifact either way, so the perf trajectory
+is tracked even on starved hosts.
 
 Run with::
 
@@ -33,7 +43,10 @@ Run with::
 
 Set ``REPRO_BENCH_FAST=1`` for the CI smoke configuration (tiny
 workload, same code paths, no throughput assertion — wall-clock on
-shared CI runners is not a measurement).
+shared CI runners is not a measurement).  Smoke runs skip the artifact
+unless ``REPRO_BENCH_JSON=<path>`` points them somewhere explicitly
+(CI does, to upload the per-leg record), so a local smoke run can
+never clobber the committed trajectory with non-measurements.
 """
 
 from __future__ import annotations
@@ -74,7 +87,11 @@ BATCH_SIZE = 256
 ROUNDS = 1 if FAST else 5
 
 ACCEPT_SHARDS = SHARD_SWEEP[-1]
-BENCH_JSON = os.path.join(
+#: CPU floor below which the process-vs-thread CPU-scaling target is
+#: recorded but not asserted: parallel speedup on a 1-2 core host is
+#: scheduler noise, not a measurement.
+ACCEPT_MIN_CPUS = 4
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON") or os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_service.json",
 )
@@ -83,6 +100,36 @@ WORKLOAD = MultiUserParams(
     users=USERS, days=1 if FAST else 2, sessions_per_day=2,
     actions_per_session=12, seed=23,
 )
+
+#: Sections accumulate here across tests; the artifact file is always
+#: rewritten whole from this record, never merged with a stale file —
+#: a CI smoke run must not blend its numbers into the committed
+#: trajectory record it happens to sit next to.
+_BENCH_RECORD: dict = {}
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Write *section* into the machine-readable bench artifact.
+
+    Smoke mode writes only when ``REPRO_BENCH_JSON`` names a target
+    explicitly (the CI artifact path); real runs always write the
+    repo-root trajectory record.
+    """
+    if FAST and not os.environ.get("REPRO_BENCH_JSON"):
+        return  # smoke numbers are not a measurement; keep them out
+    _BENCH_RECORD["bench"] = "service_ingest_throughput"
+    _BENCH_RECORD["workload"] = {
+        "users": USERS, "days": WORKLOAD.days,
+        "sessions_per_day": WORKLOAD.sessions_per_day,
+        "actions_per_session": WORKLOAD.actions_per_session,
+        "seed": WORKLOAD.seed, "batch_size": BATCH_SIZE,
+        "submitters": SUBMITTERS, "rounds": ROUNDS, "fast_mode": FAST,
+        "cpus": os.cpu_count(),
+    }
+    _BENCH_RECORD[section] = payload
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(_BENCH_RECORD, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="module")
@@ -220,28 +267,20 @@ def test_ingest_parallel_vs_serial(benchmark, user_streams, tmp_path_factory):
          "parallel ev/s", "speedup"],
         rows,
     )
-    payload = {
-        "bench": "service_ingest_throughput",
-        "workload": {
-            "users": USERS, "days": WORKLOAD.days,
-            "sessions_per_day": WORKLOAD.sessions_per_day,
-            "actions_per_session": WORKLOAD.actions_per_session,
-            "seed": WORKLOAD.seed, "batch_size": BATCH_SIZE,
-            "submitters": SUBMITTERS, "rounds": ROUNDS, "fast_mode": FAST,
+    _update_bench_json(
+        "thread_vs_serial",
+        {
+            "results": results,
+            "acceptance": {
+                "criterion": f"parallel >= 2x serial at"
+                             f" shards={ACCEPT_SHARDS} (fsync=True)",
+                "shards": ACCEPT_SHARDS,
+                "speedup": round(accept_speedup, 3),
+                "passed": bool(accept_speedup >= 2.0),
+            },
         },
-        "results": results,
-        "acceptance": {
-            "criterion": f"parallel >= 2x serial at shards={ACCEPT_SHARDS}"
-                         f" (fsync=True)",
-            "shards": ACCEPT_SHARDS,
-            "speedup": round(accept_speedup, 3),
-            "passed": bool(accept_speedup >= 2.0),
-        },
-    }
-    if not FAST:  # smoke numbers are not a measurement; keep them out
-        with open(BENCH_JSON, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+    )
+    if not FAST:
         assert accept_speedup >= 2.0, (
             f"parallel ingest at shards={ACCEPT_SHARDS} reached only"
             f" {accept_speedup:.2f}x the serial baseline"
@@ -256,6 +295,93 @@ def test_ingest_parallel_vs_serial(benchmark, user_streams, tmp_path_factory):
         )
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+
+
+def test_ingest_process_vs_thread(user_streams, tmp_path_factory):
+    """The CPU-parallelism number: shard worker processes vs. the
+    GIL-bound thread pool, in paired rounds.
+
+    The headline configuration is ``fsync=False`` (page-cache
+    durability): there the thread pool has no I/O to overlap and gains
+    almost nothing (~1.1x over serial was the ROADMAP's cap), so any
+    real speedup must come from CPU parallelism — exactly what the
+    process workers add.  ``fsync=True`` is recorded alongside: with
+    group-commit amortizing the fsyncs, both substrates are I/O-shaped
+    there and should be comparable.
+    """
+    rows = []
+    results = []
+    accept_speedup = 0.0
+    for fsync in (False, True):
+        workers = _parallel_workers(ACCEPT_SHARDS)
+        thread_best, process_best, ratios = 0.0, 0.0, []
+        events = 0
+        for round_no in range(ROUNDS):
+            root = tmp_path_factory.mktemp(f"svc_pvt_t{fsync}{round_no}")
+            events, elapsed = _ingest_run(
+                root, user_streams, shards=ACCEPT_SHARDS,
+                workers=f"thread:{workers}", clients=SUBMITTERS, fsync=fsync,
+            )
+            thread_rate = events / elapsed
+            root = tmp_path_factory.mktemp(f"svc_pvt_p{fsync}{round_no}")
+            events, elapsed = _ingest_run(
+                root, user_streams, shards=ACCEPT_SHARDS,
+                workers=f"process:{workers}", clients=SUBMITTERS, fsync=fsync,
+            )
+            process_rate = events / elapsed
+            thread_best = max(thread_best, thread_rate)
+            process_best = max(process_best, process_rate)
+            ratios.append(process_rate / thread_rate)
+        speedup = statistics.median(ratios)
+        if not fsync:
+            accept_speedup = speedup
+        label = f"{ACCEPT_SHARDS}" + ("" if fsync else " (no fsync)")
+        rows.append([
+            label, str(workers), str(SUBMITTERS), str(events),
+            f"{thread_best:,.0f}", f"{process_best:,.0f}",
+            f"{speedup:.2f}x",
+        ])
+        results.append({
+            "shards": ACCEPT_SHARDS, "fsync": fsync, "workers": workers,
+            "clients": SUBMITTERS, "events": events,
+            "thread_events_per_sec": round(thread_best, 1),
+            "process_events_per_sec": round(process_best, 1),
+            "speedup_median_of_pairs": round(speedup, 3),
+            "speedup_per_pair": [round(r, 3) for r in ratios],
+        })
+    emit_table(
+        "service_ingest_process_vs_thread",
+        f"Service ingest - process vs. thread workers at"
+        f" {ACCEPT_SHARDS} shards ({USERS} users, batch={BATCH_SIZE},"
+        f" median of {ROUNDS} paired rounds, {os.cpu_count()} cpus)",
+        ["shards", "workers", "clients", "events", "thread ev/s",
+         "process ev/s", "speedup"],
+        rows,
+    )
+    cpus = os.cpu_count() or 1
+    asserted = (not FAST) and cpus >= ACCEPT_MIN_CPUS
+    _update_bench_json(
+        "process_vs_thread",
+        {
+            "results": results,
+            "acceptance": {
+                "criterion": f"process >= 2x thread at"
+                             f" shards={ACCEPT_SHARDS} (fsync=False,"
+                             f" CPU-bound) on hosts with"
+                             f" >= {ACCEPT_MIN_CPUS} cpus",
+                "shards": ACCEPT_SHARDS,
+                "cpus": cpus,
+                "speedup": round(accept_speedup, 3),
+                "passed": bool(accept_speedup >= 2.0),
+                "asserted": asserted,
+            },
+        },
+    )
+    if asserted:
+        assert accept_speedup >= 2.0, (
+            f"process-worker ingest at shards={ACCEPT_SHARDS} reached"
+            f" only {accept_speedup:.2f}x the thread pool"
+        )
 
 
 def test_query_latency_cached_vs_uncached(user_streams, tmp_path_factory):

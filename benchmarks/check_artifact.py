@@ -1,0 +1,86 @@
+"""Validate the service bench artifact before CI uploads it.
+
+The perf-trajectory record only has value if every CI leg actually
+produced one: a bench that silently skipped the write (or wrote a torn
+or shape-shifted file) would upload nothing — or garbage — and the
+regression would go unnoticed until someone read the artifact by hand.
+This checker fails the job instead.
+
+Usage::
+
+    python benchmarks/check_artifact.py BENCH_service.json
+
+Exits 0 when the file exists, parses, and carries both ingest sections
+(``thread_vs_serial`` and ``process_vs_thread``) with non-empty result
+rows and an acceptance block each; exits 2 with a diagnosis otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REQUIRED_SECTIONS = ("thread_vs_serial", "process_vs_thread")
+REQUIRED_RESULT_KEYS = {"shards", "fsync", "workers", "events"}
+
+
+def check(path: str) -> list[str]:
+    """Every problem with the artifact at *path* (empty = valid)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except FileNotFoundError:
+        return [f"{path}: missing — the bench never wrote its artifact"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: malformed JSON ({exc})"]
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"{path}: top level is {type(record).__name__}, not an object"]
+    if record.get("bench") != "service_ingest_throughput":
+        problems.append(f"unexpected bench id {record.get('bench')!r}")
+    if not isinstance(record.get("workload"), dict):
+        problems.append("missing workload description")
+    for section in REQUIRED_SECTIONS:
+        body = record.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        results = body.get("results")
+        if not isinstance(results, list) or not results:
+            problems.append(f"{section}: no result rows")
+        else:
+            for index, row in enumerate(results):
+                missing = REQUIRED_RESULT_KEYS - set(row)
+                if missing:
+                    problems.append(
+                        f"{section}: row {index} lacks {sorted(missing)}"
+                    )
+        acceptance = body.get("acceptance")
+        if not isinstance(acceptance, dict) or "speedup" not in acceptance:
+            problems.append(f"{section}: no acceptance block")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    problems = check(argv[1])
+    if problems:
+        for problem in problems:
+            print(f"BENCH ARTIFACT INVALID: {problem}")
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    for section in REQUIRED_SECTIONS:
+        acceptance = record[section]["acceptance"]
+        print(
+            f"{section}: speedup {acceptance.get('speedup')}x"
+            f" (passed={acceptance.get('passed')})"
+        )
+    print(f"{argv[1]}: valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,6 +20,7 @@ Supports bulk persistence (:meth:`save_graph`), write-through capture
 
 from __future__ import annotations
 
+import os
 import sqlite3
 import threading
 from collections.abc import Iterable
@@ -111,6 +112,14 @@ class ProvenanceStore:
             path, check_same_thread=False
         )
         self._lock = threading.RLock()
+        #: The process that opened this store owns its connections.  A
+        #: SQLite handle carried across ``fork`` shares file locks and
+        #: statement state with the parent — using it from the child is
+        #: undefined behavior, so it must fail loudly instead.  Shard
+        #: worker *processes* (spawned, not forked) each open their own
+        #: store on the shard path; this guard is what keeps a
+        #: misrouted handle from silently corrupting a shard.
+        self._pid = os.getpid()
         #: Thread ident currently holding the store via :meth:`exclusive`.
         self._owner: int | None = None
         #: Per-thread read-only connections for disk stores (WAL reads).
@@ -184,6 +193,12 @@ class ProvenanceStore:
     def conn(self) -> sqlite3.Connection:
         if self._conn is None:
             raise StoreClosedError("provenance store is closed")
+        if os.getpid() != self._pid:
+            raise StoreAffinityError(
+                f"store {self.path!r} was opened in process {self._pid}"
+                f" and used from process {os.getpid()}; SQLite handles"
+                f" do not survive fork — open a fresh store on the path"
+            )
         owner = self._owner
         if owner is not None and owner != threading.get_ident():
             raise StoreAffinityError(
@@ -221,6 +236,11 @@ class ProvenanceStore:
         """
         if self._conn is None:
             raise StoreClosedError("provenance store is closed")
+        if os.getpid() != self._pid:
+            raise StoreAffinityError(
+                f"store {self.path!r} was opened in process {self._pid};"
+                f" a forked child must open its own store on the path"
+            )
         if self.path == ":memory:":
             return self.conn
         ident = threading.get_ident()

@@ -142,6 +142,29 @@ class SchemaVersionError(StoreError):
         self.expected = expected
 
 
+class WorkerCrashedError(ReproError):
+    """A shard worker process died before acknowledging its batches.
+
+    Raised by the process-based ingest path when a worker is killed (or
+    crashes) mid-flush.  The batches it held are requeued by the
+    pipeline and the journal still covers them, so a retrying flush —
+    or a full crash replay — lands every event exactly once; this error
+    is infrastructure, never a data problem, and is therefore not
+    quarantined by :meth:`repro.service.ingest.IngestPipeline.replay`.
+    """
+
+
+class RemoteApplyError(ReproError):
+    """A shard worker process rejected a batch with a data error.
+
+    The worker's original exception (e.g. :class:`UnknownNodeError`)
+    cannot cross the process boundary reliably, so the parent raises
+    this carrier instead.  It derives from :class:`ReproError` exactly
+    when the child's error did, which is what routes replay into the
+    per-event quarantine path instead of failing startup.
+    """
+
+
 class QueryError(ProvenanceError):
     """A provenance query was malformed or referenced missing objects."""
 

@@ -2,12 +2,17 @@
 
 The serving layer above capture/store/query: a sharded store pool
 (:mod:`~repro.service.pool`), a group-commit journaled ingest pipeline
-with per-shard flush workers and crash replay
-(:mod:`~repro.service.ingest`), the concurrency primitives under both
-hot paths (:mod:`~repro.service.parallel`), an invalidating per-user
-and service-scoped query cache (:mod:`~repro.service.cache`), the
-façade tying them together (:mod:`~repro.service.service`), and a
-multi-user synthetic workload driver (:mod:`~repro.service.workload`).
+with per-shard flush workers — threads or worker processes, selected
+by ``workers="thread"|"process"`` — and crash replay
+(:mod:`~repro.service.ingest`), the concurrency substrates under both
+hot paths (:mod:`~repro.service.parallel`), the shared event-to-rows
+apply transformation that keeps every mode state-equivalent
+(:mod:`~repro.service.apply`), an invalidating per-user and
+service-scoped query cache (:mod:`~repro.service.cache`), the façade
+tying them together — including dead-letter operations
+``deadlettered()`` / ``redrive()`` (:mod:`~repro.service.service`) —
+and a multi-user synthetic workload driver
+(:mod:`~repro.service.workload`).
 
 Quickstart::
 
@@ -19,6 +24,7 @@ Quickstart::
             print(user, service.stats(user))
 """
 
+from repro.service.apply import apply_event_batch
 from repro.service.cache import GLOBAL_SCOPE, CacheStats, QueryCache
 from repro.service.events import (
     EdgeEvent,
@@ -32,13 +38,20 @@ from repro.service.events import (
     validate_user_id,
 )
 from repro.service.ingest import IngestJournal, IngestPipeline, IngestStats
-from repro.service.parallel import ShardFailure, ShardWorkerPool, scatter_gather
+from repro.service.parallel import (
+    ShardFailure,
+    ShardWorkerPool,
+    ShardWorkerProcessPool,
+    scatter_gather,
+)
 from repro.service.pool import PoolStats, StorePool, shard_for
 from repro.service.service import (
     AggregateStats,
+    DeadLetter,
     ProvenanceService,
     ServiceStats,
     UserStats,
+    parse_workers,
 )
 from repro.service.workload import (
     MultiUserParams,
@@ -52,6 +65,7 @@ from repro.service.workload import (
 __all__ = [
     "AggregateStats",
     "CacheStats",
+    "DeadLetter",
     "EdgeEvent",
     "GLOBAL_SCOPE",
     "IngestJournal",
@@ -68,10 +82,13 @@ __all__ = [
     "ServiceStats",
     "ShardFailure",
     "ShardWorkerPool",
+    "ShardWorkerProcessPool",
     "StorePool",
     "UserStats",
+    "apply_event_batch",
     "decode_event",
     "encode_event",
+    "parse_workers",
     "qualify",
     "replay_streams",
     "run_multiuser_workload",

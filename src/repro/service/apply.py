@@ -1,0 +1,92 @@
+"""Turning journaled service events into shard-store rows.
+
+This is the single definition of "apply a batch": the tenant-qualifying
+transformation from :class:`~repro.service.events.ProvEvent` records to
+``prov_nodes`` / ``prov_edges`` / ``prov_intervals`` rows, committed as
+one transaction.  Both concurrency substrates run it —
+
+* the **thread** flush workers (and the serial drain) call it on a
+  store checked out of the parent's pool;
+* the **process** shard workers call it inside the worker process, on
+  the store that process owns exclusively.
+
+Keeping it substrate-neutral is what makes the two worker modes
+byte-for-byte state-equivalent: the only thing that differs between
+them is *where* this function runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.capture import NodeInterval
+from repro.core.model import ProvEdge, ProvNode
+from repro.service.events import (
+    EdgeEvent,
+    IntervalEvent,
+    NodeEvent,
+    ProvEvent,
+    qualify,
+)
+
+
+def apply_event_batch(
+    store, batch: list[tuple[int, ProvEvent]]
+) -> None:
+    """Apply *batch* (``[(seq, event)]``) to *store* in one transaction.
+
+    Tenant namespacing happens here: node ids are prefixed with their
+    owner so edges can never cross users inside a shard.  On any
+    failure the open transaction is rolled back (which also drops the
+    store's row-id caches) and the error re-raises — the caller decides
+    between requeue, quarantine, and crash replay; the journal still
+    holds every event either way.
+    """
+    nodes: list[ProvNode] = []
+    edges: list[ProvEdge] = []
+    intervals: list[NodeInterval] = []
+    for _seq, event in batch:
+        user = event.user_id
+        if isinstance(event, NodeEvent):
+            node = event.node
+            nodes.append(
+                ProvNode(
+                    id=qualify(user, node.id),
+                    kind=node.kind,
+                    timestamp_us=node.timestamp_us,
+                    label=node.label,
+                    url=node.url,
+                    attrs=node.attrs,
+                )
+            )
+        elif isinstance(event, EdgeEvent):
+            edge = event.edge
+            edges.append(
+                ProvEdge(
+                    id=edge.id,
+                    kind=edge.kind,
+                    src=qualify(user, edge.src),
+                    dst=qualify(user, edge.dst),
+                    timestamp_us=edge.timestamp_us,
+                    attrs=edge.attrs,
+                )
+            )
+        elif isinstance(event, IntervalEvent):
+            interval = event.interval
+            intervals.append(
+                NodeInterval(
+                    node_id=qualify(user, interval.node_id),
+                    tab_id=interval.tab_id,
+                    opened_us=interval.opened_us,
+                    closed_us=interval.closed_us,
+                )
+            )
+    try:
+        store.append_nodes(nodes)
+        store.append_edges(edges)
+        store.append_intervals(intervals)
+    except Exception:
+        # Keep the shard transactionally clean; rollback() also drops
+        # the store's row-id caches, which may point at rows the
+        # rollback erased.
+        store.rollback()
+        raise
+    store.commit()

@@ -15,12 +15,28 @@ Writes take two hops:
    power loss — group commit is what makes that affordable.
 2. **Flush** — buffered events drain into the sharded SQLite stores in
    batched transactions.  With ``workers=N`` the pipeline dispatches
-   each shard's batches to a :class:`~repro.service.parallel.ShardWorkerPool`:
-   every shard maps to one worker, so SQLite's one-writer limit applies
-   per shard file and the shards commit concurrently.  ``workers=None``
-   keeps the original serial drain (the benchmark baseline).
-   :meth:`IngestPipeline.flush` is a barrier — it joins the workers —
-   and :meth:`IngestPipeline.drain_for_read` gives queries
+   each shard's batches to one of two substrates behind the same
+   contract, selected by ``worker_mode``:
+
+   - ``"thread"`` — a :class:`~repro.service.parallel.ShardWorkerPool`
+     of flush threads: every shard maps to one worker, so SQLite's
+     one-writer limit applies per shard file and the shards commit
+     concurrently (I/O overlaps; CPU stays GIL-bound).
+   - ``"process"`` — a
+     :class:`~repro.service.parallel.ShardWorkerProcessPool` of shard
+     worker processes, each owning its shards' SQLite files
+     exclusively, for CPU parallelism past the GIL.  The journal stays
+     the durable hand-off: a batch is dispatched only after its events
+     are journal-synced, events cross the process boundary in their
+     journal codec, workers acknowledge applied sequences over a
+     result queue, and the checkpoint advances only on
+     acknowledgement.  A killed worker's unacknowledged batches are
+     requeued and re-applied (rows are idempotent, so replay is
+     exactly-once even past a commit-then-crash).
+
+   ``workers=None`` keeps the original serial drain (the benchmark
+   baseline).  :meth:`IngestPipeline.flush` is a barrier — it joins the
+   workers — and :meth:`IngestPipeline.drain_for_read` gives queries
    read-your-own-writes by draining the caller's shard synchronously
    while other shards keep flushing in the background.
 
@@ -51,23 +67,20 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
-from repro.core.capture import NodeInterval
-from repro.core.model import AttrValue, ProvEdge, ProvNode
+from repro.core.model import AttrValue, ProvEdge
 from repro.core.taxonomy import EdgeKind
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, WorkerCrashedError
+from repro.service.apply import apply_event_batch
 from repro.service.cache import QueryCache
 from repro.service.events import (
     EdgeEvent,
-    IntervalEvent,
-    NodeEvent,
     ProvEvent,
     decode_event,
     encode_edge_json_parts,
     encode_event,
     encode_event_json,
-    qualify,
 )
-from repro.service.parallel import ShardWorkerPool
+from repro.service.parallel import ShardWorkerPool, ShardWorkerProcessPool
 from repro.service.pool import StorePool
 
 
@@ -175,8 +188,21 @@ class IngestJournal:
         """
         if self._durable >= seq:
             return seq
+        misses = 0
         while True:
-            if self._io_lock.acquire(blocking=False):
+            if misses < 4:
+                acquired = self._io_lock.acquire(blocking=False)
+            else:
+                # Starvation guard: when another io-lock user loops
+                # tightly (compaction under memory pressure, say), the
+                # opportunistic non-blocking acquire can lose every
+                # race on a busy host — livelocking the submitter.  A
+                # blocking acquire queues on the lock and guarantees
+                # progress; it only costs the handoff context switch
+                # in the rare contended case.
+                self._io_lock.acquire()
+                acquired = True
+            if acquired:
                 try:
                     if self._durable < seq:
                         self._write_staged_locked()
@@ -198,6 +224,7 @@ class IngestJournal:
                     self._sync_waiters -= 1
                 if self._durable >= seq:
                     return seq
+                misses += 1
 
     def _write_staged_locked(self) -> None:
         """Drain the staged lines into the active file (io lock held)."""
@@ -281,26 +308,96 @@ class IngestJournal:
             separators=(",", ":"),
         )
         with self._io_lock:
+            # A crash mid-append can leave a torn final line; writing a
+            # separator first turns the fragment into one bad line of
+            # its own instead of merging the new record into it (which
+            # would make *both* unreadable).
+            torn = False
+            try:
+                with open(self._deadletter_path, "rb") as check:
+                    check.seek(-1, os.SEEK_END)
+                    torn = check.read(1) != b"\n"
+            except (FileNotFoundError, OSError):
+                torn = False
             with open(self._deadletter_path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+                handle.write(("\n" if torn else "") + line + "\n")
                 handle.flush()
                 if self.fsync:
                     os.fsync(handle.fileno())
 
     def deadlettered(self) -> list[dict]:
-        """Quarantined entries (``{"seq", "error", "ev"}``), oldest first."""
+        """Quarantined entries (``{"seq", "error", "ev"}``), oldest first.
+
+        A torn or corrupt line (crash mid-append) is skipped, not a
+        stop signal: entries behind it must stay visible — and
+        recoverable by :meth:`pop_deadletter`, which preserves the bad
+        line itself byte-for-byte.
+        """
         entries: list[dict] = []
         if not os.path.exists(self._deadletter_path):
             return entries
         with open(self._deadletter_path, "r", encoding="utf-8") as handle:
             for line in handle:
                 if not line.endswith("\n"):
-                    break
+                    continue
                 try:
                     entries.append(json.loads(line))
                 except json.JSONDecodeError:
-                    break
+                    continue
         return entries
+
+    def pop_deadletter(self, seq: int) -> dict:
+        """Remove and return the quarantined entry for *seq*.
+
+        The redrive half of dead-letter operations: the service pops
+        the entry, repairs it, and resubmits it through the normal
+        pipeline (fresh sequence, full journal durability).  The file
+        is rewritten atomically so a crash mid-pop leaves either the
+        old file or the new one, never a torn mix.  Raises
+        :class:`~repro.errors.ConfigurationError` when *seq* is not
+        quarantined.
+        """
+        with self._io_lock:
+            kept: list[str] = []
+            found: dict | None = None
+            if os.path.exists(self._deadletter_path):
+                with open(
+                    self._deadletter_path, "r", encoding="utf-8"
+                ) as handle:
+                    for line in handle:
+                        entry = None
+                        if line.endswith("\n"):
+                            try:
+                                entry = json.loads(line)
+                            except json.JSONDecodeError:
+                                entry = None
+                        if (
+                            entry is not None
+                            and found is None
+                            and entry.get("seq") == seq
+                        ):
+                            found = entry
+                        else:
+                            # Unparseable lines are kept verbatim: the
+                            # rewrite must never silently discard an
+                            # entry it merely failed to read.
+                            kept.append(line)
+            if found is None:
+                raise ConfigurationError(
+                    f"no dead-lettered entry with sequence {seq}"
+                )
+            tmp = self._deadletter_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.writelines(kept)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            if kept:
+                os.replace(tmp, self._deadletter_path)
+            else:
+                os.unlink(tmp)
+                os.unlink(self._deadletter_path)
+        return found
 
     # -- recovery ---------------------------------------------------------------
 
@@ -409,9 +506,12 @@ class IngestPipeline:
     ``workers=N`` enables the parallel write path: shard batches are
     dispatched to N flush workers (shard → worker ``shard % N``, so
     per-shard order is preserved) and :meth:`flush` becomes a barrier.
-    ``workers=None`` (or 0) drains serially in the calling thread —
-    byte-for-byte the same per-shard store state, measured against the
-    parallel mode by ``benchmarks/bench_service_throughput.py``.
+    ``worker_mode`` picks the substrate: ``"thread"`` (default, I/O
+    overlap) or ``"process"`` (shard worker processes, CPU parallelism;
+    requires disk-backed shards).  ``workers=None`` (or 0) drains
+    serially in the calling thread — byte-for-byte the same per-shard
+    store state in all three modes, measured against each other by
+    ``benchmarks/bench_service_throughput.py``.
     """
 
     def __init__(
@@ -422,17 +522,33 @@ class IngestPipeline:
         batch_size: int = 256,
         cache: QueryCache | None = None,
         workers: int | None = None,
+        worker_mode: str = "thread",
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
         if workers is not None and workers < 0:
             raise ConfigurationError("workers must be >= 0 (or None)")
+        if worker_mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"worker_mode must be 'thread' or 'process', not"
+                f" {worker_mode!r}"
+            )
+        if worker_mode == "process" and (workers or 0) and pool.root is None:
+            raise ConfigurationError(
+                "process workers need disk-backed shards; an in-memory"
+                " pool is private to this process"
+            )
         self.pool = pool
         self.journal = journal
         self.batch_size = batch_size
         self.cache = cache
         self.stats = IngestStats()
         self.workers = workers or 0
+        self.worker_mode = worker_mode
+        #: Shards whose store file + schema the parent has created, so a
+        #: worker process and a parent-side reader can never race the
+        #: initial CREATE TABLE script on the same file.
+        self._prepared_shards: set[int] = set()
         self._lock = threading.RLock()
         self._buffers: dict[int, list[tuple[int, ProvEvent]]] = {}
         #: Dispatched-but-unsettled batches per shard, in dispatch order
@@ -551,15 +667,31 @@ class IngestPipeline:
 
     # -- draining ---------------------------------------------------------------
 
-    def _ensure_workers_locked(self) -> ShardWorkerPool:
+    def _ensure_workers_locked(self):
         if self._pool_workers is None:
-            self._pool_workers = ShardWorkerPool(
-                self._apply_job, workers=self.workers
-            )
+            if self.worker_mode == "process":
+                self._pool_workers = ShardWorkerProcessPool(
+                    {
+                        shard: self.pool.shard_path(shard)
+                        for shard in range(self.pool.shards)
+                    },
+                    self._on_applied,
+                    workers=self.workers,
+                )
+            else:
+                self._pool_workers = ShardWorkerPool(
+                    self._apply_job, workers=self.workers
+                )
         return self._pool_workers
 
     def _dispatch_locked(self, shard: int) -> None:
         workers = self._ensure_workers_locked()
+        if self.worker_mode == "process" and shard not in self._prepared_shards:
+            # The parent creates the shard file + schema before the
+            # worker process ever opens it; two processes racing the
+            # schema script on one fresh file would both try CREATE.
+            self.pool.ensure_schema(shard)
+            self._prepared_shards.add(shard)
         if workers.poisoned(shard):
             # Batches sent to a poisoned shard would only be diverted
             # into its failure list unapplied; leaving them buffered
@@ -574,12 +706,22 @@ class IngestPipeline:
         workers.dispatch(shard, batch)
 
     def _apply_job(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
-        """Worker-side apply: on success, settle the batch's accounting.
+        """Thread-worker apply: on success, settle the batch's accounting.
 
         On failure the batch stays in ``_inflight`` (its events are
         still pending) until the barrier requeues it into the buffers.
         """
         self._apply(shard, batch)
+        self._on_applied(shard, batch)
+
+    def _on_applied(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
+        """Settle one applied batch's accounting.
+
+        Called by the thread workers right after they apply, and by the
+        process pool's collector thread when a worker process
+        *acknowledges* a batch — acknowledgement, not dispatch, is what
+        lets the checkpoint advance past the batch's sequences.
+        """
         with self._lock:
             self._settle_inflight_locked(shard, batch)
             self._pending -= len(batch)
@@ -634,8 +776,16 @@ class IngestPipeline:
                 self._advance_checkpoint_locked()
             return 0
         workers.barrier(shard)
-        failures = workers.drain_failures(shard)
         with self._lock:
+            # Drain and requeue under one pipeline lock: draining
+            # unpoisons the shard, and if a concurrent submitter's
+            # freshly filled buffer could dispatch in between, *newer*
+            # events would apply ahead of the failed older batches the
+            # requeue is about to restore — a per-shard order
+            # violation.  (Pipeline -> pool lock order matches
+            # dispatch; the collectors never hold the pool lock while
+            # settling into the pipeline.)
+            failures = workers.drain_failures(shard)
             self._requeue_locked(failures)
             self._advance_checkpoint_locked()
             applied = self.stats.applied - applied_before
@@ -661,8 +811,9 @@ class IngestPipeline:
         if workers is None:
             return
         workers.barrier(shard)
-        failures = workers.drain_failures(shard)
         with self._lock:
+            # Atomic drain + requeue, same reasoning as flush().
+            failures = workers.drain_failures(shard)
             self._requeue_locked(failures)
             self._advance_checkpoint_locked()
         if failures:
@@ -713,57 +864,14 @@ class IngestPipeline:
             return applied
 
     def _apply(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
+        """Parent-side apply (serial drain, thread workers, salvage).
+
+        Process workers run the same :func:`apply_event_batch` inside
+        their own process, on the store that process owns — the shared
+        function is what keeps every mode state-equivalent.
+        """
         with self.pool.checkout(shard) as store, store.exclusive():
-            nodes: list[ProvNode] = []
-            edges: list[ProvEdge] = []
-            intervals: list[NodeInterval] = []
-            for _seq, event in batch:
-                user = event.user_id
-                if isinstance(event, NodeEvent):
-                    node = event.node
-                    nodes.append(
-                        ProvNode(
-                            id=qualify(user, node.id),
-                            kind=node.kind,
-                            timestamp_us=node.timestamp_us,
-                            label=node.label,
-                            url=node.url,
-                            attrs=node.attrs,
-                        )
-                    )
-                elif isinstance(event, EdgeEvent):
-                    edge = event.edge
-                    edges.append(
-                        ProvEdge(
-                            id=edge.id,
-                            kind=edge.kind,
-                            src=qualify(user, edge.src),
-                            dst=qualify(user, edge.dst),
-                            timestamp_us=edge.timestamp_us,
-                            attrs=edge.attrs,
-                        )
-                    )
-                elif isinstance(event, IntervalEvent):
-                    interval = event.interval
-                    intervals.append(
-                        NodeInterval(
-                            node_id=qualify(user, interval.node_id),
-                            tab_id=interval.tab_id,
-                            opened_us=interval.opened_us,
-                            closed_us=interval.closed_us,
-                        )
-                    )
-            try:
-                store.append_nodes(nodes)
-                store.append_edges(edges)
-                store.append_intervals(intervals)
-            except Exception:
-                # Keep the shard transactionally clean; rollback() also
-                # drops the store's row-id caches, which may point at
-                # rows the rollback erased.
-                store.rollback()
-                raise
-            store.commit()
+            apply_event_batch(store, batch)
 
     def _advance_checkpoint_locked(self) -> None:
         """Checkpoint up to the oldest still-pending sequence (lock held).
@@ -805,21 +913,39 @@ class IngestPipeline:
             self.stats.replayed += len(entries)
         try:
             self.flush()
+        except WorkerCrashedError:
+            # Infrastructure, not data: a worker process died mid-
+            # replay.  The events are requeued and retryable; feeding
+            # them to the quarantine would throw good events away.
+            raise
         except ReproError:
-            self._quarantine_pending()
+            self.quarantine_pending()
         return len(entries)
 
-    def _quarantine_pending(self) -> None:
+    def quarantine_pending(self) -> None:
         """Apply buffered events one at a time, dead-lettering the bad.
 
-        The salvage path behind :meth:`replay`: after a batched flush
-        fails, per-event application in journal order isolates exactly
-        which entries are poison.  Events are applied in their original
+        The salvage path behind :meth:`replay` (and the service's
+        ``redrive``): after a batched flush fails, per-event
+        application in journal order isolates exactly which entries are
+        poison.  Events are applied in their original
         submission order, which is causal per user, so a healthy event
         can never fail here because of a quarantined *earlier* one —
         unless it genuinely depended on it, in which case it is poison
         too and joins it in the dead-letter file.
         """
+        # Settle everything in flight first.  A caller may arrive here
+        # off a single-shard flush (redrive does); salvaging buffered
+        # events while a worker still applies an *older* batch for
+        # another shard would apply newer events out of order — and
+        # could falsely dead-letter a healthy event whose context is
+        # sitting in that in-flight batch.  After a full flush() (the
+        # replay path) this barrier is a no-op.
+        if self.workers and self._pool_workers is not None:
+            self._pool_workers.barrier()
+            with self._lock:
+                failures = self._pool_workers.drain_failures()
+                self._requeue_locked(failures)
         with self._lock:
             buffers, self._buffers = self._buffers, {}
         shards = sorted(buffers)

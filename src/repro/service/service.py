@@ -37,7 +37,12 @@ from repro.core.capture import NodeInterval
 from repro.core.graph import ProvenanceGraph
 from repro.core.model import AttrValue, ProvNode
 from repro.core.taxonomy import EdgeKind
-from repro.errors import ConfigurationError, UnknownNodeError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    UnknownNodeError,
+    WorkerCrashedError,
+)
 from repro.service.cache import CacheStats, QueryCache
 from repro.service.events import (
     USER_SEP,
@@ -45,6 +50,7 @@ from repro.service.events import (
     IntervalEvent,
     NodeEvent,
     ProvEvent,
+    decode_event,
     qualify,
     unqualify,
     validate_user_id,
@@ -78,6 +84,62 @@ class AggregateStats:
 
 
 @dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined event, decoded for inspection and repair."""
+
+    seq: int
+    error: str
+    event: ProvEvent
+
+
+def parse_workers(workers: int | str | None, shards: int) -> tuple[str, int]:
+    """Resolve the service's ``workers=`` spec to ``(mode, count)``.
+
+    Accepted specs::
+
+        None / 0        serial drain (the benchmark baseline)
+        N               N flush threads (back-compat integer form)
+        "auto"          thread mode, min(shards, cpu_count) workers
+        "thread[:N]"    thread mode, explicit or auto count
+        "process[:N]"   shard worker processes, explicit or auto count
+
+    Thread workers overlap shard I/O (fsync, WAL writes); process
+    workers add CPU parallelism past the GIL, at the cost of one
+    interpreter per worker and journal-codec serialization on every
+    batch hand-off.
+    """
+    if workers is None:
+        return ("thread", 0)
+    if isinstance(workers, bool):
+        raise ConfigurationError(f"invalid workers spec: {workers!r}")
+    if isinstance(workers, int):
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0 (or a mode spec)")
+        return ("thread", workers)
+    if isinstance(workers, str):
+        mode, _sep, count_text = workers.partition(":")
+        if mode == "auto":
+            mode = "thread"
+        if mode in ("thread", "process"):
+            if not count_text:
+                count = min(shards, os.cpu_count() or 1)
+            else:
+                try:
+                    count = int(count_text)
+                except ValueError:
+                    count = -1
+                if count < 1:
+                    raise ConfigurationError(
+                        f"invalid worker count in spec {workers!r}"
+                    )
+            return (mode, count)
+    raise ConfigurationError(
+        f"workers must be an int, None, 'auto', 'thread[:N]', or"
+        f" 'process[:N]', not {workers!r}"
+    )
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Whole-service accounting snapshot."""
 
@@ -106,12 +168,7 @@ class ProvenanceService:
         workers: int | str | None = "auto",
         journal_rotate_bytes: int | None = 32 * 1024 * 1024,
     ) -> None:
-        if workers == "auto":
-            workers = min(shards, os.cpu_count() or 1)
-        elif workers is not None and not isinstance(workers, int):
-            raise ConfigurationError(
-                f"workers must be an int, None, or 'auto', not {workers!r}"
-            )
+        worker_mode, worker_count = parse_workers(workers, shards)
         self._tmp: tempfile.TemporaryDirectory | None = None
         if root is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="prov-service-")
@@ -139,7 +196,8 @@ class ProvenanceService:
             )
             self.ingest = IngestPipeline(
                 self.pool, self.journal, batch_size=batch_size,
-                cache=self.cache, workers=workers
+                cache=self.cache, workers=worker_count,
+                worker_mode=worker_mode,
             )
             self._users: set[str] = set()
             #: Events recovered from the journal at startup (crash replay).
@@ -239,6 +297,68 @@ class ProvenanceService:
     def flush(self) -> int:
         """Drain all buffered events to the shard stores."""
         return self.ingest.flush()
+
+    # -- dead-letter operations -------------------------------------------------
+
+    def deadlettered(self) -> list[DeadLetter]:
+        """Quarantined events, oldest first, decoded for inspection.
+
+        An event lands here when crash replay (or a redrive) proved the
+        stores can never accept it — e.g. an edge whose endpoints were
+        never recorded.  Each entry keeps the original journal sequence
+        and the error that condemned it; repair and resubmit with
+        :meth:`redrive`.
+        """
+        return [
+            DeadLetter(
+                seq=entry["seq"],
+                error=entry["error"],
+                event=decode_event(entry["ev"]),
+            )
+            for entry in self.journal.deadlettered()
+        ]
+
+    def redrive(self, seq: int, event: ProvEvent | None = None) -> int:
+        """Repair and resubmit the quarantined entry *seq*.
+
+        *event* is the repaired replacement (same tenant); ``None``
+        retries the original — useful when the missing context has
+        since been recorded (e.g. the edge's endpoints exist now).  The
+        entry leaves the dead-letter file, the event re-enters the
+        pipeline under a fresh journal sequence (returned), and the
+        tenant's shard is drained so the caller immediately sees
+        whether the repair took.  If the event is *still* poison it is
+        re-quarantined under its new sequence — a failed redrive never
+        wedges the pipeline — and the original error re-raises.
+
+        Ordering: the replacement is journaled *before* the entry
+        leaves the dead-letter file, so a crash in between can at worst
+        leave the entry redrivable a second time (rows are idempotent)
+        — never lost from both places.
+        """
+        entries = {entry["seq"]: entry for entry in self.journal.deadlettered()}
+        entry = entries.get(seq)
+        if entry is None:
+            raise ConfigurationError(
+                f"no dead-lettered entry with sequence {seq}"
+            )
+        original = decode_event(entry["ev"])
+        replacement = original if event is None else event
+        if replacement.user_id != original.user_id:
+            raise ConfigurationError(
+                f"redrive cannot move an event between tenants"
+                f" ({original.user_id!r} -> {replacement.user_id!r})"
+            )
+        new_seq = self.record_event(replacement)
+        self.journal.pop_deadletter(seq)
+        try:
+            self.ingest.flush(self.pool.shard_of(replacement.user_id))
+        except WorkerCrashedError:
+            raise  # infrastructure: the event is requeued, not poison
+        except ReproError:
+            self.ingest.quarantine_pending()
+            raise
+        return new_seq
 
     # -- reads ------------------------------------------------------------------
 

@@ -368,6 +368,72 @@ class TestExactlyOnceIntervals:
         pool.close()
 
 
+class TestCompactionVsBarrier:
+    def test_compaction_racing_active_flush_barrier(self, tmp_path):
+        """Segment compaction fired concurrently with live flush
+        barriers must never reclaim an unflushed entry.
+
+        Tiny segments + tiny batches maximize rotation and checkpoint
+        churn while a submitter thread keeps the pipeline hot, flush
+        barriers run on the main thread, and a third thread hammers
+        ``compact()`` the whole time — the exact interleaving PR 2's
+        suite left uncovered.
+        """
+        root = str(tmp_path)
+        pool = StorePool(os.path.join(root, "shards"), shards=4)
+        journal = IngestJournal(os.path.join(root, "j.log"),
+                                rotate_bytes=256)
+        pipeline = IngestPipeline(pool, journal, batch_size=4, workers=2)
+        stop = threading.Event()
+        compactions = []
+
+        def compact_loop():
+            while not stop.is_set():
+                compactions.append(journal.compact())
+
+        compactor = threading.Thread(target=compact_loop)
+        submitted = [0]
+
+        def submit_loop():
+            for i in range(120):
+                user = f"user{i % 5:02d}"
+                pipeline.submit(node_event(user, f"n{i:04d}", i + 1))
+                submitted[0] += 1
+
+        submitter = threading.Thread(target=submit_loop)
+        compactor.start()
+        submitter.start()
+        try:
+            for _ in range(20):
+                pipeline.flush()  # barriers overlapping live compaction
+        finally:
+            submitter.join()
+            stop.set()
+            compactor.join()
+        pipeline.flush()
+        # Nothing lost: every submitted event is applied, the journal
+        # has no unflushed tail, and a fresh open replays nothing.
+        assert pipeline.stats.applied == submitted[0]
+        total_nodes = sum(
+            pool.store(shard).node_count() for shard in range(4)
+        )
+        assert total_nodes == submitted[0]
+        assert journal.unflushed() == []
+        pipeline.close()
+        pool.close()
+
+        pool = StorePool(os.path.join(root, "shards"), shards=4)
+        journal = IngestJournal(os.path.join(root, "j.log"),
+                                rotate_bytes=256)
+        pipeline = IngestPipeline(pool, journal, batch_size=4, workers=2)
+        assert pipeline.replay() == 0
+        assert sum(
+            pool.store(shard).node_count() for shard in range(4)
+        ) == submitted[0]
+        pipeline.close()
+        pool.close()
+
+
 class TestPoisonQuarantine:
     def test_poison_event_deadletters_and_replay_continues(self, tmp_path):
         root = str(tmp_path)

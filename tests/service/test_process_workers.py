@@ -1,0 +1,346 @@
+"""Process-based shard workers: the CPU-parallel ingest substrate.
+
+The acceptance story mirrors the thread pool's, with the extra hazards
+processes add: process-mode flush must be state-equivalent to the
+serial drain, a worker process killed mid-flush must cost nothing (the
+parent requeues its unacknowledged batches and replay is exactly-once,
+even when the worker committed before dying), and read-your-own-writes
+must hold across the process boundary via WAL snapshots.
+"""
+
+import os
+
+import pytest
+
+from repro.core.capture import NodeInterval
+from repro.core.model import ProvNode
+from repro.core.store import ProvenanceStore
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import (
+    ConfigurationError,
+    RemoteApplyError,
+    StoreAffinityError,
+    WorkerCrashedError,
+)
+from repro.service import ProvenanceService, parse_workers
+from repro.service.events import IntervalEvent, NodeEvent
+from repro.service.ingest import IngestJournal, IngestPipeline
+from repro.service.pool import StorePool
+
+
+def visit(node_id, ts=1, **kwargs):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    **kwargs)
+
+
+def node_event(user, node_id, ts=1, **kwargs):
+    return NodeEvent(user_id=user, node=visit(node_id, ts, **kwargs))
+
+
+def store_dump(store: ProvenanceStore) -> str:
+    """The store's full logical content, deterministic row order."""
+    return "\n".join(store.conn.iterdump())
+
+
+def submit_stream(pipeline, users=4, nodes_per_user=30):
+    """A deterministic multi-tenant stream: nodes, edges, intervals."""
+    count = 0
+    for i in range(nodes_per_user):
+        for u in range(users):
+            user = f"user{u:02d}"
+            pipeline.submit(
+                node_event(user, f"n{i:03d}", i + 1,
+                           label=f"page {i} of {user}",
+                           url=f"http://site{u}.example.com/p{i}")
+            )
+            count += 1
+            if i > 0:
+                pipeline.submit_edge(user, EdgeKind.LINK, f"n{i-1:03d}",
+                                     f"n{i:03d}", timestamp_us=i + 1)
+                count += 1
+            if i % 7 == 0:
+                pipeline.submit(IntervalEvent(
+                    user_id=user,
+                    interval=NodeInterval(node_id=f"n{i:03d}", tab_id=1,
+                                          opened_us=i + 1, closed_us=i + 2),
+                ))
+                count += 1
+    return count
+
+
+def make_pipeline(root, *, shards=4, batch_size=32, workers=None,
+                  worker_mode="thread"):
+    pool = StorePool(os.path.join(root, "shards"), shards=shards)
+    journal = IngestJournal(os.path.join(root, "j.log"))
+    pipeline = IngestPipeline(pool, journal, batch_size=batch_size,
+                              workers=workers, worker_mode=worker_mode)
+    return pool, pipeline
+
+
+class TestWorkersSpec:
+    def test_mode_specs_parse(self):
+        cpus = min(4, os.cpu_count() or 1)
+        assert parse_workers(None, 4) == ("thread", 0)
+        assert parse_workers(0, 4) == ("thread", 0)
+        assert parse_workers(3, 4) == ("thread", 3)
+        assert parse_workers("auto", 4) == ("thread", cpus)
+        assert parse_workers("thread", 4) == ("thread", cpus)
+        assert parse_workers("thread:2", 4) == ("thread", 2)
+        assert parse_workers("process", 4) == ("process", cpus)
+        assert parse_workers("process:8", 4) == ("process", 8)
+
+    @pytest.mark.parametrize(
+        "spec", ["prcess", "process:zero", "process:0", "thread:-1", -1, 2.5]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_workers(spec, 4)
+
+    def test_process_mode_requires_disk_backed_shards(self):
+        pool = StorePool(None, shards=2)
+        with pytest.raises(ConfigurationError):
+            IngestPipeline(pool, IngestJournal(os.devnull), workers=2,
+                           worker_mode="process")
+        pool.close()
+
+
+class TestProcessEqualsSerial:
+    def test_process_flush_state_identical_to_serial(self, tmp_path):
+        """Same stream, same order → per-shard stores dump identically,
+        even though one set of stores was written by worker processes."""
+        dumps = {}
+        for mode, workers, worker_mode in (
+            ("serial", None, "thread"),
+            ("process", 2, "process"),
+        ):
+            pool, pipeline = make_pipeline(
+                str(tmp_path / mode), workers=workers, worker_mode=worker_mode
+            )
+            submit_stream(pipeline)
+            pipeline.flush()
+            dumps[mode] = {
+                shard: store_dump(pool.store(shard)) for shard in range(4)
+            }
+            pipeline.close()
+            pool.close()
+        assert dumps["process"] == dumps["serial"]
+
+    def test_process_flush_applies_everything_and_checkpoints(self, tmp_path):
+        pool, pipeline = make_pipeline(
+            str(tmp_path), workers=2, worker_mode="process"
+        )
+        count = submit_stream(pipeline)
+        pipeline.flush()
+        assert pipeline.stats.applied == count
+        assert pipeline.pending() == 0
+        # Acknowledged sequences moved the checkpoint to the top: a
+        # crash right now would replay nothing.
+        assert pipeline.journal.flushed_seq == pipeline.journal.last_seq
+        pipeline.close()
+        pool.close()
+
+
+class TestWorkerKill:
+    def test_kill_mid_flush_requeues_and_retries_exactly_once(self, tmp_path):
+        """SIGKILL a worker with batches in flight: the flush surfaces
+        WorkerCrashedError, everything lands on retry, and the store
+        state equals the serial reference — no loss, no duplicates."""
+        reference_root = str(tmp_path / "ref")
+        pool, pipeline = make_pipeline(reference_root, batch_size=8)
+        count = submit_stream(pipeline)
+        pipeline.flush()
+        reference = {
+            shard: store_dump(pool.store(shard)) for shard in range(4)
+        }
+        pipeline.close()
+        pool.close()
+
+        pool, pipeline = make_pipeline(
+            str(tmp_path / "proc"), batch_size=8, workers=2,
+            worker_mode="process",
+        )
+        assert submit_stream(pipeline) == count
+        # Small batches → many dispatched jobs already queued to the
+        # worker processes; kill one before the barrier drains them.
+        procs = pipeline._pool_workers.processes()
+        assert procs, "dispatch should have spawned workers"
+        procs[0].kill()
+        try:
+            pipeline.flush()
+        except WorkerCrashedError:
+            # The killed worker's unacknowledged batches were requeued;
+            # the journal still covers them.  Retry with a respawned
+            # worker (possibly re-applying a committed-but-unacked
+            # batch — rows are idempotent).
+            assert pipeline.pending() > 0
+            pipeline.flush()
+        assert pipeline.pending() == 0
+        assert pipeline.stats.applied >= count
+        dumps = {shard: store_dump(pool.store(shard)) for shard in range(4)}
+        assert dumps == reference
+        pipeline.close()
+        pool.close()
+
+    def test_kill_then_parent_crash_replays_exactly_once(self, tmp_path):
+        """Worker killed mid-flush AND the parent never retries (crash):
+        reopening replays from the journal with exactly-once results."""
+        root = str(tmp_path / "svc")
+        service = ProvenanceService(root, shards=2, batch_size=4,
+                                    workers="process:1")
+        for i in range(30):
+            service.record_node("alice", visit(f"v{i}", i + 1))
+            if i > 0:
+                service.record_edge("alice", EdgeKind.LINK, f"v{i-1}",
+                                    f"v{i}", timestamp_us=i + 1)
+            if i % 5 == 0:
+                service.record_interval("alice", NodeInterval(
+                    node_id=f"v{i}", tab_id=1, opened_us=i + 1,
+                    closed_us=i + 2,
+                ))
+        procs = service.ingest._pool_workers.processes()
+        assert procs
+        procs[0].kill()
+        service.close(flush=False)  # simulated parent crash
+
+        recovered = ProvenanceService(root, shards=2, workers="process:1")
+        assert recovered.stats("alice").nodes == 30
+        assert recovered.stats("alice").edges == 29
+        assert recovered.stats("alice").intervals == 6  # upsert: no dupes
+        recovered.close()
+
+    def test_dispatch_to_dead_worker_reaps_before_respawn(self, tmp_path):
+        """A dispatch that finds its worker dead must fail the dead
+        incarnation's unacknowledged jobs before respawning — otherwise
+        they would be orphaned in the assignment table (the reaper skips
+        live slots) and every later barrier would hang forever."""
+        pool, pipeline = make_pipeline(
+            str(tmp_path), shards=1, batch_size=4, workers=1,
+            worker_mode="process",
+        )
+        for i in range(16):  # several batches dispatched, none barriered
+            pipeline.submit(node_event("alice", f"a{i}", i + 1))
+        procs = pipeline._pool_workers.processes()
+        assert procs
+        procs[0].kill()
+        procs[0].join()  # certainly dead before the next dispatch
+        # These dispatches hit _ensure_worker_locked with a dead slot:
+        # the old incarnation's jobs must turn into failures right here.
+        for i in range(8):
+            pipeline.submit(node_event("alice", f"b{i}", i + 1))
+        with pytest.raises(WorkerCrashedError):
+            pipeline.flush()  # must NOT hang
+        pipeline.flush()
+        assert pipeline.pending() == 0
+        assert pool.store_for("alice").node_count() == 24
+        pipeline.close()
+        pool.close()
+
+    def test_replay_does_not_quarantine_after_worker_crash(self, tmp_path):
+        """A worker crash during replay's flush is infrastructure, not
+        poison: replay must re-raise, never dead-letter good events."""
+        pool, pipeline = make_pipeline(
+            str(tmp_path), batch_size=4, workers=1, worker_mode="process"
+        )
+        submit_stream(pipeline, users=2, nodes_per_user=20)
+        procs = pipeline._pool_workers.processes()
+        assert procs
+        procs[0].kill()
+        with pytest.raises(WorkerCrashedError):
+            pipeline.flush()
+        assert not pipeline.journal.deadlettered()
+        assert pipeline.stats.quarantined == 0
+        pipeline.flush()  # respawned worker drains the requeue cleanly
+        assert pipeline.pending() == 0
+        pipeline.close()
+        pool.close()
+
+
+class TestProcessPoison:
+    def test_poison_batch_surfaces_remote_apply_error(self, tmp_path):
+        pool, pipeline = make_pipeline(
+            str(tmp_path), batch_size=1000, workers=2, worker_mode="process"
+        )
+        pipeline.submit(node_event("alice", "a", 1))
+        pipeline.submit_edge("alice", EdgeKind.LINK, "a", "ghost",
+                             timestamp_us=1)
+        with pytest.raises(RemoteApplyError, match="ghost"):
+            pipeline.flush()
+        assert pipeline.pending() == 2  # requeued, still pending
+        # Repair and drain: the same worker path retries cleanly.
+        pipeline.submit(node_event("alice", "ghost", 1))
+        pipeline.flush()
+        assert pipeline.pending() == 0
+        store = pool.store_for("alice")
+        assert store.node_count() == 2
+        assert store.edge_count() == 1
+        pipeline.close()
+        pool.close()
+
+    def test_poison_crash_replay_quarantines_in_process_mode(self, tmp_path):
+        root = str(tmp_path / "svc")
+        service = ProvenanceService(root, shards=2, batch_size=10_000,
+                                    workers="process:1")
+        service.record_node("alice", visit("a", 1))
+        service.record_edge("alice", EdgeKind.LINK, "a", "ghost",
+                            timestamp_us=1)
+        service.close(flush=False)  # crash with the poison edge journaled
+
+        recovered = ProvenanceService(root, shards=2, workers="process:1")
+        assert recovered.stats("alice").nodes == 1
+        assert recovered.service_stats().quarantined == 1
+        assert len(recovered.deadlettered()) == 1
+        recovered.close()
+
+
+class TestProcessReadYourWrites:
+    def test_queries_see_buffered_and_inflight_writes(self, tmp_path):
+        service = ProvenanceService(str(tmp_path / "svc"), shards=4,
+                                    batch_size=8, workers="process:2")
+        for i in range(20):
+            service.record_node("alice", visit(
+                f"v{i}", i + 1, label=f"alpha {i}",
+                url=f"http://a.example.com/{i}",
+            ))
+        # No explicit flush: the read must drain alice's shard through
+        # the worker process and see the committed rows via WAL.
+        hits = service.search("alice", "alpha", limit=50)
+        assert len(hits) == 20
+        assert service.stats("alice").nodes == 20
+        # And the cross-shard path barriers the whole pipeline.
+        service.record_node("bob", visit("b0", 1, label="beta"))
+        assert ("bob", "b0") in service.global_search("beta")
+        service.close()
+
+    def test_every_submitter_sees_its_own_writes_mid_stream(self, tmp_path):
+        service = ProvenanceService(str(tmp_path / "svc"), shards=2,
+                                    batch_size=4, workers="process:2")
+        for i in range(12):
+            service.record_node("carol", visit(f"c{i}", i + 1,
+                                               label=f"gamma {i}"))
+            found = service.search("carol", f"gamma {i}", limit=5)
+            assert f"c{i}" in found
+        service.close()
+
+
+class TestPerProcessOwnership:
+    def test_forked_handle_is_refused(self, tmp_path):
+        """A store handle that crossed a fork must fail loudly, not
+        corrupt the shard (the guard behind exclusive per-process
+        ownership)."""
+        store = ProvenanceStore(str(tmp_path / "s.sqlite"))
+        store.append_node(visit("a", 1))
+        store.commit()
+        pid = os.fork()
+        if pid == 0:
+            # Child: any use of the inherited handle must raise.
+            code = 1
+            try:
+                store.node_count()
+            except StoreAffinityError:
+                code = 0
+            finally:
+                os._exit(code)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        assert store.node_count() == 1  # parent handle still fine
+        store.close()

@@ -31,6 +31,125 @@ def service(tmp_path):
     service.close()
 
 
+class TestDeadLetterOperations:
+    def quarantine_poison_edge(self, tmp_path):
+        """Crash with a poison edge journaled; reopen quarantines it."""
+        root = str(tmp_path / "svc")
+        service = ProvenanceService(root, shards=2, batch_size=10_000)
+        service.record_node("alice", visit("a", 1, "start"))
+        service.record_edge("alice", EdgeKind.LINK, "ghost", "a",
+                            timestamp_us=1)  # src never recorded
+        service.close(flush=False)
+        return ProvenanceService(root, shards=2)
+
+    def test_deadlettered_decodes_entries(self, tmp_path):
+        service = self.quarantine_poison_edge(tmp_path)
+        dead = service.deadlettered()
+        assert len(dead) == 1
+        entry = dead[0]
+        assert "ghost" in entry.error
+        assert entry.event.user_id == "alice"
+        assert entry.event.edge.src == "ghost"
+        service.close()
+
+    def test_redrive_repaired_event_applies(self, tmp_path):
+        service = self.quarantine_poison_edge(tmp_path)
+        seq = service.deadlettered()[0].seq
+        # Repair: record the missing endpoint, then retry the original.
+        service.record_node("alice", visit("ghost", 1, "recovered"))
+        new_seq = service.redrive(seq)
+        assert new_seq > seq
+        assert service.deadlettered() == []
+        assert service.stats("alice").edges == 1
+        assert ("a", 1) in service.descendants("alice", "ghost")
+        # The quarantine is empty for good: a reopen replays nothing
+        # and resurrects nothing.
+        service.close()
+        reopened = ProvenanceService(str(tmp_path / "svc"), shards=2)
+        assert reopened.replayed == 0
+        assert reopened.deadlettered() == []
+        assert reopened.stats("alice").edges == 1
+        reopened.close()
+
+    def test_redrive_with_replacement_event(self, tmp_path):
+        service = self.quarantine_poison_edge(tmp_path)
+        entry = service.deadlettered()[0]
+        # Repair by *editing* the event: point the edge at a real node.
+        service.record_node("alice", visit("b", 2, "landing"))
+        from repro.core.model import ProvEdge
+        from repro.service import EdgeEvent
+        repaired = EdgeEvent(
+            user_id="alice",
+            edge=ProvEdge(id=entry.event.edge.id, kind=EdgeKind.LINK,
+                          src="b", dst="a", timestamp_us=2),
+        )
+        service.redrive(entry.seq, repaired)
+        assert service.deadlettered() == []
+        assert ("b", 1) in service.ancestors("alice", "a")
+        service.close()
+
+    def test_redrive_still_poison_requarantines(self, tmp_path):
+        service = self.quarantine_poison_edge(tmp_path)
+        seq = service.deadlettered()[0].seq
+        # No repair: the endpoint is still missing, so the redrive must
+        # fail loudly — and re-quarantine rather than wedge ingest.
+        with pytest.raises(UnknownNodeError):
+            service.redrive(seq)
+        dead = service.deadlettered()
+        assert len(dead) == 1
+        assert dead[0].seq > seq  # requarantined under its new sequence
+        # The pipeline is healthy: ordinary writes and reads still flow.
+        service.record_node("alice", visit("d", 4, "after"))
+        assert service.stats("alice").nodes >= 2
+        service.close()
+
+    def test_torn_deadletter_tail_loses_no_entries(self, tmp_path):
+        """A crash mid-append to the dead-letter file must not hide —
+        or let a later pop discard — the entries around the tear."""
+        service = self.quarantine_poison_edge(tmp_path)
+        path = service.journal.deadletter_path
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 999, "er')  # torn tail, no newline
+        # The reader skips the fragment but still sees the good entry.
+        dead = service.deadlettered()
+        assert [d.seq for d in dead] == [dead[0].seq]
+        # A second quarantine appends cleanly past the tear...
+        service.record_edge("alice", EdgeKind.LINK, "phantom", "a",
+                            timestamp_us=2)
+        service.close(flush=False)
+        service = ProvenanceService(str(tmp_path / "svc"), shards=2)
+        seqs = [d.seq for d in service.deadlettered()]
+        assert len(seqs) == 2  # both quarantined entries visible
+        # ...and popping one preserves the other AND the raw fragment.
+        service.record_node("alice", visit("phantom", 2, "repaired"))
+        service.redrive(seqs[1])
+        assert [d.seq for d in service.deadlettered()] == [seqs[0]]
+        with open(path, "r", encoding="utf-8") as handle:
+            assert '{"seq": 999, "er' in handle.read()
+        service.close()
+
+    def test_redrive_unknown_seq_rejected(self, tmp_path):
+        service = self.quarantine_poison_edge(tmp_path)
+        with pytest.raises(ConfigurationError):
+            service.redrive(10_000)
+        service.close()
+
+    def test_redrive_cannot_switch_tenants(self, tmp_path):
+        service = self.quarantine_poison_edge(tmp_path)
+        entry = service.deadlettered()[0]
+        from repro.core.model import ProvEdge
+        from repro.service import EdgeEvent
+        hijack = EdgeEvent(
+            user_id="mallory",
+            edge=ProvEdge(id=1, kind=EdgeKind.LINK, src="x", dst="y",
+                          timestamp_us=1),
+        )
+        with pytest.raises(ConfigurationError):
+            service.redrive(entry.seq, hijack)
+        assert len(service.deadlettered()) == 1  # entry untouched
+        service.close()
+
+
 class TestIsolation:
     """User A's writes must never appear in user B's queries — even when
     both users share the single shard this fixture forces."""
