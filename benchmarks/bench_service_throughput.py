@@ -30,11 +30,18 @@ acceptance artifact ``BENCH_service.json`` at the repo root:
   cross-shard scatter-gather paths (``global_search``,
   ``aggregate_stats``).
 
+* **Ranked search** — what the relevance subsystem costs and buys:
+  ingest throughput with incremental indexing on vs. off (paired
+  rounds, the index-maintenance overhead), and ranked
+  (BM25+recency+frecency scatter-gather) vs. LIKE-scan query latency,
+  cold and cached.
+
 Acceptance (checked when not in smoke mode): parallel ingest at
-``shards=8`` sustains >= 2x the serial baseline, and — on hosts with
->= 4 CPUs, where CPU parallelism is physically measurable — process
-workers sustain >= 2x the thread pool in the CPU-bound configuration.
-Both are recorded in the artifact either way, so the perf trajectory
+``shards=8`` sustains >= 2x the serial baseline; on hosts with
+>= 4 CPUs, where CPU parallelism is physically measurable, process
+workers sustain >= 2x the thread pool in the CPU-bound configuration;
+and incremental index maintenance costs <= 25% of ingest throughput.
+All are recorded in the artifact either way, so the perf trajectory
 is tracked even on starved hosts.
 
 Run with::
@@ -87,6 +94,10 @@ BATCH_SIZE = 256
 ROUNDS = 1 if FAST else 5
 
 ACCEPT_SHARDS = SHARD_SWEEP[-1]
+#: Shard count for the ranked-search leg (the query-latency config).
+INDEX_SHARDS = 4
+#: Acceptance ceiling for the index-maintenance ingest overhead.
+INDEX_OVERHEAD_CEILING = 0.25
 #: CPU floor below which the process-vs-thread CPU-scaling target is
 #: recorded but not asserted: parallel speedup on a 1-2 core host is
 #: scheduler noise, not a measurement.
@@ -171,11 +182,12 @@ def _replay_concurrent(service: ProvenanceService, streams, clients) -> int:
     return sum(counts)
 
 
-def _ingest_run(root, streams, *, shards, workers, clients, fsync):
+def _ingest_run(root, streams, *, shards, workers, clients, fsync,
+                index=True):
     """(events, seconds) for one full drain of every stream."""
     service = ProvenanceService(
         str(root), shards=shards, batch_size=BATCH_SIZE,
-        workers=workers, fsync=fsync,
+        workers=workers, fsync=fsync, index=index,
     )
     started = time.perf_counter()
     if clients <= 1:
@@ -381,6 +393,141 @@ def test_ingest_process_vs_thread(user_streams, tmp_path_factory):
         assert accept_speedup >= 2.0, (
             f"process-worker ingest at shards={ACCEPT_SHARDS} reached"
             f" only {accept_speedup:.2f}x the thread pool"
+        )
+
+
+def _probe_terms(streams, count=2):
+    """The most common label tokens across every stream — terms the
+    ranked and scan paths are both guaranteed to hit."""
+    from collections import Counter
+
+    from repro.ir.tokenize import tokenize_filtered
+    from repro.service.events import NodeEvent
+
+    tokens: Counter = Counter()
+    for events in streams.values():
+        for event in events:
+            if isinstance(event, NodeEvent):
+                tokens.update(tokenize_filtered(event.node.label or ""))
+    assert tokens, "streams carried no searchable text"
+    return " ".join(term for term, _n in tokens.most_common(count))
+
+
+def test_ranked_search_overhead_and_latency(user_streams, tmp_path_factory):
+    """The retrieval-subsystem numbers: what incremental indexing costs
+    on the ingest path (paired rounds, indexing off vs. on), and what
+    a ranked query costs vs. the LIKE scan, cold and cached."""
+    workers = _parallel_workers(INDEX_SHARDS)
+    plain_best, indexed_best, overheads = 0.0, 0.0, []
+    events = 0
+    for round_no in range(ROUNDS):
+        root = tmp_path_factory.mktemp(f"svc_idx_off{round_no}")
+        events, elapsed = _ingest_run(
+            root, user_streams, shards=INDEX_SHARDS,
+            workers=f"thread:{workers}", clients=SUBMITTERS, fsync=True,
+            index=False,
+        )
+        plain_rate = events / elapsed
+        root = tmp_path_factory.mktemp(f"svc_idx_on{round_no}")
+        events, elapsed = _ingest_run(
+            root, user_streams, shards=INDEX_SHARDS,
+            workers=f"thread:{workers}", clients=SUBMITTERS, fsync=True,
+            index=True,
+        )
+        indexed_rate = events / elapsed
+        plain_best = max(plain_best, plain_rate)
+        indexed_best = max(indexed_best, indexed_rate)
+        overheads.append(plain_rate / indexed_rate - 1.0)
+    overhead = statistics.median(overheads)
+
+    # Query latency on a fully indexed corpus.
+    root = tmp_path_factory.mktemp("svc_ranked_query")
+    service = ProvenanceService(
+        str(root), shards=INDEX_SHARDS, batch_size=BATCH_SIZE,
+        workers=workers, index=True,
+    )
+    _replay_serial(service, user_streams)
+    service.flush()
+    query = _probe_terms(user_streams)
+
+    def timed(fn) -> float:
+        started = time.perf_counter()
+        fn()
+        return (time.perf_counter() - started) * 1000
+
+    ranked_cold = timed(lambda: service.ranked_search(query, limit=50))
+    ranked_warm = timed(lambda: service.ranked_search(query, limit=50))
+    scan_cold = timed(lambda: service.global_search(query, limit=50))
+    per_user = []
+    for user in sorted(user_streams):
+        per_user.append(
+            timed(lambda: service.ranked_search(query, user_id=user,
+                                                limit=20))
+        )
+    hits = service.ranked_search(query, limit=50)
+    assert hits, f"ranked search found nothing for {query!r}"
+    service.close()
+
+    emit_table(
+        "service_ranked_search",
+        f"Ranked search - {USERS} users at {INDEX_SHARDS} shards"
+        f" (median of {ROUNDS} paired rounds; latency in ms,"
+        f" query={query!r})",
+        ["metric", "value"],
+        [
+            ["unindexed ingest ev/s", f"{plain_best:,.0f}"],
+            ["indexed ingest ev/s", f"{indexed_best:,.0f}"],
+            ["index overhead", f"{overhead * 100:.1f}%"],
+            ["ranked cold ms", f"{ranked_cold:.3f}"],
+            ["ranked warm (cache) ms", f"{ranked_warm:.3f}"],
+            ["LIKE-scan cold ms", f"{scan_cold:.3f}"],
+            ["per-user ranked ms", f"{statistics.median(per_user):.3f}"],
+        ],
+    )
+    cpus = os.cpu_count() or 1
+    asserted = not FAST
+    _update_bench_json(
+        "ranked_search",
+        {
+            "results": [
+                {
+                    "shards": INDEX_SHARDS,
+                    "fsync": True,
+                    "workers": workers,
+                    "clients": SUBMITTERS,
+                    "events": events,
+                    "unindexed_events_per_sec": round(plain_best, 1),
+                    "indexed_events_per_sec": round(indexed_best, 1),
+                    "overhead_median_of_pairs": round(overhead, 4),
+                    "overhead_per_pair": [round(o, 4) for o in overheads],
+                }
+            ],
+            "query": {
+                "terms": query,
+                "ranked_cold_ms": round(ranked_cold, 3),
+                "ranked_warm_ms": round(ranked_warm, 3),
+                "scan_cold_ms": round(scan_cold, 3),
+                "per_user_ranked_median_ms": round(
+                    statistics.median(per_user), 3
+                ),
+                "results": len(hits),
+            },
+            "acceptance": {
+                "criterion": f"index maintenance ingest overhead <="
+                             f" {INDEX_OVERHEAD_CEILING:.0%} at"
+                             f" shards={INDEX_SHARDS} (fsync=True)",
+                "shards": INDEX_SHARDS,
+                "cpus": cpus,
+                "overhead_pct": round(overhead * 100, 2),
+                "passed": bool(overhead <= INDEX_OVERHEAD_CEILING),
+                "asserted": asserted,
+            },
+        },
+    )
+    if asserted:
+        assert overhead <= INDEX_OVERHEAD_CEILING, (
+            f"incremental indexing cost {overhead:.1%} of ingest"
+            f" throughput (ceiling {INDEX_OVERHEAD_CEILING:.0%})"
         )
 
 

@@ -10,9 +10,12 @@ Usage::
 
     python benchmarks/check_artifact.py BENCH_service.json
 
-Exits 0 when the file exists, parses, and carries both ingest sections
-(``thread_vs_serial`` and ``process_vs_thread``) with non-empty result
-rows and an acceptance block each; exits 2 with a diagnosis otherwise.
+Exits 0 when the file exists, parses, and carries every required
+section (``thread_vs_serial``, ``process_vs_thread``, and
+``ranked_search``) with non-empty result rows and an acceptance block
+each — the ingest sections report a ``speedup``, the ranked-search
+section an ``overhead_pct`` plus its ``query`` latency block; exits 2
+with a diagnosis otherwise.
 """
 
 from __future__ import annotations
@@ -20,8 +23,14 @@ from __future__ import annotations
 import json
 import sys
 
-REQUIRED_SECTIONS = ("thread_vs_serial", "process_vs_thread")
+REQUIRED_SECTIONS = ("thread_vs_serial", "process_vs_thread", "ranked_search")
 REQUIRED_RESULT_KEYS = {"shards", "fsync", "workers", "events"}
+#: What each section's acceptance block must quantify.
+ACCEPTANCE_METRIC = {
+    "thread_vs_serial": "speedup",
+    "process_vs_thread": "speedup",
+    "ranked_search": "overhead_pct",
+}
 
 
 def check(path: str) -> list[str]:
@@ -56,8 +65,15 @@ def check(path: str) -> list[str]:
                         f"{section}: row {index} lacks {sorted(missing)}"
                     )
         acceptance = body.get("acceptance")
-        if not isinstance(acceptance, dict) or "speedup" not in acceptance:
-            problems.append(f"{section}: no acceptance block")
+        metric = ACCEPTANCE_METRIC[section]
+        if not isinstance(acceptance, dict) or metric not in acceptance:
+            problems.append(
+                f"{section}: no acceptance block with {metric!r}"
+            )
+        if section == "ranked_search" and not isinstance(
+            body.get("query"), dict
+        ):
+            problems.append("ranked_search: no query latency block")
     return problems
 
 
@@ -74,8 +90,10 @@ def main(argv: list[str]) -> int:
         record = json.load(handle)
     for section in REQUIRED_SECTIONS:
         acceptance = record[section]["acceptance"]
+        metric = ACCEPTANCE_METRIC[section]
+        unit = "x" if metric == "speedup" else "%"
         print(
-            f"{section}: speedup {acceptance.get('speedup')}x"
+            f"{section}: {metric} {acceptance.get(metric)}{unit}"
             f" (passed={acceptance.get('passed')})"
         )
     print(f"{argv[1]}: valid")

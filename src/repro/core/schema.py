@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from repro.core.taxonomy import EdgeKind, NodeKind
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Stable integer codes for node kinds (never reorder — on-disk data).
 NODE_KIND_IDS: dict[NodeKind, int] = {
@@ -128,6 +128,40 @@ CREATE INDEX prov_intervals_open ON prov_intervals (opened_us, closed_us);
 -- window).  The unique index turns those into upserts — exactly-once.
 CREATE UNIQUE INDEX prov_intervals_identity ON prov_intervals (nid, opened_us);
 """
+
+#: The relevance-search sidecar (v4): a per-shard inverted index over
+#: node text (label + URL tokens), maintained incrementally inside the
+#: same transaction as the rows it indexes.  ``prov_terms`` interns
+#: terms once; ``prov_postings`` is the (term, document) matrix with
+#: raw term frequencies; ``prov_index_docs`` keeps per-document token
+#: counts for BM25 length normalization.  Document frequencies are
+#: *not* stored — a query loads each query term's posting list anyway,
+#: so df is its length, which keeps every index write idempotent under
+#: journal crash replay (no counters to double-increment).  Corpus
+#: aggregates (document count, total length) live in ``prov_meta`` and
+#: are maintained as deltas computed against the rows in the same
+#: transaction, which makes re-applying a committed batch a no-op.
+SEARCH_INDEX_SCHEMA = """
+CREATE TABLE IF NOT EXISTS prov_terms (
+    tid INTEGER PRIMARY KEY,
+    term TEXT UNIQUE NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS prov_postings (
+    tid INTEGER NOT NULL REFERENCES prov_terms (tid),
+    nid INTEGER NOT NULL REFERENCES prov_nodes (nid),
+    tf INTEGER NOT NULL,
+    PRIMARY KEY (tid, nid)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS prov_postings_doc ON prov_postings (nid);
+
+CREATE TABLE IF NOT EXISTS prov_index_docs (
+    nid INTEGER PRIMARY KEY REFERENCES prov_nodes (nid),
+    length INTEGER NOT NULL
+);
+"""
+
+PROVENANCE_SCHEMA = PROVENANCE_SCHEMA + SEARCH_INDEX_SCHEMA
 
 #: Recursive-CTE ancestor walk over integer nids; depth-bounded so
 #: cyclic inputs (edge-versioned graphs) terminate; UNION deduplicates.

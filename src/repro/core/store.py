@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import threading
+from collections import Counter
 from collections.abc import Iterable
 from contextlib import contextmanager
 
@@ -39,6 +40,7 @@ from repro.core.schema import (
     NODE_KINDS_BY_ID,
     PROVENANCE_SCHEMA,
     SCHEMA_VERSION,
+    SEARCH_INDEX_SCHEMA,
 )
 from repro.core.taxonomy import EdgeKind, NodeKind
 from repro.errors import (
@@ -131,6 +133,7 @@ class ProvenanceStore:
         self._nids: dict[str, int] = {}
         self._node_ts: dict[str, int] = {}
         self._pages: dict[str, tuple[int, str]] = {}  # url -> (page_id, title)
+        self._tids: dict[str, int] = {}  # interned term -> tid
         if path != ":memory:":
             # Pragmatic durability/throughput trade for on-disk stores:
             # WAL lets readers overlap the writer, NORMAL fsyncs only at
@@ -156,6 +159,9 @@ class ProvenanceStore:
             )
             if found == 2:
                 self._migrate_v2_to_v3()
+                found = 3
+            if found == 3:
+                self._migrate_v3_to_v4()
                 found = SCHEMA_VERSION
             if found != SCHEMA_VERSION:
                 self._conn.close()
@@ -180,6 +186,27 @@ class ProvenanceStore:
         self._conn.execute(
             "CREATE UNIQUE INDEX IF NOT EXISTS prov_intervals_identity"
             " ON prov_intervals (nid, opened_us)"
+        )
+        self._conn.execute(
+            "UPDATE prov_meta SET value = '3' WHERE key = 'schema_version'"
+        )
+        self._conn.commit()
+
+    def _migrate_v3_to_v4(self) -> None:
+        """In-place v3 -> v4 upgrade: the relevance-index sidecar.
+
+        The index tables land empty and the index is marked *stale*:
+        existing nodes are unindexed, and re-deriving their token bags
+        belongs to the indexing layer (``repro.service.indexer``), not
+        the store.  A stale index is rebuilt lazily on the first ranked
+        query, so migrated stores keep opening — and keep answering
+        every pre-v4 query — without paying a rebuild they may never
+        need.
+        """
+        self._conn.executescript(SEARCH_INDEX_SCHEMA)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO prov_meta (key, value)"
+            " VALUES ('index_state', 'stale')"
         )
         self._conn.execute(
             "UPDATE prov_meta SET value = ? WHERE key = 'schema_version'",
@@ -298,9 +325,22 @@ class ProvenanceStore:
         retried batch from writing dangling foreign keys.
         """
         self.conn.rollback()
+        self.drop_row_caches()
+
+    def drop_row_caches(self) -> None:
+        """Forget the interned-row caches; they repopulate lazily.
+
+        Needed whenever rows may have vanished underneath this
+        instance: after a rollback (which erases rows the caches point
+        at), and — the cross-process case — in a worker process whose
+        shard the parent just ran retention surgery on.  A stale
+        ``id -> nid`` or ``url -> page_id`` entry would let the next
+        batch write edges or nodes against deleted rowids.
+        """
         self._nids.clear()
         self._node_ts.clear()
         self._pages.clear()
+        self._tids.clear()
 
     def __enter__(self) -> "ProvenanceStore":
         return self
@@ -760,6 +800,500 @@ class ProvenanceStore:
                 (url,),
             )
             return [row[0] for row in rows]
+
+    # -- relevance index (the ranked-search sidecar) ------------------------------------
+
+    def index_documents(self, docs: Iterable[tuple[str, list[str]]]) -> int:
+        """Replace the index entries for *docs* (``[(node_id, tokens)]``).
+
+        Runs on the writer connection inside the caller's transaction —
+        the service's apply path calls it right after a batch's rows
+        land, so a shard's index can never be observed ahead of or
+        behind its rows.  Re-indexing a document replaces its postings
+        wholesale, and the corpus aggregates (document count, total
+        length) are maintained as deltas computed against the rows
+        already present in the same transaction — re-applying a
+        committed batch (journal crash replay) therefore changes
+        nothing, the same exactly-once property the other row kinds
+        get from their upserts.
+
+        A node id appearing twice is applied in order, each occurrence
+        replacing the previous: the interned-term order — and so the
+        index bytes — is a function of the event stream alone, not of
+        how the stream was cut into batches.
+        """
+        docs = list(docs)
+        if not docs:
+            return 0
+        wave: dict[str, list[str]] = {}
+        for doc_id, tokens in docs:
+            if doc_id in wave:
+                self._index_wave(wave)
+                wave = {}
+            wave[doc_id] = tokens
+        self._index_wave(wave)
+        return len(docs)
+
+    def _index_wave(self, wave: dict[str, list[str]]) -> None:
+        """Index one duplicate-free run of documents in bulk."""
+        if not wave:
+            return
+        self._prefetch_nids([d for d in wave if d not in self._nids])
+        nids = {doc_id: self._nid(doc_id) for doc_id in wave}
+        old_lengths: dict[int, int] = {}
+        for chunk in _chunked(list(nids.values())):
+            placeholders = ",".join("?" * len(chunk))
+            for nid, length in self.conn.execute(
+                f"SELECT nid, length FROM prov_index_docs"
+                f" WHERE nid IN ({placeholders})",
+                chunk,
+            ):
+                old_lengths[nid] = length
+        term_order: dict[str, None] = {}
+        doc_rows: list[tuple[int, int]] = []
+        posting_rows: list[tuple[str, int, int]] = []  # (term, nid, tf)
+        docs_delta = 0
+        length_delta = 0
+        for doc_id, tokens in wave.items():
+            nid = nids[doc_id]
+            counts = Counter(tokens)
+            length = sum(counts.values())
+            old = old_lengths.get(nid)
+            if old is None:
+                docs_delta += 1
+            length_delta += length - (old or 0)
+            doc_rows.append((nid, length))
+            for term, tf in counts.items():
+                term_order.setdefault(term)
+                posting_rows.append((term, nid, tf))
+        if old_lengths:
+            self.conn.executemany(
+                "DELETE FROM prov_postings WHERE nid = ?",
+                [(nid,) for nid in old_lengths],
+            )
+        missing = [term for term in term_order if term not in self._tids]
+        if missing:
+            # Interned in first-occurrence order: tid allocation is a
+            # function of the per-shard event stream, which is what
+            # keeps serial, thread, and process flushes byte-identical.
+            self.conn.executemany(
+                "INSERT OR IGNORE INTO prov_terms (term) VALUES (?)",
+                [(term,) for term in missing],
+            )
+            for chunk in _chunked(missing):
+                placeholders = ",".join("?" * len(chunk))
+                for tid, term in self.conn.execute(
+                    f"SELECT tid, term FROM prov_terms"
+                    f" WHERE term IN ({placeholders})",
+                    chunk,
+                ):
+                    self._tids[term] = tid
+        if posting_rows:
+            self.conn.executemany(
+                "INSERT OR REPLACE INTO prov_postings (tid, nid, tf)"
+                " VALUES (?, ?, ?)",
+                [
+                    (self._tids[term], nid, tf)
+                    for term, nid, tf in posting_rows
+                ],
+            )
+        self.conn.executemany(
+            "INSERT INTO prov_index_docs (nid, length) VALUES (?, ?)"
+            " ON CONFLICT(nid) DO UPDATE SET length=excluded.length",
+            doc_rows,
+        )
+        if docs_delta or length_delta:
+            count, total = self._index_counters()
+            self._write_index_counters(
+                count + docs_delta, total + length_delta
+            )
+
+    def _index_counters(self) -> tuple[int, int]:
+        rows = dict(
+            self.conn.execute(
+                "SELECT key, value FROM prov_meta"
+                " WHERE key IN ('index_docs', 'index_len')"
+            )
+        )
+        return int(rows.get("index_docs", 0)), int(rows.get("index_len", 0))
+
+    def _write_index_counters(self, docs: int, length: int) -> None:
+        self.conn.executemany(
+            "INSERT OR REPLACE INTO prov_meta (key, value) VALUES (?, ?)",
+            [("index_docs", str(docs)), ("index_len", str(length))],
+        )
+
+    def index_stats(self) -> tuple[int, int, str]:
+        """(documents, total token length, state) of the relevance index.
+
+        State ``"ready"`` means the index is maintained; ``"stale"``
+        means node text changed without index maintenance (ingest ran
+        with indexing disabled, or the store was migrated from a
+        pre-index schema) and the index must be rebuilt before ranked
+        results can be trusted.
+        """
+        with self._read_context() as conn:
+            rows = dict(
+                conn.execute(
+                    "SELECT key, value FROM prov_meta WHERE key IN"
+                    " ('index_docs', 'index_len', 'index_state')"
+                )
+            )
+        return (
+            int(rows.get("index_docs", 0)),
+            int(rows.get("index_len", 0)),
+            rows.get("index_state", "ready"),
+        )
+
+    def index_stats_for_prefix(self, id_prefix: str) -> tuple[int, int]:
+        """(documents, total token length) of one tenant's index slice.
+
+        Tenant-scoped ranked search normalizes BM25 against the
+        tenant's own corpus — another tenant's bulk ingest on the same
+        shard must not shift a user's document-length statistics and
+        reorder their results.  Cost is one indexed prefix scan of the
+        tenant's rows.
+        """
+        pattern = _like_prefix(id_prefix)
+        with self._read_context() as conn:
+            row = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(d.length), 0)"
+                " FROM prov_index_docs AS d"
+                " JOIN prov_nodes AS n ON n.nid = d.nid"
+                " WHERE n.id LIKE ? ESCAPE '\\'",
+                (pattern,),
+            ).fetchone()
+        return row[0], row[1]
+
+    def mark_index_stale(self) -> None:
+        """Record that node text changed without index maintenance.
+
+        Written on every disabled-indexing batch, never memoized:
+        another *process* (the parent's lazy rebuild) can set the state
+        back to ready at any time, and an instance-local "already
+        marked" flag would skip the re-mark and leave everything
+        ingested after the rebuild permanently invisible to ranked
+        search.  One meta upsert per batch is noise next to the batch
+        itself.
+        """
+        self.conn.execute(
+            "INSERT OR REPLACE INTO prov_meta (key, value)"
+            " VALUES ('index_state', 'stale')"
+        )
+
+    def set_index_state(self, state: str) -> None:
+        self.conn.execute(
+            "INSERT OR REPLACE INTO prov_meta (key, value)"
+            " VALUES ('index_state', ?)",
+            (state,),
+        )
+
+    def clear_index(self) -> None:
+        """Wipe the index postings and documents (rebuild preamble).
+
+        ``prov_terms`` survives deliberately: tids must be append-only
+        stable, because worker *processes* cache term -> tid mappings
+        and a rebuild that reallocated tids would make them silently
+        write postings under the wrong terms.  Orphaned vocabulary
+        rows (terms whose postings all vanished) are harmless — df is
+        derived from posting lists, never from the terms table.
+        """
+        self.conn.execute("DELETE FROM prov_postings")
+        self.conn.execute("DELETE FROM prov_index_docs")
+        self._write_index_counters(0, 0)
+
+    def term_postings(
+        self, terms: Iterable[str], *, id_prefix: str | None = None
+    ) -> dict[str, list[tuple[str, int]]]:
+        """Per-term posting lists: ``{term: [(node_id, tf)]}``.
+
+        ``id_prefix`` scopes postings to one tenant's documents (the
+        per-user ranked search); a scoped query therefore sees
+        tenant-scoped document frequencies.  Lists are ordered by node
+        id so downstream score accumulation is deterministic.
+        """
+        out: dict[str, list[tuple[str, int]]] = {}
+        with self._read_context() as conn:
+            for term in dict.fromkeys(terms):
+                params: list = [term]
+                scope = ""
+                if id_prefix is not None:
+                    scope = " AND n.id LIKE ? ESCAPE '\\'"
+                    params.append(_like_prefix(id_prefix))
+                rows = conn.execute(
+                    "SELECT n.id, p.tf FROM prov_postings AS p"
+                    " JOIN prov_terms AS t ON t.tid = p.tid"
+                    " JOIN prov_nodes AS n ON n.nid = p.nid"
+                    " WHERE t.term = ?" + scope + " ORDER BY n.id",
+                    params,
+                )
+                out[term] = [(row[0], row[1]) for row in rows]
+        return out
+
+    def index_doc_lengths(self, node_ids: Iterable[str]) -> dict[str, int]:
+        """Indexed token counts for *node_ids* (BM25 length normalization)."""
+        out: dict[str, int] = {}
+        with self._read_context() as conn:
+            for chunk in _chunked(list(node_ids)):
+                placeholders = ",".join("?" * len(chunk))
+                for node_id, length in conn.execute(
+                    f"SELECT n.id, d.length FROM prov_index_docs AS d"
+                    f" JOIN prov_nodes AS n ON n.nid = d.nid"
+                    f" WHERE n.id IN ({placeholders})",
+                    chunk,
+                ):
+                    out[node_id] = length
+        return out
+
+    def nodes_brief(
+        self, node_ids: Iterable[str]
+    ) -> dict[str, tuple[int, int | None]]:
+        """``{id: (timestamp_us, page_id)}`` — the ranking-blend facts."""
+        out: dict[str, tuple[int, int | None]] = {}
+        with self._read_context() as conn:
+            for chunk in _chunked(list(node_ids)):
+                placeholders = ",".join("?" * len(chunk))
+                for node_id, when, page_id in conn.execute(
+                    f"SELECT id, timestamp_us, page_id FROM prov_nodes"
+                    f" WHERE id IN ({placeholders})",
+                    chunk,
+                ):
+                    out[node_id] = (when, page_id)
+        return out
+
+    def tenant_page_visits(
+        self, pairs: Iterable[tuple[int, str]]
+    ) -> dict[tuple[int, str], int]:
+        """``{(page_id, id_prefix): count}`` — per-tenant page popularity.
+
+        The raw frecency signal: how many of *that tenant's* nodes
+        reference the page.  Counts ride the ``prov_nodes_page`` index.
+        """
+        out: dict[tuple[int, str], int] = {}
+        with self._read_context() as conn:
+            for page_id, prefix in dict.fromkeys(pairs):
+                out[(page_id, prefix)] = conn.execute(
+                    "SELECT COUNT(*) FROM prov_nodes"
+                    " WHERE page_id = ? AND id LIKE ? ESCAPE '\\'",
+                    (page_id, _like_prefix(prefix)),
+                ).fetchone()[0]
+        return out
+
+    def max_node_timestamp(self, id_prefix: str | None = None) -> int:
+        """Newest node timestamp — the recency-blend anchor.
+
+        With *id_prefix*, the newest node of one tenant: scoped ranked
+        search must anchor recency at the tenant's own activity, or a
+        co-tenant's ingest would age every hit and reorder results.
+        """
+        with self._read_context() as conn:
+            if id_prefix is None:
+                row = conn.execute(
+                    "SELECT MAX(timestamp_us) FROM prov_nodes"
+                ).fetchone()
+            else:
+                row = conn.execute(
+                    "SELECT MAX(timestamp_us) FROM prov_nodes"
+                    " WHERE id LIKE ? ESCAPE '\\'",
+                    (_like_prefix(id_prefix),),
+                ).fetchone()
+        return row[0] or 0
+
+    # -- retention surgery (per-tenant delete paths) ------------------------------------
+
+    def load_subgraph(
+        self, id_prefix: str, *, enforce_dag: bool = False
+    ) -> ProvenanceGraph:
+        """Reconstruct only the nodes and edges whose ids start with
+        *id_prefix*.
+
+        The multi-tenant retention path: one tenant's subgraph, labels
+        and URLs inherited exactly as :meth:`load_graph` would.  Edges
+        are matched through their source node; tenant edges never cross
+        tenants, so this is exact.  Intervals are not loaded —
+        retention decides by node identity and timestamp.
+        """
+        pattern = _like_prefix(id_prefix)
+        graph = ProvenanceGraph(enforce_dag=enforce_dag)
+        with self._read_context() as conn:
+            node_attrs: dict[int, dict[str, AttrValue]] = {}
+            for nid, name, value in conn.execute(
+                "SELECT a.nid, a.name, a.value FROM prov_node_attrs AS a"
+                " JOIN prov_nodes AS n ON n.nid = a.nid"
+                " WHERE n.id LIKE ? ESCAPE '\\'",
+                (pattern,),
+            ):
+                node_attrs.setdefault(nid, {})[name] = value
+            id_by_nid: dict[int, str] = {}
+            for (
+                nid, node_id, kind, when, label, hidden, transition, url, title
+            ) in conn.execute(
+                "SELECT n.nid, n.id, n.kind, n.timestamp_us, n.label,"
+                " n.hidden, n.transition, p.url, p.title"
+                " FROM prov_nodes AS n"
+                " LEFT JOIN prov_pages AS p ON p.id = n.page_id"
+                " WHERE n.id LIKE ? ESCAPE '\\'"
+                " ORDER BY n.timestamp_us, n.nid",
+                (pattern,),
+            ):
+                if url is not None and label is None:
+                    label = title
+                attrs = node_attrs.get(nid, {})
+                if hidden:
+                    attrs["hidden"] = 1
+                if transition is not None:
+                    attrs["transition"] = _TRANSITION_BY_VALUE[transition]
+                graph.add_node(
+                    ProvNode(
+                        id=node_id,
+                        kind=NODE_KINDS_BY_ID[kind],
+                        timestamp_us=when,
+                        label=label or "",
+                        url=url,
+                        attrs=attrs,
+                    )
+                )
+                id_by_nid[nid] = node_id
+            edge_attrs: dict[int, dict[str, AttrValue]] = {}
+            for edge_id, name, value in conn.execute(
+                "SELECT a.edge_id, a.name, a.value FROM prov_edge_attrs AS a"
+                " JOIN prov_edges AS e ON e.id = a.edge_id"
+                " JOIN prov_nodes AS n ON n.nid = e.src"
+                " WHERE n.id LIKE ? ESCAPE '\\'",
+                (pattern,),
+            ):
+                edge_attrs.setdefault(edge_id, {})[name] = value
+            for edge_id, kind, src, dst, when in conn.execute(
+                "SELECT e.id, e.kind, e.src, e.dst, e.timestamp_us"
+                " FROM prov_edges AS e"
+                " JOIN prov_nodes AS n ON n.nid = e.src"
+                " WHERE n.id LIKE ? ESCAPE '\\' ORDER BY e.id",
+                (pattern,),
+            ):
+                src_id = id_by_nid.get(src)
+                dst_id = id_by_nid.get(dst)
+                if src_id is None or dst_id is None:
+                    continue  # foreign endpoint: not this tenant's edge
+                if when is None:
+                    when = graph.node(dst_id).timestamp_us
+                graph.add_edge(
+                    EDGE_KINDS_BY_ID[kind],
+                    src_id,
+                    dst_id,
+                    timestamp_us=when,
+                    attrs=edge_attrs.get(edge_id, {}),
+                )
+        return graph
+
+    def delete_nodes_by_id(
+        self, node_ids: Iterable[str]
+    ) -> tuple[int, int, int]:
+        """Remove *node_ids* with full cascade; (nodes, edges, intervals).
+
+        Writer-connection surgery for retention: the nodes, every edge
+        touching them (attrs included), their intervals, their attr
+        rows, and their relevance-index entries all go, with the index
+        corpus counters adjusted.  Rows belonging to other tenants are
+        untouched — edges are matched by endpoint.  The caller owns the
+        transaction (commit or rollback).
+        """
+        ids = list(dict.fromkeys(node_ids))
+        if not ids:
+            return (0, 0, 0)
+        nids: list[int] = []
+        for chunk in _chunked(ids):
+            placeholders = ",".join("?" * len(chunk))
+            nids.extend(
+                row[0]
+                for row in self.conn.execute(
+                    f"SELECT nid FROM prov_nodes WHERE id IN ({placeholders})",
+                    chunk,
+                )
+            )
+        if not nids:
+            return (0, 0, 0)
+        edge_ids: set[int] = set()
+        for chunk in _chunked(nids):
+            placeholders = ",".join("?" * len(chunk))
+            for row in self.conn.execute(
+                f"SELECT id FROM prov_edges WHERE src IN ({placeholders})"
+                f" OR dst IN ({placeholders})",
+                chunk + chunk,
+            ):
+                edge_ids.add(row[0])
+        intervals = 0
+        index_docs = 0
+        index_length = 0
+        for chunk in _chunked(nids):
+            placeholders = ",".join("?" * len(chunk))
+            intervals += self.conn.execute(
+                f"DELETE FROM prov_intervals WHERE nid IN ({placeholders})",
+                chunk,
+            ).rowcount
+            row = self.conn.execute(
+                f"SELECT COUNT(*), COALESCE(SUM(length), 0)"
+                f" FROM prov_index_docs WHERE nid IN ({placeholders})",
+                chunk,
+            ).fetchone()
+            index_docs += row[0]
+            index_length += row[1]
+            self.conn.execute(
+                f"DELETE FROM prov_index_docs WHERE nid IN ({placeholders})",
+                chunk,
+            )
+            self.conn.execute(
+                f"DELETE FROM prov_postings WHERE nid IN ({placeholders})",
+                chunk,
+            )
+            self.conn.execute(
+                f"DELETE FROM prov_node_attrs WHERE nid IN ({placeholders})",
+                chunk,
+            )
+        for chunk in _chunked(sorted(edge_ids)):
+            placeholders = ",".join("?" * len(chunk))
+            self.conn.execute(
+                f"DELETE FROM prov_edge_attrs"
+                f" WHERE edge_id IN ({placeholders})",
+                chunk,
+            )
+            self.conn.execute(
+                f"DELETE FROM prov_edges WHERE id IN ({placeholders})",
+                chunk,
+            )
+        nodes = 0
+        for chunk in _chunked(nids):
+            placeholders = ",".join("?" * len(chunk))
+            nodes += self.conn.execute(
+                f"DELETE FROM prov_nodes WHERE nid IN ({placeholders})",
+                chunk,
+            ).rowcount
+        if index_docs or index_length:
+            count, total = self._index_counters()
+            self._write_index_counters(
+                count - index_docs, total - index_length
+            )
+        # The row caches may reference rows this surgery erased; drop
+        # them wholesale (they repopulate lazily), as rollback() does.
+        # NB: this covers THIS instance only — a worker process holding
+        # its own store on the same shard file needs
+        # :meth:`drop_row_caches` delivered in-band (the ingest
+        # pipeline's ``drop_shard_caches``).
+        self.drop_row_caches()
+        return (nodes, len(edge_ids), intervals)
+
+    def prune_orphan_pages(self) -> int:
+        """Delete page rows no node references (post-redaction privacy).
+
+        ``forget_site`` must not leave the forgotten URLs sitting in
+        ``prov_pages``; pages any tenant still references survive.
+        """
+        cursor = self.conn.execute(
+            "DELETE FROM prov_pages WHERE id NOT IN"
+            " (SELECT DISTINCT page_id FROM prov_nodes"
+            "  WHERE page_id IS NOT NULL)"
+        )
+        self._pages.clear()
+        return cursor.rowcount
 
     # -- accounting -----------------------------------------------------------------------
 

@@ -5,7 +5,7 @@ search, so that ranking comparisons in the experiments reflect
 provenance, not analyzer differences.
 """
 
-from repro.ir.index import InvertedIndex, Posting
+from repro.ir.index import InvertedIndex, Posting, idf_from_counts
 from repro.ir.pagerank import normalize_scores, pagerank
 from repro.ir.scoring import Bm25Params, ScoredDoc, bm25_scores, coverage, tfidf_scores
 from repro.ir.tokenize import (
@@ -25,6 +25,7 @@ __all__ = [
     "ScoredDoc",
     "bm25_scores",
     "coverage",
+    "idf_from_counts",
     "iter_tokens",
     "jaccard",
     "normalize_scores",

@@ -14,6 +14,19 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 
+def idf_from_counts(doc_count: int, doc_frequency: int) -> float:
+    """BM25-style smoothed inverse document frequency (never negative).
+
+    The single definition every index implementation shares —
+    :class:`InvertedIndex` and the service's SQL-backed per-shard views
+    both delegate here, so a term scores identically whichever
+    structure holds its postings.
+    """
+    return math.log(
+        1.0 + (doc_count - doc_frequency + 0.5) / (doc_frequency + 0.5)
+    )
+
+
 @dataclass(frozen=True, slots=True)
 class Posting:
     """One document's entry in a term's posting list."""
@@ -91,9 +104,9 @@ class InvertedIndex:
 
     def idf(self, term: str) -> float:
         """BM25-style smoothed inverse document frequency (never negative)."""
-        doc_count = len(self._doc_lengths)
-        doc_frequency = self.document_frequency(term)
-        return math.log(1.0 + (doc_count - doc_frequency + 0.5) / (doc_frequency + 0.5))
+        return idf_from_counts(
+            len(self._doc_lengths), self.document_frequency(term)
+        )
 
     def postings(self, term: str) -> list[Posting]:
         """The posting list for *term* (empty for unknown terms)."""

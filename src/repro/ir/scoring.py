@@ -11,7 +11,16 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.ir.index import InvertedIndex
+from repro.ir.index import InvertedIndex, idf_from_counts
+
+__all__ = [
+    "Bm25Params",
+    "ScoredDoc",
+    "bm25_scores",
+    "coverage",
+    "idf_from_counts",
+    "tfidf_scores",
+]
 
 
 @dataclass(frozen=True, slots=True)

@@ -8,11 +8,15 @@ by ``workers="thread"|"process"`` — and crash replay
 hot paths (:mod:`~repro.service.parallel`), the shared event-to-rows
 apply transformation that keeps every mode state-equivalent
 (:mod:`~repro.service.apply`), an invalidating per-user and
-service-scoped query cache (:mod:`~repro.service.cache`), the façade
-tying them together — including dead-letter operations
-``deadlettered()`` / ``redrive()`` (:mod:`~repro.service.service`) —
-and a multi-user synthetic workload driver
-(:mod:`~repro.service.workload`).
+service-scoped query cache with epoch-batched cross-shard admission
+(:mod:`~repro.service.cache`), a relevance-search subsystem — per-shard
+incremental inverted indexes (:mod:`~repro.service.indexer`) under an
+IR-ranked scatter-gather (:mod:`~repro.service.search`) — the façade
+tying them together — including ``ranked_search``, per-tenant
+retention (``expire_before`` / ``forget_site``), and dead-letter
+operations ``deadlettered()`` / ``redrive()``
+(:mod:`~repro.service.service`) — and a multi-user synthetic workload
+driver (:mod:`~repro.service.workload`).
 
 Quickstart::
 
@@ -26,6 +30,7 @@ Quickstart::
 
 from repro.service.apply import apply_event_batch
 from repro.service.cache import GLOBAL_SCOPE, CacheStats, QueryCache
+from repro.service.indexer import ensure_index, node_tokens, rebuild_index
 from repro.service.events import (
     EdgeEvent,
     IntervalEvent,
@@ -45,6 +50,12 @@ from repro.service.parallel import (
     scatter_gather,
 )
 from repro.service.pool import PoolStats, StorePool, shard_for
+from repro.service.search import (
+    RankingParams,
+    SqlIndexView,
+    query_terms,
+    shard_ranked_search,
+)
 from repro.service.service import (
     AggregateStats,
     DeadLetter,
@@ -79,21 +90,28 @@ __all__ = [
     "ProvEvent",
     "ProvenanceService",
     "QueryCache",
+    "RankingParams",
     "ServiceStats",
     "ShardFailure",
     "ShardWorkerPool",
     "ShardWorkerProcessPool",
+    "SqlIndexView",
     "StorePool",
     "UserStats",
     "apply_event_batch",
     "decode_event",
     "encode_event",
+    "ensure_index",
+    "node_tokens",
     "parse_workers",
     "qualify",
+    "query_terms",
+    "rebuild_index",
     "replay_streams",
     "run_multiuser_workload",
     "scatter_gather",
     "shard_for",
+    "shard_ranked_search",
     "synthesize_streams",
     "synthesize_user_events",
     "unqualify",

@@ -13,6 +13,13 @@ one transaction.  Both concurrency substrates run it —
 Keeping it substrate-neutral is what makes the two worker modes
 byte-for-byte state-equivalent: the only thing that differs between
 them is *where* this function runs.
+
+The batch's relevance-index delta is emitted here too (``index=True``,
+the default): node events are tokenized and their postings land in the
+same transaction as the rows, so every substrate maintains the ranked-
+search index identically and crash replay re-derives the same bytes.
+With ``index=False`` the shard is marked index-stale instead, and the
+first ranked query rebuilds it from the rows.
 """
 
 from __future__ import annotations
@@ -26,10 +33,11 @@ from repro.service.events import (
     ProvEvent,
     qualify,
 )
+from repro.service.indexer import batch_index_docs
 
 
 def apply_event_batch(
-    store, batch: list[tuple[int, ProvEvent]]
+    store, batch: list[tuple[int, ProvEvent]], *, index: bool = True
 ) -> None:
     """Apply *batch* (``[(seq, event)]``) to *store* in one transaction.
 
@@ -83,6 +91,11 @@ def apply_event_batch(
         store.append_nodes(nodes)
         store.append_edges(edges)
         store.append_intervals(intervals)
+        if nodes:
+            if index:
+                store.index_documents(batch_index_docs(batch))
+            else:
+                store.mark_index_stale()
     except Exception:
         # Keep the shard transactionally clean; rollback() also drops
         # the store's row-id caches, which may point at rows the

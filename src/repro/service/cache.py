@@ -7,17 +7,31 @@ LRU:
   invalidates every cached result belonging to *that user only* (other
   tenants' entries survive — their data cannot have changed).
 * **Service-scoped entries** (:data:`GLOBAL_SCOPE`) — results computed
-  across *every* tenant (cross-shard ``global_search``, aggregate
-  stats).  Correct cross-user invalidation means *any* user's write
-  drops them: a global result is stale the moment anyone's data
-  changes.
+  across *every* tenant (cross-shard ``global_search``, ranked search,
+  aggregate stats).  Any tenant's write stales them — but dropping
+  them on *every* write makes hot global queries thrash under
+  sustained ingest (every recompute pays a full pipeline barrier plus
+  a shard fan-out).  The write path therefore goes through
+  :meth:`QueryCache.note_write`, which invalidates the writing user's
+  scope immediately (read-your-own-writes is non-negotiable) and the
+  service scope in **epoch batches**: every ``epoch_writes`` writes
+  the ingest epoch rolls and the whole service scope drops at once.
+  Service-scoped entries are tagged with the epoch that admitted them
+  and a tag mismatch is a miss, so a stale read is impossible once the
+  epoch rolls — between rolls, a global result may lag the corpus by
+  at most ``epoch_writes`` events, which is the deliberate trade.
+  ``epoch_writes=None`` (the cache default) keeps the strict
+  invalidate-on-every-write behavior.  :meth:`QueryCache.invalidate_user`
+  remains the forceful path (retention, redrive): it always drops the
+  service scope immediately.
 
 A per-scope key index makes invalidation proportional to the scope's
 cached entries, not the cache size.  The cache is thread-safe;
 :meth:`QueryCache.get_or_compute` runs the compute callback outside the
 lock (queries may take milliseconds of SQL) and uses a per-scope
 generation counter so a result computed concurrently with an
-invalidating write is discarded rather than cached stale.
+invalidating write (or an epoch roll) is discarded rather than cached
+stale.
 """
 
 from __future__ import annotations
@@ -47,6 +61,10 @@ class CacheStats:
     misses: int
     evictions: int
     invalidations: int
+    #: Current ingest epoch (number of service-scope batch drops).
+    epoch: int = 0
+    #: Writes counted toward the next epoch roll.
+    epoch_writes_pending: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -59,10 +77,22 @@ class QueryCache:
 
     GLOBAL_SCOPE = GLOBAL_SCOPE
 
-    def __init__(self, capacity: int = 512) -> None:
+    def __init__(
+        self, capacity: int = 512, *, epoch_writes: int | None = None
+    ) -> None:
         if capacity < 1:
             raise ConfigurationError("cache capacity must be >= 1")
+        if epoch_writes is not None and epoch_writes < 1:
+            raise ConfigurationError(
+                "epoch_writes must be >= 1 (or None for strict"
+                " per-write invalidation)"
+            )
         self.capacity = capacity
+        #: Writes per ingest epoch; None = drop the service scope on
+        #: every write (strict freshness for cross-shard results).
+        self.epoch_writes = epoch_writes
+        self._epoch = 0
+        self._epoch_write_count = 0
         self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, Any] = OrderedDict()
         self._by_user: dict[str, set[tuple]] = {}
@@ -87,13 +117,40 @@ class QueryCache:
         """(hit, value); value is None on a miss."""
         key = (user_id, query, params)
         with self._lock:
-            value = self._entries.get(key, _MISS)
+            value = self._get_locked(key)
             if value is _MISS:
                 self._misses += 1
                 return False, None
-            self._entries.move_to_end(key)
             self._hits += 1
             return True, value
+
+    def _get_locked(self, key: tuple) -> Any:
+        """The live value for *key*, or ``_MISS`` (stats untouched).
+
+        Service-scoped entries are stored tagged with the ingest epoch
+        that admitted them; a tag from an earlier epoch is dead — the
+        entry drops and the lookup misses, which is what makes a stale
+        read impossible after an epoch roll even if a roll somehow
+        left an entry behind.
+        """
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            return _MISS
+        if key[0] == GLOBAL_SCOPE:
+            epoch, value = value
+            if epoch != self._epoch:
+                self._drop_entry_locked(key)
+                return _MISS
+        self._entries.move_to_end(key)
+        return value
+
+    def _drop_entry_locked(self, key: tuple) -> None:
+        self._entries.pop(key, None)
+        bucket = self._by_user.get(key[0])
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._by_user[key[0]]
 
     def put(self, user_id: str, query: str, params: Hashable, value: Any) -> None:
         key = (user_id, query, params)
@@ -101,6 +158,8 @@ class QueryCache:
             self._put_locked(key, value)
 
     def _put_locked(self, key: tuple, value: Any) -> None:
+        if key[0] == GLOBAL_SCOPE:
+            value = (self._epoch, value)  # epoch-tag service entries
         if key in self._entries:
             self._entries.move_to_end(key)
             self._entries[key] = value
@@ -139,9 +198,8 @@ class QueryCache:
             # between any two of them could take invalidation's
             # empty-cache fast path without bumping the generation,
             # and the stale compute would then cache.
-            value = self._entries.get(key, _MISS)
+            value = self._get_locked(key)
             if value is not _MISS:
-                self._entries.move_to_end(key)
                 self._hits += 1
                 return value
             self._misses += 1
@@ -175,6 +233,54 @@ class QueryCache:
         return self.get_or_compute(GLOBAL_SCOPE, query, params, compute)
 
     # -- invalidation -----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current ingest epoch (rolls counted since construction)."""
+        with self._lock:
+            return self._epoch
+
+    def note_write(self, user_id: str) -> int:
+        """Write-path invalidation; returns entries dropped.
+
+        The writing user's scope drops immediately (their next read
+        must see the write).  The service scope follows the admission
+        policy: with ``epoch_writes`` set, the write only *counts
+        toward* the next epoch roll, so hot cross-shard entries survive
+        sustained ingest until the epoch turns; with ``epoch_writes``
+        unset, it drops now, exactly like :meth:`invalidate_user`.
+        """
+        with self._lock:
+            roll = False
+            if self.epoch_writes is not None:
+                self._epoch_write_count += 1
+                roll = self._epoch_write_count >= self.epoch_writes
+            dropped = 0
+            if self._entries or self._computing:
+                dropped = self._invalidate_scope_locked(user_id)
+                if self.epoch_writes is None and user_id != GLOBAL_SCOPE:
+                    dropped += self._invalidate_scope_locked(GLOBAL_SCOPE)
+            if roll:
+                dropped += self._roll_epoch_locked()
+            return dropped
+
+    def roll_epoch(self) -> int:
+        """Advance the ingest epoch now; returns service entries dropped.
+
+        Every service-scoped entry (cached or mid-compute) from the
+        old epoch is dead afterwards.  The write path calls this every
+        ``epoch_writes`` writes; operators (retention, redrive) may
+        call it directly to force cross-shard freshness.
+        """
+        with self._lock:
+            return self._roll_epoch_locked()
+
+    def _roll_epoch_locked(self) -> int:
+        self._epoch += 1
+        self._epoch_write_count = 0
+        if not self._entries and not self._computing:
+            return 0
+        return self._invalidate_scope_locked(GLOBAL_SCOPE)
 
     def invalidate_user(self, user_id: str) -> int:
         """Drop every cached result for *user_id*; returns entries dropped.
@@ -228,4 +334,6 @@ class QueryCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 invalidations=self._invalidations,
+                epoch=self._epoch,
+                epoch_writes_pending=self._epoch_write_count,
             )

@@ -523,6 +523,7 @@ class IngestPipeline:
         cache: QueryCache | None = None,
         workers: int | None = None,
         worker_mode: str = "thread",
+        index: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
@@ -545,6 +546,17 @@ class IngestPipeline:
         self.stats = IngestStats()
         self.workers = workers or 0
         self.worker_mode = worker_mode
+        #: Maintain the per-shard relevance index from the apply path.
+        #: False trades ranked-search freshness for ingest throughput;
+        #: affected shards are marked stale and rebuild on first ranked
+        #: query.
+        self.index_enabled = index
+        #: seq -> journal JSON line, kept only in process mode so the
+        #: batch hand-off reuses the submit-time encoding instead of
+        #: re-serializing every event in the parent.  Entries leave at
+        #: first dispatch; re-dispatches (requeues, replay) fall back
+        #: to encoding on demand.
+        self._payloads: dict[int, str] = {}
         #: Shards whose store file + schema the parent has created, so a
         #: worker process and a parent-side reader can never race the
         #: initial CREATE TABLE script on the same file.
@@ -574,6 +586,8 @@ class IngestPipeline:
         payload = encode_event_json(event)  # off the contended lock
         with self._lock:
             seq = self.journal.stage(event, payload)
+            if self.worker_mode == "process" and self.workers:
+                self._payloads[seq] = payload
             dispatch_shard, serial_flush = self._accept_locked(seq, event)
         self._settle_submit(seq, dispatch_shard, serial_flush)
         return seq
@@ -612,7 +626,10 @@ class IngestPipeline:
                 attrs=attrs or {},
             )
             event = EdgeEvent(user_id=user_id, edge=edge)
-            seq = self.journal.stage(event, f"{head}{edge.id}{tail}")
+            payload = f"{head}{edge.id}{tail}"
+            seq = self.journal.stage(event, payload)
+            if self.worker_mode == "process" and self.workers:
+                self._payloads[seq] = payload
             dispatch_shard, serial_flush = self._accept_locked(seq, event)
         self._settle_submit(seq, dispatch_shard, serial_flush)
         return edge
@@ -651,7 +668,9 @@ class IngestPipeline:
         self._buffers.setdefault(shard, []).append((seq, event))
         self._pending += 1
         if self.cache is not None:
-            self.cache.invalidate_user(event.user_id)
+            # Epoch-aware: the writer's own scope drops now, the
+            # service scope drops in epoch batches (cache admission).
+            self.cache.note_write(event.user_id)
         return shard
 
     def pending(self, shard: int | None = None) -> int:
@@ -677,6 +696,7 @@ class IngestPipeline:
                     },
                     self._on_applied,
                     workers=self.workers,
+                    index_enabled=self.index_enabled,
                 )
             else:
                 self._pool_workers = ShardWorkerPool(
@@ -703,7 +723,20 @@ class IngestPipeline:
         if not batch:
             return
         self._inflight.setdefault(shard, deque()).append(batch)
-        workers.dispatch(shard, batch)
+        if self.worker_mode == "process":
+            # Reuse the submit-time journal encoding for the hand-off;
+            # events without a cached line (crash replay, requeued
+            # batches) encode on demand.
+            encoded = [
+                (
+                    seq,
+                    self._payloads.pop(seq, None) or encode_event_json(event),
+                )
+                for seq, event in batch
+            ]
+            workers.dispatch(shard, batch, encoded)
+        else:
+            workers.dispatch(shard, batch)
 
     def _apply_job(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
         """Thread-worker apply: on success, settle the batch's accounting.
@@ -793,6 +826,18 @@ class IngestPipeline:
             raise failures[0].error
         return applied
 
+    def drop_shard_caches(self, shard: int) -> None:
+        """Cache-coherence barrier after out-of-band row surgery.
+
+        Serial and thread modes apply through the parent's own store
+        instance, whose caches the surgery already cleared; a shard
+        worker *process* owns a separate instance and gets the drop
+        delivered in-band over its task queue (FIFO: after every batch
+        already dispatched, before anything submitted later).
+        """
+        if self.worker_mode == "process" and self._pool_workers is not None:
+            self._pool_workers.drop_shard_caches(shard)
+
     def drain_for_read(self, shard: int) -> None:
         """Read-your-own-writes barrier for one shard.
 
@@ -871,7 +916,7 @@ class IngestPipeline:
         function is what keeps every mode state-equivalent.
         """
         with self.pool.checkout(shard) as store, store.exclusive():
-            apply_event_batch(store, batch)
+            apply_event_batch(store, batch, index=self.index_enabled)
 
     def _advance_checkpoint_locked(self) -> None:
         """Checkpoint up to the oldest still-pending sequence (lock held).
@@ -948,6 +993,11 @@ class IngestPipeline:
                 self._requeue_locked(failures)
         with self._lock:
             buffers, self._buffers = self._buffers, {}
+            # The salvage applies parent-side; cached hand-off lines
+            # for these events would otherwise linger forever.
+            for batch in buffers.values():
+                for seq, _event in batch:
+                    self._payloads.pop(seq, None)
         shards = sorted(buffers)
         for position, shard in enumerate(shards):
             for index, (seq, event) in enumerate(buffers[shard]):
@@ -985,4 +1035,5 @@ class IngestPipeline:
     def close(self) -> None:
         if self._pool_workers is not None:
             self._pool_workers.close()
+        self._payloads.clear()
         self.journal.close()

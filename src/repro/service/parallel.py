@@ -214,7 +214,7 @@ class ShardWorkerPool:
                 thread.join()
 
 
-def _shard_process_main(index, shard_paths, tasks, results):
+def _shard_process_main(index, shard_paths, tasks, results, index_enabled):
     """Entry point of one shard worker process.
 
     Owns the stores for every shard in *shard_paths* exclusively: no
@@ -222,8 +222,10 @@ def _shard_process_main(index, shard_paths, tasks, results):
     safe (module-level, picklable arguments only).  Protocol, all over
     ``multiprocessing`` queues:
 
-    * ``("apply", job_id, shard, [(seq, payload)])`` — decode and apply
-      one batch, then acknowledge ``("ok", index, job_id, shard, seq)``
+    * ``("apply", job_id, shard, [(seq, line)])`` — each *line* is the
+      event's journal JSON text (the submit-time encoding, reused so
+      the parent never re-serializes); decode and apply the batch,
+      then acknowledge ``("ok", index, job_id, shard, seq)``
       with the batch's highest applied sequence number.
     * a failed apply poisons the shard worker-side: the error is
       reported once and every later batch for that shard is acknowledged
@@ -232,8 +234,13 @@ def _shard_process_main(index, shard_paths, tasks, results):
     * ``("unpoison", shard)`` — the parent drained the failure and will
       redispatch; FIFO queueing guarantees this arrives after every
       batch that had to divert and before every retried one.
+    * ``("drop_caches", shard)`` — the parent ran row surgery
+      (retention) on the shard file; forget the store's interned-row
+      caches before the next batch writes against deleted rowids.
     * ``("stop",)`` — commit nothing further, close the stores, exit.
     """
+    import json as json_module
+
     from repro.core.store import ProvenanceStore
     from repro.service.apply import apply_event_batch
     from repro.service.events import decode_event
@@ -249,6 +256,11 @@ def _shard_process_main(index, shard_paths, tasks, results):
             if kind == "unpoison":
                 poisoned.discard(message[1])
                 continue
+            if kind == "drop_caches":
+                store = stores.get(message[1])
+                if store is not None:
+                    store.drop_row_caches()
+                continue
             _kind, job_id, shard, encoded = message
             if shard in poisoned:
                 results.put(("diverted", index, job_id, shard, 0))
@@ -257,8 +269,11 @@ def _shard_process_main(index, shard_paths, tasks, results):
                 store = stores.get(shard)
                 if store is None:
                     store = stores[shard] = ProvenanceStore(shard_paths[shard])
-                batch = [(seq, decode_event(payload)) for seq, payload in encoded]
-                apply_event_batch(store, batch)
+                batch = [
+                    (seq, decode_event(json_module.loads(line)))
+                    for seq, line in encoded
+                ]
+                apply_event_batch(store, batch, index=index_enabled)
             except BaseException as exc:  # noqa: BLE001 — reported to the parent
                 poisoned.add(shard)
                 results.put(
@@ -285,9 +300,11 @@ class ShardWorkerProcessPool:
     barrier/failure discipline — but batches apply in worker processes
     that own their shards' SQLite files exclusively, so CPU-bound
     ingest is not serialized by the parent's GIL.  Events cross the
-    process boundary in their journal codec (JSON-safe dicts); the
-    parent keeps the original batch objects for requeue accounting and
-    calls *on_applied* with them as acknowledgements arrive.
+    process boundary as their journal JSON lines — the submit-time
+    encoding, handed over by the pipeline so the parent never pays a
+    second serialization; the parent keeps the original batch objects
+    for requeue accounting and calls *on_applied* with them as
+    acknowledgements arrive.
 
     Crash containment: a collector thread drains the result queue and
     watches worker liveness.  A worker that dies with unacknowledged
@@ -313,6 +330,7 @@ class ShardWorkerProcessPool:
         *,
         workers: int,
         name: str = "shard-proc",
+        index_enabled: bool = True,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -325,6 +343,7 @@ class ShardWorkerProcessPool:
         self._shard_paths = dict(shard_paths)
         self._on_applied = on_applied
         self._name = name
+        self._index_enabled = index_enabled
         self._ctx = multiprocessing.get_context(self._START_METHOD)
         self._results = self._ctx.Queue()
         self._task_queues: list[Any] = [None] * workers
@@ -361,12 +380,24 @@ class ShardWorkerProcessPool:
 
     # -- dispatch ---------------------------------------------------------------
 
-    def dispatch(self, shard: int, batch: Any) -> None:
-        """Queue *batch* (``[(seq, event)]``) for *shard*'s worker."""
-        from repro.service.events import encode_event
+    def dispatch(
+        self, shard: int, batch: Any, encoded: list | None = None
+    ) -> None:
+        """Queue *batch* (``[(seq, event)]``) for *shard*'s worker.
+
+        *encoded* is the batch in journal-JSON lines (``[(seq, line)]``)
+        when the caller still holds the submit-time encoding — the
+        ingest pipeline does, which spares the parent a per-event
+        re-serialization on every hand-off.  Without it the batch is
+        encoded here.
+        """
+        from repro.service.events import encode_event_json
 
         index = self.worker_of(shard)
-        encoded = [(seq, encode_event(event)) for seq, event in batch]
+        if encoded is None:
+            encoded = [
+                (seq, encode_event_json(event)) for seq, event in batch
+            ]
         with self._lock:
             if self._closed:
                 raise ConfigurationError("worker pool is closed")
@@ -418,6 +449,7 @@ class ShardWorkerProcessPool:
                     },
                     tasks,
                     self._results,
+                    self._index_enabled,
                 ),
                 name=f"{self._name}-{index}",
                 daemon=True,
@@ -611,6 +643,22 @@ class ShardWorkerProcessPool:
         """True while *shard* has an undrained failure parked."""
         with self._lock:
             return shard in self._failures
+
+    def drop_shard_caches(self, shard: int) -> None:
+        """Tell *shard*'s worker (if alive) to forget its row caches.
+
+        The coherence half of parent-side retention surgery: the
+        worker's store instance memoizes id -> rowid and url -> page
+        mappings that now point at deleted rows.  FIFO queueing lands
+        the message after every batch already dispatched; a dead or
+        never-spawned worker needs nothing (a respawn opens a fresh
+        store).
+        """
+        with self._lock:
+            index = self.worker_of(shard)
+            proc = self._procs[index]
+            if proc is not None and proc.is_alive():
+                self._task_queues[index].put(("drop_caches", shard))
 
     def close(self) -> None:
         """Stop the workers after their queues drain."""

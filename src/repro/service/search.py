@@ -1,0 +1,207 @@
+"""Relevance-ranked search over the sharded provenance corpus.
+
+``global_search`` answers "what matched, newest first"; this module
+answers the paper's harder question — *"where did this come from / what
+was I looking at when…"* — as a ranked-retrieval problem.  Each shard
+keeps an incremental SQLite inverted index
+(:mod:`repro.service.indexer`); a ranked query:
+
+1. tokenizes with the shared :mod:`repro.ir.tokenize` analyzer,
+2. loads the query terms' posting lists from the shard
+   (:class:`SqlIndexView` duck-types
+   :class:`~repro.ir.index.InvertedIndex`, so
+   :func:`repro.ir.scoring.bm25_scores` runs unchanged on SQL-backed
+   postings),
+3. blends BM25 with a recency weight (the Firefox frecency buckets of
+   :mod:`repro.browser.frecency`) and a per-tenant frecency signal
+   (how often *that tenant* visited the hit's page), and
+4. returns the shard's top *k*, which the service heap-merges across
+   shards by blended score.
+
+Every input to the blend is a deterministic function of shard state,
+so ranked results are identical across the serial, thread, and process
+ingest substrates — the same state-equivalence contract the row tables
+already carry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.browser.frecency import recency_weight
+from repro.clock import MICROSECONDS_PER_DAY
+from repro.core.store import ProvenanceStore
+from repro.ir.index import Posting, idf_from_counts
+from repro.ir.scoring import Bm25Params, bm25_scores
+from repro.ir.tokenize import tokenize_filtered
+from repro.service.events import USER_SEP
+
+
+@dataclass(frozen=True)
+class RankingParams:
+    """Knobs for the blended relevance score.
+
+    ``blended = bm25 * (1 + recency_weight * recency
+                          + frecency_weight * log1p(tenant_visits))``
+
+    where ``recency`` is the Firefox frecency bucket weight of the
+    node's age (1.0 within four days, decaying to 0.1 past 90) and
+    ``tenant_visits`` counts the owning tenant's nodes on the hit's
+    page.  Multiplicative, so text relevance stays the primary signal
+    and the behavioral terms break ties among comparable matches —
+    zero either weight to ablate its signal.
+    """
+
+    bm25: Bm25Params = Bm25Params()
+    #: Strength of the recency term (0 disables it).
+    recency_weight: float = 0.5
+    #: Strength of the per-tenant page-popularity term (0 disables it).
+    frecency_weight: float = 0.25
+    #: How many BM25 candidates (x the requested limit) enter the
+    #: blend: the behavioral terms can only promote within this pool.
+    pool_factor: int = 4
+
+    def __post_init__(self) -> None:
+        if self.recency_weight < 0 or self.frecency_weight < 0:
+            raise ValueError("blend weights must be non-negative")
+        if self.pool_factor < 1:
+            raise ValueError("pool_factor must be >= 1")
+
+
+#: The service default; construct your own to retune.
+DEFAULT_RANKING = RankingParams()
+
+
+def query_terms(text: str) -> list[str]:
+    """Tokenize a user query with the corpus analyzer (stopwords dropped)."""
+    return tokenize_filtered(text)
+
+
+class SqlIndexView:
+    """An :class:`~repro.ir.index.InvertedIndex` facade over one shard's
+    SQL posting tables, prefetched for a single query.
+
+    Only what :func:`repro.ir.scoring.bm25_scores` consumes: postings,
+    idf, document lengths, and the average document length.  Document
+    frequency is each posting list's length; corpus aggregates come
+    from the shard's maintained counters, so building the view costs
+    one SELECT per query term plus one per candidate-id chunk.
+    """
+
+    def __init__(
+        self,
+        postings: dict[str, list[tuple[str, int]]],
+        doc_lengths: dict[str, int],
+        doc_count: int,
+        total_length: int,
+    ) -> None:
+        self._postings = postings
+        self._doc_lengths = doc_lengths
+        self._doc_count = doc_count
+        self._total_length = total_length
+
+    @classmethod
+    def for_query(
+        cls,
+        store: ProvenanceStore,
+        terms: list[str],
+        *,
+        id_prefix: str | None = None,
+    ) -> "SqlIndexView":
+        postings = store.term_postings(terms, id_prefix=id_prefix)
+        candidates = {
+            doc_id for rows in postings.values() for doc_id, _tf in rows
+        }
+        lengths = store.index_doc_lengths(candidates) if candidates else {}
+        if id_prefix is not None:
+            # Tenant-scoped search normalizes against the tenant's own
+            # corpus: df, N, and avgdl all come from their documents,
+            # so co-tenants' ingest can never reorder a user's results.
+            doc_count, total_length = store.index_stats_for_prefix(
+                id_prefix
+            )
+        else:
+            doc_count, total_length, _state = store.index_stats()
+        return cls(postings, lengths, doc_count, total_length)
+
+    def postings(self, term: str) -> list[Posting]:
+        return [
+            Posting(doc_id, tf)
+            for doc_id, tf in self._postings.get(term, ())
+        ]
+
+    def idf(self, term: str) -> float:
+        return idf_from_counts(
+            self._doc_count, len(self._postings.get(term, ()))
+        )
+
+    def doc_length(self, doc_id: str) -> int:
+        return self._doc_lengths.get(doc_id, 0)
+
+    @property
+    def average_doc_length(self) -> float:
+        if not self._doc_count:
+            return 0.0
+        return self._total_length / self._doc_count
+
+
+def tenant_prefix(stored_id: str) -> str:
+    """The owning tenant's id prefix (``user::``) of a stored node id."""
+    user_id, _sep, _raw = stored_id.partition(USER_SEP)
+    return user_id + USER_SEP
+
+
+def shard_ranked_search(
+    store: ProvenanceStore,
+    terms: list[str],
+    *,
+    limit: int,
+    params: RankingParams = DEFAULT_RANKING,
+    id_prefix: str | None = None,
+    now_us: int | None = None,
+) -> list[tuple[str, float]]:
+    """One shard's blended top *limit*: ``[(stored_id, score)]`` best-first.
+
+    *now_us* anchors the recency buckets; ``None`` anchors at the
+    newest node in scope — the tenant's own when *id_prefix* is given
+    (a co-tenant's ingest must not age a user's hits), the shard's
+    otherwise — which keeps the computation a pure function of shard
+    state (the cross-mode determinism contract).  Ties break on stored
+    id, so the cross-shard heap-merge is total-ordered.
+    """
+    if not terms or limit < 1:
+        return []
+    view = SqlIndexView.for_query(store, terms, id_prefix=id_prefix)
+    scored = bm25_scores(view, terms, params.bm25)
+    if not scored:
+        return []
+    pool = scored[: max(limit * params.pool_factor, limit)]
+    brief = store.nodes_brief([doc.doc_id for doc in pool])
+    if now_us is None:
+        now_us = store.max_node_timestamp(id_prefix)
+    visit_pairs = [
+        (page_id, tenant_prefix(doc.doc_id))
+        for doc in pool
+        for _ts, page_id in (brief.get(doc.doc_id, (0, None)),)
+        if page_id is not None
+    ]
+    visits = store.tenant_page_visits(visit_pairs) if visit_pairs else {}
+    blended: list[tuple[str, float]] = []
+    for doc in pool:
+        ts, page_id = brief.get(doc.doc_id, (0, None))
+        age_days = max(0.0, (now_us - ts) / MICROSECONDS_PER_DAY)
+        recency = recency_weight(age_days) / 100.0
+        tenant_visits = 0
+        if page_id is not None:
+            tenant_visits = visits.get(
+                (page_id, tenant_prefix(doc.doc_id)), 0
+            )
+        score = doc.score * (
+            1.0
+            + params.recency_weight * recency
+            + params.frecency_weight * math.log1p(tenant_visits)
+        )
+        blended.append((doc.doc_id, score))
+    blended.sort(key=lambda row: (-row[1], row[0]))
+    return blended[:limit]

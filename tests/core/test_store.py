@@ -223,7 +223,7 @@ class TestLifecycle:
         assert store.size_bytes() > 0
 
     def test_schema_version_constant(self):
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
 
     def test_incremental_append(self, graph):
         """Write-through capture style: append as we go."""

@@ -97,6 +97,93 @@ class TestInvalidation:
         assert not cache.lookup("u", "q", ())[0]
 
 
+class TestEpochAdmission:
+    """Epoch-batched invalidation for service-scoped entries."""
+
+    def test_note_write_without_epochs_matches_invalidate_user(self):
+        cache = QueryCache(capacity=8)  # epoch_writes=None: strict mode
+        cache.put("alice", "q", (), "a")
+        cache.put_global("g", (), "G")
+        assert cache.note_write("alice") == 2
+        assert not cache.lookup("alice", "q", ())[0]
+        assert not cache.lookup_global("g", ())[0]
+
+    def test_global_entries_survive_writes_within_an_epoch(self):
+        cache = QueryCache(capacity=8, epoch_writes=3)
+        cache.put("alice", "q", (), "a")
+        cache.put_global("g", (), "G")
+        cache.note_write("alice")
+        cache.note_write("bob")
+        # The writer's own scope dropped immediately…
+        assert not cache.lookup("alice", "q", ())[0]
+        # …but the service scope is still admitted mid-epoch.
+        assert cache.lookup_global("g", ()) == (True, "G")
+        assert cache.stats().epoch == 0
+        assert cache.stats().epoch_writes_pending == 2
+
+    def test_epoch_rolls_on_the_nth_write_and_drops_the_scope(self):
+        cache = QueryCache(capacity=8, epoch_writes=3)
+        cache.put_global("g", (), "G")
+        for user in ("u1", "u2", "u3"):
+            cache.note_write(user)
+        assert cache.stats().epoch == 1
+        assert cache.stats().epoch_writes_pending == 0
+        assert not cache.lookup_global("g", ())[0]
+
+    def test_entries_tagged_with_an_old_epoch_never_hit(self):
+        """Belt and braces: even an entry that somehow survived a roll
+        is a miss — its admission tag no longer matches."""
+        cache = QueryCache(capacity=8, epoch_writes=100)
+        cache.put_global("g", (), "G")
+        cache.roll_epoch()
+        assert not cache.lookup_global("g", ())[0]
+        # Re-admitted under the new epoch, it hits again.
+        cache.put_global("g", (), "G2")
+        assert cache.lookup_global("g", ()) == (True, "G2")
+
+    def test_compute_spanning_a_roll_is_not_cached(self):
+        cache = QueryCache(capacity=8, epoch_writes=100)
+
+        def compute():
+            cache.roll_epoch()  # a roll lands mid-compute
+            return "stale-by-construction"
+
+        assert cache.get_or_compute_global("g", (), compute) == (
+            "stale-by-construction"
+        )
+        assert not cache.lookup_global("g", ())[0]
+
+    def test_get_or_compute_global_serves_across_writes(self):
+        cache = QueryCache(capacity=8, epoch_writes=10)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute_global("g", (), compute) == 42
+        cache.note_write("alice")
+        assert cache.get_or_compute_global("g", (), compute) == 42
+        assert len(calls) == 1  # served from cache despite the write
+
+    def test_invalidate_user_stays_forceful_under_epochs(self):
+        cache = QueryCache(capacity=8, epoch_writes=100)
+        cache.put_global("g", (), "G")
+        cache.invalidate_user("alice")  # retention-style invalidation
+        assert not cache.lookup_global("g", ())[0]
+
+    def test_per_user_entries_are_never_epoch_tagged(self):
+        cache = QueryCache(capacity=8, epoch_writes=2)
+        cache.put("alice", "q", (), "a")
+        cache.roll_epoch()
+        assert cache.lookup("alice", "q", ()) == (True, "a")
+
+
 def test_bad_capacity():
     with pytest.raises(ConfigurationError):
         QueryCache(capacity=0)
+
+
+def test_bad_epoch_writes():
+    with pytest.raises(ConfigurationError):
+        QueryCache(epoch_writes=0)

@@ -561,8 +561,12 @@ class TestStoreThreading:
 class TestServiceCrossShard:
     @pytest.fixture()
     def populated(self, tmp_path):
+        # cache_epoch_writes=None: these tests pin the strict
+        # drop-on-every-write freshness contract for cross-shard
+        # entries; epoch-batched admission has its own tests in
+        # tests/service/test_search.py.
         service = ProvenanceService(str(tmp_path / "svc"), shards=4,
-                                    batch_size=8)
+                                    batch_size=8, cache_epoch_writes=None)
         for index, user in enumerate(
             ("alice", "bob", "carol", "dave", "erin")
         ):

@@ -125,6 +125,46 @@ class TestProcessEqualsSerial:
             pool.close()
         assert dumps["process"] == dumps["serial"]
 
+    def test_ranked_search_identical_across_worker_modes(self, tmp_path):
+        """The relevance index is maintained from the apply path, so
+        serial, thread, and process flushes must leave byte-identical
+        index tables — and therefore identical ranked results, scores
+        included."""
+        dumps = {}
+        ranked = {}
+        for mode, workers in (
+            ("serial", None),
+            ("thread", "thread:2"),
+            ("process", "process:2"),
+        ):
+            service = ProvenanceService(
+                str(tmp_path / mode), shards=4, batch_size=16,
+                workers=workers,
+            )
+            for i in range(25):
+                for u in range(3):
+                    user = f"user{u:02d}"
+                    service.record_node(user, visit(
+                        f"n{i:03d}", i + 1,
+                        label=f"page {i} about wine topic {i % 5}",
+                        url=f"http://site{u}.example.com/p{i}",
+                    ))
+            service.flush()
+            dumps[mode] = {
+                shard: store_dump(service.pool.store(shard))
+                for shard in range(4)
+            }
+            ranked[mode] = (
+                service.ranked_search("wine topic", limit=20),
+                service.ranked_search("wine", user_id="user01", limit=10),
+            )
+            service.close()
+        assert dumps["thread"] == dumps["serial"]
+        assert dumps["process"] == dumps["serial"]
+        assert ranked["thread"] == ranked["serial"]
+        assert ranked["process"] == ranked["serial"]
+        assert ranked["serial"][0], "ranked search found nothing"
+
     def test_process_flush_applies_everything_and_checkpoints(self, tmp_path):
         pool, pipeline = make_pipeline(
             str(tmp_path), workers=2, worker_mode="process"
@@ -178,6 +218,44 @@ class TestWorkerKill:
         assert pipeline.stats.applied >= count
         dumps = {shard: store_dump(pool.store(shard)) for shard in range(4)}
         assert dumps == reference
+        pipeline.close()
+        pool.close()
+
+    def test_index_survives_kill_mid_flush_exactly_once(self, tmp_path):
+        """Postings ride the same transaction as their rows, so a
+        worker killed mid-flush (and the ensuing requeue + re-apply)
+        must leave the index byte-identical to a never-crashed serial
+        reference — no double counts in the corpus aggregates, no
+        duplicate or missing postings."""
+        reference_root = str(tmp_path / "ref")
+        pool, pipeline = make_pipeline(reference_root, batch_size=8)
+        count = submit_stream(pipeline)
+        pipeline.flush()
+        reference = {
+            shard: store_dump(pool.store(shard)) for shard in range(4)
+        }
+        ref_stats = {
+            shard: pool.store(shard).index_stats() for shard in range(4)
+        }
+        pipeline.close()
+        pool.close()
+
+        pool, pipeline = make_pipeline(
+            str(tmp_path / "proc"), batch_size=8, workers=2,
+            worker_mode="process",
+        )
+        assert submit_stream(pipeline) == count
+        procs = pipeline._pool_workers.processes()
+        assert procs
+        procs[0].kill()
+        try:
+            pipeline.flush()
+        except WorkerCrashedError:
+            pipeline.flush()  # retry re-applies idempotently
+        dumps = {shard: store_dump(pool.store(shard)) for shard in range(4)}
+        assert dumps == reference
+        for shard in range(4):
+            assert pool.store(shard).index_stats() == ref_stats[shard]
         pipeline.close()
         pool.close()
 
