@@ -36,13 +36,22 @@ acceptance artifact ``BENCH_service.json`` at the repo root:
   (BM25+recency+frecency scatter-gather) vs. LIKE-scan query latency,
   cold and cached.
 
+* **Paged search** — the recognition-workload numbers: five pages of
+  20 through a 10k-document tenant, proving via the store's read-op
+  counters that pages after the first are per-shard *continuations*
+  (zero scoring reads, one snippet fetch per page — never a full
+  re-rank), that pages are disjoint, and that every hit carries a
+  highlighted snippet; first-page vs. continuation latency recorded.
+
 Acceptance (checked when not in smoke mode): parallel ingest at
 ``shards=8`` sustains >= 2x the serial baseline; on hosts with
 >= 4 CPUs, where CPU parallelism is physically measurable, process
 workers sustain >= 2x the thread pool in the CPU-bound configuration;
-and incremental index maintenance costs <= 25% of ingest throughput.
-All are recorded in the artifact either way, so the perf trajectory
-is tracked even on starved hosts.
+incremental index maintenance costs <= 25% of ingest throughput; and
+continuation pages issue exactly zero scoring reads (this one is
+asserted in smoke mode too — it is a counter, not a wall-clock
+measurement).  All are recorded in the artifact either way, so the
+perf trajectory is tracked even on starved hosts.
 
 Run with::
 
@@ -529,6 +538,137 @@ def test_ranked_search_overhead_and_latency(user_streams, tmp_path_factory):
             f"incremental indexing cost {overhead:.1%} of ingest"
             f" throughput (ceiling {INDEX_OVERHEAD_CEILING:.0%})"
         )
+
+
+#: The paged-search leg's tenant corpus (the ISSUE's 10k-doc tenant).
+PAGED_DOCS = 400 if FAST else 10_000
+PAGED_PAGES = 5
+PAGED_LIMIT = 20
+#: The read helpers a full re-rank would call; a continuation must not.
+SCORING_OPS = (
+    "term_postings", "index_doc_lengths", "nodes_brief",
+    "tenant_page_visits",
+)
+
+
+def test_paged_search_continuation(tmp_path_factory):
+    """The pagination acceptance: page {PAGES} x {LIMIT} through a
+    {DOCS}-doc tenant.  Pages 2..{PAGES} must be served as per-shard
+    continuations — zero scoring reads (asserted via the store's
+    read-op counters), one snippet fetch per page — with disjoint
+    pages and a highlighted snippet on every hit."""
+    from repro.core.model import ProvNode
+    from repro.core.taxonomy import NodeKind
+    from repro.service.events import NodeEvent
+
+    root = tmp_path_factory.mktemp("svc_paged")
+    workers = _parallel_workers(INDEX_SHARDS)
+    service = ProvenanceService(
+        str(root), shards=INDEX_SHARDS, batch_size=BATCH_SIZE,
+        workers=workers,
+    )
+    topics = ("cellar", "tasting", "vineyard", "harvest", "barrel")
+    started = time.perf_counter()
+    for i in range(PAGED_DOCS):
+        topic = topics[i % len(topics)]
+        service.record_event(NodeEvent(user_id="collector", node=ProvNode(
+            id=f"doc{i:05d}", kind=NodeKind.PAGE_VISIT,
+            timestamp_us=(i + 1) * 1_000_000,
+            label=f"wine {topic} journal entry {i}",
+            url=f"http://wine-journal.example/{topic}/{i}",
+        )))
+    service.flush()
+    ingest_s = time.perf_counter() - started
+    shard = service.pool.shard_of("collector")
+
+    started = time.perf_counter()
+    page = service.ranked_search("wine", user_id="collector",
+                                 limit=PAGED_LIMIT)
+    first_page_ms = (time.perf_counter() - started) * 1000
+
+    with service.pool.checkout(shard) as store:
+        before = dict(store.read_ops)
+    pages = [page]
+    started = time.perf_counter()
+    while len(pages) < PAGED_PAGES:
+        assert page.cursor is not None, "cursor exhausted too early"
+        page = service.ranked_search(
+            "wine", user_id="collector", cursor=page.cursor,
+            limit=PAGED_LIMIT,
+        )
+        pages.append(page)
+    continuation_ms = (time.perf_counter() - started) * 1000
+    with service.pool.checkout(shard) as store:
+        after = dict(store.read_ops)
+
+    scoring_reads = sum(
+        after.get(op, 0) - before.get(op, 0) for op in SCORING_OPS
+    )
+    snippet_reads = after.get("node_texts", 0) - before.get("node_texts", 0)
+
+    hits = [hit for p in pages for hit in p.hits]
+    assert len(hits) == PAGED_PAGES * PAGED_LIMIT, "short page mid-corpus"
+    assert len({hit.nid for hit in hits}) == len(hits), "pages overlap"
+    mark = service.snippets.mark
+    assert all(
+        hit.snippet and mark in hit.snippet and hit.matched_terms
+        for hit in hits
+    ), "a hit came back without a highlighted snippet"
+    service.close()
+
+    per_page_ms = continuation_ms / (PAGED_PAGES - 1)
+    emit_table(
+        "service_paged_search",
+        f"Paged ranked search - {PAGED_DOCS}-doc tenant at"
+        f" {INDEX_SHARDS} shards, {PAGED_PAGES} pages x {PAGED_LIMIT}"
+        f" (latency in ms)",
+        ["metric", "value"],
+        [
+            ["ingest ev/s", f"{PAGED_DOCS / ingest_s:,.0f}"],
+            ["first page ms", f"{first_page_ms:.3f}"],
+            ["continuation page ms", f"{per_page_ms:.3f}"],
+            ["scoring reads, pages 2-5", str(scoring_reads)],
+            ["snippet fetches, pages 2-5", str(snippet_reads)],
+        ],
+    )
+    _update_bench_json(
+        "paged_search",
+        {
+            "results": [
+                {
+                    "shards": INDEX_SHARDS,
+                    "fsync": False,
+                    "workers": workers,
+                    "clients": 1,
+                    "events": PAGED_DOCS,
+                    "pages": PAGED_PAGES,
+                    "page_limit": PAGED_LIMIT,
+                    "first_page_ms": round(first_page_ms, 3),
+                    "continuation_page_ms": round(per_page_ms, 3),
+                    "scoring_reads_pages_2_5": scoring_reads,
+                    "snippet_fetches_pages_2_5": snippet_reads,
+                }
+            ],
+            "acceptance": {
+                "criterion": "pages 2-5 issue per-shard continuations:"
+                             " zero scoring reads (posting/brief/visit"
+                             " scans), one snippet fetch per page",
+                "shards": INDEX_SHARDS,
+                "docs": PAGED_DOCS,
+                "scoring_reads_pages_2_5": scoring_reads,
+                "passed": bool(
+                    scoring_reads == 0
+                    and snippet_reads == PAGED_PAGES - 1
+                ),
+                "asserted": True,
+            },
+        },
+    )
+    # A counter, not a wall-clock measurement: asserted in smoke too.
+    assert scoring_reads == 0, (
+        f"continuation pages re-ranked: {scoring_reads} scoring reads"
+    )
+    assert snippet_reads == PAGED_PAGES - 1
 
 
 def test_query_latency_cached_vs_uncached(user_streams, tmp_path_factory):

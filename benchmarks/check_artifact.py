@@ -11,11 +11,13 @@ Usage::
     python benchmarks/check_artifact.py BENCH_service.json
 
 Exits 0 when the file exists, parses, and carries every required
-section (``thread_vs_serial``, ``process_vs_thread``, and
-``ranked_search``) with non-empty result rows and an acceptance block
-each — the ingest sections report a ``speedup``, the ranked-search
-section an ``overhead_pct`` plus its ``query`` latency block; exits 2
-with a diagnosis otherwise.
+section (``thread_vs_serial``, ``process_vs_thread``,
+``ranked_search``, and ``paged_search``) with non-empty result rows
+and an acceptance block each — the ingest sections report a
+``speedup``, the ranked-search section an ``overhead_pct`` plus its
+``query`` latency block, the paged-search section its
+``scoring_reads_pages_2_5`` continuation counter; exits 2 with a
+diagnosis otherwise.
 """
 
 from __future__ import annotations
@@ -23,13 +25,25 @@ from __future__ import annotations
 import json
 import sys
 
-REQUIRED_SECTIONS = ("thread_vs_serial", "process_vs_thread", "ranked_search")
+REQUIRED_SECTIONS = (
+    "thread_vs_serial",
+    "process_vs_thread",
+    "ranked_search",
+    "paged_search",
+)
 REQUIRED_RESULT_KEYS = {"shards", "fsync", "workers", "events"}
 #: What each section's acceptance block must quantify.
 ACCEPTANCE_METRIC = {
     "thread_vs_serial": "speedup",
     "process_vs_thread": "speedup",
     "ranked_search": "overhead_pct",
+    "paged_search": "scoring_reads_pages_2_5",
+}
+#: Display unit per metric (acceptance values print as value+unit).
+METRIC_UNIT = {
+    "speedup": "x",
+    "overhead_pct": "%",
+    "scoring_reads_pages_2_5": " reads",
 }
 
 
@@ -91,7 +105,7 @@ def main(argv: list[str]) -> int:
     for section in REQUIRED_SECTIONS:
         acceptance = record[section]["acceptance"]
         metric = ACCEPTANCE_METRIC[section]
-        unit = "x" if metric == "speedup" else "%"
+        unit = METRIC_UNIT[metric]
         print(
             f"{section}: {metric} {acceptance.get(metric)}{unit}"
             f" (passed={acceptance.get('passed')})"

@@ -1,0 +1,126 @@
+"""Validate the docs site before CI ships it.
+
+Documentation rots in two silent ways: intra-repo links break when
+files move, and facade methods land without a reference entry.  Both
+are mechanical to detect, so CI does — this checker fails the docs job
+instead of letting either rot pass review unnoticed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_docs.py
+
+Checks (exit 0 = clean, 2 = problems, each printed with a diagnosis):
+
+* every relative markdown link in ``docs/*.md`` and ``ROADMAP.md``
+  resolves to an existing file, and every ``#anchor`` (same-file or
+  cross-file) matches a real heading in its target (GitHub slug
+  rules: lowercase, punctuation stripped, spaces to dashes);
+* every public method of ``ProvenanceService`` appears in
+  ``docs/api.md`` as a heading or inline call reference — an
+  undocumented facade method fails the build, which is what keeps
+  ``docs/api.md`` the *complete* API surface rather than a sample.
+"""
+
+from __future__ import annotations
+
+import glob
+import inspect
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+#: Files whose links must resolve.  ISSUE.md is driver-managed and
+#: PAPERS.md carries external references only, so neither is gated.
+LINKED_FILES = sorted(
+    glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))
+) + [os.path.join(REPO_ROOT, "ROADMAP.md")]
+
+#: ``[text](target)`` — excluding images and bare autolinks.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading.
+
+    Backticks and emphasis markers are markup (stripped); underscores
+    are content and survive into the slug.
+    """
+    text = re.sub(r"[`*]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: str) -> set[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    return {_slugify(match) for match in _HEADING_RE.findall(content)}
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    for path in LINKED_FILES:
+        if not os.path.exists(path):
+            problems.append(f"{os.path.relpath(path, REPO_ROOT)}: missing")
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        rel = os.path.relpath(path, REPO_ROOT)
+        for target in _LINK_RE.findall(content):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            target_path, _hash, anchor = target.partition("#")
+            if target_path:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target_path)
+                )
+                if not os.path.exists(resolved):
+                    problems.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                resolved = path  # same-file anchor
+            if anchor and resolved.endswith(".md"):
+                if anchor not in _anchors(resolved):
+                    problems.append(f"{rel}: dead anchor -> {target}")
+    return problems
+
+
+def check_api_coverage() -> list[str]:
+    api_path = os.path.join(REPO_ROOT, "docs", "api.md")
+    if not os.path.exists(api_path):
+        return ["docs/api.md: missing — the facade has no API reference"]
+    with open(api_path, "r", encoding="utf-8") as handle:
+        api_text = handle.read()
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.service.service import ProvenanceService
+
+    problems: list[str] = []
+    for name, _member in inspect.getmembers(
+        ProvenanceService, predicate=inspect.isfunction
+    ):
+        if name.startswith("_"):
+            continue
+        if f"{name}(" not in api_text:
+            problems.append(
+                f"docs/api.md: public facade method {name!r} is"
+                f" undocumented"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_api_coverage()
+    if problems:
+        for problem in problems:
+            print(f"DOCS INVALID: {problem}")
+        return 2
+    print(
+        f"docs: {len(LINKED_FILES)} files link-checked, facade API"
+        f" coverage complete"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,36 @@ def main() -> None:
                 lineage = service.ancestors(user, hits[0], max_depth=5)
                 print(f"    ancestors of {hits[0]}: {lineage[:3]}")
 
+        print("\nRanked search with snippets (why did this hit match?):")
+        ranked = service.ranked_search("search results", limit=3)
+        for hit in ranked:
+            print(f"  {hit.score:7.3f}  {hit.user_id} :: {hit.nid}")
+            print(f"           {hit.snippet}")
+
+        print("\nPaging through a large result set (cursor continuation):")
+        user = report.users[0]
+        term = "site0"  # URL tokens index too: hits dozens of pages
+        total, pages = 0, 0
+        page = service.ranked_search(term, user_id=user, limit=10)
+        while True:
+            pages += 1
+            total += len(page)
+            if page:
+                first = page[0]
+                print(
+                    f"  page {pages}: {len(page)} hits, top"
+                    f" {first.nid} ({first.snippet[:60]})"
+                )
+            if page.cursor is None:
+                break  # exhausted — no dangling cursor
+            page = service.ranked_search(
+                term, user_id=user, limit=10, cursor=page.cursor
+            )
+        print(
+            f"  walked {total} hits over {pages} pages; pages after the"
+            f" first reuse the shard's cached ranking (no re-scoring)"
+        )
+
         print("\nCross-shard reads (scatter-gather over every shard):")
         top = service.global_search("www", limit=5)
         for owner, node_id in top:

@@ -134,6 +134,14 @@ class ProvenanceStore:
         self._node_ts: dict[str, int] = {}
         self._pages: dict[str, tuple[int, str]] = {}  # url -> (page_id, title)
         self._tids: dict[str, int] = {}  # interned term -> tid
+        #: Per-call counters for the ranked-search read helpers, keyed
+        #: by method name.  The paged-search bench (and its acceptance
+        #: check) reads these to prove that serving page N+1 issues a
+        #: per-shard *continuation* — snippet fetches only — rather
+        #: than re-running the scoring SELECTs of a full re-rank.
+        #: Observability only: never read on a hot path, never reset by
+        #: the store itself.
+        self.read_ops: Counter = Counter()
         if path != ":memory:":
             # Pragmatic durability/throughput trade for on-disk stores:
             # WAL lets readers overlap the writer, NORMAL fsyncs only at
@@ -1012,6 +1020,7 @@ class ProvenanceStore:
         tenant-scoped document frequencies.  Lists are ordered by node
         id so downstream score accumulation is deterministic.
         """
+        self.read_ops["term_postings"] += 1
         out: dict[str, list[tuple[str, int]]] = {}
         with self._read_context() as conn:
             for term in dict.fromkeys(terms):
@@ -1032,6 +1041,7 @@ class ProvenanceStore:
 
     def index_doc_lengths(self, node_ids: Iterable[str]) -> dict[str, int]:
         """Indexed token counts for *node_ids* (BM25 length normalization)."""
+        self.read_ops["index_doc_lengths"] += 1
         out: dict[str, int] = {}
         with self._read_context() as conn:
             for chunk in _chunked(list(node_ids)):
@@ -1049,6 +1059,7 @@ class ProvenanceStore:
         self, node_ids: Iterable[str]
     ) -> dict[str, tuple[int, int | None]]:
         """``{id: (timestamp_us, page_id)}`` — the ranking-blend facts."""
+        self.read_ops["nodes_brief"] += 1
         out: dict[str, tuple[int, int | None]] = {}
         with self._read_context() as conn:
             for chunk in _chunked(list(node_ids)):
@@ -1068,16 +1079,91 @@ class ProvenanceStore:
 
         The raw frecency signal: how many of *that tenant's* nodes
         reference the page.  Counts ride the ``prov_nodes_page`` index.
+        Pairs are grouped by tenant prefix and counted in chunked
+        ``GROUP BY page_id`` passes — the paged-search scan blends
+        *every* candidate, so per-pair point SELECTs would turn a
+        broad query's first page into O(matches) SQL round-trips.
         """
+        self.read_ops["tenant_page_visits"] += 1
         out: dict[tuple[int, str], int] = {}
+        by_prefix: dict[str, list[int]] = {}
+        for page_id, prefix in dict.fromkeys(pairs):
+            out[(page_id, prefix)] = 0
+            by_prefix.setdefault(prefix, []).append(page_id)
         with self._read_context() as conn:
-            for page_id, prefix in dict.fromkeys(pairs):
-                out[(page_id, prefix)] = conn.execute(
-                    "SELECT COUNT(*) FROM prov_nodes"
-                    " WHERE page_id = ? AND id LIKE ? ESCAPE '\\'",
-                    (page_id, _like_prefix(prefix)),
-                ).fetchone()[0]
+            for prefix, page_ids in by_prefix.items():
+                pattern = _like_prefix(prefix)
+                for chunk in _chunked(page_ids):
+                    placeholders = ",".join("?" * len(chunk))
+                    for page_id, count in conn.execute(
+                        f"SELECT page_id, COUNT(*) FROM prov_nodes"
+                        f" WHERE page_id IN ({placeholders})"
+                        f" AND id LIKE ? ESCAPE '\\'"
+                        f" GROUP BY page_id",
+                        (*chunk, pattern),
+                    ):
+                        out[(page_id, prefix)] = count
         return out
+
+    def node_texts(
+        self, node_ids: Iterable[str]
+    ) -> dict[str, tuple[str | None, str | None]]:
+        """``{id: (effective_label, url)}`` — the snippet source text.
+
+        The *effective* label is what the user actually saw: the stored
+        label, or the page title it inherits when the label is NULL —
+        byte-for-byte the text the indexer tokenized, so every term the
+        index matched can be located (and highlighted) in this text.
+        Positions are recovered downstream by re-running the shared
+        analyzer over it (:func:`repro.service.search.extract_snippet`);
+        storing offsets in the index would buy nothing, since the text
+        must be fetched for display anyway.
+        """
+        self.read_ops["node_texts"] += 1
+        out: dict[str, tuple[str | None, str | None]] = {}
+        with self._read_context() as conn:
+            for chunk in _chunked(list(node_ids)):
+                placeholders = ",".join("?" * len(chunk))
+                for node_id, label, url in conn.execute(
+                    f"SELECT n.id, coalesce(n.label, p.title), p.url"
+                    f" FROM prov_nodes AS n"
+                    f" LEFT JOIN prov_pages AS p ON p.id = n.page_id"
+                    f" WHERE n.id IN ({placeholders})",
+                    chunk,
+                ):
+                    out[node_id] = (label, url)
+        return out
+
+    def compact_terms(self) -> int:
+        """Drop vocabulary rows whose posting lists are empty.
+
+        Ghost terms accumulate when every document containing a term is
+        re-indexed (or retention-deleted) away; they cost vocabulary
+        scans, never correctness (df derives from posting lists).  Two
+        invariants make this sweep safe against the tid caches worker
+        processes keep:
+
+        * **Live tids never shift** — SQLite deletes do not renumber
+          surviving rows, so every term that still has postings keeps
+          its tid.
+        * **Dead tids are never reused** — the row holding ``MAX(tid)``
+          is retained even when empty, so the rowid allocator can never
+          hand a freed tid to a *new* term (which would make a stale
+          cached mapping silently file postings under the wrong term).
+
+        This instance's own term cache is cleared (it may hold dropped
+        terms); callers running retention surgery already tell worker
+        processes to drop theirs (:meth:`drop_row_caches`).  Runs on
+        the writer connection inside the caller's transaction; returns
+        the number of vocabulary rows dropped.
+        """
+        cursor = self.conn.execute(
+            "DELETE FROM prov_terms"
+            " WHERE tid NOT IN (SELECT DISTINCT tid FROM prov_postings)"
+            " AND tid < (SELECT MAX(tid) FROM prov_terms)"
+        )
+        self._tids.clear()
+        return cursor.rowcount
 
     def max_node_timestamp(self, id_prefix: str | None = None) -> int:
         """Newest node timestamp — the recency-blend anchor.

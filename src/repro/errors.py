@@ -169,6 +169,18 @@ class QueryError(ProvenanceError):
     """A provenance query was malformed or referenced missing objects."""
 
 
+class CursorError(QueryError):
+    """A paged-search continuation token could not be honored.
+
+    Raised when a cursor fails its integrity check (truncated, not
+    base64, checksum mismatch — i.e. tampered or corrupted in transit)
+    or was minted for a *different* query or scope than the one it is
+    being replayed against.  A cursor from an older cache epoch is NOT
+    an error: it transparently falls back to re-scoring (see
+    :meth:`repro.service.service.ProvenanceService.ranked_search`).
+    """
+
+
 class QueryTimeoutError(QueryError):
     """A time-bounded query exceeded its deadline and was not recoverable.
 

@@ -30,7 +30,12 @@ Quickstart::
 
 from repro.service.apply import apply_event_batch
 from repro.service.cache import GLOBAL_SCOPE, CacheStats, QueryCache
-from repro.service.indexer import ensure_index, node_tokens, rebuild_index
+from repro.service.indexer import (
+    compact_index,
+    ensure_index,
+    node_tokens,
+    rebuild_index,
+)
 from repro.service.events import (
     EdgeEvent,
     IntervalEvent,
@@ -47,14 +52,25 @@ from repro.service.parallel import (
     ShardFailure,
     ShardWorkerPool,
     ShardWorkerProcessPool,
+    ranked_merge,
     scatter_gather,
 )
 from repro.service.pool import PoolStats, StorePool, shard_for
 from repro.service.search import (
     RankingParams,
+    SearchHit,
+    SearchPage,
+    SnippetParams,
     SqlIndexView,
+    attach_snippets,
+    decode_cursor,
+    encode_cursor,
+    extract_snippet,
+    query_fingerprint,
     query_terms,
+    shard_ranked_scan,
     shard_ranked_search,
+    slice_after,
 )
 from repro.service.service import (
     AggregateStats,
@@ -91,27 +107,39 @@ __all__ = [
     "ProvenanceService",
     "QueryCache",
     "RankingParams",
+    "SearchHit",
+    "SearchPage",
     "ServiceStats",
     "ShardFailure",
     "ShardWorkerPool",
     "ShardWorkerProcessPool",
+    "SnippetParams",
     "SqlIndexView",
     "StorePool",
     "UserStats",
     "apply_event_batch",
+    "attach_snippets",
+    "compact_index",
+    "decode_cursor",
     "decode_event",
+    "encode_cursor",
     "encode_event",
     "ensure_index",
+    "extract_snippet",
     "node_tokens",
     "parse_workers",
     "qualify",
+    "query_fingerprint",
     "query_terms",
+    "ranked_merge",
     "rebuild_index",
     "replay_streams",
     "run_multiuser_workload",
     "scatter_gather",
     "shard_for",
+    "shard_ranked_scan",
     "shard_ranked_search",
+    "slice_after",
     "synthesize_streams",
     "synthesize_user_events",
     "unqualify",

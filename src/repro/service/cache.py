@@ -25,13 +25,28 @@ LRU:
   remains the forceful path (retention, redrive): it always drops the
   service scope immediately.
 
+Paged ranked search adds a third entry flavor: **epoch-bound entries**
+(``get_or_compute(..., epoch_bound=True)``).  These are continuation
+state — per-shard scored scans and assembled result pages keyed by
+``(scope, query, cursor watermarks)`` — and they follow the same
+admission rule in *either* scope: the entry is tagged with the ingest
+epoch that computed it and a tag from an earlier epoch is a miss, so a
+cursor minted before an epoch roll transparently falls back to
+re-scoring instead of serving a page of the dead epoch's snapshot.
+(Per-user epoch-bound entries additionally drop on that user's own
+writes, like every per-user entry.)  Stale epoch-bound entries that
+are never looked up again simply age out of the LRU.
+
 A per-scope key index makes invalidation proportional to the scope's
-cached entries, not the cache size.  The cache is thread-safe;
-:meth:`QueryCache.get_or_compute` runs the compute callback outside the
-lock (queries may take milliseconds of SQL) and uses a per-scope
-generation counter so a result computed concurrently with an
-invalidating write (or an epoch roll) is discarded rather than cached
-stale.
+cached entries, not the cache size.
+
+Concurrency contract: every public method is thread-safe behind one
+re-entrant lock; :meth:`QueryCache.get_or_compute` runs the compute
+callback *outside* the lock (queries may take milliseconds of SQL) and
+uses a per-scope generation counter so a result computed concurrently
+with an invalidating write (or an epoch roll) is discarded rather than
+cached stale.  Callers may invoke any method from any thread, including
+from inside scatter-gather query tasks.
 """
 
 from __future__ import annotations
@@ -44,6 +59,23 @@ from typing import Any, Callable, Hashable
 from repro.errors import ConfigurationError
 
 _MISS = object()
+
+
+class _EpochBound:
+    """A non-global entry valid only in the epoch that computed it.
+
+    Continuation state (paged-search scans and pages) must never
+    outlive an epoch roll even in a per-user scope — the cursor
+    contract is "re-score after a roll, never resume a dead snapshot".
+    Service-scope entries get the same tagging via their own tuple
+    encoding, so this wrapper exists only for per-user scopes.
+    """
+
+    __slots__ = ("epoch", "value")
+
+    def __init__(self, epoch: int, value: Any) -> None:
+        self.epoch = epoch
+        self.value = value
 
 #: Reserved scope for service-wide (cross-user) entries.  User ids are
 #: validated to start with an alphanumeric, so this can never collide
@@ -141,6 +173,11 @@ class QueryCache:
             if epoch != self._epoch:
                 self._drop_entry_locked(key)
                 return _MISS
+        elif isinstance(value, _EpochBound):
+            if value.epoch != self._epoch:
+                self._drop_entry_locked(key)
+                return _MISS
+            value = value.value
         self._entries.move_to_end(key)
         return value
 
@@ -157,9 +194,13 @@ class QueryCache:
         with self._lock:
             self._put_locked(key, value)
 
-    def _put_locked(self, key: tuple, value: Any) -> None:
+    def _put_locked(
+        self, key: tuple, value: Any, *, epoch_bound: int | None = None
+    ) -> None:
         if key[0] == GLOBAL_SCOPE:
             value = (self._epoch, value)  # epoch-tag service entries
+        elif epoch_bound is not None:
+            value = _EpochBound(epoch_bound, value)
         if key in self._entries:
             self._entries.move_to_end(key)
             self._entries[key] = value
@@ -183,6 +224,9 @@ class QueryCache:
         query: str,
         params: Hashable,
         compute: Callable[[], Any],
+        *,
+        epoch_bound: bool = False,
+        cache_when: Callable[[Any], bool] | None = None,
     ) -> Any:
         """Cached value, or *compute* and cache it.
 
@@ -190,6 +234,17 @@ class QueryCache:
         invalidated while it runs (a write landing mid-query), the
         freshly computed value is returned but **not** cached — caching
         it would resurrect a result the write just declared stale.
+
+        ``epoch_bound=True`` marks the entry as continuation state
+        (paged-search scans/pages): it additionally dies — in any scope
+        — when the ingest epoch rolls, so a cursor can never resume a
+        snapshot from a dead epoch (service-scoped entries already
+        behave this way; the flag extends the rule to per-user scopes).
+
+        ``cache_when`` vetoes admission per value (the result is still
+        returned): the cache's capacity counts entries, so callers
+        computing unbounded-size values (full ranked scans) use it to
+        keep one entry from pinning arbitrary memory.
         """
         key = (user_id, query, params)
         with self._lock:
@@ -204,12 +259,18 @@ class QueryCache:
                 return value
             self._misses += 1
             generation = self._generation_locked(user_id)
+            # Epoch-bound entries are tagged with the epoch their
+            # compute *started* in: a roll mid-compute must leave the
+            # entry dead on arrival, not smuggle the old snapshot one
+            # epoch forward.
+            minted = self._epoch if epoch_bound else None
             self._computing += 1
         try:
             value = compute()
-            with self._lock:
-                if self._generation_locked(user_id) == generation:
-                    self._put_locked(key, value)
+            if cache_when is None or cache_when(value):
+                with self._lock:
+                    if self._generation_locked(user_id) == generation:
+                        self._put_locked(key, value, epoch_bound=minted)
         finally:
             with self._lock:
                 self._computing -= 1

@@ -116,6 +116,35 @@ def rebuild_index(store: ProvenanceStore) -> int:
     return indexed
 
 
+def compact_index(store: ProvenanceStore) -> int:
+    """Drop ghost vocabulary rows; returns how many were swept.
+
+    Ghost terms — vocabulary entries whose postings all re-indexed or
+    retention-deleted away — accumulate slowly and cost only space and
+    vocabulary-scan time, never correctness (df is derived from posting
+    lists).  The sweep preserves the two tid invariants ranked search
+    and the worker processes rely on:
+
+    * live tids never shift (SQLite deletes do not renumber rows), and
+    * dead tids are never reused for new terms (the ``MAX(tid)`` row is
+      retained even when empty, pinning the rowid allocator), so a
+      worker's cached ``term -> tid`` mapping can never silently file
+      postings under a recycled tid.
+
+    Takes the store exclusively and commits.  The retention facade runs
+    the same sweep in-transaction with its surgery via the
+    ``compact=True`` flag on ``expire_before`` / ``forget_site`` —
+    that path also tells shard worker processes to drop their caches;
+    callers invoking this helper directly against a store a worker
+    process owns must do the same
+    (:meth:`~repro.service.ingest.IngestPipeline.drop_shard_caches`).
+    """
+    with store.exclusive():
+        dropped = store.compact_terms()
+        store.commit()
+    return dropped
+
+
 def ensure_index(store: ProvenanceStore) -> bool:
     """Rebuild *store*'s index if it is stale; True when a rebuild ran.
 

@@ -31,11 +31,24 @@ pending in-process while the journal still holds them for crash replay.
 
 **Read path** — :func:`scatter_gather` fans one task per shard across a
 thread pool and returns results in task order, the primitive under
-cross-shard ``global_search`` / ``aggregate_stats``.
+cross-shard ``global_search`` / ``aggregate_stats`` /
+``ranked_search``; :func:`ranked_merge` heap-merges the per-shard
+best-first result lists — whole search hits, not bare ids — into one
+global page and reports how much of each shard's list the page
+consumed, which is what score-bounded pagination needs to advance each
+shard's continuation watermark.
+
+Concurrency contract: the worker pools are driven by one pipeline
+thread at a time (the ingest pipeline serializes dispatch/barrier
+under its own lock); :func:`scatter_gather` tasks run on arbitrary
+pool threads concurrently with flush workers, so they must only touch
+stores through checkout + read connections.  :func:`ranked_merge` is
+pure computation — no locks, safe anywhere.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import queue as queue_module
 import threading
@@ -728,3 +741,43 @@ def scatter_gather(
     if first_error is not None:
         raise first_error
     return results
+
+
+def ranked_merge(
+    lists: Sequence[Sequence[Any]],
+    limit: int,
+    *,
+    key: Callable[[Any], Any],
+) -> tuple[list[Any], list[int]]:
+    """Heap-merge per-shard best-first lists into one global page.
+
+    Each input list must already be sorted ascending by *key* (the
+    shards' ``(-score, id)`` total order); the merge consumes lazily,
+    stopping after *limit* items — a shard whose hits all rank below
+    the page boundary contributes nothing and is never walked.
+
+    Returns ``(merged, consumed)`` where ``consumed[i]`` counts how
+    many items of ``lists[i]`` made it into the page.  The counts are
+    what paged search needs to advance each shard's continuation
+    watermark: a shard resumes below its *last consumed* hit, not below
+    the last hit it happened to fetch.  Since PR 5 the rows carry whole
+    hits (id, score, snippet, matched terms), not bare ids — the merge
+    is agnostic, ordering purely by *key*.
+    """
+    heap: list[tuple[Any, int, int]] = []
+    for index, rows in enumerate(lists):
+        if rows:
+            heap.append((key(rows[0]), index, 0))
+    heapq.heapify(heap)
+    consumed = [0] * len(lists)
+    merged: list[Any] = []
+    while heap and len(merged) < limit:
+        _key, index, position = heapq.heappop(heap)
+        merged.append(lists[index][position])
+        consumed[index] = position + 1
+        position += 1
+        if position < len(lists[index]):
+            heapq.heappush(
+                heap, (key(lists[index][position]), index, position)
+            )
+    return merged, consumed

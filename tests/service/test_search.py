@@ -191,9 +191,10 @@ class TestRankedSearchService:
             " unrelated errand words filling the document",
         ))
         ranked = service.ranked_search("wine", user_id="alice", limit=2)
-        assert [node_id for node_id, _score in ranked] == [
-            "old-hit", "new-noise",
-        ]
+        assert [hit.nid for hit in ranked] == ["old-hit", "new-noise"]
+        # Every hit explains itself: the query term is highlighted.
+        assert all("**wine**" in hit.snippet for hit in ranked)
+        assert all(hit.matched_terms == ("wine",) for hit in ranked)
         # The LIKE-scan path would put the newer node first.
         assert service.search("alice", "wine")[0] == "new-noise"
 
@@ -201,19 +202,20 @@ class TestRankedSearchService:
         service.record_node("alice", visit("a", 10, "wine cellar"))
         service.record_node("bob", visit("b", 20, "wine wine cellar wine"))
         results = service.ranked_search("wine cellar")
-        assert [(user, node) for user, node, _s in results] == [
+        assert [(hit.user_id, hit.nid) for hit in results] == [
             ("bob", "b"), ("alice", "a"),
         ]
-        scores = [score for _u, _n, score in results]
+        scores = [hit.score for hit in results]
         assert scores == sorted(scores, reverse=True)
+        assert results.cursor is None  # both shards drained in one page
 
     def test_per_user_scope_never_leaks(self, service):
         service.record_node("alice", visit("a", 10, "secret wine"))
         service.record_node("bob", visit("b", 20, "public wine"))
-        assert [n for n, _s in service.ranked_search(
+        assert [hit.nid for hit in service.ranked_search(
             "wine", user_id="alice"
         )] == ["a"]
-        assert [n for n, _s in service.ranked_search(
+        assert [hit.nid for hit in service.ranked_search(
             "wine", user_id="bob"
         )] == ["b"]
 
@@ -228,13 +230,15 @@ class TestRankedSearchService:
             "oneoff", 200, "wine review", "http://obscure.com/wine",
         ))
         ranked = service.ranked_search("review", user_id="alice", limit=20)
-        assert ranked[0][0].startswith("rev")
-        assert "oneoff" in [n for n, _s in ranked]
+        assert ranked[0].nid.startswith("rev")
+        assert "oneoff" in [hit.nid for hit in ranked]
 
     def test_stopword_only_and_unknown_queries_are_empty(self, service):
         service.record_node("alice", visit("a", 10, "wine cellar"))
-        assert service.ranked_search("the and of") == []
-        assert service.ranked_search("zzzunseen") == []
+        stopword_page = service.ranked_search("the and of")
+        assert not stopword_page and stopword_page.cursor is None
+        unseen = service.ranked_search("zzzunseen")
+        assert not unseen and unseen.cursor is None
 
     def test_limit_and_read_your_writes(self, service):
         for i in range(10):
@@ -243,8 +247,8 @@ class TestRankedSearchService:
                                          limit=3)) == 3
         # Unflushed write visible immediately (per-user drain).
         service.record_node("alice", visit("fresh", 99, "freshwine wine"))
-        hits = [n for n, _s in service.ranked_search("freshwine",
-                                                     user_id="alice")]
+        hits = [hit.nid for hit in service.ranked_search("freshwine",
+                                                         user_id="alice")]
         assert hits == ["fresh"]
 
     def test_ranking_params_knobs_change_the_blend(self, tmp_path):
@@ -257,7 +261,7 @@ class TestRankedSearchService:
             svc.record_node("u", visit("a", 1, "wine cellar"))
             svc.record_node("u", visit("b", 2 * DAY_US, "wine cellar"))
             ranked = svc.ranked_search("cellar", user_id="u")
-            assert ranked[0][1] == ranked[1][1]  # no recency tiebreak
+            assert ranked[0].score == ranked[1].score  # no recency tiebreak
         finally:
             svc.close()
 
@@ -274,7 +278,7 @@ class TestRankedSearchService:
         svc.flush()
         # Disabled indexing left the shard stale, yet ranked search
         # self-heals by rebuilding from the rows.
-        assert [n for n, _s in svc.ranked_search(
+        assert [hit.nid for hit in svc.ranked_search(
             "wine", user_id="alice"
         )] == ["a"]
         svc.close()
@@ -287,7 +291,7 @@ class TestEpochAdmission:
         try:
             svc.record_node("alice", visit("m1", 10, "epochmarker"))
             first = svc.ranked_search("epochmarker")
-            assert [(u, n) for u, n, _s in first] == [("alice", "m1")]
+            assert [(h.user_id, h.nid) for h in first] == [("alice", "m1")]
             hits_before = svc.cache.stats().hits
             # Writes land (other tenants AND the same tenant)…
             svc.record_node("bob", visit("noise", 20, "unrelated"))
@@ -313,7 +317,7 @@ class TestEpochAdmission:
                 i += 1
                 assert i < 50, "epoch never rolled"
             fresh = svc.ranked_search("epochmarker")
-            assert {n for _u, n, _s in fresh} == {"m1", "m2"}
+            assert {h.nid for h in fresh} == {"m1", "m2"}
         finally:
             svc.close()
 
@@ -364,7 +368,7 @@ class TestEpochAdmission:
                 svc.record_node("carol", visit(f"r{i}", i + 1, "filler"))
                 i += 1
             assert ("alice", "late") in [
-                (u, n) for u, n, _s in svc.ranked_search("hotquery")
+                (h.user_id, h.nid) for h in svc.ranked_search("hotquery")
             ]
         finally:
             svc.close()
@@ -426,9 +430,9 @@ class TestRetentionFacade:
         report = service.expire_before("alice", 50 * DAY_US)
         assert report.nodes_removed == 1
         # Both the index rows and the cached cross-shard entry are gone.
-        assert service.ranked_search("ancientwine") == []
+        assert not service.ranked_search("ancientwine")
         assert service.search("alice", "ancientwine") == []
-        assert [n for n, _s in service.ranked_search(
+        assert [hit.nid for hit in service.ranked_search(
             "newwine", user_id="alice"
         )] == ["new"]
 
@@ -439,7 +443,7 @@ class TestRetentionFacade:
         assert service.stats("alice").nodes == 0
         assert service.stats("bob").nodes == 1
         assert [
-            (u, n) for u, n, _s in service.ranked_search("sharedword")
+            (h.user_id, h.nid) for h in service.ranked_search("sharedword")
         ] == [("bob", "b")]
 
     def test_forget_site_redacts_without_bridging(self, service):
@@ -454,7 +458,7 @@ class TestRetentionFacade:
         assert report.orphaned_descendants == 1
         # No bridge: the connection is genuinely unanswerable now.
         assert service.ancestors("alice", "d") == []
-        assert service.ranked_search("embarrassing") == []
+        assert not service.ranked_search("embarrassing")
 
     def test_forget_site_prunes_orphaned_page_rows(self, service):
         service.record_node("alice", visit(
@@ -486,7 +490,7 @@ class TestRetentionFacade:
         recovered = ProvenanceService(root, shards=2)
         try:
             assert recovered.search("alice", "doomed") == []
-            assert recovered.ranked_search("doomed") == []
+            assert not recovered.ranked_search("doomed")
             assert recovered.stats("alice").nodes == 1
         finally:
             recovered.close()
@@ -516,12 +520,12 @@ class TestCrossProcessCoherence:
         try:
             svc.record_node("alice", visit("n1", 1, "findable one"))
             svc.flush()
-            assert [n for n, _s in svc.ranked_search(
+            assert [hit.nid for hit in svc.ranked_search(
                 "findable", user_id="alice"
             )] == ["n1"]  # parent rebuilt the stale shard
             svc.record_node("alice", visit("n2", 2, "findable two"))
             svc.flush()
-            assert {n for n, _s in svc.ranked_search(
+            assert {hit.nid for hit in svc.ranked_search(
                 "findable", user_id="alice"
             )} == {"n1", "n2"}
         finally:
