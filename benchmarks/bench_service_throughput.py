@@ -36,6 +36,12 @@ acceptance artifact ``BENCH_service.json`` at the repo root:
   (BM25+recency+frecency scatter-gather) vs. LIKE-scan query latency,
   cold and cached.
 
+* **Metrics instrumentation overhead** — ingest throughput with the
+  service metrics registry on vs. off (paired rounds: the
+  observability tax must stay under 3%), plus sampled p50/p95/p99
+  operation latencies read from the same registry an operator would
+  query via ``metrics_snapshot()``.
+
 * **Paged search** — the recognition-workload numbers: five pages of
   20 through a 10k-document tenant, proving via the store's read-op
   counters that pages after the first are per-shard *continuations*
@@ -192,19 +198,25 @@ def _replay_concurrent(service: ProvenanceService, streams, clients) -> int:
 
 
 def _ingest_run(root, streams, *, shards, workers, clients, fsync,
-                index=True):
-    """(events, seconds) for one full drain of every stream."""
+                index=True, metrics=True, timer=time.perf_counter):
+    """(events, seconds) for one full drain of every stream.
+
+    ``timer`` defaults to wall clock; the metrics-overhead leg passes
+    ``time.process_time`` instead, which is only meaningful for
+    single-threaded runs (``workers=0, clients=1`` — child and helper
+    thread CPU would be invisible to it otherwise).
+    """
     service = ProvenanceService(
         str(root), shards=shards, batch_size=BATCH_SIZE,
-        workers=workers, fsync=fsync, index=index,
+        workers=workers, fsync=fsync, index=index, metrics=metrics,
     )
-    started = time.perf_counter()
+    started = timer()
     if clients <= 1:
         events = _replay_serial(service, streams)
     else:
         events = _replay_concurrent(service, streams, clients)
     service.flush()
-    elapsed = time.perf_counter() - started
+    elapsed = timer() - started
     stats = service.service_stats()
     assert stats.events_applied == events  # nothing stuck in buffers
     service.close()
@@ -537,6 +549,171 @@ def test_ranked_search_overhead_and_latency(user_streams, tmp_path_factory):
         assert overhead <= INDEX_OVERHEAD_CEILING, (
             f"incremental indexing cost {overhead:.1%} of ingest"
             f" throughput (ceiling {INDEX_OVERHEAD_CEILING:.0%})"
+        )
+
+
+#: Acceptance ceiling for the metrics-instrumentation ingest overhead.
+METRICS_OVERHEAD_CEILING = 0.03
+#: Overhead runs are cheap (~0.5s each, serial page-cache ingest), so
+#: the leg buys depth: the ceiling is a small signal and the median
+#: needs rounds to resolve it under this host's CPU-steal jitter.
+#: Each round runs every configuration twice (best-of-2).
+METRICS_ROUNDS = 1 if FAST else 7
+
+
+def test_metrics_instrumentation_overhead(user_streams, tmp_path_factory):
+    """The observability tax: ingest throughput with the metrics
+    registry on vs. off, in paired rounds, plus sampled operation
+    latency quantiles from the instrumented run.
+
+    The overhead pairs run the *serial page-cache* configuration
+    (``workers=0``, ``fsync=False``) on purpose: it is the quietest
+    available — no thread scheduling noise, and no per-event fsync
+    whose latency variance (±6% between back-to-back runs on this
+    host) would drown a 3% ceiling in machine weather.  And because
+    that configuration is single-threaded CPU-bound work, the pairs
+    are timed with ``time.process_time`` rather than wall clock:
+    instrumentation cost *is* CPU cost, so CPU time is the honest
+    denominator, and it shrugs off most scheduler-level interference.
+
+    What remains on this virtualized host is one-sided steal noise —
+    interference bursts only ever make a run *slower* — so the leg
+    layers three hedges.  Per round, each configuration runs twice and
+    keeps its best rate (best-of-2 filters a burst that hit one run);
+    the on/off order alternates between rounds (monotone drift then
+    hits both configs symmetrically); and the gate takes the smaller
+    of two consistent estimators: the median of per-round ratios
+    (cancels drift the pairs share) and best-vs-best across all
+    rounds (the minimum CPU a config ever needed, which one-sided
+    noise cannot deflate).  A real regression moves every run and
+    therefore both estimators; noise inflates at most one.
+    """
+    off_best, on_best, overheads = 0.0, 0.0, []
+    events = 0
+
+    def measured_run(tag, metrics):
+        root = tmp_path_factory.mktemp(f"svc_met_{tag}")
+        count, cpu_seconds = _ingest_run(
+            root, user_streams, shards=INDEX_SHARDS, workers=0,
+            clients=1, fsync=False, metrics=metrics,
+            timer=time.process_time,
+        )
+        return count, count / cpu_seconds
+
+    measured_run("warm_off", False)
+    measured_run("warm_on", True)
+    for round_no in range(METRICS_ROUNDS):
+        order = (False, True) if round_no % 2 == 0 else (True, False)
+        round_best = {False: 0.0, True: 0.0}
+        for rep in range(2):
+            for metrics_on in order:
+                tag = f"{'on' if metrics_on else 'off'}{round_no}_{rep}"
+                events, rate = measured_run(tag, metrics_on)
+                round_best[metrics_on] = max(round_best[metrics_on], rate)
+        off_best = max(off_best, round_best[False])
+        on_best = max(on_best, round_best[True])
+        overheads.append(round_best[False] / round_best[True] - 1.0)
+    overhead_median = statistics.median(overheads)
+    overhead_best = off_best / on_best - 1.0
+    overhead = min(overhead_median, overhead_best)
+
+    # Sampled latency quantiles from a fully instrumented service:
+    # the artifact's dashboard numbers come from the same registry an
+    # operator would read via ``metrics_snapshot()``.
+    root = tmp_path_factory.mktemp("svc_met_sample")
+    workers = _parallel_workers(INDEX_SHARDS)
+    service = ProvenanceService(
+        str(root), shards=INDEX_SHARDS, batch_size=BATCH_SIZE,
+        workers=workers,
+    )
+    _replay_serial(service, user_streams)
+    service.flush()
+    query = _probe_terms(user_streams)
+    service.ranked_search(query, limit=20)  # cold
+    for user in sorted(user_streams):
+        service.ranked_search(query, user_id=user, limit=20)
+    snapshot = service.metrics_snapshot()
+    health = service.health()
+    assert health.status == "ok"
+    service.close()
+
+    def quantiles_ms(name):
+        summary = snapshot["histograms"].get(name, {})
+        if not summary.get("count"):
+            return {"count": 0}
+        return {
+            "count": summary["count"],
+            "p50_ms": round(summary["p50"] * 1000, 3),
+            "p95_ms": round(summary["p95"] * 1000, 3),
+            "p99_ms": round(summary["p99"] * 1000, 3),
+        }
+
+    ingest_q = quantiles_ms("ingest.submit")
+    ranked_q = quantiles_ms("search.ranked")
+    assert ingest_q["count"] >= 1, "sampled ingest latency never recorded"
+    assert ranked_q["count"] >= 1, "ranked-search latency never recorded"
+
+    emit_table(
+        "service_metrics_overhead",
+        f"Metrics instrumentation - ingest at {INDEX_SHARDS} shards,"
+        f" serial fsync=False, CPU-time rates ({METRICS_ROUNDS}"
+        f" order-alternated best-of-2 pairs after warm-up; quantiles"
+        f" from the instrumented registry, ms)",
+        ["metric", "value"],
+        [
+            ["metrics-off ingest ev/cpu-s", f"{off_best:,.0f}"],
+            ["metrics-on ingest ev/cpu-s", f"{on_best:,.0f}"],
+            ["overhead (median of pairs)", f"{overhead_median * 100:.2f}%"],
+            ["overhead (best vs best)", f"{overhead_best * 100:.2f}%"],
+            ["instrumentation overhead", f"{overhead * 100:.2f}%"],
+            ["ingest.submit p50/p95/p99 ms",
+             f"{ingest_q.get('p50_ms')}/{ingest_q.get('p95_ms')}"
+             f"/{ingest_q.get('p99_ms')}"],
+            ["search.ranked p50/p95/p99 ms",
+             f"{ranked_q.get('p50_ms')}/{ranked_q.get('p95_ms')}"
+             f"/{ranked_q.get('p99_ms')}"],
+        ],
+    )
+    asserted = not FAST
+    _update_bench_json(
+        "metrics",
+        {
+            "results": [
+                {
+                    "shards": INDEX_SHARDS,
+                    "fsync": False,
+                    "workers": 0,
+                    "clients": 1,
+                    "events": events,
+                    "metrics_off_events_per_cpu_sec": round(off_best, 1),
+                    "metrics_on_events_per_cpu_sec": round(on_best, 1),
+                    "rounds": METRICS_ROUNDS,
+                    "overhead_median_of_pairs": round(overhead_median, 4),
+                    "overhead_best_vs_best": round(overhead_best, 4),
+                    "overhead_per_pair": [round(o, 4) for o in overheads],
+                }
+            ],
+            "latency": {
+                "ingest_submit": ingest_q,
+                "ranked_search": ranked_q,
+            },
+            "acceptance": {
+                "criterion": f"metrics-on ingest CPU cost within"
+                             f" {METRICS_OVERHEAD_CEILING:.0%} of"
+                             f" metrics-off at shards={INDEX_SHARDS}"
+                             f" (fsync=False, serial, process_time;"
+                             f" min of pair-median and best-vs-best)",
+                "shards": INDEX_SHARDS,
+                "overhead_pct": round(overhead * 100, 2),
+                "passed": bool(overhead <= METRICS_OVERHEAD_CEILING),
+                "asserted": asserted,
+            },
+        },
+    )
+    if asserted:
+        assert overhead <= METRICS_OVERHEAD_CEILING, (
+            f"metrics instrumentation cost {overhead:.2%} of ingest"
+            f" throughput (ceiling {METRICS_OVERHEAD_CEILING:.0%})"
         )
 
 

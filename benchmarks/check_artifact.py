@@ -12,12 +12,13 @@ Usage::
 
 Exits 0 when the file exists, parses, and carries every required
 section (``thread_vs_serial``, ``process_vs_thread``,
-``ranked_search``, and ``paged_search``) with non-empty result rows
-and an acceptance block each — the ingest sections report a
-``speedup``, the ranked-search section an ``overhead_pct`` plus its
+``ranked_search``, ``paged_search``, and ``metrics``) with non-empty
+result rows and an acceptance block each — the ingest sections report
+a ``speedup``, the ranked-search section an ``overhead_pct`` plus its
 ``query`` latency block, the paged-search section its
-``scoring_reads_pages_2_5`` continuation counter; exits 2 with a
-diagnosis otherwise.
+``scoring_reads_pages_2_5`` continuation counter, the metrics section
+its instrumentation ``overhead_pct`` plus a ``latency`` quantile
+block; exits 2 with a diagnosis otherwise.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ REQUIRED_SECTIONS = (
     "process_vs_thread",
     "ranked_search",
     "paged_search",
+    "metrics",
 )
 REQUIRED_RESULT_KEYS = {"shards", "fsync", "workers", "events"}
 #: What each section's acceptance block must quantify.
@@ -38,6 +40,7 @@ ACCEPTANCE_METRIC = {
     "process_vs_thread": "speedup",
     "ranked_search": "overhead_pct",
     "paged_search": "scoring_reads_pages_2_5",
+    "metrics": "overhead_pct",
 }
 #: Display unit per metric (acceptance values print as value+unit).
 METRIC_UNIT = {
@@ -84,10 +87,23 @@ def check(path: str) -> list[str]:
             problems.append(
                 f"{section}: no acceptance block with {metric!r}"
             )
+        elif acceptance.get("asserted") and not acceptance.get("passed"):
+            # The bench's own assert should have failed first; a
+            # recorded asserted-but-failed acceptance means the
+            # artifact carries a known regression — fail loudly
+            # rather than upload it as if it were a clean record.
+            problems.append(
+                f"{section}: acceptance asserted but not passed"
+                f" ({metric}={acceptance.get(metric)})"
+            )
         if section == "ranked_search" and not isinstance(
             body.get("query"), dict
         ):
             problems.append("ranked_search: no query latency block")
+        if section == "metrics" and not isinstance(
+            body.get("latency"), dict
+        ):
+            problems.append("metrics: no latency quantile block")
     return problems
 
 

@@ -1,0 +1,138 @@
+"""Observability tour: metrics, slow-op tracing, and health probes.
+
+Drives a multi-tenant workload through the service with the metrics
+registry on and a deliberately low slow-op threshold, then reads back
+what an operator (or an HTTP adapter) would: the metrics snapshot
+(counters, gauges, latency quantiles), the slow-op log with its span
+breakdowns, and the per-shard / per-tenant health rollup — including
+watching `health()` degrade when a poison event is quarantined and
+recover after a redrive.
+
+Usage::
+
+    python examples/service_metrics.py
+"""
+
+import tempfile
+
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.service import (
+    MultiUserParams,
+    ProvenanceService,
+    run_multiuser_workload,
+)
+
+
+def show_snapshot(service: ProvenanceService) -> None:
+    snap = service.metrics_snapshot()
+    counters = snap["counters"]
+    print("\nCounters (the ingest/query story in exact numbers):")
+    for name in (
+        "ingest.events", "ingest.batches", "journal.group_commits",
+        "apply.batches", "cache.hits", "cache.misses",
+        "search.pages", "search.scans", "search.continuations",
+        "store.read_ops",
+    ):
+        print(f"  {name:24s} {counters.get(name, 0)}")
+
+    print("\nLatency histograms (sampled where hot, ms):")
+    for name in ("ingest.flush", "apply.batch", "search.ranked"):
+        summary = snap["histograms"].get(name)
+        if not summary or not summary.get("count"):
+            continue
+        print(
+            f"  {name:16s} n={summary['count']:<5d}"
+            f" p50={summary['p50'] * 1000:8.3f}"
+            f" p95={summary['p95'] * 1000:8.3f}"
+            f" p99={summary['p99'] * 1000:8.3f}"
+        )
+
+    print("\nGauges:", {k: v for k, v in snap["gauges"].items()})
+
+
+def show_health(service: ProvenanceService) -> None:
+    health = service.health(max_tenants=5)
+    print(
+        f"\nHealth: status={health.status} pending={health.pending}"
+        f" deadletters={health.deadletters}"
+        f" journal_lag={health.journal_lag}"
+        f" cache_hit_rate={health.cache_hit_rate}"
+    )
+    for shard in health.shards:
+        age = (
+            "never" if shard.last_flush_age_s is None
+            else f"{shard.last_flush_age_s:.2f}s ago"
+        )
+        print(
+            f"  shard {shard.shard}: queue={shard.queue_depth}"
+            f" last_flush={age} poisoned={shard.poisoned}"
+        )
+    for tenant in health.tenants:
+        print(
+            f"  tenant {tenant.user_id}: shard {tenant.shard},"
+            f" {tenant.events_submitted} events,"
+            f" last write {tenant.last_write_age_s:.2f}s ago"
+        )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="prov-metrics-") as root:
+        print(f"Service root: {root} (4 shards, slow-op log at 5ms)")
+        service = ProvenanceService(root, shards=4, batch_size=128,
+                                    slow_op_ms=5.0)
+
+        print("Replaying 6 synthetic users...")
+        report = run_multiuser_workload(
+            service,
+            MultiUserParams(users=6, days=2, sessions_per_day=2,
+                            actions_per_session=10, seed=42),
+        )
+        print(f"  {report.events} events ingested")
+        service.ranked_search("search results", limit=10)
+        for user in report.users[:3]:
+            service.ranked_search("search", user_id=user, limit=5)
+
+        show_snapshot(service)
+        show_health(service)
+
+        print("\nSlow ops (>= 5ms roots, with span breakdown):")
+        for record in service.slow_ops()[-3:]:
+            inner = ", ".join(
+                f"{span['op']}={span['ms']}ms"
+                for span in record.get("spans", [])
+            )
+            print(f"  {record['op']} {record['ms']}ms"
+                  f" tags={record.get('tags', {})}"
+                  + (f" [{inner}]" if inner else ""))
+
+        print("\nQuarantining a poison event (edge from a ghost node)...")
+        service.record_node("mallory", ProvNode(
+            id="real", kind=NodeKind.PAGE_VISIT, timestamp_us=1,
+            label="a real page",
+        ))
+        service.record_edge("mallory", EdgeKind.LINK, "ghost", "real",
+                            timestamp_us=1)
+        service.close(flush=False)  # crash with the poison journaled
+        service = ProvenanceService(root, shards=4, slow_op_ms=5.0)
+
+        health = service.health()
+        print(f"  after crash replay: status={health.status}"
+              f" deadletters={health.deadletters}")
+
+        print("Repairing (record the ghost) and redriving...")
+        entry = service.deadlettered()[0]
+        service.record_node("mallory", ProvNode(
+            id="ghost", kind=NodeKind.PAGE_VISIT, timestamp_us=1,
+            label="recovered",
+        ))
+        service.redrive(entry.seq)
+        health = service.health()
+        print(f"  after redrive: status={health.status}"
+              f" deadletters={health.deadletters}")
+
+        service.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -104,7 +104,7 @@ _NODE_UPSERT = (
 class ProvenanceStore:
     """SQLite persistence and SQL query layer for provenance graphs."""
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:", *, metrics: object = None) -> None:
         self.path = path
         # check_same_thread=False: a store may be opened by one thread
         # (lazily, via the service's StorePool) and then owned by a
@@ -142,6 +142,17 @@ class ProvenanceStore:
         #: Observability only: never read on a hot path, never reset by
         #: the store itself.
         self.read_ops: Counter = Counter()
+        #: Optional service-layer metrics sink (duck-typed: anything
+        #: with ``.counter(name, label_name=...)`` — the core layer
+        #: must not import the service package).  When present, read
+        #: ops also land in the shared registry as
+        #: ``store.read_ops{op=...}``; the local Counter above remains
+        #: the stable per-store view tests and benches assert on.
+        self._read_ops_metric = (
+            metrics.counter("store.read_ops", label_name="op")  # type: ignore[attr-defined]
+            if metrics is not None
+            else None
+        )
         if path != ":memory:":
             # Pragmatic durability/throughput trade for on-disk stores:
             # WAL lets readers overlap the writer, NORMAL fsyncs only at
@@ -1010,6 +1021,11 @@ class ProvenanceStore:
         self.conn.execute("DELETE FROM prov_index_docs")
         self._write_index_counters(0, 0)
 
+    def _count_read(self, op: str) -> None:
+        self.read_ops[op] += 1
+        if self._read_ops_metric is not None:
+            self._read_ops_metric.inc(1, label=op)
+
     def term_postings(
         self, terms: Iterable[str], *, id_prefix: str | None = None
     ) -> dict[str, list[tuple[str, int]]]:
@@ -1020,7 +1036,7 @@ class ProvenanceStore:
         tenant-scoped document frequencies.  Lists are ordered by node
         id so downstream score accumulation is deterministic.
         """
-        self.read_ops["term_postings"] += 1
+        self._count_read("term_postings")
         out: dict[str, list[tuple[str, int]]] = {}
         with self._read_context() as conn:
             for term in dict.fromkeys(terms):
@@ -1041,7 +1057,7 @@ class ProvenanceStore:
 
     def index_doc_lengths(self, node_ids: Iterable[str]) -> dict[str, int]:
         """Indexed token counts for *node_ids* (BM25 length normalization)."""
-        self.read_ops["index_doc_lengths"] += 1
+        self._count_read("index_doc_lengths")
         out: dict[str, int] = {}
         with self._read_context() as conn:
             for chunk in _chunked(list(node_ids)):
@@ -1059,7 +1075,7 @@ class ProvenanceStore:
         self, node_ids: Iterable[str]
     ) -> dict[str, tuple[int, int | None]]:
         """``{id: (timestamp_us, page_id)}`` — the ranking-blend facts."""
-        self.read_ops["nodes_brief"] += 1
+        self._count_read("nodes_brief")
         out: dict[str, tuple[int, int | None]] = {}
         with self._read_context() as conn:
             for chunk in _chunked(list(node_ids)):
@@ -1084,7 +1100,7 @@ class ProvenanceStore:
         *every* candidate, so per-pair point SELECTs would turn a
         broad query's first page into O(matches) SQL round-trips.
         """
-        self.read_ops["tenant_page_visits"] += 1
+        self._count_read("tenant_page_visits")
         out: dict[tuple[int, str], int] = {}
         by_prefix: dict[str, list[int]] = {}
         for page_id, prefix in dict.fromkeys(pairs):
@@ -1119,7 +1135,7 @@ class ProvenanceStore:
         storing offsets in the index would buy nothing, since the text
         must be fetched for display anyway.
         """
-        self.read_ops["node_texts"] += 1
+        self._count_read("node_texts")
         out: dict[str, tuple[str | None, str | None]] = {}
         with self._read_context() as conn:
             for chunk in _chunked(list(node_ids)):

@@ -48,6 +48,13 @@ from repro.service.events import (
     validate_user_id,
 )
 from repro.service.ingest import IngestJournal, IngestPipeline, IngestStats
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
 from repro.service.parallel import (
     ShardFailure,
     ShardWorkerPool,
@@ -76,10 +83,14 @@ from repro.service.service import (
     AggregateStats,
     DeadLetter,
     ProvenanceService,
+    ServiceHealth,
     ServiceStats,
+    ShardHealth,
+    TenantHealth,
     UserStats,
     parse_workers,
 )
+from repro.service.tracing import NULL_TRACER, Span, Tracer
 from repro.service.workload import (
     MultiUserParams,
     MultiUserReport,
@@ -92,15 +103,21 @@ from repro.service.workload import (
 __all__ = [
     "AggregateStats",
     "CacheStats",
+    "Counter",
     "DeadLetter",
     "EdgeEvent",
     "GLOBAL_SCOPE",
+    "Gauge",
+    "Histogram",
     "IngestJournal",
     "IngestPipeline",
     "IngestStats",
     "IntervalEvent",
+    "MetricsRegistry",
     "MultiUserParams",
     "MultiUserReport",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
     "NodeEvent",
     "PoolStats",
     "ProvEvent",
@@ -109,13 +126,18 @@ __all__ = [
     "RankingParams",
     "SearchHit",
     "SearchPage",
+    "ServiceHealth",
     "ServiceStats",
     "ShardFailure",
+    "ShardHealth",
     "ShardWorkerPool",
     "ShardWorkerProcessPool",
     "SnippetParams",
+    "Span",
     "SqlIndexView",
     "StorePool",
+    "TenantHealth",
+    "Tracer",
     "UserStats",
     "apply_event_batch",
     "attach_snippets",

@@ -24,6 +24,8 @@ first ranked query rebuilds it from the rows.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.capture import NodeInterval
 from repro.core.model import ProvEdge, ProvNode
 from repro.service.events import (
@@ -34,10 +36,15 @@ from repro.service.events import (
     qualify,
 )
 from repro.service.indexer import batch_index_docs
+from repro.service.metrics import NULL_REGISTRY
 
 
 def apply_event_batch(
-    store, batch: list[tuple[int, ProvEvent]], *, index: bool = True
+    store,
+    batch: list[tuple[int, ProvEvent]],
+    *,
+    index: bool = True,
+    metrics: object = NULL_REGISTRY,
 ) -> None:
     """Apply *batch* (``[(seq, event)]``) to *store* in one transaction.
 
@@ -47,7 +54,13 @@ def apply_event_batch(
     store's row-id caches) and the error re-raises — the caller decides
     between requeue, quarantine, and crash replay; the journal still
     holds every event either way.
+
+    *metrics* (a registry or the null default) books per-batch timing
+    and counts in whichever process runs the apply — thread workers
+    pass the service registry, process workers their own child
+    registry whose deltas ride the ack queue home.
     """
+    started = time.perf_counter()
     nodes: list[ProvNode] = []
     edges: list[ProvEdge] = []
     intervals: list[NodeInterval] = []
@@ -101,5 +114,9 @@ def apply_event_batch(
         # the store's row-id caches, which may point at rows the
         # rollback erased.
         store.rollback()
+        metrics.counter("apply.failures").inc()
         raise
     store.commit()
+    metrics.counter("apply.batches").inc()
+    metrics.counter("apply.events").inc(len(batch))
+    metrics.histogram("apply.batch").observe(time.perf_counter() - started)

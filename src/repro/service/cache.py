@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.errors import ConfigurationError
+from repro.service.metrics import NULL_REGISTRY
 
 _MISS = object()
 
@@ -97,6 +98,12 @@ class CacheStats:
     epoch: int = 0
     #: Writes counted toward the next epoch roll.
     epoch_writes_pending: int = 0
+    #: Epoch-bound values computed under an epoch that rolled before
+    #: the result could be admitted — returned to the caller but never
+    #: cached.  Distinct from misses: the lookup *did* miss (counted
+    #: there); this counts the denied admission, so operators can tell
+    #: "cold cache" from "ingest churn outpacing continuation reuse".
+    admission_rejected: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -110,7 +117,11 @@ class QueryCache:
     GLOBAL_SCOPE = GLOBAL_SCOPE
 
     def __init__(
-        self, capacity: int = 512, *, epoch_writes: int | None = None
+        self,
+        capacity: int = 512,
+        *,
+        epoch_writes: int | None = None,
+        metrics: object = NULL_REGISTRY,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError("cache capacity must be >= 1")
@@ -142,6 +153,14 @@ class QueryCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._admission_rejected = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._metric_hits = registry.counter("cache.hits")
+        self._metric_misses = registry.counter("cache.misses")
+        self._metric_admission_rejected = registry.counter(
+            "cache.admission_rejected"
+        )
+        self._metric_epoch_rolls = registry.counter("cache.epoch_rolls")
 
     def lookup(
         self, user_id: str, query: str, params: Hashable
@@ -152,8 +171,10 @@ class QueryCache:
             value = self._get_locked(key)
             if value is _MISS:
                 self._misses += 1
+                self._metric_misses.inc()
                 return False, None
             self._hits += 1
+            self._metric_hits.inc()
             return True, value
 
     def _get_locked(self, key: tuple) -> Any:
@@ -197,6 +218,14 @@ class QueryCache:
     def _put_locked(
         self, key: tuple, value: Any, *, epoch_bound: int | None = None
     ) -> None:
+        if epoch_bound is not None and epoch_bound != self._epoch:
+            # The epoch rolled while the value computed: admitting it
+            # would store an entry that is dead on arrival — the next
+            # lookup would silently drop it and book a *miss*, hiding
+            # the churn.  Reject here and count it for what it is.
+            self._admission_rejected += 1
+            self._metric_admission_rejected.inc()
+            return
         if key[0] == GLOBAL_SCOPE:
             value = (self._epoch, value)  # epoch-tag service entries
         elif epoch_bound is not None:
@@ -256,8 +285,10 @@ class QueryCache:
             value = self._get_locked(key)
             if value is not _MISS:
                 self._hits += 1
+                self._metric_hits.inc()
                 return value
             self._misses += 1
+            self._metric_misses.inc()
             generation = self._generation_locked(user_id)
             # Epoch-bound entries are tagged with the epoch their
             # compute *started* in: a roll mid-compute must leave the
@@ -339,6 +370,7 @@ class QueryCache:
     def _roll_epoch_locked(self) -> int:
         self._epoch += 1
         self._epoch_write_count = 0
+        self._metric_epoch_rolls.inc()
         if not self._entries and not self._computing:
             return 0
         return self._invalidate_scope_locked(GLOBAL_SCOPE)
@@ -397,4 +429,5 @@ class QueryCache:
                 invalidations=self._invalidations,
                 epoch=self._epoch,
                 epoch_writes_pending=self._epoch_write_count,
+                admission_rejected=self._admission_rejected,
             )

@@ -63,6 +63,7 @@ from repro.errors import (
     ReproError,
     WorkerCrashedError,
 )
+from repro.service.metrics import NULL_REGISTRY
 
 _STOP = object()
 
@@ -227,7 +228,9 @@ class ShardWorkerPool:
                 thread.join()
 
 
-def _shard_process_main(index, shard_paths, tasks, results, index_enabled):
+def _shard_process_main(
+    index, shard_paths, tasks, results, index_enabled, metrics_enabled=False
+):
     """Entry point of one shard worker process.
 
     Owns the stores for every shard in *shard_paths* exclusively: no
@@ -238,8 +241,15 @@ def _shard_process_main(index, shard_paths, tasks, results, index_enabled):
     * ``("apply", job_id, shard, [(seq, line)])`` — each *line* is the
       event's journal JSON text (the submit-time encoding, reused so
       the parent never re-serializes); decode and apply the batch,
-      then acknowledge ``("ok", index, job_id, shard, seq)``
-      with the batch's highest applied sequence number.
+      then acknowledge ``("ok", index, job_id, shard, seq, delta)``
+      with the batch's highest applied sequence number and the
+      worker's metric delta since its previous acknowledgement (or
+      ``None`` when metrics are disabled / nothing moved).  Error
+      acknowledgements carry a trailing delta too — a failed apply
+      still books failure counters child-side.  Piggybacking on the
+      ack is what keeps process mode out of the metrics blind spot
+      without a second channel: the parent merges a delta only when
+      the ack settles its job, so a delta can never count twice.
     * a failed apply poisons the shard worker-side: the error is
       reported once and every later batch for that shard is acknowledged
       ``("diverted", ...)`` unapplied, preserving per-shard order past
@@ -257,7 +267,9 @@ def _shard_process_main(index, shard_paths, tasks, results, index_enabled):
     from repro.core.store import ProvenanceStore
     from repro.service.apply import apply_event_batch
     from repro.service.events import decode_event
+    from repro.service.metrics import MetricsRegistry
 
+    registry = MetricsRegistry() if metrics_enabled else NULL_REGISTRY
     stores = {}
     poisoned = set()
     try:
@@ -276,17 +288,21 @@ def _shard_process_main(index, shard_paths, tasks, results, index_enabled):
                 continue
             _kind, job_id, shard, encoded = message
             if shard in poisoned:
-                results.put(("diverted", index, job_id, shard, 0))
+                results.put(("diverted", index, job_id, shard, 0, None))
                 continue
             try:
                 store = stores.get(shard)
                 if store is None:
-                    store = stores[shard] = ProvenanceStore(shard_paths[shard])
+                    store = stores[shard] = ProvenanceStore(
+                        shard_paths[shard], metrics=registry
+                    )
                 batch = [
                     (seq, decode_event(json_module.loads(line)))
                     for seq, line in encoded
                 ]
-                apply_event_batch(store, batch, index=index_enabled)
+                apply_event_batch(
+                    store, batch, index=index_enabled, metrics=registry
+                )
             except BaseException as exc:  # noqa: BLE001 — reported to the parent
                 poisoned.add(shard)
                 results.put(
@@ -297,10 +313,20 @@ def _shard_process_main(index, shard_paths, tasks, results, index_enabled):
                         shard,
                         f"{type(exc).__name__}: {exc}",
                         isinstance(exc, ReproError),
+                        registry.drain_delta(),
                     )
                 )
             else:
-                results.put(("ok", index, job_id, shard, encoded[-1][0]))
+                results.put(
+                    (
+                        "ok",
+                        index,
+                        job_id,
+                        shard,
+                        encoded[-1][0],
+                        registry.drain_delta(),
+                    )
+                )
     finally:
         for store in stores.values():
             store.close()
@@ -344,6 +370,7 @@ class ShardWorkerProcessPool:
         workers: int,
         name: str = "shard-proc",
         index_enabled: bool = True,
+        metrics: object = NULL_REGISTRY,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -357,6 +384,10 @@ class ShardWorkerProcessPool:
         self._on_applied = on_applied
         self._name = name
         self._index_enabled = index_enabled
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        #: Workers only pay for child-side instrumentation when the
+        #: parent can actually use the deltas.
+        self._metrics_enabled = bool(getattr(self._metrics, "enabled", False))
         self._ctx = multiprocessing.get_context(self._START_METHOD)
         self._results = self._ctx.Queue()
         self._task_queues: list[Any] = [None] * workers
@@ -463,6 +494,7 @@ class ShardWorkerProcessPool:
                     tasks,
                     self._results,
                     self._index_enabled,
+                    self._metrics_enabled,
                 ),
                 name=f"{self._name}-{index}",
                 daemon=True,
@@ -499,6 +531,9 @@ class ShardWorkerProcessPool:
             # Superseded: crash handling already failed this job (the
             # ack raced the reaper).  Its accounting is settled; a
             # second settle here would corrupt the outstanding counts.
+            # The ack's metric delta is dropped with it on purpose —
+            # the requeued batch re-applies and counts *then*, so
+            # merging here would double-count the same events.
             return
         _shard, batch = entry
         try:
@@ -526,8 +561,11 @@ class ShardWorkerProcessPool:
                     # Same contract as a thread worker raising: park the
                     # batch as a failure so the barrier surfaces the
                     # error and the pipeline requeues — the eventual
-                    # re-apply is harmless, rows are idempotent.
+                    # re-apply is harmless, rows are idempotent.  The
+                    # delta is dropped: the re-apply recounts.
                     self._park_failure_locked(shard, batch, exc)
+                else:
+                    self._metrics.merge_delta(message[5])
             elif kind == "error":
                 message_text, is_repro = message[4], message[5]
                 error: BaseException = (
@@ -535,6 +573,10 @@ class ShardWorkerProcessPool:
                     if is_repro
                     else RuntimeError(message_text)
                 )
+                # A failed apply's delta holds failure counters (no
+                # applied events — the child rolled back), so merging
+                # it cannot double-count the requeued batch.
+                self._metrics.merge_delta(message[6] if len(message) > 6 else None)
                 self._park_failure_locked(shard, batch, error)
             else:  # "diverted"
                 self._park_failure_locked(

@@ -25,12 +25,14 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.core.store import ProvenanceStore
 from repro.errors import ConfigurationError
+from repro.service.metrics import NULL_REGISTRY
 
 
 def shard_for(user_id: str, shards: int) -> int:
@@ -59,6 +61,7 @@ class StorePool:
         *,
         shards: int = 4,
         max_open: int = 8,
+        metrics: object = NULL_REGISTRY,
     ) -> None:
         if shards < 1:
             raise ConfigurationError("shards must be >= 1")
@@ -67,6 +70,13 @@ class StorePool:
         self.root = root
         self.shards = shards
         self.max_open = max_open
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._metric_opens = self.metrics.counter("pool.opens")
+        self._metric_evictions = self.metrics.counter("pool.evictions")
+        self._metric_checkouts = self.metrics.counter(
+            "pool.checkouts", label_name="shard"
+        )
+        self._metric_checkout_wait = self.metrics.histogram("pool.checkout_wait")
         if root is not None:
             os.makedirs(root, exist_ok=True)
         self._lock = threading.RLock()
@@ -145,9 +155,11 @@ class StorePool:
                     evicted = self._open.pop(victim)
                     evicted.close()
                     self._evictions += 1
-            store = ProvenanceStore(self.shard_path(shard))
+                    self._metric_evictions.inc()
+            store = ProvenanceStore(self.shard_path(shard), metrics=self.metrics)
             self._open[shard] = store
             self._opens += 1
+            self._metric_opens.inc()
             return store
 
     def store_for(self, user_id: str) -> ProvenanceStore:
@@ -177,9 +189,12 @@ class StorePool:
         goes through here; plain :meth:`store` remains for
         single-threaded callers and routing checks.
         """
+        started = time.perf_counter()
         with self._lock:
             store = self.store(shard)
             self._pins[shard] = self._pins.get(shard, 0) + 1
+        self._metric_checkouts.inc(1, label=shard)
+        self._metric_checkout_wait.observe(time.perf_counter() - started)
         try:
             yield store
         finally:

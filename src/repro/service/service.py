@@ -61,8 +61,10 @@ from repro.service.events import (
 )
 from repro.service.indexer import ensure_index
 from repro.service.ingest import IngestJournal, IngestPipeline
+from repro.service.metrics import COUNT_BUCKETS, MetricsRegistry, NULL_REGISTRY
 from repro.service.parallel import ranked_merge, scatter_gather
 from repro.service.pool import PoolStats, StorePool
+from repro.service.tracing import NULL_TRACER, Tracer
 from repro.service.search import (
     RankingParams,
     SearchHit,
@@ -171,6 +173,54 @@ class ServiceStats:
     pool: PoolStats
 
 
+@dataclass(frozen=True)
+class ShardHealth:
+    """One shard's ingest liveness."""
+
+    shard: int
+    #: Events accepted for this shard but not yet applied.
+    queue_depth: int
+    #: Seconds since this shard last settled a batch; ``None`` when the
+    #: shard has never flushed in this process.
+    last_flush_age_s: float | None
+    #: True while the shard has an undrained apply failure parked — its
+    #: buffered events cannot drain until the next barrier requeues.
+    poisoned: bool
+
+
+@dataclass(frozen=True)
+class TenantHealth:
+    """One tenant's recent write activity (this process's lifetime)."""
+
+    user_id: str
+    shard: int
+    events_submitted: int
+    last_write_age_s: float
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """Operator rollup: where ingest stands, per shard and per tenant.
+
+    ``status`` is ``"ok"`` unless something needs attention:
+    ``"degraded"`` when events sit quarantined in the dead-letter file
+    or a shard is poisoned by an undrained apply failure.
+    """
+
+    status: str
+    #: Events accepted but not yet applied, service-wide.
+    pending: int
+    #: Quarantined events awaiting redrive.
+    deadletters: int
+    #: Journal sequences not yet covered by the checkpoint.
+    journal_lag: int
+    cache_hit_rate: float
+    cache_epoch: int
+    shards: tuple[ShardHealth, ...]
+    #: Most recently active tenants first, capped by ``max_tenants``.
+    tenants: tuple[TenantHealth, ...]
+
+
 class ProvenanceService:
     """Record and query provenance for many users concurrently."""
 
@@ -190,6 +240,9 @@ class ProvenanceService:
         ranking: RankingParams | None = None,
         snippets: SnippetParams | None = None,
         scan_cache_rows: int = 100_000,
+        metrics: bool = True,
+        slow_op_ms: float | None = None,
+        slow_op_log: int = 256,
     ) -> None:
         """See the class docstring; the search/caching knobs:
 
@@ -213,6 +266,19 @@ class ProvenanceService:
           staleness (at most this many events).  ``None`` restores
           strict drop-on-every-write freshness.  Per-user reads are
           unaffected: read-your-own-writes always holds.
+
+        Observability knobs:
+
+        * ``metrics`` — maintain the service-wide metrics registry
+          (the default; see :meth:`metrics_snapshot`).  ``False``
+          swaps in no-op instruments — the hot paths keep their call
+          sites but pay only an empty method call each.
+        * ``slow_op_ms`` — ops slower than this threshold append a
+          structured record (span breakdown included) to a bounded
+          in-memory log read via :meth:`slow_ops`.  ``None`` (default)
+          disables the slow-op log; metrics histograms still record.
+        * ``slow_op_log`` — how many slow-op records the log retains
+          (a ring: oldest records drop first).
         """
         worker_mode, worker_count = parse_workers(workers, shards)
         self._tmp: tempfile.TemporaryDirectory | None = None
@@ -227,15 +293,36 @@ class ProvenanceService:
         self._acquire_lock()
         try:
             self._check_layout(shards)
+            self.metrics = MetricsRegistry() if metrics else NULL_REGISTRY
+            self.tracer = (
+                Tracer(
+                    self.metrics,
+                    slow_op_ms=slow_op_ms,
+                    slow_log_capacity=slow_op_log,
+                )
+                if metrics
+                else NULL_TRACER
+            )
+            self._metric_ranked_pages = self.metrics.counter("search.pages")
+            self._metric_scans = self.metrics.counter("search.scans")
+            self._metric_continuations = self.metrics.counter(
+                "search.continuations"
+            )
+            self._metric_shards_merged = self.metrics.histogram(
+                "search.shards_merged", bounds=COUNT_BUCKETS
+            )
             self.pool = StorePool(
                 root,
                 shards=shards,
                 max_open=(
                     max_open_stores if max_open_stores is not None else shards
                 ),
+                metrics=self.metrics,
             )
             self.cache = QueryCache(
-                cache_capacity, epoch_writes=cache_epoch_writes
+                cache_capacity,
+                epoch_writes=cache_epoch_writes,
+                metrics=self.metrics,
             )
             self.ranking = ranking if ranking is not None else RankingParams()
             self.snippets = (
@@ -248,11 +335,13 @@ class ProvenanceService:
                 os.path.join(root, "ingest.journal"),
                 fsync=fsync,
                 rotate_bytes=journal_rotate_bytes,
+                metrics=self.metrics,
             )
             self.ingest = IngestPipeline(
                 self.pool, self.journal, batch_size=batch_size,
                 cache=self.cache, workers=worker_count,
                 worker_mode=worker_mode, index=index,
+                metrics=self.metrics, tracer=self.tracer,
             )
             self._users: set[str] = set()
             #: Events recovered from the journal at startup (crash replay).
@@ -561,19 +650,22 @@ class ProvenanceService:
         self, user_id: str, term: str, *, limit: int = 50
     ) -> list[str]:
         """*user_id*'s node ids matching *term*, newest first."""
-        shard = self._drained_shard(user_id)
+        with self.tracer.trace("query.read", kind="search"):
+            shard = self._drained_shard(user_id)
 
-        def compute() -> list[str]:
-            with self.pool.checkout(shard) as store:
-                hits = store.sql_text_search(
-                    term, limit=limit, id_prefix=qualify(user_id, "")
+            def compute() -> list[str]:
+                with self.pool.checkout(shard) as store:
+                    hits = store.sql_text_search(
+                        term, limit=limit, id_prefix=qualify(user_id, "")
+                    )
+                return [unqualify(user_id, hit) for hit in hits]
+
+            # Copy out: cached lists must not be mutable by callers.
+            return list(
+                self.cache.get_or_compute(
+                    user_id, "search", (term, limit), compute
                 )
-            return [unqualify(user_id, hit) for hit in hits]
-
-        # Copy out: cached lists must not be mutable by callers.
-        return list(
-            self.cache.get_or_compute(user_id, "search", (term, limit), compute)
-        )
+            )
 
     def stats(self, user_id: str) -> UserStats:
         """Per-user node/edge/interval counts."""
@@ -637,11 +729,12 @@ class ProvenanceService:
                 results.append((user_id, raw_id))
             return results
 
-        return list(
-            self.cache.get_or_compute_global(
-                "global_search", (term, limit), compute
+        with self.tracer.trace("search.global"):
+            return list(
+                self.cache.get_or_compute_global(
+                    "global_search", (term, limit), compute
+                )
             )
-        )
 
     def ranked_search(
         self,
@@ -765,13 +858,16 @@ class ProvenanceService:
                     ),
                 )
 
-            return self.cache.get_or_compute(
-                user_id,
-                "ranked_page",
-                (terms, limit, tuple(sorted(marks.items()))),
-                compute,
-                epoch_bound=True,
-            )
+            with self.tracer.trace("search.ranked", scope="user"):
+                page = self.cache.get_or_compute(
+                    user_id,
+                    "ranked_page",
+                    (terms, limit, tuple(sorted(marks.items()))),
+                    compute,
+                    epoch_bound=True,
+                )
+            self._metric_ranked_pages.inc()
+            return page
 
         page_key = (
             terms,
@@ -792,6 +888,7 @@ class ProvenanceService:
                 else self.pool.populated_shards()
             )
             active = [s for s in shards if not exhausted(s)]
+            self._metric_shards_merged.observe(len(active))
 
             def page_of(shard: int):
                 def task():
@@ -860,9 +957,12 @@ class ProvenanceService:
                 cursor=self._mint_cursor(fingerprint, new_marks, shards),
             )
 
-        return self.cache.get_or_compute_global(
-            "ranked_page", page_key, compute
-        )
+        with self.tracer.trace("search.ranked", scope="global"):
+            page = self.cache.get_or_compute_global(
+                "ranked_page", page_key, compute
+            )
+        self._metric_ranked_pages.inc()
+        return page
 
     def _shard_window(
         self,
@@ -890,20 +990,33 @@ class ProvenanceService:
         stay correct (watermarks still apply) but re-score per page.
         """
 
+        scanned = False
+
         def compute_scan() -> list[tuple[str, float]]:
+            nonlocal scanned
+            scanned = True
             ensure_index(store)
-            return shard_ranked_scan(
-                store,
-                list(terms),
-                params=self.ranking,
-                id_prefix=id_prefix,
-            )
+            with self.tracer.trace("search.scan", shard=shard):
+                return shard_ranked_scan(
+                    store,
+                    list(terms),
+                    params=self.ranking,
+                    id_prefix=id_prefix,
+                )
 
         scan = self.cache.get_or_compute(
             scope, "ranked_scan", (terms, shard), compute_scan,
             epoch_bound=True,
             cache_when=lambda rows: len(rows) <= self.scan_cache_rows,
         )
+        # Scan vs. continuation is *the* paged-search health signal: a
+        # later page served off the cached scan is a continuation; a
+        # re-run of the scoring scan (cold cache, epoch roll, tenant
+        # write) is not.
+        if scanned:
+            self._metric_scans.inc()
+        else:
+            self._metric_continuations.inc()
         return slice_after(scan, mark, limit)
 
     def _mint_cursor(
@@ -966,6 +1079,98 @@ class ProvenanceService:
             cache=self.cache.stats(),
             pool=self.pool.stats(),
         )
+
+    # -- observability ----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """A JSON-serialisable snapshot of every service metric.
+
+        ``{"counters": {...}, "gauges": {...}, "histograms": {...}}`` —
+        histograms summarize as count/sum/min/max plus estimated
+        p50/p95/p99 (fixed-bucket linear interpolation); labeled
+        counters render per-label series as ``name{label=value}`` keys
+        next to the grand total.  Process-mode worker metrics are
+        already folded in: children ship deltas on their batch
+        acknowledgements, so the snapshot covers both worker substrates
+        identically.  Deliberately transport-agnostic — a future HTTP
+        adapter can serve this dict per endpoint unchanged.
+
+        Point-in-time gauges (queue depth, open stores, cache size) are
+        refreshed at snapshot time; with ``metrics=False`` the snapshot
+        is empty.
+        """
+        if self.metrics.enabled:
+            self.journal.flush_metric_tallies()
+            self.metrics.gauge("ingest.pending").set(self.ingest.pending())
+            self.metrics.gauge("pool.open_stores").set(self.pool.open_count)
+            self.metrics.gauge("cache.size").set(len(self.cache))
+            self.metrics.gauge("cache.epoch").set(self.cache.epoch)
+        return self.metrics.snapshot()
+
+    def health(self, *, max_tenants: int = 100) -> ServiceHealth:
+        """Per-shard / per-tenant ingest liveness rollup.
+
+        Cheap by construction — reads the pipeline's existing
+        bookkeeping (queue depths, last-flush stamps, tenant activity)
+        plus the dead-letter sidecar; it never drains, flushes, or
+        touches shard stores, so probing it cannot perturb what it
+        measures.  ``status`` goes ``"degraded"`` when quarantined
+        events await redrive or a shard is poisoned by an undrained
+        apply failure.  *max_tenants* caps the tenant rollup, most
+        recently active first.
+        """
+        shard_ages, tenant_activity = self.ingest.activity_snapshot()
+        poisoned = set(self.ingest.poisoned_shards())
+        shards = []
+        for shard in sorted(set(shard_ages) | poisoned | {
+            shard
+            for shard in range(self.pool.shards)
+            if self.ingest.pending(shard)
+        }):
+            shards.append(
+                ShardHealth(
+                    shard=shard,
+                    queue_depth=self.ingest.pending(shard),
+                    last_flush_age_s=shard_ages.get(shard),
+                    poisoned=shard in poisoned,
+                )
+            )
+        recent = sorted(
+            tenant_activity.items(), key=lambda item: item[1][1]
+        )[:max_tenants]
+        tenants = tuple(
+            TenantHealth(
+                user_id=user,
+                shard=self.pool.shard_of(user),
+                events_submitted=submitted,
+                last_write_age_s=age,
+            )
+            for user, (submitted, age) in recent
+        )
+        deadletters = len(self.journal.deadlettered())
+        cache_stats = self.cache.stats()
+        return ServiceHealth(
+            status="degraded" if deadletters or poisoned else "ok",
+            pending=self.ingest.pending(),
+            deadletters=deadletters,
+            journal_lag=max(
+                0, self.journal.last_seq - self.journal.flushed_seq
+            ),
+            cache_hit_rate=cache_stats.hit_rate,
+            cache_epoch=cache_stats.epoch,
+            shards=tuple(shards),
+            tenants=tenants,
+        )
+
+    def slow_ops(self) -> list[dict]:
+        """Recorded slow-op breakdowns, oldest first.
+
+        Populated only when the service was built with ``slow_op_ms``:
+        each record is ``{"op", "ms", "tags", "spans"}`` with nested
+        child spans showing where the time went.  The log is a bounded
+        ring (``slow_op_log`` records); reading does not clear it.
+        """
+        return self.tracer.slow_ops()
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -1113,6 +1318,12 @@ class ProvenanceService:
         return shard
 
     def _walk(
+        self, user_id: str, direction: str, node_id: str, max_depth: int
+    ) -> list[tuple[str, int]]:
+        with self.tracer.trace("query.read", kind=direction):
+            return self._walk_traced(user_id, direction, node_id, max_depth)
+
+    def _walk_traced(
         self, user_id: str, direction: str, node_id: str, max_depth: int
     ) -> list[tuple[str, int]]:
         shard = self._drained_shard(user_id)

@@ -1,0 +1,179 @@
+"""Lightweight span tracing for service pipelines.
+
+``with tracer.trace("ingest.flush", shard=3):`` times a named
+operation, records the duration into the registry histogram of the
+same name, and — when the op is a *root* span that exceeded the
+configured ``slow_op_ms`` threshold — appends a structured record with
+the nested span breakdown to a bounded in-memory log.
+
+Spans nest via a thread-local stack, so a flush that internally traces
+``journal.sync`` and ``apply.batch`` yields a slow-op record like::
+
+    {"op": "ingest.flush", "ms": 212.4, "tags": {"shard": 3},
+     "spans": [{"op": "journal.sync", "ms": 180.1, ...},
+               {"op": "apply.batch", "ms": 22.0, ...}]}
+
+There is no cross-thread propagation on purpose: worker-pool hops
+start fresh root spans in their own threads, which keeps the tracer
+allocation-free on the hot path (one small Span object per traced op)
+and free of context-var bookkeeping.  The slow-op log is the operator
+affordance — metrics say *that* p99 regressed, the slow-op log says
+*where the time went* inside the offending ops.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.service.metrics import NULL_REGISTRY
+
+__all__ = ["Span", "Tracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed operation; created only via :meth:`Tracer.trace`."""
+
+    __slots__ = ("op", "tags", "children", "_started", "duration_s")
+
+    def __init__(self, op: str, tags: dict[str, Any] | None) -> None:
+        self.op = op
+        self.tags = tags
+        self.children: list[Span] | None = None
+        self._started = 0.0
+        self.duration_s = 0.0
+
+    def as_record(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "op": self.op,
+            "ms": round(self.duration_s * 1000.0, 3),
+        }
+        if self.tags:
+            record["tags"] = dict(self.tags)
+        if self.children:
+            record["spans"] = [child.as_record() for child in self.children]
+        return record
+
+
+class _SpanContext:
+    """The context manager yielded by :meth:`Tracer.trace`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span._started = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        span = self._span
+        span.duration_s = time.perf_counter() - span._started
+        self._tracer._pop(span)
+
+
+class Tracer:
+    """Span factory bound to a metrics registry and a slow-op log."""
+
+    def __init__(
+        self,
+        metrics: Any = NULL_REGISTRY,
+        *,
+        slow_op_ms: float | None = None,
+        slow_log_capacity: int = 256,
+    ) -> None:
+        self.metrics = metrics
+        self.slow_op_ms = slow_op_ms
+        self._local = threading.local()
+        self._slow_lock = threading.Lock()
+        self._slow: deque[dict[str, Any]] = deque(maxlen=slow_log_capacity)
+
+    def trace(self, op: str, **tags: Any) -> _SpanContext:
+        """Time *op*; record into the histogram named *op*.
+
+        Keyword arguments become span tags (shown in slow-op records).
+        """
+        return _SpanContext(self, Span(op, tags or None))
+
+    # -- span stack ---------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            if parent.children is None:
+                parent.children = []
+            parent.children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Defensive: unwind to *this* span even if an inner span leaked
+        # (e.g. a generator-held context that outlived its parent).
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        self.metrics.histogram(span.op).observe(span.duration_s)
+        if (
+            not stack
+            and self.slow_op_ms is not None
+            and span.duration_s * 1000.0 >= self.slow_op_ms
+        ):
+            with self._slow_lock:
+                self._slow.append(span.as_record())
+
+    # -- slow-op log --------------------------------------------------------------
+
+    def slow_ops(self) -> list[dict[str, Any]]:
+        """Recorded slow ops, oldest first (bounded ring)."""
+        with self._slow_lock:
+            return list(self._slow)
+
+    def clear_slow_ops(self) -> None:
+        with self._slow_lock:
+            self._slow.clear()
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class _NullTracer:
+    """Tracer surface with zero work; used when metrics are disabled."""
+
+    __slots__ = ()
+
+    metrics = NULL_REGISTRY
+    slow_op_ms: float | None = None
+    _CONTEXT = _NullSpanContext()
+
+    def trace(self, op: str, **tags: Any) -> _NullSpanContext:
+        return self._CONTEXT
+
+    def slow_ops(self) -> list[dict[str, Any]]:
+        return []
+
+    def clear_slow_ops(self) -> None:
+        return None
+
+
+#: Module-level no-op tracer; safe to share everywhere.
+NULL_TRACER = _NullTracer()
