@@ -917,3 +917,276 @@ def test_query_latency_cached_vs_uncached(user_streams, tmp_path_factory):
         ],
     )
     service.close()
+
+
+#: HTTP serving leg: closed-loop client threads driving the wire API.
+HTTP_CLIENTS = 4 if FAST else 8
+#: Events per POST /v1/events request (the wire write batch).
+HTTP_BATCH = 64
+#: Rejected-under-overload probes (each must cost zero journal appends).
+OVERLOAD_PROBES = 10 if FAST else 50
+
+
+def _http_request(conn, method, path, body=None):
+    """(status, raw_body) over a kept-alive http.client connection."""
+    conn.request(
+        method, path, body=None if body is None else json.dumps(body)
+    )
+    response = conn.getresponse()
+    return response.status, response.read()
+
+
+def _drive_streams_over_http(port, streams, clients):
+    """Closed-loop replay: *clients* threads, each batching its share
+    of the user streams through ``POST /v1/events``.  Returns the
+    total events acknowledged with 200."""
+    import http.client
+
+    from repro.service import encode_event
+
+    users = sorted(streams)
+    shares = [users[index::clients] for index in range(clients)]
+    counts = [0] * clients
+
+    def run(index):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            for user in shares[index]:
+                events = [encode_event(e) for e in streams[user]]
+                for at in range(0, len(events), HTTP_BATCH):
+                    batch = events[at:at + HTTP_BATCH]
+                    status, body = _http_request(
+                        conn, "POST", "/v1/events", {"events": batch}
+                    )
+                    assert status == 200, body
+                    counts[index] += len(batch)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=run, args=(index,))
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return sum(counts)
+
+
+def test_http_serving_layer(user_streams, tmp_path_factory):
+    """The serving-layer numbers: persona workloads replayed over the
+    wire by closed-loop clients, per-endpoint latency quantiles from
+    the same registry an operator scrapes, wire pages byte-identical
+    to in-process pages, and the admission invariant measured — under
+    overload the journal append count stays flat while 429s rise."""
+    import http.client
+
+    from repro.service import (
+        AdmissionParams,
+        ProvenanceServer,
+        ServerParams,
+        canonical_json,
+    )
+
+    root = tmp_path_factory.mktemp("svc_http")
+    workers = _parallel_workers(INDEX_SHARDS)
+    service = ProvenanceService(
+        str(root), shards=INDEX_SHARDS, batch_size=BATCH_SIZE,
+        workers=f"thread:{workers}",
+    )
+    server = ProvenanceServer(service).start()
+
+    # -- closed-loop ingest over the wire ---------------------------------
+    started = time.perf_counter()
+    events = _drive_streams_over_http(
+        server.port, user_streams, HTTP_CLIENTS
+    )
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=120)
+    status, _body = _http_request(conn, "POST", "/v1/flush", {})
+    assert status == 200
+    ingest_elapsed = time.perf_counter() - started
+    http_rate = events / ingest_elapsed
+
+    # -- read traffic for the latency quantiles ---------------------------
+    query = _probe_terms(user_streams)
+    from urllib.parse import quote
+
+    for user in sorted(user_streams):
+        status, _body = _http_request(
+            conn, "GET",
+            f"/v1/search/ranked?term={quote(query)}&user={user}&limit=20",
+        )
+        assert status == 200
+        assert _http_request(conn, "GET", f"/v1/stats?user={user}")[0] == 200
+    assert _http_request(conn, "GET", "/v1/health")[0] == 200
+
+    # -- wire vs. in-process page equivalence ------------------------------
+    expected, cursor = [], None
+    while True:
+        page = service.ranked_search(query, limit=10, cursor=cursor)
+        expected.append(canonical_json(page.to_dict()))
+        cursor = page.cursor
+        if cursor is None:
+            break
+    got, cursor = [], None
+    while True:
+        path = f"/v1/search/ranked?term={quote(query)}&limit=10"
+        if cursor is not None:
+            path += f"&cursor={quote(cursor)}"
+        status, raw = _http_request(conn, "GET", path)
+        assert status == 200, raw
+        got.append(raw)
+        cursor = json.loads(raw)["cursor"]
+        if cursor is None:
+            break
+    pages_identical = got == expected
+    assert pages_identical, "wire pages diverged from in-process pages"
+
+    snapshot = service.metrics_snapshot()
+
+    def quantiles_ms(endpoint):
+        summary = snapshot["histograms"].get(f"http.{endpoint}", {})
+        if not summary.get("count"):
+            return {"count": 0}
+        return {
+            "count": summary["count"],
+            "p50_ms": round(summary["p50"] * 1000, 3),
+            "p95_ms": round(summary["p95"] * 1000, 3),
+            "p99_ms": round(summary["p99"] * 1000, 3),
+        }
+
+    latency = {
+        endpoint: quantiles_ms(endpoint)
+        for endpoint in (
+            "events", "flush", "search_ranked", "stats", "health",
+        )
+    }
+    assert latency["events"]["count"] >= 1
+    assert latency["search_ranked"]["count"] >= 1
+    conn.close()
+    server.stop()
+
+    # -- overload: shed at admission, before the journal -------------------
+    # A second front door on the same service, with a sealed token
+    # bucket (rate=0): once the burst is spent, every write must be
+    # refused at admission — no journal append, no sequence, no SQLite.
+    sealed = ProvenanceServer(
+        service,
+        ServerParams(admission=AdmissionParams(rate_per_s=0.0, burst=4)),
+    ).start()
+    conn = http.client.HTTPConnection("127.0.0.1", sealed.port, timeout=120)
+    from repro.core.model import ProvNode
+    from repro.core.taxonomy import NodeKind
+    from repro.service import encode_event
+    from repro.service.events import NodeEvent
+
+    probe_events = [
+        encode_event(NodeEvent(user_id="overload-probe", node=ProvNode(
+            id=f"probe{i}", kind=NodeKind.PAGE_VISIT,
+            timestamp_us=(i + 1) * 1_000_000,
+            label=f"overload probe {i}",
+        )))
+        for i in range(4)
+    ]
+    status, _body = _http_request(
+        conn, "POST", "/v1/events", {"events": probe_events}
+    )
+    assert status == 200  # spends the whole burst
+    status, _body = _http_request(conn, "POST", "/v1/flush", {})
+    assert status == 200
+
+    seq_before = service.journal.last_seq
+    counters_before = service.metrics_snapshot()["counters"]
+    rejected = 0
+    for _ in range(OVERLOAD_PROBES):
+        status, _body = _http_request(
+            conn, "POST", "/v1/events", {"events": probe_events}
+        )
+        if status == 429:
+            rejected += 1
+    seq_after = service.journal.last_seq
+    counters_after = service.metrics_snapshot()["counters"]
+    conn.close()
+    sealed.stop()
+
+    appends_during_overload = seq_after - seq_before
+    ingest_delta = counters_after.get("ingest.events", 0) - \
+        counters_before.get("ingest.events", 0)
+    commits_delta = counters_after.get("journal.group_commits", 0) - \
+        counters_before.get("journal.group_commits", 0)
+    shed_rate = rejected / OVERLOAD_PROBES
+    service.close()
+
+    emit_table(
+        "service_http_layer",
+        f"HTTP serving - {USERS} users over {HTTP_CLIENTS} closed-loop"
+        f" wire clients at {INDEX_SHARDS} shards (batch={HTTP_BATCH};"
+        f" latency from http.* histograms, ms)",
+        ["metric", "value"],
+        [
+            ["wire ingest ev/s", f"{http_rate:,.0f}"],
+            ["events p50/p95/p99 ms",
+             f"{latency['events'].get('p50_ms')}"
+             f"/{latency['events'].get('p95_ms')}"
+             f"/{latency['events'].get('p99_ms')}"],
+            ["ranked p50/p95/p99 ms",
+             f"{latency['search_ranked'].get('p50_ms')}"
+             f"/{latency['search_ranked'].get('p95_ms')}"
+             f"/{latency['search_ranked'].get('p99_ms')}"],
+            ["wire pages == in-process", str(pages_identical)],
+            ["overload shed rate", f"{shed_rate:.0%}"],
+            ["journal appends during overload",
+             str(appends_during_overload)],
+        ],
+    )
+    _update_bench_json(
+        "http",
+        {
+            "results": [
+                {
+                    "shards": INDEX_SHARDS,
+                    "fsync": False,
+                    "workers": workers,
+                    "events": events,
+                    "clients": HTTP_CLIENTS,
+                    "batch": HTTP_BATCH,
+                    "wire_events_per_sec": round(http_rate, 1),
+                    "pages_compared": len(expected),
+                    "pages_byte_identical": pages_identical,
+                }
+            ],
+            "latency": latency,
+            "overload": {
+                "probes": OVERLOAD_PROBES,
+                "rejected_429": rejected,
+                "shed_rate": round(shed_rate, 3),
+                "journal_appends_during_overload": appends_during_overload,
+                "ingest_events_delta": ingest_delta,
+                "journal_group_commits_delta": commits_delta,
+            },
+            "acceptance": {
+                "criterion": "under a sealed admission bucket every"
+                             " probe sheds with 429 and the journal"
+                             " append count stays flat (shed before"
+                             " the journal, not queued into SQLite)",
+                "shards": INDEX_SHARDS,
+                "journal_appends_during_overload": appends_during_overload,
+                "rejected_429": rejected,
+                "passed": bool(
+                    appends_during_overload == 0
+                    and rejected == OVERLOAD_PROBES
+                ),
+                "asserted": True,
+            },
+        },
+    )
+    # Counters, not wall-clock: asserted in smoke mode too.
+    assert rejected == OVERLOAD_PROBES, (
+        f"only {rejected}/{OVERLOAD_PROBES} overload probes were shed"
+    )
+    assert appends_during_overload == 0, (
+        f"{appends_during_overload} journal appends leaked past a"
+        f" sealed admission bucket"
+    )
+    assert ingest_delta == 0 and commits_delta == 0

@@ -9,16 +9,24 @@ This checker fails the job instead.
 Usage::
 
     python benchmarks/check_artifact.py BENCH_service.json
+    python benchmarks/check_artifact.py BENCH_http.json --section http
 
 Exits 0 when the file exists, parses, and carries every required
 section (``thread_vs_serial``, ``process_vs_thread``,
-``ranked_search``, ``paged_search``, and ``metrics``) with non-empty
-result rows and an acceptance block each — the ingest sections report
-a ``speedup``, the ranked-search section an ``overhead_pct`` plus its
-``query`` latency block, the paged-search section its
-``scoring_reads_pages_2_5`` continuation counter, the metrics section
-its instrumentation ``overhead_pct`` plus a ``latency`` quantile
-block; exits 2 with a diagnosis otherwise.
+``ranked_search``, ``paged_search``, ``metrics``, and ``http``) with
+non-empty result rows and an acceptance block each — the ingest
+sections report a ``speedup``, the ranked-search section an
+``overhead_pct`` plus its ``query`` latency block, the paged-search
+section its ``scoring_reads_pages_2_5`` continuation counter, the
+metrics section its instrumentation ``overhead_pct`` plus a
+``latency`` quantile block, the http section its
+``journal_appends_during_overload`` shed counter plus per-endpoint
+``latency`` quantiles; exits 2 with a diagnosis otherwise.
+
+``--section NAME`` validates just that section — for CI legs that run
+one bench test and therefore write a one-section artifact (the full
+record is always rewritten whole from the run's own results, never
+merged with a stale file).
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ REQUIRED_SECTIONS = (
     "ranked_search",
     "paged_search",
     "metrics",
+    "http",
 )
 REQUIRED_RESULT_KEYS = {"shards", "fsync", "workers", "events"}
 #: What each section's acceptance block must quantify.
@@ -41,16 +50,20 @@ ACCEPTANCE_METRIC = {
     "ranked_search": "overhead_pct",
     "paged_search": "scoring_reads_pages_2_5",
     "metrics": "overhead_pct",
+    "http": "journal_appends_during_overload",
 }
 #: Display unit per metric (acceptance values print as value+unit).
 METRIC_UNIT = {
     "speedup": "x",
     "overhead_pct": "%",
     "scoring_reads_pages_2_5": " reads",
+    "journal_appends_during_overload": " appends",
 }
 
 
-def check(path: str) -> list[str]:
+def check(
+    path: str, sections: tuple[str, ...] = REQUIRED_SECTIONS
+) -> list[str]:
     """Every problem with the artifact at *path* (empty = valid)."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -66,7 +79,7 @@ def check(path: str) -> list[str]:
         problems.append(f"unexpected bench id {record.get('bench')!r}")
     if not isinstance(record.get("workload"), dict):
         problems.append("missing workload description")
-    for section in REQUIRED_SECTIONS:
+    for section in sections:
         body = record.get(section)
         if not isinstance(body, dict):
             problems.append(f"missing section {section!r}")
@@ -104,21 +117,40 @@ def check(path: str) -> list[str]:
             body.get("latency"), dict
         ):
             problems.append("metrics: no latency quantile block")
+        if section == "http" and not isinstance(body.get("latency"), dict):
+            problems.append("http: no per-endpoint latency block")
     return problems
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
+    args = list(argv[1:])
+    sections = REQUIRED_SECTIONS
+    if "--section" in args:
+        at = args.index("--section")
+        try:
+            wanted = args[at + 1]
+        except IndexError:
+            print(__doc__)
+            return 2
+        if wanted not in REQUIRED_SECTIONS:
+            print(
+                f"BENCH ARTIFACT INVALID: unknown section {wanted!r}"
+                f" (known: {', '.join(REQUIRED_SECTIONS)})"
+            )
+            return 2
+        sections = (wanted,)
+        del args[at:at + 2]
+    if len(args) != 1:
         print(__doc__)
         return 2
-    problems = check(argv[1])
+    problems = check(args[0], sections)
     if problems:
         for problem in problems:
             print(f"BENCH ARTIFACT INVALID: {problem}")
         return 2
-    with open(argv[1], "r", encoding="utf-8") as handle:
+    with open(args[0], "r", encoding="utf-8") as handle:
         record = json.load(handle)
-    for section in REQUIRED_SECTIONS:
+    for section in sections:
         acceptance = record[section]["acceptance"]
         metric = ACCEPTANCE_METRIC[section]
         unit = METRIC_UNIT[metric]
@@ -126,7 +158,7 @@ def main(argv: list[str]) -> int:
             f"{section}: {metric} {acceptance.get(metric)}{unit}"
             f" (passed={acceptance.get('passed')})"
         )
-    print(f"{argv[1]}: valid")
+    print(f"{args[0]}: valid")
     return 0
 
 

@@ -18,7 +18,11 @@ Checks (exit 0 = clean, 2 = problems, each printed with a diagnosis):
 * every public method of ``ProvenanceService`` appears in
   ``docs/api.md`` as a heading or inline call reference — an
   undocumented facade method fails the build, which is what keeps
-  ``docs/api.md`` the *complete* API surface rather than a sample.
+  ``docs/api.md`` the *complete* API surface rather than a sample;
+* every HTTP route the server actually dispatches (the ``ROUTES``
+  table in ``repro.service.server``) appears in ``docs/api.md`` as
+  ``METHOD /path`` — a wire endpoint nobody documented is an API
+  surface nobody agreed to support.
 """
 
 from __future__ import annotations
@@ -109,15 +113,34 @@ def check_api_coverage() -> list[str]:
     return problems
 
 
+def check_route_coverage() -> list[str]:
+    api_path = os.path.join(REPO_ROOT, "docs", "api.md")
+    if not os.path.exists(api_path):
+        return ["docs/api.md: missing — the wire API has no reference"]
+    with open(api_path, "r", encoding="utf-8") as handle:
+        api_text = handle.read()
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.service.server import ROUTES
+
+    problems: list[str] = []
+    for route in ROUTES:
+        if f"{route.method} {route.path}" not in api_text:
+            problems.append(
+                f"docs/api.md: HTTP route '{route.method} {route.path}'"
+                f" is undocumented"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_api_coverage()
+    problems = check_links() + check_api_coverage() + check_route_coverage()
     if problems:
         for problem in problems:
             print(f"DOCS INVALID: {problem}")
         return 2
     print(
-        f"docs: {len(LINKED_FILES)} files link-checked, facade API"
-        f" coverage complete"
+        f"docs: {len(LINKED_FILES)} files link-checked, facade API and"
+        f" HTTP route coverage complete"
     )
     return 0
 

@@ -28,6 +28,11 @@ Quickstart::
             print(user, service.stats(user))
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionParams,
+    TokenBucket,
+)
 from repro.service.apply import apply_event_batch
 from repro.service.cache import GLOBAL_SCOPE, CacheStats, QueryCache
 from repro.service.indexer import (
@@ -90,7 +95,16 @@ from repro.service.service import (
     UserStats,
     parse_workers,
 )
+from repro.service.server import ProvenanceServer, ServerParams
 from repro.service.tracing import NULL_TRACER, Span, Tracer
+from repro.service.wire import (
+    WireLimits,
+    WireRequest,
+    canonical_json,
+    encode_response,
+    error_payload,
+    read_request,
+)
 from repro.service.workload import (
     MultiUserParams,
     MultiUserReport,
@@ -101,6 +115,8 @@ from repro.service.workload import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionParams",
     "AggregateStats",
     "CacheStats",
     "Counter",
@@ -121,11 +137,13 @@ __all__ = [
     "NodeEvent",
     "PoolStats",
     "ProvEvent",
+    "ProvenanceServer",
     "ProvenanceService",
     "QueryCache",
     "RankingParams",
     "SearchHit",
     "SearchPage",
+    "ServerParams",
     "ServiceHealth",
     "ServiceStats",
     "ShardFailure",
@@ -137,16 +155,22 @@ __all__ = [
     "SqlIndexView",
     "StorePool",
     "TenantHealth",
+    "TokenBucket",
     "Tracer",
     "UserStats",
+    "WireLimits",
+    "WireRequest",
     "apply_event_batch",
     "attach_snippets",
+    "canonical_json",
     "compact_index",
     "decode_cursor",
     "decode_event",
     "encode_cursor",
     "encode_event",
+    "encode_response",
     "ensure_index",
+    "error_payload",
     "extract_snippet",
     "node_tokens",
     "parse_workers",
@@ -154,6 +178,7 @@ __all__ = [
     "query_fingerprint",
     "query_terms",
     "ranked_merge",
+    "read_request",
     "rebuild_index",
     "replay_streams",
     "run_multiuser_workload",

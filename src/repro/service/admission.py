@@ -1,0 +1,284 @@
+"""Admission control for the HTTP serving layer.
+
+The ROADMAP's serving frontier demands that overload be refused *at
+the door* — before a request journals anything, allocates a sequence,
+or queues work into SQLite — because a write that entered the journal
+is a promise the service must keep.  This module is that door.  Four
+independent gates, each with its own machine-readable rejection:
+
+* **per-tenant token bucket** (:class:`TokenBucket`) — sustained rate
+  with a burst allowance; writes cost one token per *event* (a batch
+  of 50 events spends 50 tokens), reads cost one per request.  Over
+  the limit → :class:`~repro.errors.RateLimitedError` (429) with a
+  ``Retry-After`` hint computed from the refill rate.
+* **per-tenant quota** — a hard ceiling on events a tenant may submit
+  through this server instance.  Exhausted →
+  :class:`~repro.errors.TenantQuotaError` (429).
+* **connection cap** — concurrent sockets.  At the cap the server
+  answers 503 and closes without reading the request.
+* **backpressure** — when the ingest pipeline's unapplied backlog
+  exceeds ``max_pending_events``, writes shed with
+  :class:`~repro.errors.OverloadedError` (503).  The backlog is read
+  from the pipeline's existing bookkeeping; nothing is journaled
+  first, so a shed request leaves no trace but a counter.
+
+Rejections are all-or-nothing per request: a batch naming several
+tenants is admitted only if *every* tenant can cover its share, and no
+bucket or quota is debited unless the whole batch is admitted — a
+rejected request never burns budget.  All gates run under one lock
+(they are integer arithmetic; the lock is never held across I/O).
+
+Tenant isolation note (Provenance Threat Modeling, PAPERS.md): buckets
+and quotas are keyed by tenant id *at the API boundary*, which is what
+makes one tenant's flood another tenant's non-event — shard worker
+pools further in are shared infrastructure and cannot make that
+distinction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import (
+    ConfigurationError,
+    ConnectionLimitError,
+    OverloadedError,
+    RateLimitedError,
+    TenantQuotaError,
+)
+from repro.service.metrics import NULL_REGISTRY
+
+__all__ = ["AdmissionParams", "AdmissionController", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class AdmissionParams:
+    """Knobs for the serving layer's admission gates.
+
+    The defaults admit everything except pathological overload: rate
+    and quota are off (``None``), connections are capped generously,
+    and backpressure sheds once the ingest backlog reaches 16k events.
+    """
+
+    #: Sustained per-tenant budget, in events (writes) or requests
+    #: (reads) per second.  ``None`` disables rate limiting; ``0.0``
+    #: seals the bucket at its burst allowance (no refill) — useful
+    #: for tests and emergency tenant throttling.
+    rate_per_s: float | None = None
+    #: Token-bucket capacity: how far a tenant may burst above the
+    #: sustained rate.
+    burst: int = 1024
+    #: Hard ceiling on events a tenant may submit through this server
+    #: instance; ``None`` = unlimited.
+    tenant_quota_events: int | None = None
+    #: Concurrent connections the server holds open.
+    max_connections: int = 256
+    #: Shed writes once the ingest pipeline's unapplied backlog
+    #: reaches this many events; ``None`` disables the gate.
+    max_pending_events: int | None = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s is not None and self.rate_per_s < 0:
+            raise ConfigurationError("rate_per_s must be >= 0 or None")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+        if (
+            self.tenant_quota_events is not None
+            and self.tenant_quota_events < 0
+        ):
+            raise ConfigurationError(
+                "tenant_quota_events must be >= 0 or None"
+            )
+        if self.max_connections < 1:
+            raise ConfigurationError("max_connections must be >= 1")
+        if (
+            self.max_pending_events is not None
+            and self.max_pending_events < 1
+        ):
+            raise ConfigurationError(
+                "max_pending_events must be >= 1 or None"
+            )
+
+
+class TokenBucket:
+    """A classic token bucket over a monotonic clock.
+
+    Starts full (a fresh tenant may burst immediately).  ``rate=0``
+    never refills.  Not thread-safe on its own — the controller
+    serializes access under its lock.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self.stamp
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.stamp = now
+
+    def can_afford(self, cost: float, now: float) -> bool:
+        """Refill to *now*; True when *cost* tokens are available."""
+        self._refill(now)
+        return self.tokens >= cost
+
+    def take(self, cost: float) -> None:
+        """Debit *cost* tokens (call only after :meth:`can_afford`)."""
+        self.tokens -= cost
+
+    def retry_after(self, cost: float) -> float:
+        """Seconds until *cost* tokens will be available.
+
+        ``inf`` when the bucket is sealed (``rate=0``) and can never
+        cover *cost*.
+        """
+        missing = cost - self.tokens
+        if missing <= 0:
+            return 0.0
+        if self.rate <= 0:
+            return float("inf")
+        return missing / self.rate
+
+
+class AdmissionController:
+    """All four gates behind two calls: one for reads, one for writes.
+
+    The server holds exactly one controller; every decision it makes
+    ticks the ``http.admitted`` / ``http.rejected{reason}`` counters
+    so the shed rate is observable from the same registry as
+    everything else.
+    """
+
+    def __init__(
+        self,
+        params: AdmissionParams | None = None,
+        *,
+        metrics=NULL_REGISTRY,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.params = params if params is not None else AdmissionParams()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._quota_spent: dict[str, int] = {}
+        self._connections = 0
+        self._metric_admitted = metrics.counter("http.admitted")
+        self._metric_rejected = metrics.counter(
+            "http.rejected", label_name="reason"
+        )
+        self._metric_connections = metrics.gauge("http.connections")
+
+    # -- connections ------------------------------------------------------------
+
+    def connection_opened(self) -> None:
+        """Count a new socket; raise (503) at the cap."""
+        with self._lock:
+            if self._connections >= self.params.max_connections:
+                self._metric_rejected.inc(label="connection_limit")
+                raise ConnectionLimitError(self.params.max_connections)
+            self._connections += 1
+            self._metric_connections.set(self._connections)
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections = max(0, self._connections - 1)
+            self._metric_connections.set(self._connections)
+
+    @property
+    def open_connections(self) -> int:
+        with self._lock:
+            return self._connections
+
+    # -- requests ---------------------------------------------------------------
+
+    def admit_read(self, user_id: str | None) -> None:
+        """Admit a read request (cost 1 against *user_id*'s bucket).
+
+        Untenanted reads (health probes, metrics scrapes, global
+        queries) pass the rate gate: they are the operator's window
+        into an overloaded service and must not be the first thing an
+        overload closes.
+        """
+        if user_id is None:
+            self._metric_admitted.inc()
+            return
+        self._admit_costs({user_id: 1}, charge_quota=False)
+
+    def admit_write(
+        self, costs: Mapping[str, int], pending_events: int
+    ) -> None:
+        """Admit a write of ``{tenant: event_count}`` or raise.
+
+        *pending_events* is the ingest pipeline's current unapplied
+        backlog; the backpressure gate runs first — it is the cheapest
+        check and the one that protects the journal.  Rejections are
+        atomic: no tenant's bucket or quota is touched unless every
+        tenant in the batch clears every gate.
+        """
+        params = self.params
+        total = sum(costs.values())
+        if (
+            params.max_pending_events is not None
+            and pending_events + total > params.max_pending_events
+        ):
+            self._metric_rejected.inc(label="overloaded")
+            raise OverloadedError(
+                f"ingest backlog at {pending_events} events (+{total}"
+                f" requested) exceeds the {params.max_pending_events}"
+                f" ceiling; load is shed before the journal"
+            )
+        self._admit_costs(costs, charge_quota=True)
+
+    # -- internals --------------------------------------------------------------
+
+    def _admit_costs(
+        self, costs: Mapping[str, int], *, charge_quota: bool
+    ) -> None:
+        params = self.params
+        now = self._clock()
+        with self._lock:
+            if charge_quota and params.tenant_quota_events is not None:
+                for user_id, cost in costs.items():
+                    spent = self._quota_spent.get(user_id, 0)
+                    if spent + cost > params.tenant_quota_events:
+                        self._metric_rejected.inc(
+                            label="tenant_quota_exceeded"
+                        )
+                        raise TenantQuotaError(
+                            user_id, params.tenant_quota_events
+                        )
+            if params.rate_per_s is not None:
+                buckets = []
+                for user_id, cost in costs.items():
+                    bucket = self._buckets.get(user_id)
+                    if bucket is None:
+                        bucket = self._buckets[user_id] = TokenBucket(
+                            params.rate_per_s, params.burst, now
+                        )
+                    if not bucket.can_afford(cost, now):
+                        self._metric_rejected.inc(label="rate_limited")
+                        raise RateLimitedError(
+                            user_id, bucket.retry_after(cost)
+                        )
+                    buckets.append((bucket, cost))
+                for bucket, cost in buckets:
+                    bucket.take(cost)
+            if charge_quota and params.tenant_quota_events is not None:
+                for user_id, cost in costs.items():
+                    self._quota_spent[user_id] = (
+                        self._quota_spent.get(user_id, 0) + cost
+                    )
+        self._metric_admitted.inc()
+
+    def quota_spent(self, user_id: str) -> int:
+        """Events *user_id* has been admitted for (quota accounting)."""
+        with self._lock:
+            return self._quota_spent.get(user_id, 0)

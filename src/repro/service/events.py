@@ -29,7 +29,7 @@ from typing import Any
 from repro.core.capture import NodeInterval
 from repro.core.model import ProvEdge, ProvNode
 from repro.core.taxonomy import EdgeKind, NodeKind
-from repro.errors import ConfigurationError
+from repro.errors import InvalidTenantError
 
 #: Separator between the user id and the user-local node id.
 USER_SEP = "::"
@@ -39,9 +39,15 @@ _USER_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.@-]*$")
 
 
 def validate_user_id(user_id: str) -> str:
-    """Return *user_id* or raise :class:`ConfigurationError`."""
+    """Return *user_id* or raise :class:`InvalidTenantError`.
+
+    The single tenant-id gate: every facade entry point (and the HTTP
+    adapter above it) funnels through here, so an empty, ``None``, or
+    ill-formed tenant id fails identically — machine code
+    ``invalid_tenant`` — wherever it is presented.
+    """
     if not isinstance(user_id, str) or not _USER_ID_RE.match(user_id):
-        raise ConfigurationError(
+        raise InvalidTenantError(
             f"invalid user id {user_id!r}: expected [A-Za-z0-9][A-Za-z0-9_.@-]*"
         )
     return user_id

@@ -152,6 +152,32 @@ class SearchHit:
     #: Distinct query terms found in the hit's text, in query order.
     matched_terms: tuple[str, ...]
 
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe form; inverse of :meth:`from_dict`.
+
+        ``score`` survives the round trip exactly: JSON floats are
+        serialized via ``repr``, which Python guarantees round-trips
+        every finite double — so a hit re-built from the wire compares
+        equal to the in-process original, byte for byte.
+        """
+        return {
+            "user_id": self.user_id,
+            "nid": self.nid,
+            "score": self.score,
+            "snippet": self.snippet,
+            "matched_terms": list(self.matched_terms),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchHit":
+        return cls(
+            user_id=payload["user_id"],
+            nid=payload["nid"],
+            score=payload["score"],
+            snippet=payload["snippet"],
+            matched_terms=tuple(payload["matched_terms"]),
+        )
+
 
 @dataclass(frozen=True)
 class SearchPage:
@@ -176,6 +202,27 @@ class SearchPage:
 
     def __getitem__(self, index):
         return self.hits[index]
+
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe form; inverse of :meth:`from_dict`.
+
+        The cursor is already an opaque string (or ``None`` when
+        exhausted), so the page serializes without any transformation
+        a client would need to undo.
+        """
+        return {
+            "hits": [hit.to_dict() for hit in self.hits],
+            "cursor": self.cursor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchPage":
+        return cls(
+            hits=tuple(
+                SearchHit.from_dict(hit) for hit in payload["hits"]
+            ),
+            cursor=payload["cursor"],
+        )
 
 
 def query_terms(text: str) -> list[str]:

@@ -29,7 +29,7 @@ import os
 import tempfile
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.core.capture import NodeInterval
 from repro.core.graph import ProvenanceGraph
@@ -55,6 +55,7 @@ from repro.service.events import (
     NodeEvent,
     ProvEvent,
     decode_event,
+    encode_event,
     qualify,
     unqualify,
     validate_user_id,
@@ -90,6 +91,14 @@ class UserStats:
     edges: int
     intervals: int
 
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "UserStats":
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class AggregateStats:
@@ -102,6 +111,14 @@ class AggregateStats:
     intervals: int
     pages: int
 
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AggregateStats":
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class DeadLetter:
@@ -110,6 +127,29 @@ class DeadLetter:
     seq: int
     error: str
     event: ProvEvent
+
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe form; inverse of :meth:`from_dict`.
+
+        The event rides in the journal codec
+        (:func:`repro.service.events.encode_event`), so a dead letter
+        inspected over the wire carries exactly what the journal
+        quarantined and a repaired replacement posts back in the same
+        shape.
+        """
+        return {
+            "seq": self.seq,
+            "error": self.error,
+            "event": encode_event(self.event),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeadLetter":
+        return cls(
+            seq=payload["seq"],
+            error=payload["error"],
+            event=decode_event(payload["event"]),
+        )
 
 
 def parse_workers(workers: int | str | None, shards: int) -> tuple[str, int]:
@@ -187,6 +227,14 @@ class ShardHealth:
     #: buffered events cannot drain until the next barrier requeues.
     poisoned: bool
 
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardHealth":
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class TenantHealth:
@@ -196,6 +244,14 @@ class TenantHealth:
     shard: int
     events_submitted: int
     last_write_age_s: float
+
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe form; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TenantHealth":
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -219,6 +275,37 @@ class ServiceHealth:
     shards: tuple[ShardHealth, ...]
     #: Most recently active tenants first, capped by ``max_tenants``.
     tenants: tuple[TenantHealth, ...]
+
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe form; inverse of :meth:`from_dict`."""
+        return {
+            "status": self.status,
+            "pending": self.pending,
+            "deadletters": self.deadletters,
+            "journal_lag": self.journal_lag,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_epoch": self.cache_epoch,
+            "shards": [shard.to_dict() for shard in self.shards],
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceHealth":
+        return cls(
+            status=payload["status"],
+            pending=payload["pending"],
+            deadletters=payload["deadletters"],
+            journal_lag=payload["journal_lag"],
+            cache_hit_rate=payload["cache_hit_rate"],
+            cache_epoch=payload["cache_epoch"],
+            shards=tuple(
+                ShardHealth.from_dict(shard) for shard in payload["shards"]
+            ),
+            tenants=tuple(
+                TenantHealth.from_dict(tenant)
+                for tenant in payload["tenants"]
+            ),
+        )
 
 
 class ProvenanceService:
@@ -410,6 +497,7 @@ class ProvenanceService:
         self,
         user_id: str,
         graph: ProvenanceGraph,
+        *,
         intervals: tuple[NodeInterval, ...] | list[NodeInterval] = (),
     ) -> int:
         """Stream a captured provenance graph through the pipeline.
@@ -462,7 +550,7 @@ class ProvenanceService:
             for entry in self.journal.deadlettered()
         ]
 
-    def redrive(self, seq: int, event: ProvEvent | None = None) -> int:
+    def redrive(self, seq: int, *, event: ProvEvent | None = None) -> int:
         """Repair and resubmit the quarantined entry *seq*.
 
         *event* is the repaired replacement (same tenant); ``None``

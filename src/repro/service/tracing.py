@@ -136,6 +136,17 @@ class Tracer:
 
     # -- slow-op log --------------------------------------------------------------
 
+    def log_incident(self, record: dict[str, Any]) -> None:
+        """Append *record* to the slow-op ring unconditionally.
+
+        Incidents (e.g. an unexpected exception the HTTP server turned
+        into an opaque 500) bypass the duration threshold: they are
+        events an operator must be able to look up by id, whether or
+        not slow-op logging is switched on.
+        """
+        with self._slow_lock:
+            self._slow.append(dict(record))
+
     def slow_ops(self) -> list[dict[str, Any]]:
         """Recorded slow ops, oldest first (bounded ring)."""
         with self._slow_lock:
@@ -167,6 +178,9 @@ class _NullTracer:
 
     def trace(self, op: str, **tags: Any) -> _NullSpanContext:
         return self._CONTEXT
+
+    def log_incident(self, record: dict[str, Any]) -> None:
+        return None
 
     def slow_ops(self) -> list[dict[str, Any]]:
         return []

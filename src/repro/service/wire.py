@@ -1,0 +1,244 @@
+"""HTTP/1.1 framing and JSON wire forms for the serving layer.
+
+This module is the *protocol* half of the server split: everything
+about bytes on a socket — request parsing under hard limits, response
+encoding, canonical JSON — with no knowledge of routes, admission, or
+the facade.  :mod:`repro.service.server` composes it with
+:mod:`repro.service.admission` and :class:`~repro.service.service.\
+ProvenanceService`; tests drive it directly over in-memory streams.
+
+Design constraints, in order:
+
+* **Stdlib only.**  ``asyncio`` streams and hand-rolled HTTP/1.1 —
+  the request grammar this server accepts (method, target, headers,
+  optional ``Content-Length`` body) is small enough that a parser
+  under explicit byte limits is *safer* than a general one.
+* **Every limit is enforced while reading, not after.**  Header bytes
+  are capped by the stream's buffer limit (an overlong line raises
+  before it is buffered whole), body bytes are refused from the
+  ``Content-Length`` declaration *before* the body is read, and a
+  declared-but-undelivered body (slowloris) is bounded by the caller's
+  read timeout.  A client cannot make the server buffer more than
+  ``max_header_bytes + max_body_bytes`` per connection.
+* **Canonical JSON out.**  Responses serialize with sorted keys and
+  minimal separators, so equal payloads are equal *bytes* — the
+  wire-vs-in-process equivalence tests compare exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import (
+    HeadersTooLargeError,
+    PayloadTooLargeError,
+    ProtocolError,
+)
+
+#: Reason phrases for every status this server emits.
+REASON_PHRASES: dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Statuses after which the connection cannot be reused: either the
+#: request framing is unknown (we may not have consumed the body) or
+#: the server is shedding and must not hold the socket.
+CLOSE_STATUSES = frozenset({400, 408, 413, 431, 503})
+
+_MAX_HEADER_COUNT = 100
+
+
+@dataclass
+class WireLimits:
+    """Hard ceilings the request parser enforces while reading."""
+
+    #: Request line + headers, in bytes (also the stream buffer limit).
+    max_header_bytes: int = 16 * 1024
+    #: Request body, in bytes (refused from the declared length).
+    max_body_bytes: int = 1024 * 1024
+
+
+@dataclass
+class WireRequest:
+    """One parsed HTTP request."""
+
+    method: str
+    #: Path component only, percent-decoded (``/v1/search``).
+    path: str
+    #: Query parameters, last occurrence wins.
+    query: dict[str, str]
+    #: Header names lower-cased.
+    headers: dict[str, str]
+    body: bytes = b""
+    #: The raw request target, for logging.
+    target: str = ""
+    _json: Any = field(default=None, repr=False)
+
+    def json(self) -> Any:
+        """The body decoded as JSON (``None`` for an empty body).
+
+        Raises :class:`~repro.errors.ProtocolError` (code
+        ``bad_request``) when the body is not valid UTF-8 JSON.
+        """
+        if self._json is None and self.body:
+            try:
+                self._json = json.loads(self.body)
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    f"request body is not valid JSON: {exc}"
+                ) from None
+        return self._json
+
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, limits: WireLimits
+) -> WireRequest | None:
+    """Parse one request off *reader*, or ``None`` on clean EOF.
+
+    Raises :class:`~repro.errors.ProtocolError` subclasses on anything
+    the server cannot (or refuses to) parse; the caller maps those to
+    4xx responses via the taxonomy's status table.  The stream must
+    have been created with ``limit=limits.max_header_bytes`` so an
+    overlong line errors instead of buffering without bound.
+    """
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HeadersTooLargeError(
+            f"request line exceeds {limits.max_header_bytes} bytes"
+        ) from None
+    if not line:
+        return None  # clean EOF between requests
+    try:
+        method, target, version = line.decode("ascii").split()
+    except (UnicodeDecodeError, ValueError):
+        raise ProtocolError(f"malformed request line: {line[:80]!r}") from None
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol version {version!r}")
+
+    headers: dict[str, str] = {}
+    header_bytes = len(line)
+    while True:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise HeadersTooLargeError(
+                f"header line exceeds {limits.max_header_bytes} bytes"
+            ) from None
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        header_bytes += len(line)
+        if (
+            header_bytes > limits.max_header_bytes
+            or len(headers) >= _MAX_HEADER_COUNT
+        ):
+            raise HeadersTooLargeError(
+                f"header block exceeds {limits.max_header_bytes} bytes"
+            )
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        # Chunked bodies would defeat the declared-length admission
+        # check; this server never needs them for JSON payloads.
+        raise ProtocolError("transfer-encoding is not supported")
+    body = b""
+    declared = headers.get("content-length")
+    if declared is not None:
+        try:
+            length = int(declared)
+        except ValueError:
+            raise ProtocolError(
+                f"malformed content-length {declared!r}"
+            ) from None
+        if length < 0:
+            raise ProtocolError(f"negative content-length {length}")
+        if length > limits.max_body_bytes:
+            # Refused from the declaration: the body is never read, so
+            # an oversized upload costs the server no buffering at all
+            # (the connection closes; see CLOSE_STATUSES).
+            raise PayloadTooLargeError(length, limits.max_body_bytes)
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError(
+                    "request body ended before its declared length"
+                ) from None
+
+    split = urlsplit(target)
+    query = {
+        key: value
+        for key, value in parse_qsl(split.query, keep_blank_values=True)
+    }
+    return WireRequest(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+        target=target,
+    )
+
+
+def canonical_json(payload: Any) -> bytes:
+    """*payload* as canonical JSON bytes (sorted keys, no whitespace).
+
+    One serialization for responses and for equivalence tests: two
+    equal payloads always produce identical bytes.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def encode_response(
+    status: int,
+    payload: Any,
+    *,
+    keep_alive: bool = True,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """One full HTTP/1.1 response with a canonical-JSON body."""
+    body = canonical_json(payload)
+    reason = REASON_PHRASES.get(status, "Unknown")
+    closing = (not keep_alive) or status in CLOSE_STATUSES
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json; charset=utf-8",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if closing else 'keep-alive'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body
+
+
+def error_payload(
+    code: str, message: str, **details: Any
+) -> dict[str, Any]:
+    """The uniform error body: ``{"error": {"code", "message", ...}}``."""
+    error: dict[str, Any] = {"code": code, "message": message}
+    error.update(details)
+    return {"error": error}

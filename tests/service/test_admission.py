@@ -1,0 +1,214 @@
+"""Admission control: token buckets, quotas, caps, backpressure.
+
+Everything runs against an injected fake clock — refill behaviour is
+asserted deterministically, never by sleeping.  The invariant under
+test throughout: a rejected request debits *nothing* (no bucket, no
+quota), so clients can retry the identical request later.
+"""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConnectionLimitError,
+    OverloadedError,
+    RateLimitedError,
+    TenantQuotaError,
+)
+from repro.service import AdmissionController, AdmissionParams, TokenBucket
+from repro.service.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def controller(clock, **kwargs):
+    return AdmissionController(AdmissionParams(**kwargs), clock=clock)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=4, now=0.0)
+        assert bucket.can_afford(4, now=0.0)
+        bucket.take(4)
+        assert not bucket.can_afford(1, now=0.0)
+        assert bucket.can_afford(1, now=0.5)  # 0.5s * 2/s = 1 token
+        assert not bucket.can_afford(2, now=0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3, now=0.0)
+        bucket.take(3)
+        assert bucket.can_afford(3, now=1000.0)
+        assert not bucket.can_afford(4, now=1000.0)
+
+    def test_retry_after(self):
+        bucket = TokenBucket(rate=0.5, burst=1, now=0.0)
+        bucket.can_afford(1, now=0.0)
+        bucket.take(1)
+        assert bucket.retry_after(1) == pytest.approx(2.0)
+        assert bucket.retry_after(0) == 0.0
+
+    def test_sealed_bucket_never_refills(self):
+        bucket = TokenBucket(rate=0.0, burst=2, now=0.0)
+        bucket.take(2)
+        assert not bucket.can_afford(1, now=10_000.0)
+        assert bucket.retry_after(1) == float("inf")
+
+
+class TestRateLimiting:
+    def test_burst_then_429_then_refill(self):
+        clock = FakeClock()
+        ctl = controller(clock, rate_per_s=1.0, burst=2)
+        ctl.admit_write({"alice": 2}, pending_events=0)
+        with pytest.raises(RateLimitedError) as info:
+            ctl.admit_write({"alice": 1}, pending_events=0)
+        assert info.value.user_id == "alice"
+        assert info.value.retry_after_s == pytest.approx(1.0)
+        clock.advance(1.0)
+        ctl.admit_write({"alice": 1}, pending_events=0)
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        ctl = controller(clock, rate_per_s=0.0, burst=1)
+        ctl.admit_write({"alice": 1}, pending_events=0)
+        with pytest.raises(RateLimitedError):
+            ctl.admit_write({"alice": 1}, pending_events=0)
+        # bob's bucket is untouched by alice's exhaustion
+        ctl.admit_write({"bob": 1}, pending_events=0)
+
+    def test_reads_cost_one_token(self):
+        clock = FakeClock()
+        ctl = controller(clock, rate_per_s=0.0, burst=2)
+        ctl.admit_read("alice")
+        ctl.admit_read("alice")
+        with pytest.raises(RateLimitedError):
+            ctl.admit_read("alice")
+
+    def test_untenanted_reads_bypass_rate_limits(self):
+        ctl = controller(FakeClock(), rate_per_s=0.0, burst=1)
+        for _ in range(10):
+            ctl.admit_read(None)
+
+    def test_batch_rejection_is_all_or_nothing(self):
+        clock = FakeClock()
+        ctl = controller(clock, rate_per_s=0.0, burst=2)
+        ctl.admit_write({"bob": 1}, pending_events=0)  # bob: 1 token left
+        with pytest.raises(RateLimitedError):
+            ctl.admit_write({"alice": 1, "bob": 2}, pending_events=0)
+        # alice was not debited by the rejected batch
+        ctl.admit_write({"alice": 2}, pending_events=0)
+
+
+class TestQuota:
+    def test_quota_exhaustion_is_permanent(self):
+        clock = FakeClock()
+        ctl = controller(clock, tenant_quota_events=3)
+        ctl.admit_write({"alice": 2}, pending_events=0)
+        ctl.admit_write({"alice": 1}, pending_events=0)
+        with pytest.raises(TenantQuotaError) as info:
+            ctl.admit_write({"alice": 1}, pending_events=0)
+        assert info.value.quota == 3
+        clock.advance(10_000.0)  # time does not restore quota
+        with pytest.raises(TenantQuotaError):
+            ctl.admit_write({"alice": 1}, pending_events=0)
+        assert ctl.quota_spent("alice") == 3
+
+    def test_rejected_batch_charges_no_quota(self):
+        ctl = controller(FakeClock(), tenant_quota_events=2)
+        with pytest.raises(TenantQuotaError):
+            ctl.admit_write({"alice": 3}, pending_events=0)
+        assert ctl.quota_spent("alice") == 0
+        ctl.admit_write({"alice": 2}, pending_events=0)
+
+    def test_reads_never_charge_quota(self):
+        ctl = controller(FakeClock(), tenant_quota_events=1)
+        for _ in range(5):
+            ctl.admit_read("alice")
+        assert ctl.quota_spent("alice") == 0
+
+
+class TestBackpressure:
+    def test_sheds_when_backlog_exceeds_ceiling(self):
+        ctl = controller(FakeClock(), max_pending_events=10)
+        ctl.admit_write({"alice": 5}, pending_events=5)
+        with pytest.raises(OverloadedError):
+            ctl.admit_write({"alice": 5}, pending_events=6)
+
+    def test_shed_request_debits_nothing(self):
+        ctl = controller(
+            FakeClock(), max_pending_events=10, rate_per_s=0.0, burst=5,
+            tenant_quota_events=5,
+        )
+        with pytest.raises(OverloadedError):
+            ctl.admit_write({"alice": 5}, pending_events=100)
+        assert ctl.quota_spent("alice") == 0
+        ctl.admit_write({"alice": 5}, pending_events=0)  # full budget intact
+
+
+class TestConnections:
+    def test_cap_and_release(self):
+        ctl = controller(FakeClock(), max_connections=2)
+        ctl.connection_opened()
+        ctl.connection_opened()
+        with pytest.raises(ConnectionLimitError) as info:
+            ctl.connection_opened()
+        assert info.value.limit == 2
+        ctl.connection_closed()
+        ctl.connection_opened()
+        assert ctl.open_connections == 2
+
+
+class TestMetrics:
+    def test_admission_decisions_are_counted(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        ctl = AdmissionController(
+            AdmissionParams(
+                rate_per_s=0.0, burst=1, max_connections=1,
+                max_pending_events=10,
+            ),
+            metrics=registry,
+            clock=clock,
+        )
+        ctl.admit_write({"alice": 1}, pending_events=0)
+        with pytest.raises(RateLimitedError):
+            ctl.admit_write({"alice": 1}, pending_events=0)
+        with pytest.raises(OverloadedError):
+            ctl.admit_write({"bob": 5}, pending_events=100)
+        ctl.connection_opened()
+        with pytest.raises(ConnectionLimitError):
+            ctl.connection_opened()
+        counters = registry.snapshot()["counters"]
+        assert counters["http.admitted"] == 1
+        assert counters["http.rejected{reason=rate_limited}"] == 1
+        assert counters["http.rejected{reason=overloaded}"] == 1
+        assert counters["http.rejected{reason=connection_limit}"] == 1
+
+
+class TestParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_per_s": -1.0},
+            {"burst": 0},
+            {"tenant_quota_events": -1},
+            {"max_connections": 0},
+            {"max_pending_events": 0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdmissionParams(**kwargs)
+
+    def test_defaults_admit_normal_traffic(self):
+        ctl = AdmissionController()
+        ctl.admit_write({"alice": 100}, pending_events=0)
+        ctl.admit_read("alice")

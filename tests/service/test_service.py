@@ -83,7 +83,7 @@ class TestDeadLetterOperations:
             edge=ProvEdge(id=entry.event.edge.id, kind=EdgeKind.LINK,
                           src="b", dst="a", timestamp_us=2),
         )
-        service.redrive(entry.seq, repaired)
+        service.redrive(entry.seq, event=repaired)
         assert service.deadlettered() == []
         assert ("b", 1) in service.ancestors("alice", "a")
         service.close()
@@ -145,7 +145,7 @@ class TestDeadLetterOperations:
                           timestamp_us=1),
         )
         with pytest.raises(ConfigurationError):
-            service.redrive(entry.seq, hijack)
+            service.redrive(entry.seq, event=hijack)
         assert len(service.deadlettered()) == 1  # entry untouched
         service.close()
 

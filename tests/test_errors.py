@@ -59,3 +59,79 @@ def test_query_timeout_error_fields():
 )
 def test_hierarchy_parentage(subclass, parent):
     assert issubclass(subclass, parent)
+
+
+class TestErrorCodes:
+    """The wire contract: stable codes and the single status table."""
+
+    def all_error_classes(self):
+        return [
+            obj
+            for name in dir(errors)
+            if isinstance(obj := getattr(errors, name), type)
+            and issubclass(obj, errors.ReproError)
+        ]
+
+    def test_every_class_carries_a_code(self):
+        for cls in self.all_error_classes():
+            assert isinstance(cls.code, str) and cls.code, cls.__name__
+
+    def test_every_mapped_code_belongs_to_a_class(self):
+        known = {cls.code for cls in self.all_error_classes()}
+        for code in errors.HTTP_STATUS_BY_CODE:
+            assert code in known, code
+
+    def test_statuses_are_plausible_http(self):
+        for code, status in errors.HTTP_STATUS_BY_CODE.items():
+            assert 400 <= status <= 599, code
+
+    def test_error_code_helper(self):
+        assert errors.error_code(errors.CursorError("bad")) == "cursor_invalid"
+        assert errors.error_code(RuntimeError("boom")) == "internal"
+
+    def test_http_status_for_mapped_codes(self):
+        assert errors.http_status_for(errors.CursorError("x")) == 400
+        assert errors.http_status_for(
+            errors.InvalidTenantError("x")
+        ) == 400
+        assert errors.http_status_for(
+            errors.RateLimitedError("alice", 1.0)
+        ) == 429
+        assert errors.http_status_for(
+            errors.TenantQuotaError("alice", 10)
+        ) == 429
+        assert errors.http_status_for(errors.ConnectionLimitError(4)) == 503
+        assert errors.http_status_for(errors.OverloadedError("x")) == 503
+        assert errors.http_status_for(errors.UnknownNodeError("n")) == 404
+        assert errors.http_status_for(
+            errors.PayloadTooLargeError(10, 5)
+        ) == 413
+        assert errors.http_status_for(errors.QueryTimeoutError(1.0)) == 504
+
+    def test_unknown_errors_read_as_server_faults(self):
+        class Novel(errors.ReproError):
+            code = "never_mapped_anywhere"
+
+        assert errors.http_status_for(Novel("x")) == 500
+        assert errors.http_status_for(RuntimeError("x")) == 500
+
+    def test_admission_error_fields(self):
+        rate = errors.RateLimitedError("alice", 2.5)
+        assert rate.user_id == "alice"
+        assert rate.retry_after_s == 2.5
+        quota = errors.TenantQuotaError("bob", 100)
+        assert quota.user_id == "bob" and quota.quota == 100
+
+    def test_invalid_tenant_is_still_a_configuration_error(self):
+        # Pre-taxonomy callers catch ConfigurationError; the boundary
+        # validation must not slip past them.
+        assert issubclass(
+            errors.InvalidTenantError, errors.ConfigurationError
+        )
+
+    def test_wire_errors_parentage(self):
+        assert issubclass(errors.EndpointNotFoundError, errors.ProtocolError)
+        assert issubclass(errors.PayloadTooLargeError, errors.ProtocolError)
+        assert issubclass(errors.HeadersTooLargeError, errors.ProtocolError)
+        assert issubclass(errors.RateLimitedError, errors.AdmissionError)
+        assert issubclass(errors.OverloadedError, errors.AdmissionError)
