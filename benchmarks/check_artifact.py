@@ -13,13 +13,14 @@ Usage::
 
 Exits 0 when the file exists, parses, and carries every required
 section (``thread_vs_serial``, ``process_vs_thread``,
-``ranked_search``, ``paged_search``, ``metrics``, and ``http``) with
-non-empty result rows and an acceptance block each — the ingest
-sections report a ``speedup``, the ranked-search section an
+``ranked_search``, ``paged_search``, ``metrics``, ``integrity``, and
+``http``) with non-empty result rows and an acceptance block each —
+the ingest sections report a ``speedup``, the ranked-search section an
 ``overhead_pct`` plus its ``query`` latency block, the paged-search
 section its ``scoring_reads_pages_2_5`` continuation counter, the
 metrics section its instrumentation ``overhead_pct`` plus a
-``latency`` quantile block, the http section its
+``latency`` quantile block, the integrity section its hash-chain
+``overhead_pct``, the http section its
 ``journal_appends_during_overload`` shed counter plus per-endpoint
 ``latency`` quantiles; exits 2 with a diagnosis otherwise.
 
@@ -40,6 +41,7 @@ REQUIRED_SECTIONS = (
     "ranked_search",
     "paged_search",
     "metrics",
+    "integrity",
     "http",
 )
 REQUIRED_RESULT_KEYS = {"shards", "fsync", "workers", "events"}
@@ -50,6 +52,7 @@ ACCEPTANCE_METRIC = {
     "ranked_search": "overhead_pct",
     "paged_search": "scoring_reads_pages_2_5",
     "metrics": "overhead_pct",
+    "integrity": "overhead_pct",
     "http": "journal_appends_during_overload",
 }
 #: Display unit per metric (acceptance values print as value+unit).
@@ -117,6 +120,14 @@ def check(
             body.get("latency"), dict
         ):
             problems.append("metrics: no latency quantile block")
+        if section == "integrity":
+            verify = body.get("verify")
+            if not isinstance(verify, dict):
+                problems.append("integrity: no verify block")
+            elif not verify.get("ok"):
+                problems.append(
+                    "integrity: the benched journal failed verification"
+                )
         if section == "http" and not isinstance(body.get("latency"), dict):
             problems.append("http: no per-endpoint latency block")
     return problems

@@ -1,0 +1,30 @@
+"""Canonical JSON — one byte-stable serialization for the whole package.
+
+Anything that hashes, signs, or byte-compares JSON must serialize it
+identically everywhere: the wire layer's equivalence tests, the
+journal's integrity manifest, export digests, and audit-report hashes
+all share this single definition.  Canonical form is sorted keys, no
+whitespace, UTF-8 with non-ASCII preserved — two equal payloads always
+produce identical bytes.
+
+Living at the package root keeps the layering clean: ``core`` modules
+(e.g. :mod:`repro.core.export`) and ``service`` modules (e.g.
+:mod:`repro.service.wire`) both depend on it without either depending
+on the other.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def canonical_json(payload: Any) -> bytes:
+    """*payload* as canonical JSON bytes (sorted keys, no whitespace).
+
+    One serialization for responses, digests, and equivalence tests:
+    two equal payloads always produce identical bytes.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable
 
+from repro.canon import canonical_json
 from repro.core.graph import ProvenanceGraph
 from repro.core.model import ProvNode
 from repro.core.taxonomy import EdgeKind, NodeKind
@@ -35,7 +36,13 @@ _DOT_COLORS = {
 
 
 def to_json(graph: ProvenanceGraph, *, indent: int | None = None) -> str:
-    """Serialize the whole graph to a JSON string."""
+    """Serialize the whole graph to a JSON string.
+
+    The default (``indent=None``) form is **canonical**: sorted keys,
+    no whitespace — byte-stable, so the same graph always serializes
+    to the same bytes and the string can be hashed or signed (audit
+    reports digest it).  ``indent`` trades that for readability.
+    """
     payload = {
         "format": "repro-provenance",
         "version": FORMAT_VERSION,
@@ -63,6 +70,10 @@ def to_json(graph: ProvenanceGraph, *, indent: int | None = None) -> str:
             for edge in graph.edges()
         ],
     }
+    if indent is None:
+        # json.dumps without explicit separators pads with spaces even
+        # at indent=None; the canonical form must be compact.
+        return canonical_json(payload).decode("utf-8")
     return json.dumps(payload, indent=indent, sort_keys=True)
 
 

@@ -259,6 +259,27 @@ class RemoteApplyError(ReproError):
     code = "remote_apply_failed"
 
 
+class IntegrityError(ProvenanceError):
+    """The provenance record itself failed an integrity check.
+
+    Raised when a hash-chained journal record, a segment seal, or the
+    signed-root manifest cannot be authenticated: a malformed or
+    tampered chained line, a digest that does not recompute, a
+    signature that does not verify.  This is the one error class that
+    means *the stored history may have been altered* — it is a server
+    fault (the record is the service's to protect), never a client
+    mistake, so it maps to 500 explicitly rather than by fallback.
+
+    :meth:`repro.service.service.ProvenanceService.verify_integrity`
+    reports corruption as data (an
+    :class:`~repro.service.integrity.IntegrityReport` pinpointing the
+    first bad record) rather than raising; this class is raised by the
+    lower-level parsers and by callers that demand a verified chain.
+    """
+
+    code = "integrity_violation"
+
+
 class QueryError(ProvenanceError):
     """A provenance query was malformed or referenced missing objects."""
 
@@ -435,6 +456,9 @@ HTTP_STATUS_BY_CODE: dict[str, int] = {
     "shard_poisoned": 503,
     "store_closed": 503,
     "query_timeout": 504,
+    # The stored record failed authentication: a server fault by
+    # definition (explicit, though the fallback would agree).
+    "integrity_violation": 500,
 }
 
 

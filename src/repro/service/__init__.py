@@ -15,8 +15,11 @@ IR-ranked scatter-gather (:mod:`~repro.service.search`) — the façade
 tying them together — including ``ranked_search``, per-tenant
 retention (``expire_before`` / ``forget_site``), and dead-letter
 operations ``deadlettered()`` / ``redrive()``
-(:mod:`~repro.service.service`) — and a multi-user synthetic workload
-driver (:mod:`~repro.service.workload`).
+(:mod:`~repro.service.service`) — a tamper-evident journal record
+(hash-chained records, sealed segments, a signed-root manifest) with
+``verify_integrity()`` and auditable case reports
+(:mod:`~repro.service.integrity`, :mod:`~repro.service.audit`) — and a
+multi-user synthetic workload driver (:mod:`~repro.service.workload`).
 
 Quickstart::
 
@@ -34,6 +37,11 @@ from repro.service.admission import (
     TokenBucket,
 )
 from repro.service.apply import apply_event_batch
+from repro.service.audit import (
+    build_case_report,
+    render_case_report,
+    report_digest_ok,
+)
 from repro.service.cache import GLOBAL_SCOPE, CacheStats, QueryCache
 from repro.service.indexer import (
     compact_index,
@@ -53,6 +61,13 @@ from repro.service.events import (
     validate_user_id,
 )
 from repro.service.ingest import IngestJournal, IngestPipeline, IngestStats
+from repro.service.integrity import (
+    IntegrityReport,
+    chain_hash,
+    chained_line,
+    parse_chained_line,
+    verify_journal,
+)
 from repro.service.metrics import (
     Counter,
     Gauge,
@@ -128,6 +143,7 @@ __all__ = [
     "IngestJournal",
     "IngestPipeline",
     "IngestStats",
+    "IntegrityReport",
     "IntervalEvent",
     "MetricsRegistry",
     "MultiUserParams",
@@ -162,7 +178,10 @@ __all__ = [
     "WireRequest",
     "apply_event_batch",
     "attach_snippets",
+    "build_case_report",
     "canonical_json",
+    "chain_hash",
+    "chained_line",
     "compact_index",
     "decode_cursor",
     "decode_event",
@@ -173,6 +192,7 @@ __all__ = [
     "error_payload",
     "extract_snippet",
     "node_tokens",
+    "parse_chained_line",
     "parse_workers",
     "qualify",
     "query_fingerprint",
@@ -180,7 +200,9 @@ __all__ = [
     "ranked_merge",
     "read_request",
     "rebuild_index",
+    "render_case_report",
     "replay_streams",
+    "report_digest_ok",
     "run_multiuser_workload",
     "scatter_gather",
     "shard_for",
@@ -191,4 +213,5 @@ __all__ = [
     "synthesize_user_events",
     "unqualify",
     "validate_user_id",
+    "verify_journal",
 ]

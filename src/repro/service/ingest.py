@@ -65,6 +65,7 @@ import json
 import os
 import threading
 import time
+from hashlib import sha256 as _sha256
 from collections import deque
 from dataclasses import dataclass
 
@@ -81,6 +82,19 @@ from repro.service.events import (
     encode_event,
     encode_event_json,
 )
+from repro.service.integrity import (
+    GENESIS,
+    INTEGRITY_VERSION,
+    IntegrityReport,
+    TOMBSTONE_CAP,
+    chain_hash,
+    load_or_create_key,
+    load_signed,
+    parse_chained_line,
+    tombstone_core,
+    verify_journal,
+    write_signed,
+)
 from repro.service.metrics import COUNT_BUCKETS, NULL_REGISTRY
 from repro.service.parallel import ShardWorkerPool, ShardWorkerProcessPool
 from repro.service.pool import StorePool
@@ -94,16 +108,36 @@ from repro.service.tracing import NULL_TRACER
 _SAMPLE_SHIFT = 4
 _SAMPLE_MASK = (1 << _SAMPLE_SHIFT) - 1
 
+#: Reclaimable bytes before the pipeline's per-flush compaction pass
+#: bothers.  Routine truncation is cheap with integrity off, but with
+#: it on every truncation re-attests the manifest (a signed write);
+#: amortizing that over a real chunk of space keeps the integrity tax
+#: inside its 3% bench budget while bounding journal overhang to ~1 MiB
+#: past the checkpoint.  Explicit :meth:`IngestJournal.compact` calls
+#: still compact immediately.
+COMPACT_MIN_BYTES = 1 << 20
+
 
 class IngestJournal:
     """Segmented, group-committing JSON-lines journal with a checkpoint.
 
-    Each line is ``{"seq": n, "ev": {...}}``.  The checkpoint sidecar
-    records the highest sequence number known to be flushed to the
-    stores; everything after it is replayed on recovery.  A torn final
-    line in the active file (crash mid-write) is tolerated: replay
-    stops at the first undecodable line.  Rotated segments are always
-    complete — rotation happens on record boundaries.
+    Each line is ``{"seq": n, "ev": {...}}`` — plus, with
+    ``integrity=True``, a trailing ``"h"`` field carrying the record's
+    rolling SHA-256 chain value (see :mod:`repro.service.integrity`):
+    the chain is computed at stage time under the sequence lock (the
+    allocation order *is* the chain order) and rides the existing group
+    commit, rotation seals each finished segment with a signed digest
+    sidecar, and a signed-root manifest attests the durable head,
+    per-tenant attestations, and a tombstone log of deliberate
+    deletions.  :meth:`verify_integrity` re-attests and walks the whole
+    thing.
+
+    The checkpoint sidecar records the highest sequence number known to
+    be flushed to the stores; everything after it is replayed on
+    recovery.  A torn final line in the active file (crash mid-write)
+    is tolerated: replay stops at the first undecodable line.  Rotated
+    segments are always complete — rotation happens on record
+    boundaries.
     """
 
     def __init__(
@@ -112,6 +146,7 @@ class IngestJournal:
         *,
         fsync: bool = False,
         rotate_bytes: int | None = None,
+        integrity: bool = False,
         metrics: object = NULL_REGISTRY,
     ) -> None:
         if rotate_bytes is not None and rotate_bytes < 1:
@@ -153,7 +188,12 @@ class IngestJournal:
         #: the notify entirely when nobody waits (the single-submitter
         #: hot path must not pay a lock round-trip per append).
         self._sync_waiters = 0
-        self._staged: list[str] = []
+        #: Staged-but-unwritten entries: finished lines (plain
+        #: strings) with integrity off, ``(seq, user_id, payload)``
+        #: tuples with it on — the commit leader chains and renders
+        #: the whole batch in one pass (see
+        #: :meth:`_write_staged_locked`).
+        self._staged: list = []
         self._flushed = self._read_checkpoint()
         last_segment = max(
             (last for _path, last in self._segments()), default=0
@@ -162,6 +202,28 @@ class IngestJournal:
         #: Highest sequence whose line has reached the file.
         self._durable = max(last_segment, last_active)
         self._next_seq = max(self._durable, self._flushed) + 1
+        #: Integrity state (see :mod:`repro.service.integrity`): the
+        #: chain head, durable head, and per-tenant heads all advance
+        #: at durable-write time — the group-commit leader hashes the
+        #: drained batch — and the manifest attests the durable state
+        #: at rotation/compaction/close.
+        self._integrity = bool(integrity)
+        self._manifest_path = path + ".manifest"
+        self._key: bytes | None = None
+        self._chain_head = GENESIS
+        self._durable_head = GENESIS
+        self._anchor_seq = 0
+        self._anchor = GENESIS
+        #: user -> [chain, events, last_seq]
+        self._tenants: dict[str, list] = {}
+        self._tombstones: list[dict] = []
+        self._tombstone_anchor = GENESIS
+        self._tombstone_head = GENESIS
+        #: First sequence currently in the active file (seal metadata).
+        self._seg_first: int | None = None
+        if self._integrity:
+            self._key = load_or_create_key(path)
+            self._recover_integrity_state()
         self._handle = open(path, "a", encoding="utf-8")
 
     # -- writing ----------------------------------------------------------------
@@ -198,6 +260,19 @@ class IngestJournal:
         """
         if payload is None:
             payload = encode_event_json(event)
+        if self._integrity:
+            # The chain rides the group commit: staging only records
+            # what the commit leader needs, and the leader hashes the
+            # whole drained batch back-to-back in one tight loop (see
+            # :meth:`_write_staged_locked`).  Batching the SHA-256
+            # work keeps its code and data cache-hot instead of
+            # paying a cold hash between every event's index work —
+            # the bench holds the whole tax under 3% of ingest.
+            with self._seq_lock:
+                seq = self._next_seq
+                self._next_seq = seq + 1
+                self._staged.append((seq, event.user_id, payload))
+            return seq
         with self._seq_lock:
             seq = self._next_seq
             self._next_seq = seq + 1
@@ -271,8 +346,42 @@ class IngestJournal:
         self._sample_tick += 1
         sampled = not (self._sample_tick & _SAMPLE_MASK)
         started = time.perf_counter() if sampled else 0.0
+        if self._integrity:
+            # Chain and render the batch in commit order.  The chain
+            # head only advances after the write succeeds, so a failed
+            # write just re-stages the raw tuples and a retrying
+            # leader recomputes from the same head — the derived lines
+            # and digests are discarded, never half-applied.  A lone
+            # staged record (every commit of an uncontended writer)
+            # skips the batch scaffolding: this branch is the entire
+            # per-event integrity tax, and the bench holds it under 3%
+            # of ingest.
+            prev = self._chain_head
+            if len(batch) == 1:
+                seq, _user, payload = batch[0]
+                prev = _sha256(
+                    f'{prev}{{"seq":{seq},"ev":{payload}}}'
+                    .encode("utf-8")
+                ).hexdigest()
+                digests = None
+                text = f'{{"seq":{seq},"ev":{payload},"h":"{prev}"}}\n'
+            else:
+                digests = []
+                keep = digests.append
+                lines = []
+                add = lines.append
+                for seq, _user, payload in batch:
+                    prev = _sha256(
+                        f'{prev}{{"seq":{seq},"ev":{payload}}}'
+                        .encode("utf-8")
+                    ).hexdigest()
+                    keep(prev)
+                    add(f'{{"seq":{seq},"ev":{payload},"h":"{prev}"}}\n')
+                text = "".join(lines)
+        else:
+            text = "".join(batch)
         try:
-            self._handle.write("".join(batch))
+            self._handle.write(text)
             self._handle.flush()
             if self.fsync:
                 os.fsync(self._handle.fileno())
@@ -285,6 +394,38 @@ class IngestJournal:
                 self._staged = batch + self._staged
             raise
         self._durable = top
+        if self._integrity:
+            # Durable-write bookkeeping: the attested heads and the
+            # per-tenant attestations only ever cover records that
+            # reached the file (a failed write re-stages its batch
+            # above).  A tenant's attestation is (count, last_seq, the
+            # global chain digest at its last record): that digest
+            # commits to the entire journal prefix — every record the
+            # tenant ever wrote included — so no per-tenant hashing is
+            # needed anywhere.
+            self._chain_head = prev
+            self._durable_head = prev
+            if self._seg_first is None:
+                self._seg_first = batch[0][0]
+            tenants = self._tenants
+            if digests is None:
+                seq, user, _payload = batch[0]
+                state = tenants.get(user)
+                if state is None:
+                    tenants[user] = [prev, 1, seq]
+                else:
+                    state[0] = prev
+                    state[1] += 1
+                    state[2] = seq
+            else:
+                for (seq, user, _payload), digest in zip(batch, digests):
+                    state = tenants.get(user)
+                    if state is None:
+                        tenants[user] = [digest, 1, seq]
+                    else:
+                        state[0] = digest
+                        state[1] += 1
+                        state[2] = seq
         self._pending_commits += 1
         if self.fsync:
             self._pending_fsyncs += 1
@@ -315,7 +456,30 @@ class IngestJournal:
         if self._handle.tell() < self.rotate_bytes:
             return
         self._handle.close()
-        os.replace(self.path, f"{self.path}.seg-{self._durable:012d}")
+        seg_path = f"{self.path}.seg-{self._durable:012d}"
+        os.replace(self.path, seg_path)
+        if self._integrity:
+            # Seal the frozen segment, then re-attest: the seal binds
+            # the segment's span and closing chain value, the manifest
+            # signs the new durable head.
+            first = (
+                self._seg_first if self._seg_first is not None
+                else self._durable
+            )
+            write_signed(
+                seg_path + ".seal",
+                {
+                    "version": INTEGRITY_VERSION,
+                    "first": first,
+                    "last": self._durable,
+                    "count": self._durable - first + 1,
+                    "chain": self._durable_head,
+                },
+                self._key,
+                fsync=self.fsync,
+            )
+            self._seg_first = None
+            self._write_manifest_locked()
         self._handle = open(self.path, "a", encoding="utf-8")
         self._metric_rotations.inc()
 
@@ -331,26 +495,85 @@ class IngestJournal:
         os.replace(tmp, self._ckpt_path)
         self._flushed = seq
 
-    def compact(self) -> int:
+    def compact(self, min_bytes: int = 0) -> int:
         """Reclaim fully-checkpointed journal space; returns bytes freed.
 
         Deletes every segment whose last entry is checkpointed — safe at
         any time, even mid-ingest — and additionally truncates the
         active file when *everything* (staged lines included) is
-        checkpointed.
+        checkpointed.  *min_bytes* skips the pass unless at least that
+        much is reclaimable: the pipeline's per-flush housekeeping
+        passes a floor so that, with integrity on, the signed
+        re-attestation each truncation costs amortizes over real space
+        instead of being paid per flush (explicit calls keep the
+        compact-now default of 0).
+
+        With integrity on, every deletion is re-sealed *before* the
+        bytes disappear: segment removals append signed tombstones and
+        advance the manifest's chain anchor to the deleted span's
+        closing chain value (so the surviving chain still verifies),
+        and the active-file truncation advances the anchor to the
+        durable head.  The manifest write precedes the unlink — a crash
+        in between leaves a logically deleted (anchored-past) file,
+        which verification tolerates; the reverse order would leave an
+        untombstoned hole.
         """
         freed = 0
         with self._io_lock:
-            for seg_path, seg_last in self._segments():
-                if seg_last <= self._flushed:
-                    freed += os.path.getsize(seg_path)
-                    os.unlink(seg_path)
+            doomed = [
+                (seg_path, seg_last)
+                for seg_path, seg_last in self._segments()
+                if seg_last <= self._flushed
+            ]
+            if min_bytes > 0:
+                with self._seq_lock:
+                    fully = (
+                        not self._staged
+                        and self._flushed >= self._next_seq - 1
+                    )
+                reclaimable = sum(
+                    os.path.getsize(seg_path) for seg_path, _ in doomed
+                )
+                if fully:
+                    reclaimable += self._handle.tell()
+                if reclaimable < min_bytes:
+                    return 0
+            if doomed and self._integrity:
+                anchor_chain = self._segment_chain(doomed[-1][0])
+                for seg_path, seg_last in doomed:
+                    self._append_tombstone_locked(
+                        "compact_segment",
+                        {
+                            "segment": os.path.basename(seg_path),
+                            "last_seq": seg_last,
+                        },
+                    )
+                if anchor_chain is not None:
+                    self._anchor_seq = doomed[-1][1]
+                    self._anchor = anchor_chain
+                self._write_manifest_locked()
+            for seg_path, _seg_last in doomed:
+                freed += os.path.getsize(seg_path)
+                os.unlink(seg_path)
+                try:
+                    os.unlink(seg_path + ".seal")
+                except FileNotFoundError:
+                    pass
             with self._seq_lock:
                 fully = not self._staged and self._flushed >= self._next_seq - 1
             if fully and self._handle.tell() > 0:
+                if self._integrity:
+                    # Routine truncation of fully-applied records: the
+                    # signed anchor advance *is* the audit record (the
+                    # tombstone log is reserved for history-changing
+                    # ops — retention surgery, segment removal).
+                    self._anchor_seq = self._durable
+                    self._anchor = self._durable_head
+                    self._write_manifest_locked()
                 freed += self._handle.tell()
                 self._handle.close()
                 self._handle = open(self.path, "w", encoding="utf-8")
+                self._seg_first = None
         if freed:
             self._metric_compactions.inc()
             self._metric_compacted_bytes.inc(freed)
@@ -541,10 +764,225 @@ class IngestJournal:
                 handle.truncate(valid_bytes)
         return last
 
+    def _recover_integrity_state(self) -> None:
+        """Rebuild chain heads from the manifest plus the on-disk tail.
+
+        The manifest attests everything through its ``seq``; records
+        past it (the unflushed tail a crash left behind) are folded in
+        by walking their embedded hashes — verification, not recovery,
+        is where hashes are *recomputed*.  A forged manifest read here
+        only shifts the recovered heads; the next
+        :meth:`verify_integrity` still fails its signature check.
+        """
+        try:
+            manifest = load_signed(self._manifest_path)
+        except ReproError:
+            manifest = None  # verify_integrity will report it
+        attested = 0
+        if manifest is not None:
+            self._anchor_seq = int(manifest.get("anchor_seq", 0))
+            self._anchor = str(manifest.get("anchor", GENESIS))
+            attested = int(manifest.get("seq", 0))
+            tenants = manifest.get("tenants", {})
+            if isinstance(tenants, dict):
+                self._tenants = {
+                    user: [
+                        str(state.get("chain", GENESIS)),
+                        int(state.get("events", 0)),
+                        int(state.get("last_seq", 0)),
+                    ]
+                    for user, state in tenants.items()
+                    if isinstance(state, dict)
+                }
+            self._tombstone_anchor = str(
+                manifest.get("tombstone_anchor", GENESIS)
+            )
+            tombstones = manifest.get("tombstones", [])
+            if isinstance(tombstones, list):
+                self._tombstones = [
+                    entry for entry in tombstones if isinstance(entry, dict)
+                ]
+            self._tombstone_head = (
+                str(self._tombstones[-1].get("h", GENESIS))
+                if self._tombstones
+                else self._tombstone_anchor
+            )
+        head = str(manifest.get("chain", GENESIS)) if manifest else GENESIS
+        if manifest is None or attested <= self._anchor_seq:
+            head = self._anchor
+        paths = [seg_path for seg_path, _last in self._segments()]
+        paths.append(self.path)
+        for file_path in paths:
+            active = file_path == self.path
+            try:
+                handle = open(file_path, "rb")
+            except FileNotFoundError:
+                continue
+            with handle:
+                for raw in handle:
+                    if not raw.endswith(b"\n"):
+                        break
+                    try:
+                        seq, _core, digest = parse_chained_line(
+                            raw.decode("utf-8")
+                        )
+                    except (ReproError, UnicodeDecodeError):
+                        break  # torn/legacy tail; verify flags tampering
+                    if seq <= self._anchor_seq:
+                        continue
+                    head = digest
+                    if active and self._seg_first is None:
+                        self._seg_first = seq
+                    if seq > attested:
+                        user = None
+                        try:
+                            user = json.loads(raw)["ev"]["u"]
+                        except (json.JSONDecodeError, KeyError, TypeError):
+                            pass
+                        if user is not None:
+                            state = self._tenants.get(user)
+                            if state is None:
+                                self._tenants[user] = [digest, 1, seq]
+                            else:
+                                state[0] = digest
+                                state[1] += 1
+                                state[2] = seq
+        self._chain_head = head
+        self._durable_head = head
+
+    def _segment_chain(self, seg_path: str) -> str | None:
+        """The chain value at the end of *seg_path* (for anchor moves).
+
+        The seal already attests it; a segment sealed before integrity
+        was enabled (no sidecar) falls back to the last embedded hash.
+        """
+        try:
+            seal = load_signed(seg_path + ".seal")
+        except ReproError:
+            seal = None
+        if seal is not None and "chain" in seal:
+            return str(seal["chain"])
+        last: str | None = None
+        try:
+            handle = open(seg_path, "rb")
+        except FileNotFoundError:
+            return None
+        with handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break
+                try:
+                    _seq, _core, digest = parse_chained_line(
+                        raw.decode("utf-8")
+                    )
+                except (ReproError, UnicodeDecodeError):
+                    break
+                last = digest
+        return last
+
+    def _write_manifest_locked(self) -> None:
+        """Attest the durable state (io lock held; integrity on)."""
+        write_signed(
+            self._manifest_path,
+            {
+                "version": INTEGRITY_VERSION,
+                "anchor_seq": self._anchor_seq,
+                "anchor": self._anchor,
+                "seq": self._durable,
+                "chain": self._durable_head,
+                "tenants": {
+                    user: {
+                        "chain": state[0],
+                        "events": state[1],
+                        "last_seq": state[2],
+                    }
+                    for user, state in self._tenants.items()
+                },
+                "tombstone_anchor": self._tombstone_anchor,
+                "tombstones": self._tombstones,
+            },
+            self._key,
+            fsync=self.fsync,
+        )
+
+    def _append_tombstone_locked(self, op: str, details: dict) -> None:
+        """Chain one deletion record into the manifest's tombstone log."""
+        entry = {"op": op, "seq": self._durable}
+        entry.update(details)
+        digest = chain_hash(self._tombstone_head, tombstone_core(entry))
+        entry["h"] = digest
+        self._tombstones.append(entry)
+        self._tombstone_head = digest
+        while len(self._tombstones) > TOMBSTONE_CAP:
+            dropped = self._tombstones.pop(0)
+            self._tombstone_anchor = str(dropped.get("h", GENESIS))
+
+    @property
+    def integrity_enabled(self) -> bool:
+        return self._integrity
+
+    def record_tombstone(self, op: str, **details) -> None:
+        """Append a signed deletion record and re-attest the manifest.
+
+        The retention surgeries call this after their row deletions
+        commit, so ``expire_before`` / ``forget_site`` leave an
+        auditable, hash-chained trace instead of silently shrinking
+        history.  A no-op with integrity off.
+        """
+        if not self._integrity:
+            return
+        with self._io_lock:
+            self._append_tombstone_locked(op, details)
+            self._write_manifest_locked()
+
+    def tenant_attestation(self, user_id: str) -> dict | None:
+        """The signed per-tenant state the manifest attests.
+
+        ``{"chain", "events", "last_seq"}`` over the tenant's durable
+        records, or ``None`` for a tenant the journal has never seen.
+        ``chain`` is the global rolling hash at the tenant's last
+        record — it commits to the whole journal prefix up to
+        ``last_seq``, so tampering with *any* of the tenant's records
+        changes it (and is independently caught by the chain walk).
+        """
+        with self._io_lock:
+            state = self._tenants.get(user_id)
+            if state is None:
+                return None
+            return {
+                "chain": state[0],
+                "events": state[1],
+                "last_seq": state[2],
+            }
+
+    def verify_integrity(self) -> IntegrityReport:
+        """Re-attest, then walk the whole journal for corruption.
+
+        Flushes any staged lines and rewrites the manifest first (so
+        the walk covers everything durable and the unattested-tail
+        window is closed), then runs
+        :func:`repro.service.integrity.verify_journal` under the writer
+        lock — the files cannot move underneath the walk.  Raises
+        :class:`~repro.errors.ConfigurationError` when the journal was
+        opened with ``integrity=False``; there is no chain to verify.
+        """
+        if not self._integrity:
+            raise ConfigurationError(
+                "journal integrity is disabled; open with integrity=True"
+                " to maintain a verifiable chain"
+            )
+        with self._io_lock:
+            if not self._handle.closed:
+                self._write_staged_locked()
+            self._write_manifest_locked()
+            return verify_journal(self.path, key=self._key)
+
     def close(self) -> None:
         with self._io_lock:
             if not self._handle.closed:
                 self._write_staged_locked()
+                if self._integrity:
+                    self._write_manifest_locked()
                 self._handle.close()
             self._flush_tallies_locked()
 
@@ -944,7 +1382,7 @@ class IngestPipeline:
             workers = self._pool_workers
         if workers is None:
             with self._lock:
-                self._advance_checkpoint_locked()
+                self._advance_checkpoint_locked(min_bytes=0)
             return 0
         workers.barrier(shard)
         with self._lock:
@@ -958,7 +1396,7 @@ class IngestPipeline:
             # settling into the pipeline.)
             failures = workers.drain_failures(shard)
             self._requeue_locked(failures)
-            self._advance_checkpoint_locked()
+            self._advance_checkpoint_locked(min_bytes=0)
             applied = self.stats.applied - applied_before
         if failures:
             raise failures[0].error
@@ -1046,7 +1484,7 @@ class IngestPipeline:
                 if applied:
                     self.stats.applied += applied
                     self.stats.flushes += 1
-                self._advance_checkpoint_locked()
+                self._advance_checkpoint_locked(min_bytes=0)
             return applied
 
     def _apply(self, shard: int, batch: list[tuple[int, ProvEvent]]) -> None:
@@ -1061,13 +1499,18 @@ class IngestPipeline:
                 store, batch, index=self.index_enabled, metrics=self.metrics
             )
 
-    def _advance_checkpoint_locked(self) -> None:
+    def _advance_checkpoint_locked(
+        self, min_bytes: int = COMPACT_MIN_BYTES
+    ) -> None:
         """Checkpoint up to the oldest still-pending sequence (lock held).
 
         Pending means buffered *or* dispatched-but-unsettled; because
         sequence allocation happens under the same lock (see
         :meth:`submit`), no allocated-but-unbuffered sequence can be
-        skipped over.
+        skipped over.  Background settles gate compaction behind
+        :data:`COMPACT_MIN_BYTES`; an explicit :meth:`flush` barrier
+        passes ``min_bytes=0`` so a drained pipeline always leaves a
+        compacted journal.
         """
         self._settled_since_checkpoint = 0
         candidates = [batch[0][0] for batch in self._buffers.values() if batch]
@@ -1078,7 +1521,7 @@ class IngestPipeline:
             self.journal.checkpoint(min(candidates) - 1)
         else:
             self.journal.checkpoint(self.journal.last_seq)
-        self.journal.compact()
+        self.journal.compact(min_bytes=min_bytes)
 
     # -- recovery ---------------------------------------------------------------
 

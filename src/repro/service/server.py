@@ -126,6 +126,8 @@ ROUTES: tuple[_Route, ...] = (
     _Route("POST", "/v1/deadletters/redrive", "redrive"),
     _Route("POST", "/v1/retention/expire_before", "expire_before"),
     _Route("POST", "/v1/retention/forget_site", "forget_site"),
+    _Route("GET", "/v1/integrity", "integrity"),
+    _Route("GET", "/v1/audit/report", "audit_report"),
 )
 
 _ROUTE_TABLE: dict[tuple[str, str], _Route] = {
@@ -599,6 +601,21 @@ class ProvenanceServer:
         self.admission.admit_read(None)
         letters = await self._call(self.service.deadlettered)
         return {"deadletters": [letter.to_dict() for letter in letters]}
+
+    # -- endpoints: integrity & audit --------------------------------------------
+
+    async def _ep_integrity(self, request: WireRequest) -> Any:
+        self.admission.admit_read(None)
+        report = await self._call(self.service.verify_integrity)
+        return report.to_dict()
+
+    async def _ep_audit_report(self, request: WireRequest) -> Any:
+        user_id = _query_required(request, "user")
+        validate_user_id(user_id)
+        self.admission.admit_read(user_id)
+        return await self._call(
+            lambda: self.service.audit_report(user_id)
+        )
 
     # -- endpoints: operations ---------------------------------------------------
 

@@ -60,8 +60,10 @@ from repro.service.events import (
     unqualify,
     validate_user_id,
 )
+from repro.service.audit import build_case_report
 from repro.service.indexer import ensure_index
 from repro.service.ingest import IngestJournal, IngestPipeline
+from repro.service.integrity import IntegrityReport
 from repro.service.metrics import COUNT_BUCKETS, MetricsRegistry, NULL_REGISTRY
 from repro.service.parallel import ranked_merge, scatter_gather
 from repro.service.pool import PoolStats, StorePool
@@ -330,6 +332,7 @@ class ProvenanceService:
         metrics: bool = True,
         slow_op_ms: float | None = None,
         slow_op_log: int = 256,
+        integrity: bool = True,
     ) -> None:
         """See the class docstring; the search/caching knobs:
 
@@ -366,6 +369,16 @@ class ProvenanceService:
           disables the slow-op log; metrics histograms still record.
         * ``slow_op_log`` — how many slow-op records the log retains
           (a ring: oldest records drop first).
+
+        Integrity knob:
+
+        * ``integrity`` — hash-chain every journal record, seal
+          segments at rotation, and maintain the signed-root manifest
+          (the default; see :meth:`verify_integrity`).  The chain
+          rides the existing group commit, so the ingest cost is one
+          SHA-256 per event.  ``False`` disables the tamper-evident
+          record entirely — :meth:`verify_integrity` then raises
+          :class:`~repro.errors.ConfigurationError`.
         """
         worker_mode, worker_count = parse_workers(workers, shards)
         self._tmp: tempfile.TemporaryDirectory | None = None
@@ -423,6 +436,7 @@ class ProvenanceService:
                 fsync=fsync,
                 rotate_bytes=journal_rotate_bytes,
                 metrics=self.metrics,
+                integrity=integrity,
             )
             self.ingest = IngestPipeline(
                 self.pool, self.journal, batch_size=batch_size,
@@ -681,6 +695,17 @@ class ProvenanceService:
         self.ingest.drop_shard_caches(shard)
         self.cache.invalidate_user(user_id)
         self.cache.roll_epoch()
+        # The deletion itself becomes part of the auditable record: a
+        # signed tombstone says *what* retention removed and re-seals
+        # the manifest, so verification stays green afterwards.
+        self.journal.record_tombstone(
+            "expire_before",
+            user=user_id,
+            cutoff_us=cutoff_us,
+            nodes_removed=report.nodes_removed,
+            edges_removed=report.edges_removed,
+            bridges_added=report.bridge_edges_added,
+        )
         return report
 
     def forget_site(
@@ -718,6 +743,16 @@ class ProvenanceService:
         self.ingest.drop_shard_caches(shard)
         self.cache.invalidate_user(user_id)
         self.cache.roll_epoch()
+        # Redaction hides *what* was forgotten but not *that* a
+        # redaction ran: the tombstone names the site (the redaction
+        # request is itself an auditable act), not the removed rows.
+        self.journal.record_tombstone(
+            "forget_site",
+            user=user_id,
+            site=site,
+            nodes_removed=report.nodes_removed,
+            edges_removed=report.edges_removed,
+        )
         return report
 
     # -- reads ------------------------------------------------------------------
@@ -1259,6 +1294,39 @@ class ProvenanceService:
         ring (``slow_op_log`` records); reading does not clear it.
         """
         return self.tracer.slow_ops()
+
+    # -- integrity & audit ------------------------------------------------------
+
+    def verify_integrity(self) -> IntegrityReport:
+        """Walk the whole journal and verify its tamper-evident record.
+
+        Flushes staged records and re-attests the manifest first (so
+        the walk always ends on signed ground), then recomputes every
+        record's chain hash, checks each sealed segment's digest, the
+        tombstone chain, and the manifest's per-tenant roots.  Returns
+        an :class:`~repro.service.integrity.IntegrityReport`; on
+        corruption ``first_error`` pinpoints the first bad byte as
+        ``(segment, offset, reason)``.  Read-only apart from the
+        re-attestation — verification never "repairs" anything.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the
+        service was built with ``integrity=False``.
+        """
+        with self.tracer.trace("integrity.verify"):
+            return self.journal.verify_integrity()
+
+    def audit_report(self, user_id: str) -> dict:
+        """Auditable case report for *user_id*.
+
+        Timeline plus per-artifact chain of custody, every node hashed,
+        the subgraph digested through the canonical export form, the
+        journal verification result embedded, and the report closed
+        with its own digest — see :mod:`repro.service.audit`.  The
+        report is byte-stable: the same history always produces the
+        same canonical JSON.
+        """
+        with self.tracer.trace("integrity.audit", user=user_id):
+            return build_case_report(self, user_id)
 
     # -- lifecycle --------------------------------------------------------------
 

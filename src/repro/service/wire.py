@@ -33,11 +33,25 @@ from dataclasses import dataclass, field
 from typing import Any
 from urllib.parse import parse_qsl, unquote, urlsplit
 
+# Re-exported: response encoding, the journal manifest, and export
+# digests all share the one package-root canonical serialization.
+from repro.canon import canonical_json
 from repro.errors import (
     HeadersTooLargeError,
     PayloadTooLargeError,
     ProtocolError,
 )
+
+__all__ = [
+    "CLOSE_STATUSES",
+    "REASON_PHRASES",
+    "WireLimits",
+    "WireRequest",
+    "canonical_json",
+    "encode_response",
+    "error_payload",
+    "read_request",
+]
 
 #: Reason phrases for every status this server emits.
 REASON_PHRASES: dict[int, str] = {
@@ -202,15 +216,6 @@ async def read_request(
     )
 
 
-def canonical_json(payload: Any) -> bytes:
-    """*payload* as canonical JSON bytes (sorted keys, no whitespace).
-
-    One serialization for responses and for equivalence tests: two
-    equal payloads always produce identical bytes.
-    """
-    return json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
-    ).encode("utf-8")
 
 
 def encode_response(

@@ -71,6 +71,24 @@ class TestJson:
     def test_indent_option(self):
         assert "\n" in to_json(build_graph(), indent=2)
 
+    def test_default_output_is_canonical(self):
+        """The ``indent=None`` form must be byte-stable canonical JSON
+        (sorted keys, compact separators) — audit reports hash it, so
+        the legacy space-padded ``json.dumps`` default is a bug."""
+        from repro.canon import canonical_json
+
+        text = to_json(build_graph())
+        assert ": " not in text and ", " not in text
+        assert text.encode("utf-8") == canonical_json(json.loads(text))
+
+    def test_same_graph_serializes_identically(self):
+        """Two exports of equal history are the same bytes — the
+        property the audit report's graph digest rests on."""
+        assert to_json(build_graph()) == to_json(build_graph())
+        # And the canonical form round-trips through indent-land too.
+        pretty = to_json(build_graph(), indent=2)
+        assert to_json(from_json(pretty)) == to_json(build_graph())
+
 
 class TestDot:
     def test_subgraph_rendered(self):

@@ -1,0 +1,106 @@
+"""The auditable case report: timeline, custody chains, attestations.
+
+The report is the forensic deliverable: it must be byte-stable
+(canonical JSON of the same history is the same bytes), self-attesting
+(``report_digest`` detects any later edit), and bound to the journal's
+verification verdict.
+"""
+
+import pytest
+
+from repro.canon import canonical_json
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.service import (
+    ProvenanceService,
+    build_case_report,
+    render_case_report,
+    report_digest_ok,
+)
+
+
+def node(node_id, kind, ts, url=None, label=""):
+    return ProvNode(id=node_id, kind=kind, timestamp_us=ts, url=url,
+                    label=label)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    with ProvenanceService(str(tmp_path / "svc"), shards=2,
+                           workers=0) as svc:
+        svc.record_node("alice", node(
+            "term", NodeKind.SEARCH_TERM, 1, label="rosebud"))
+        svc.record_node("alice", node(
+            "visit", NodeKind.PAGE_VISIT, 2, url="http://a.com/x"))
+        svc.record_node("alice", node(
+            "dl", NodeKind.DOWNLOAD, 3, url="http://cdn.a.com/f.zip"))
+        svc.record_edge("alice", EdgeKind.SEARCHED, "term", "visit",
+                        timestamp_us=2)
+        svc.record_edge("alice", EdgeKind.DOWNLOADED, "visit", "dl",
+                        timestamp_us=3)
+        svc.record_node("bob", node("other", NodeKind.PAGE_VISIT, 9))
+        svc.flush()
+        yield svc
+
+
+class TestCaseReport:
+    def test_timeline_is_time_ordered_and_hashed(self, service):
+        report = build_case_report(service, "alice")
+        assert [e["node"] for e in report["timeline"]] == [
+            "term", "visit", "dl"]
+        for entry in report["timeline"]:
+            assert len(entry["record_sha256"]) == 64
+
+    def test_custody_chain_walks_download_lineage(self, service):
+        """The paper's Download Lineage query: the artifact's chain of
+        custody is its full ancestor closure, nearest first."""
+        report = build_case_report(service, "alice")
+        assert report["counts"]["artifacts"] == 1
+        custody = report["custody"][0]
+        assert custody["artifact"] == "dl"
+        assert [(link["node"], link["depth"]) for link in custody["chain"]] \
+            == [("visit", 1), ("term", 2)]
+
+    def test_report_is_tenant_scoped(self, service):
+        report = build_case_report(service, "alice")
+        assert all(e["node"] != "other" for e in report["timeline"])
+        assert build_case_report(service, "bob")["counts"]["nodes"] == 1
+
+    def test_report_embeds_verification_and_attestation(self, service):
+        report = build_case_report(service, "alice")
+        assert report["verify"]["ok"] is True
+        assert report["attestation"]["events"] == 5
+        assert len(report["attestation"]["chain"]) == 64
+
+    def test_report_digest_detects_edits(self, service):
+        report = build_case_report(service, "alice")
+        assert report_digest_ok(report)
+        report["timeline"][0]["node"] = "doctored"
+        assert not report_digest_ok(report)
+
+    def test_byte_stable_across_calls_and_reopen(self, tmp_path, service):
+        report = canonical_json(build_case_report(service, "alice"))
+        assert canonical_json(build_case_report(service, "alice")) == report
+
+    def test_facade_method_matches_builder(self, service):
+        assert canonical_json(service.audit_report("alice")) == \
+            canonical_json(build_case_report(service, "alice"))
+
+    def test_render_human_report(self, service):
+        text = render_case_report(build_case_report(service, "alice"))
+        assert "Case report — alice" in text
+        assert "VERIFIED INTACT" in text
+        assert "Chain of custody — dl" in text
+        assert "Timeline" in text
+
+    def test_render_carries_corruption_location(self, service):
+        report = build_case_report(service, "alice")
+        doctored = dict(report)
+        doctored["verify"] = dict(report["verify"], **{
+            "ok": False,
+            "first_error": {"segment": "ingest.journal", "offset": 120,
+                            "reason": "chain_mismatch"},
+        })
+        text = render_case_report(doctored)
+        assert "INTEGRITY FAILURE" in text
+        assert "ingest.journal @ byte 120 (chain_mismatch)" in text

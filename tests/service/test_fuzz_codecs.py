@@ -1,0 +1,313 @@
+"""Property/fuzz tests for the decoding surfaces exposed to bytes.
+
+Three codecs accept input an attacker (or a bit rot) controls: paged-
+search cursor tokens, HTTP wire frames, and chained journal lines.
+The contract under fuzz is the same for all three — **raise the typed
+taxonomy error, never crash, never silently accept a mutation**:
+
+* :func:`~repro.service.search.decode_cursor` →
+  :class:`~repro.errors.CursorError`;
+* :func:`~repro.service.wire.read_request` →
+  :class:`~repro.errors.ProtocolError` (or its size-limit subclasses);
+* :func:`~repro.service.integrity.parse_chained_line` →
+  :class:`~repro.errors.IntegrityError` — or, when the mutated line
+  still parses, a core/hash pair the chain recomputation rejects.
+
+Hypothesis drives the mutations; every property also pins the happy
+path (a round trip of the unmutated artifact) so a codec cannot pass
+by rejecting everything.
+"""
+
+import asyncio
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CursorError, IntegrityError, ProtocolError
+from repro.service.integrity import (
+    GENESIS,
+    chain_hash,
+    chained_line,
+    parse_chained_line,
+)
+from repro.service.search import decode_cursor, encode_cursor
+from repro.service.wire import WireLimits, WireRequest, read_request
+
+# -- shared mutation machinery -------------------------------------------------
+
+
+def mutate_text(text, edits):
+    """Apply (position_seed, op, char) edits to *text* deterministically."""
+    out = text
+    for pos_seed, op, char in edits:
+        if not out:
+            out = char
+            continue
+        pos = pos_seed % len(out)
+        if op == 0:  # replace
+            out = out[:pos] + char + out[pos + 1:]
+        elif op == 1:  # insert
+            out = out[:pos] + char + out[pos:]
+        else:  # delete
+            out = out[:pos] + out[pos + 1:]
+    return out
+
+
+EDITS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=2),
+        st.characters(codec="utf-8"),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+BYTE_EDITS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def mutate_bytes(data, edits):
+    out = bytearray(data)
+    for pos_seed, op, byte in edits:
+        if not out:
+            out = bytearray([byte])
+            continue
+        pos = pos_seed % len(out)
+        if op == 0:
+            out[pos] = byte
+        elif op == 1:
+            out[pos:pos] = bytes([byte])
+        else:
+            del out[pos]
+    return bytes(out)
+
+
+# -- cursor tokens -------------------------------------------------------------
+
+FINGERPRINT = "fp-test"
+
+MARKS = st.dictionaries(
+    st.integers(min_value=0, max_value=7),
+    st.one_of(
+        st.none(),
+        st.tuples(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.text(max_size=20),
+        ),
+    ),
+    max_size=4,
+)
+
+
+class TestCursorFuzz:
+    @given(
+        epoch=st.integers(min_value=0, max_value=2**31),
+        marks=MARKS,
+        universe=st.lists(
+            st.integers(min_value=0, max_value=7), max_size=8, unique=True
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, epoch, marks, universe):
+        token = encode_cursor(epoch, FINGERPRINT, marks, universe)
+        got_epoch, got_marks, got_universe = decode_cursor(
+            token, FINGERPRINT
+        )
+        assert got_epoch == epoch
+        assert got_universe == sorted(universe) or got_universe == universe
+        assert set(got_marks) == set(marks)
+
+    @given(
+        epoch=st.integers(min_value=0, max_value=2**31),
+        marks=MARKS,
+        edits=EDITS,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mutated_token_never_crashes_or_sneaks(self, epoch, marks, edits):
+        """Any mutation of a real token either raises CursorError or
+        left the token byte-identical — nothing in between."""
+        token = encode_cursor(epoch, FINGERPRINT, marks, [0, 1])
+        mutated = mutate_text(token, edits)
+        if mutated == token:
+            return
+        try:
+            decode_cursor(mutated, FINGERPRINT)
+        except CursorError:
+            return
+        raise AssertionError(
+            f"mutated cursor accepted: {mutated!r}"
+        )
+
+    @given(junk=st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_raises_cursor_error(self, junk):
+        try:
+            decode_cursor(junk, FINGERPRINT)
+        except CursorError:
+            return
+        # Astronomically unlikely; if it happens the token must at
+        # least have been minted for this very fingerprint.
+        raise AssertionError(f"junk accepted as cursor: {junk!r}")
+
+    @given(
+        epoch=st.integers(min_value=0, max_value=2**31),
+        marks=MARKS,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_wrong_fingerprint_rejected(self, epoch, marks):
+        token = encode_cursor(epoch, FINGERPRINT, marks, [0])
+        try:
+            decode_cursor(token, "some-other-query")
+        except CursorError:
+            return
+        raise AssertionError("cursor crossed query fingerprints")
+
+
+# -- wire frames ---------------------------------------------------------------
+
+
+def parse_frame(data, limits=None):
+    limits = limits if limits is not None else WireLimits()
+
+    async def go():
+        reader = asyncio.StreamReader(limit=limits.max_header_bytes)
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, limits)
+
+    return asyncio.run(go())
+
+
+VALID_FRAME = (
+    b"POST /v1/events HTTP/1.1\r\n"
+    b"Host: localhost\r\n"
+    b"Content-Length: 13\r\n\r\n"
+    b'{"events":[]}'
+)
+
+
+class TestWireFuzz:
+    def test_valid_frame_parses(self):
+        request = parse_frame(VALID_FRAME)
+        assert isinstance(request, WireRequest)
+        assert request.json() == {"events": []}
+
+    @given(edits=BYTE_EDITS)
+    @settings(max_examples=300, deadline=None)
+    def test_mutated_frame_parses_or_raises_taxonomy(self, edits):
+        """A mutated frame must yield a request, a clean EOF, or a
+        ProtocolError — never any other exception type."""
+        mutated = mutate_bytes(VALID_FRAME, edits)
+        try:
+            request = parse_frame(mutated)
+        except ProtocolError:
+            return
+        assert request is None or isinstance(request, WireRequest)
+
+    @given(junk=st.binary(max_size=300))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, junk):
+        try:
+            request = parse_frame(junk)
+        except ProtocolError:
+            return
+        assert request is None or isinstance(request, WireRequest)
+
+    @given(junk=st.binary(min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_garbage_body_json_is_protocol_error(self, junk):
+        frame = (
+            b"POST /v1/events HTTP/1.1\r\n"
+            + f"Content-Length: {len(junk)}\r\n\r\n".encode()
+            + junk
+        )
+        try:
+            request = parse_frame(frame)
+        except ProtocolError:
+            return
+        try:
+            request.json()
+        except ProtocolError:
+            return
+        # Whatever parsed must be real JSON — no silent mojibake.
+        json.loads(junk)
+
+
+# -- chained journal lines -----------------------------------------------------
+
+PAYLOADS = st.fixed_dictionaries(
+    {
+        "t": st.just("node"),
+        "u": st.text(max_size=10),
+        "id": st.text(max_size=10),
+        "ts": st.integers(min_value=0, max_value=2**53),
+    }
+)
+
+
+def compact(payload):
+    return json.dumps(payload, separators=(",", ":"), ensure_ascii=False)
+
+
+class TestJournalLineFuzz:
+    @given(
+        seq=st.integers(min_value=1, max_value=2**53),
+        payload=PAYLOADS,
+        prev=st.sampled_from([GENESIS, "ab" * 32]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, seq, payload, prev):
+        line, digest = chained_line(seq, compact(payload), prev)
+        got_seq, core, got_digest = parse_chained_line(line)
+        assert got_seq == seq
+        assert got_digest == digest
+        assert chain_hash(prev, core) == digest
+        assert json.loads(core)["ev"] == payload
+
+    @given(
+        seq=st.integers(min_value=1, max_value=2**32),
+        payload=PAYLOADS,
+        edits=EDITS,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_mutation_is_rejected_or_chain_detected(self, seq, payload, edits):
+        """Every mutation either fails to parse (IntegrityError), is
+        the identical record back, or yields a core/hash pair the
+        chain recomputation rejects — a mutation can never survive
+        both the parse and the chain."""
+        line, digest = chained_line(seq, compact(payload), GENESIS)
+        mutated = mutate_text(line, edits)
+        if mutated.rstrip("\n") == line.rstrip("\n"):
+            return
+        try:
+            got_seq, core, got_digest = parse_chained_line(mutated)
+        except IntegrityError as exc:
+            assert isinstance(getattr(exc, "reason", None), str)
+            return
+        original_core = line[: line.rfind(',"h":"')] + "}"
+        if (got_seq, core, got_digest) == (seq, original_core, digest):
+            return  # e.g. whitespace after the newline — same record
+        assert chain_hash(GENESIS, core) != got_digest, (
+            f"mutation survived parse AND chain: {mutated!r}"
+        )
+
+    @given(junk=st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_raises_integrity_error(self, junk):
+        try:
+            seq, core, digest = parse_chained_line(junk)
+        except IntegrityError as exc:
+            assert isinstance(getattr(exc, "reason", None), str)
+            return
+        # To be accepted, the text must genuinely be a chained record.
+        record = json.loads(junk.rstrip("\n"))
+        assert record["seq"] == seq
+        assert record["h"] == digest

@@ -21,7 +21,11 @@ from repro.service.events import (
     decode_event,
     encode_event,
 )
-from repro.service.ingest import IngestJournal, IngestPipeline
+from repro.service.ingest import (
+    COMPACT_MIN_BYTES,
+    IngestJournal,
+    IngestPipeline,
+)
 from repro.service.pool import StorePool
 
 
@@ -261,7 +265,22 @@ class TestPipeline:
         rig.pipeline.submit(node_event("alice", "n1"))
         rig.pipeline.flush()
         assert rig.journal.flushed_seq == 1
-        assert os.path.getsize(rig.journal.path) == 0  # compacted
+        # An explicit flush barrier always leaves a compacted journal.
+        assert os.path.getsize(rig.journal.path) == 0
+
+    def test_background_compaction_amortizes_over_min_bytes(self, tmp_path):
+        """The settle-path housekeeping gates truncation behind
+        COMPACT_MIN_BYTES of reclaimable space (each truncation
+        re-attests the manifest when integrity is on); explicit
+        compacts — and the flush barrier — reclaim immediately."""
+        journal = IngestJournal(str(tmp_path / "j.log"))
+        journal.append(node_event("u", "n1"))
+        journal.checkpoint(1)
+        assert journal.compact(min_bytes=COMPACT_MIN_BYTES) == 0
+        assert os.path.getsize(journal.path) > 0  # tiny record stays put
+        assert journal.compact() > 0
+        assert os.path.getsize(journal.path) == 0
+        journal.close()
 
     def test_partial_shard_flush_holds_checkpoint_back(self, rig):
         alice_shard = rig.pool.shard_of("alice")

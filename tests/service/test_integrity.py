@@ -1,0 +1,586 @@
+"""Adversarial tests for the journal's tamper-evident record.
+
+The tamper matrix is the acceptance story: every way an attacker (or a
+failing disk) can alter the record — a flipped bit mid-record, a
+truncated tail, a deleted or reordered record, a splice across
+segments, a forged tombstone — must be *detected*, and detected at the
+right place: ``verify_journal`` reports the first corruption as
+``(segment, offset, reason)`` and each row here asserts all three.
+
+Verification runs **offline** (:func:`repro.service.integrity.
+verify_journal` against the files on disk) so corrupting bytes and
+checking the verdict never races a live journal's recovery truncating
+the evidence.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.model import ProvNode
+from repro.core.taxonomy import EdgeKind, NodeKind
+from repro.errors import ConfigurationError, IntegrityError
+from repro.service import ProvenanceService
+from repro.service.events import NodeEvent
+from repro.service.ingest import IngestJournal
+from repro.service.integrity import (
+    GENESIS,
+    chain_hash,
+    load_key,
+    load_signed,
+    sign_payload,
+    verify_journal,
+    write_signed,
+)
+
+
+def visit(node_id, ts=1, **kwargs):
+    return ProvNode(id=node_id, kind=NodeKind.PAGE_VISIT, timestamp_us=ts,
+                    **kwargs)
+
+
+def node_event(user, node_id, ts=1, **kwargs):
+    return NodeEvent(user_id=user, node=visit(node_id, ts, **kwargs))
+
+
+def build_journal(root, *, events=20, rotate=600, close=True):
+    """A chained journal with several sealed segments; returns its path."""
+    path = os.path.join(str(root), "j.journal")
+    journal = IngestJournal(path, rotate_bytes=rotate, integrity=True)
+    for i in range(events):
+        seq = journal.stage(node_event("alice", f"n{i:03d}", i + 1))
+        journal.sync(seq)
+    if close:
+        journal.close()
+        return path
+    return path, journal
+
+
+def segment_files(path):
+    """Sealed segment paths, oldest first (no sidecars)."""
+    directory = os.path.dirname(path)
+    prefix = os.path.basename(path) + ".seg-"
+    names = sorted(
+        name for name in os.listdir(directory)
+        if name.startswith(prefix) and not name.endswith(".seal")
+    )
+    return [os.path.join(directory, name) for name in names]
+
+
+def lines_of(file_path):
+    """``(byte_offset, raw_line)`` for every line of the file."""
+    with open(file_path, "rb") as handle:
+        data = handle.read()
+    out, offset = [], 0
+    for raw in data.splitlines(keepends=True):
+        out.append((offset, raw))
+        offset += len(raw)
+    return out
+
+
+def line_for_seq(file_path, seq):
+    """The byte offset and raw bytes of the record with *seq*."""
+    for offset, raw in lines_of(file_path):
+        if json.loads(raw)["seq"] == seq:
+            return offset, raw
+    raise AssertionError(f"no record {seq} in {file_path}")
+
+
+class TestCleanJournals:
+    def test_fresh_journal_verifies_empty(self, tmp_path):
+        path = os.path.join(str(tmp_path), "j.journal")
+        journal = IngestJournal(path, integrity=True)
+        report = journal.verify_integrity()
+        journal.close()
+        assert report.ok and report.checked_records == 0
+
+    def test_clean_journal_verifies(self, tmp_path):
+        path = build_journal(tmp_path, events=20)
+        report = verify_journal(path)
+        assert report.ok
+        assert report.first_error is None
+        assert report.checked_records == 20
+        assert report.checked_segments == len(segment_files(path))
+        assert report.attested_seq == 20
+
+    def test_verify_survives_reopen(self, tmp_path):
+        """Recovery rebuilds the chain heads: reopening, appending, and
+        re-verifying must stay green with the chain unbroken across the
+        restart."""
+        path = build_journal(tmp_path, events=10)
+        journal = IngestJournal(path, rotate_bytes=600, integrity=True)
+        for i in range(10, 20):
+            seq = journal.stage(node_event("alice", f"n{i:03d}", i + 1))
+            journal.sync(seq)
+        report = journal.verify_integrity()
+        journal.close()
+        assert report.ok and report.checked_records == 20
+        assert verify_journal(path).ok
+
+    def test_disabled_journal_refuses_verify(self, tmp_path):
+        journal = IngestJournal(os.path.join(str(tmp_path), "j.journal"))
+        with pytest.raises(ConfigurationError):
+            journal.verify_integrity()
+        journal.close()
+
+    def test_tenant_attestation_tracks_per_user_chain(self, tmp_path):
+        path = os.path.join(str(tmp_path), "j.journal")
+        journal = IngestJournal(path, integrity=True)
+        for i in range(5):
+            journal.sync(journal.stage(node_event("alice", f"a{i}")))
+        for i in range(3):
+            journal.sync(journal.stage(node_event("bob", f"b{i}")))
+        alice = journal.tenant_attestation("alice")
+        bob = journal.tenant_attestation("bob")
+        journal.close()
+        assert alice["events"] == 5 and alice["last_seq"] == 5
+        assert bob["events"] == 3 and bob["last_seq"] == 8
+        assert alice["chain"] != bob["chain"]
+        assert journal.tenant_attestation("nobody") is None
+
+
+class TestTamperMatrix:
+    """One row per attack; every row pins (segment, offset, reason)."""
+
+    def test_bit_flip_mid_record(self, tmp_path):
+        """Flip bytes inside a record's payload (JSON stays valid):
+        the chain hash no longer recomputes."""
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[1]
+        offset, raw = line_for_seq(victim, 6)
+        tampered = raw.replace(b"n005", b"n999")
+        assert tampered != raw
+        data = open(victim, "rb").read().replace(raw, tampered)
+        open(victim, "wb").write(data)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), offset, "chain_mismatch")
+
+    def test_bit_flip_in_stored_hash(self, tmp_path):
+        """Flipping a digit of the stored hash itself is just as dead."""
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[0]
+        offset, raw = line_for_seq(victim, 2)
+        digest = json.loads(raw)["h"]
+        flipped = ("0" if digest[0] != "0" else "1") + digest[1:]
+        data = open(victim, "rb").read().replace(
+            digest.encode(), flipped.encode())
+        open(victim, "wb").write(data)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), offset, "chain_mismatch")
+
+    def test_truncated_segment_tail(self, tmp_path):
+        """Dropping records off a sealed segment's end: the seal still
+        attests the missing sequences."""
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[1]
+        rows = lines_of(victim)
+        keep = rows[-1][0]  # byte size after dropping the last record
+        with open(victim, "r+b") as handle:
+            handle.truncate(keep)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), keep, "truncated")
+
+    def test_truncated_active_tail(self, tmp_path):
+        """Dropping attested records off the active file: the manifest's
+        signed head outruns the walk."""
+        path = build_journal(tmp_path, events=21)  # odd count: active tail
+        rows = lines_of(path)
+        assert rows, "expected records in the active file"
+        keep = rows[-1][0]
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(path), keep, "truncated")
+
+    def test_deleted_record_mid_segment(self, tmp_path):
+        """Excising a record from the middle leaves a sequence gap at
+        exactly the byte where the record should sit."""
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[1]
+        offset, raw = line_for_seq(victim, 6)
+        data = open(victim, "rb").read().replace(raw, b"")
+        open(victim, "wb").write(data)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), offset, "sequence_gap")
+
+    def test_reordered_records(self, tmp_path):
+        """Swapping two adjacent records breaks sequence contiguity at
+        the first swapped line."""
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[1]
+        offset_a, raw_a = line_for_seq(victim, 6)
+        _offset_b, raw_b = line_for_seq(victim, 7)
+        data = open(victim, "rb").read()
+        data = data.replace(raw_a + raw_b, raw_b + raw_a)
+        open(victim, "wb").write(data)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), offset_a, "sequence_gap")
+
+    def test_cross_segment_splice(self, tmp_path):
+        """Swapping whole segment bodies (replaying one segment's bytes
+        as another's) trips the walk at the first spliced byte."""
+        path = build_journal(tmp_path)
+        seg_a, seg_b = segment_files(path)[:2]
+        data_a = open(seg_a, "rb").read()
+        data_b = open(seg_b, "rb").read()
+        open(seg_a, "wb").write(data_b)
+        open(seg_b, "wb").write(data_a)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(seg_a), 0, "sequence_gap")
+
+    def test_spliced_chain_rebuild_without_key_fails(self, tmp_path):
+        """An attacker who rewrites a record AND recomputes every later
+        hash produces a perfectly consistent chain — that is exactly
+        what the signed manifest head exists to catch."""
+        path = build_journal(tmp_path, events=7, rotate=None)
+        rows = lines_of(path)
+        rebuilt, prev = [], GENESIS
+        for index, (offset, raw) in enumerate(rows):
+            record = json.loads(raw)
+            if index == 2:
+                record["ev"]["id"] = "evil"
+            core = json.dumps(
+                {"seq": record["seq"], "ev": record["ev"]},
+                separators=(",", ":"), ensure_ascii=False,
+            )
+            prev = chain_hash(prev, core)
+            rebuilt.append(core[:-1] + f',"h":"{prev}"}}\n')
+        open(path, "w", encoding="utf-8").write("".join(rebuilt))
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error is not None
+        # The forged chain is internally consistent; the verdict comes
+        # from the signed attestation, not the per-record arithmetic.
+        assert report.first_error[2] in (
+            "attestation_mismatch", "chain_mismatch")
+
+    def test_forged_tombstone_without_key(self, tmp_path):
+        """Editing the tombstone log without the key breaks the
+        manifest signature."""
+        path = build_journal(tmp_path)
+        journal = IngestJournal(path, rotate_bytes=600, integrity=True)
+        journal.record_tombstone("expire_before", user="alice", cutoff_us=5)
+        journal.close()
+        manifest_path = path + ".manifest"
+        manifest = load_signed(manifest_path)
+        manifest["tombstones"][0]["cutoff_us"] = 999  # cover the tracks
+        open(manifest_path, "wb").write(json.dumps(manifest).encode())
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(manifest_path), 0, "manifest_signature")
+
+    def test_forged_tombstone_with_stolen_key(self, tmp_path):
+        """Even re-signing with a stolen key cannot alter a tombstone:
+        the entries are hash-chained, so the rewritten entry no longer
+        recomputes."""
+        path = build_journal(tmp_path)
+        journal = IngestJournal(path, rotate_bytes=600, integrity=True)
+        journal.record_tombstone("expire_before", user="alice", cutoff_us=5)
+        journal.record_tombstone("forget_site", user="alice", site="x.com")
+        journal.close()
+        manifest_path = path + ".manifest"
+        manifest = load_signed(manifest_path)
+        manifest["tombstones"][0]["cutoff_us"] = 999
+        write_signed(manifest_path, manifest, load_key(path))
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(manifest_path), 0, "tombstone_chain")
+
+    def test_deleted_manifest(self, tmp_path):
+        path = build_journal(tmp_path)
+        os.unlink(path + ".manifest")
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(path) + ".manifest", 0, "manifest_missing")
+
+    def test_tampered_seal(self, tmp_path):
+        """Rewriting a seal without the key breaks its signature."""
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[0]
+        seal = load_signed(victim + ".seal")
+        seal["last"] = 999
+        open(victim + ".seal", "wb").write(json.dumps(seal).encode())
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), 0, "seal_signature")
+
+    def test_reforged_seal_mismatches_contents(self, tmp_path):
+        """A seal re-signed with a stolen key still has to match the
+        segment's actual first/last/count/chain."""
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[0]
+        seal = load_signed(victim + ".seal")
+        seal["chain"] = "ab" * 32
+        write_signed(victim + ".seal", seal, load_key(path))
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), 0, "seal_mismatch")
+
+    def test_deleted_seal(self, tmp_path):
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[0]
+        os.unlink(victim + ".seal")
+        size = os.path.getsize(victim)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), size, "seal_missing")
+
+    def test_torn_record_in_sealed_segment(self, tmp_path):
+        """A partial final line is a tolerated crash artifact in the
+        active file but corruption in a sealed segment."""
+        path = build_journal(tmp_path)
+        victim = segment_files(path)[1]
+        rows = lines_of(victim)
+        offset = rows[-1][0]
+        with open(victim, "r+b") as handle:
+            handle.truncate(offset + 10)  # mid-record, no newline
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), offset, "torn_record")
+
+    def test_garbage_line_appended(self, tmp_path):
+        path = build_journal(tmp_path, events=5, rotate=None)
+        size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"not": "a record"}\n')
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(path), size, "malformed_record")
+
+    def test_record_stripped_of_hash(self, tmp_path):
+        """A record rewritten without its ``h`` field."""
+        path = build_journal(tmp_path, events=5, rotate=None)
+        offset, raw = line_for_seq(path, 3)
+        record = json.loads(raw)
+        bare = json.dumps(
+            {"seq": record["seq"], "ev": record["ev"]},
+            separators=(",", ":"), ensure_ascii=False,
+        ).encode() + b"\n"
+        data = open(path, "rb").read().replace(raw, bare)
+        open(path, "wb").write(data)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(path), offset, "missing_hash")
+
+
+class TestCrashReplay:
+    def test_torn_tail_then_reopen_stays_verifiable(self, tmp_path):
+        """A torn final write (crash mid-append) is truncated by
+        recovery and the chain stays green across the reopen."""
+        path = build_journal(tmp_path, events=10)
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq":11,"ev":{"t":"node"')  # torn mid-record
+        assert verify_journal(path).ok  # tolerated in the active file
+        journal = IngestJournal(path, rotate_bytes=600, integrity=True)
+        seq = journal.stage(node_event("alice", "after-crash"))
+        journal.sync(seq)
+        report = journal.verify_integrity()
+        journal.close()
+        assert report.ok
+        assert report.checked_records == 11
+        assert verify_journal(path).ok
+
+    def test_kill_mid_flush_chain_survives(self, tmp_path):
+        """SIGKILL a shard worker mid-flush, abandon the parent
+        (simulated crash), reopen: replay recovers the events and the
+        chain verifies end to end."""
+        root = str(tmp_path / "svc")
+        service = ProvenanceService(root, shards=2, batch_size=4,
+                                    workers="process:1")
+        for i in range(30):
+            service.record_node("alice", visit(f"v{i}", i + 1))
+            if i > 0:
+                service.record_edge("alice", EdgeKind.LINK, f"v{i-1}",
+                                    f"v{i}", timestamp_us=i + 1)
+        procs = service.ingest._pool_workers.processes()
+        assert procs
+        procs[0].kill()
+        service.close(flush=False)  # simulated parent crash
+
+        recovered = ProvenanceService(root, shards=2, workers="process:1")
+        assert recovered.stats("alice").nodes == 30
+        report = recovered.verify_integrity()
+        assert report.ok, report.detail
+        recovered.close()
+
+    @pytest.mark.parametrize("workers", [0, "thread:2", "process:2"])
+    def test_crash_before_flush_replays_verifiable(self, tmp_path, workers):
+        """Journaled-but-unapplied events (crash before any flush) must
+        replay on reopen with the chain intact, in every worker mode."""
+        root = str(tmp_path / f"svc-{str(workers).replace(':', '-')}")
+        service = ProvenanceService(root, shards=2, batch_size=64,
+                                    workers=workers)
+        for i in range(20):
+            service.record_node("alice", visit(f"v{i}", i + 1))
+        service.close(flush=False)  # events journaled, never applied
+
+        recovered = ProvenanceService(root, shards=2, workers=workers)
+        assert recovered.replayed == 20
+        assert recovered.stats("alice").nodes == 20
+        assert recovered.verify_integrity().ok
+        recovered.close()
+
+
+class TestRetentionResealing:
+    """Deletion is legitimate; it must re-seal, not break, the record."""
+
+    @pytest.mark.parametrize("workers", [0, "thread:2", "process:2"])
+    def test_retention_and_compaction_stay_green(self, tmp_path, workers):
+        """The regression row: retention surgery plus index and segment
+        compaction, then verify — in serial, thread, and process modes."""
+        root = str(tmp_path / f"svc-{str(workers).replace(':', '-')}")
+        service = ProvenanceService(
+            root, shards=2, batch_size=8, workers=workers,
+            journal_rotate_bytes=2048,
+        )
+        for i in range(40):
+            service.record_node("alice", visit(
+                f"v{i}", i + 1, url=f"http://site{i % 3}.com/p{i}"))
+            service.record_node("bob", visit(
+                f"w{i}", i + 1, url=f"http://other{i % 2}.com/q{i}"))
+        service.flush()
+        expired = service.expire_before("alice", 20, compact=True)
+        assert expired.nodes_removed > 0
+        redacted = service.forget_site("bob", "other0.com", compact=True)
+        assert redacted.nodes_removed > 0
+        report = service.verify_integrity()
+        assert report.ok, report.detail
+        # The deletions left signed tombstones behind.
+        manifest = load_signed(
+            os.path.join(root, "ingest.journal.manifest"))
+        ops = [entry["op"] for entry in manifest["tombstones"]]
+        assert "expire_before" in ops
+        assert "forget_site" in ops
+        service.close()
+        # Still green offline after close, and across a reopen.
+        assert verify_journal(os.path.join(root, "ingest.journal")).ok
+        reopened = ProvenanceService(root, shards=2, workers=workers)
+        assert reopened.verify_integrity().ok
+        reopened.close()
+
+    def test_journal_compact_is_tombstoned_and_anchored(self, tmp_path):
+        """Removing applied segments advances the signed anchor and
+        records what was dropped; verify stays green with the chain
+        restarting at the anchor."""
+        path = build_journal(tmp_path, events=20)
+        journal = IngestJournal(path, rotate_bytes=600, integrity=True)
+        journal.checkpoint(journal.last_seq)
+        journal.compact()
+        report = journal.verify_integrity()
+        journal.close()
+        assert report.ok, report.detail
+        assert not segment_files(path)  # segments (and seals) are gone
+        manifest = load_signed(path + ".manifest")
+        assert manifest["anchor_seq"] == 20
+        assert [e["op"] for e in manifest["tombstones"]].count(
+            "compact_segment") >= 1
+        assert verify_journal(path).ok
+
+    def test_append_after_compaction_continues_from_anchor(self, tmp_path):
+        path = build_journal(tmp_path, events=20)
+        journal = IngestJournal(path, rotate_bytes=600, integrity=True)
+        journal.checkpoint(journal.last_seq)
+        journal.compact()
+        for i in range(5):
+            journal.sync(journal.stage(node_event("alice", f"post{i}")))
+        report = journal.verify_integrity()
+        journal.close()
+        assert report.ok, report.detail
+        assert report.checked_records == 5  # pre-anchor records are gone
+        assert verify_journal(path).ok
+
+    def test_tamper_after_reseal_still_detected(self, tmp_path):
+        """Re-sealing must not create a blind spot: corruption of a
+        record that survives retention is still pinned."""
+        path = build_journal(tmp_path, events=20)
+        journal = IngestJournal(path, rotate_bytes=600, integrity=True)
+        journal.checkpoint(10)
+        journal.compact()  # drops fully-applied segments only
+        journal.close()
+        survivors = segment_files(path)
+        assert survivors, "expected surviving sealed segments"
+        victim = survivors[0]
+        rows = lines_of(victim)
+        offset, raw = rows[-1]
+        data = open(victim, "rb").read().replace(raw, b"")
+        open(victim, "wb").write(data)
+        report = verify_journal(path)
+        assert not report.ok
+        assert report.first_error[0] == os.path.basename(victim)
+        assert report.first_error[2] in ("sequence_gap", "truncated")
+
+
+class TestServiceFacade:
+    def test_verify_integrity_flushes_and_attests(self, tmp_path):
+        with ProvenanceService(str(tmp_path / "svc"), shards=2,
+                               workers=0) as service:
+            for i in range(10):
+                service.record_node("alice", visit(f"v{i}", i + 1))
+            report = service.verify_integrity()
+            assert report.ok
+            assert report.attested_seq == 10
+
+    def test_integrity_disabled_raises(self, tmp_path):
+        with ProvenanceService(str(tmp_path / "svc"), shards=2, workers=0,
+                               integrity=False) as service:
+            service.record_node("alice", visit("v1"))
+            with pytest.raises(ConfigurationError):
+                service.verify_integrity()
+
+    def test_detects_corruption_through_facade(self, tmp_path):
+        """End to end: corrupt a sealed segment under a live service
+        and the facade's verify pinpoints it."""
+        root = str(tmp_path / "svc")
+        service = ProvenanceService(root, shards=2, workers=0,
+                                    journal_rotate_bytes=512)
+        for i in range(30):
+            service.record_node("alice", visit(f"v{i}", i + 1))
+        path = os.path.join(root, "ingest.journal")
+        victim = segment_files(path)[0]
+        rows = lines_of(victim)
+        offset, raw = rows[1]
+        data = open(victim, "rb").read()
+        open(victim, "wb").write(
+            data.replace(raw, raw.replace(b"alice", b"mallo")))
+        report = service.verify_integrity()
+        service.close()
+        assert not report.ok
+        assert report.first_error == (
+            os.path.basename(victim), offset, "chain_mismatch")
+
+    def test_ingest_unaffected_by_integrity_off(self, tmp_path):
+        """The knob is real: integrity=False journals the legacy
+        unchained lines."""
+        root = str(tmp_path / "svc")
+        with ProvenanceService(root, shards=2, workers=0,
+                               integrity=False) as service:
+            service.record_node("alice", visit("v1"))
+            service.flush()
+        # No integrity sidecars were minted.
+        names = os.listdir(root)
+        assert "ingest.journal.key" not in names
+        assert "ingest.journal.manifest" not in names
